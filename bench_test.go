@@ -1,0 +1,236 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (§9). Each
+// wraps the corresponding experiment from internal/bench at quick scale
+// and reports the headline quantities as custom metrics. Run
+// cmd/occlum-bench for the full formatted tables.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mmdsfi"
+	"repro/internal/ripe"
+	"repro/internal/workloads"
+	"repro/internal/workloads/specint"
+)
+
+func quickScale() bench.Scale {
+	s := bench.Quick()
+	s.HTTPConcurrency = []int{4}
+	s.HTTPRequests = 64
+	return s
+}
+
+func rowsByLabel(t *bench.Table) map[string][]float64 {
+	m := map[string][]float64{}
+	for _, r := range t.Rows {
+		m[r.Label] = r.Values
+	}
+	return m
+}
+
+// BenchmarkFig5aFish regenerates Figure 5a: the Fish pipeline on all
+// three systems (paper: Linux 1.4 ms, Occlum 19.5 ms, Graphene 9.5 s).
+func BenchmarkFig5aFish(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Fig5aFish(quickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := rowsByLabel(tab)
+		b.ReportMetric(m["Linux"][0], "linux-ms")
+		b.ReportMetric(m["Occlum"][0], "occlum-ms")
+		b.ReportMetric(m["Graphene-SGX"][0], "graphene-ms")
+	}
+}
+
+// BenchmarkFig5bGCC regenerates Figure 5b: compilation time on the
+// largest source (paper: Occlum between Linux and Graphene throughout).
+func BenchmarkFig5bGCC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Fig5bGCC(quickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := rowsByLabel(tab)
+		last := len(m["Occlum"]) - 1
+		b.ReportMetric(m["Linux"][last], "linux-ms")
+		b.ReportMetric(m["Occlum"][last], "occlum-ms")
+		b.ReportMetric(m["Graphene-SGX"][last], "graphene-ms")
+	}
+}
+
+// BenchmarkFig5cLighttpd regenerates Figure 5c: web throughput (paper:
+// both SGX systems within ~10% of Linux at peak).
+func BenchmarkFig5cLighttpd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Fig5cLighttpd(quickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := rowsByLabel(tab)
+		b.ReportMetric(m["Linux"][0], "linux-rps")
+		b.ReportMetric(m["Occlum"][0], "occlum-rps")
+		b.ReportMetric(m["Graphene-SGX"][0], "graphene-rps")
+	}
+}
+
+// BenchmarkFig6aSpawn regenerates Figure 6a: process creation latency
+// (paper: Occlum 97 µs–63 ms scaling with size; Graphene ~0.7 s flat).
+func BenchmarkFig6aSpawn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Fig6aSpawn(quickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := rowsByLabel(tab)
+		b.ReportMetric(m["Occlum"][0], "occlum-small-ms")
+		b.ReportMetric(m["Occlum"][2], "occlum-large-ms")
+		b.ReportMetric(m["Graphene-SGX"][0], "graphene-small-ms")
+		b.ReportMetric(m["Graphene-SGX"][0]/m["Occlum"][0], "speedup-x")
+	}
+}
+
+// BenchmarkFig6bPipe regenerates Figure 6b: pipe throughput (paper:
+// Occlum ≈ Linux, >3× Graphene).
+func BenchmarkFig6bPipe(b *testing.B) {
+	s := quickScale()
+	s.PipeTotal = 512 << 10
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Fig6bPipe(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := rowsByLabel(tab)
+		last := len(m["Occlum"]) - 1
+		b.ReportMetric(m["Occlum"][last], "occlum-MBps")
+		b.ReportMetric(m["Graphene-SGX"][last], "graphene-MBps")
+		b.ReportMetric(m["Linux"][last], "linux-MBps")
+	}
+}
+
+// BenchmarkFig6cFileRead regenerates Figure 6c: sequential reads on
+// Occlum's encrypted FS vs ext4 (paper: 39% average overhead).
+func BenchmarkFig6cFileRead(b *testing.B) {
+	benchFileIO(b, false)
+}
+
+// BenchmarkFig6dFileWrite regenerates Figure 6d: sequential writes
+// (paper: 18% average overhead).
+func BenchmarkFig6dFileWrite(b *testing.B) {
+	benchFileIO(b, true)
+}
+
+func benchFileIO(b *testing.B, write bool) {
+	s := quickScale()
+	s.FileTotal = 512 << 10
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Fig6cdFileIO(s, write)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := rowsByLabel(tab)
+		last := len(m["Occlum"]) - 1
+		b.ReportMetric(m["Occlum"][last], "occlum-MBps")
+		b.ReportMetric(m["Linux"][last], "ext4-MBps")
+	}
+}
+
+// BenchmarkFig7aSpecint regenerates Figure 7a: MMDSFI overhead on the
+// kernel suite (paper mean: 36.6%). Deterministic cycle counts.
+func BenchmarkFig7aSpecint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for _, r := range specint.Suite {
+			ov, err := specint.Overhead(r, 200, mmdsfi.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += ov
+		}
+		b.ReportMetric(100*sum/float64(len(specint.Suite)), "mean-overhead-%")
+	}
+}
+
+// BenchmarkFig7bBreakdown regenerates Figure 7b: naive vs optimized
+// confinement cost (paper: loads 39.6%→25.5%, stores 10.1%→4.3%).
+func BenchmarkFig7bBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var naive, opt float64
+		for _, r := range specint.Suite {
+			n, err := specint.Overhead(r, 200, mmdsfi.Options{
+				ConfineControl: true, ConfineLoads: true, ConfineStores: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			o, err := specint.Overhead(r, 200, mmdsfi.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			naive += n
+			opt += o
+		}
+		k := float64(len(specint.Suite))
+		b.ReportMetric(100*naive/k, "naive-%")
+		b.ReportMetric(100*opt/k, "optimized-%")
+	}
+}
+
+// BenchmarkRIPE regenerates §9.3: the attack corpus on both environments
+// (paper: Occlum stops all code injection and ROP; return-to-libc
+// remains).
+func BenchmarkRIPE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		occ, _, err := ripe.RunCorpus(ripe.GenerateCorpus(false), ripe.EnvOcclum)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gra, _, err := ripe.RunCorpus(ripe.GenerateCorpus(false), ripe.EnvGraphene)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(occ.Succeeded[ripe.TargetShellcode]+occ.Succeeded[ripe.TargetGadget]), "occlum-ci+rop")
+		b.ReportMetric(float64(gra.Succeeded[ripe.TargetShellcode]+gra.Succeeded[ripe.TargetGadget]), "graphene-ci+rop")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: the SIP-vs-EIP comparison.
+func BenchmarkTable1(b *testing.B) {
+	s := quickScale()
+	s.PipeTotal = 512 << 10
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table1(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpawnOcclum is a plain per-op spawn latency benchmark on
+// Occlum (the 97 µs headline of Figure 6a).
+func BenchmarkSpawnOcclum(b *testing.B) {
+	occ, err := workloads.NewOcclumKernel(workloads.DefaultSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workloads.BuildCat()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// cat with no input: give it a trivially empty stdin via fd table
+	// defaults; it exits immediately on EOF.
+	if err := occ.InstallProgram("/bin/cat", prog); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := occ.Spawn("/bin/cat", nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := p.Wait(); st != 0 {
+			b.Fatalf("status %d", st)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command occlum-as is the Occlum toolchain front end: it assembles OVM
+// assembly text, applies MMDSFI instrumentation, links, and writes an
+// (unsigned) OELF binary. Run occlum-verify to verify and sign the result
+// before the LibOS will load it — keeping this large, untrusted toolchain
+// out of the TCB is the point of the paper's architecture.
+//
+// Usage:
+//
+//	occlum-as [-o out.oelf] [-naive] [-no-sfi] [-dump] prog.oasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mmdsfi"
+	"repro/internal/oelf"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: input with .oelf)")
+	naive := flag.Bool("naive", false, "disable the range-analysis optimizations")
+	noSFI := flag.Bool("no-sfi", false, "skip MMDSFI instrumentation entirely (binary will not verify)")
+	dump := flag.Bool("dump", false, "print the final instruction stream")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: occlum-as [-o out.oelf] [-naive] [-no-sfi] prog.oasm")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	opts := mmdsfi.DefaultOptions()
+	if *naive {
+		opts.Optimize = false
+	}
+	if !*noSFI {
+		prog, err = mmdsfi.Instrument(prog, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	img, err := asm.Link(prog)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		off := 0
+		for off < len(img.Code) {
+			inst, n, derr := isa.Decode(img.Code, off)
+			if derr != nil {
+				fmt.Printf("%#06x: <%v>\n", off, derr)
+				break
+			}
+			fmt.Printf("%#06x: %s\n", off, inst)
+			off += n
+		}
+	}
+	name := strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
+	bin := oelf.FromImage(name, img)
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, filepath.Ext(in)) + ".oelf"
+	}
+	if err := os.WriteFile(dst, bin.Marshal(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("occlum-as: %s: %d code bytes, %d data bytes → %s (unsigned)\n",
+		name, len(img.Code), len(img.Data), dst)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "occlum-as:", err)
+	os.Exit(1)
+}

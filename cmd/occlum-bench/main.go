@@ -1,0 +1,48 @@
+// Command occlum-bench regenerates the paper's evaluation: every figure
+// of §9 plus the RIPE security table and Table 1, printed as text tables.
+//
+// Usage:
+//
+//	occlum-bench [-scale quick|full] [experiment ...]
+//
+// With no arguments, all experiments run. Experiments: fig5a fig5b fig5c
+// fig6a fig6b fig6c fig6d fig7a fig7b ripe table1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "quick":
+		scale = bench.Quick()
+	case "full":
+		scale = bench.Full()
+	default:
+		fmt.Fprintln(os.Stderr, "occlum-bench: -scale must be quick or full")
+		os.Exit(2)
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = bench.Experiments
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := bench.Run(name, scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "occlum-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,68 @@
+// Command occlum-run boots an Occlum enclave (on the simulated SGX
+// platform), installs a signed OELF binary into the encrypted filesystem,
+// spawns it as a SIP, and relays its stdout and exit status.
+//
+// Usage:
+//
+//	occlum-run [-key seed] prog.oelf [args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/libos"
+	"repro/internal/oelf"
+)
+
+func main() {
+	keySeed := flag.String("key", "occlum", "verifier key seed the LibOS trusts")
+	domains := flag.Int("domains", 8, "preallocated MMDSFI domains")
+	dataMB := flag.Int("data-mb", 16, "data region size per domain (MiB)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: occlum-run prog.oelf [args...]")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	bin, err := oelf.Unmarshal(raw)
+	if err != nil {
+		fatal(err)
+	}
+
+	lc := libos.DefaultConfig()
+	lc.NumDomains = *domains
+	lc.DomainDataSize = uint64(*dataMB) << 20
+	lc.VerifierKey = oelf.NewSigningKey(*keySeed)
+	lc.Stdout = os.Stdout
+	sys, err := core.BootSystem(core.SystemConfig{LibOS: lc, EPCBytes: 4 << 30, Stdout: os.Stdout})
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.OS.Shutdown()
+
+	path := "/bin/" + bin.Name
+	if err := sys.InstallBinary(path, bin); err != nil {
+		fatal(err)
+	}
+	p, err := sys.OS.Spawn(path, flag.Args()[1:], libos.SpawnOpt{
+		Stdout: libos.NewWriterFile(os.Stdout),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	status := p.Wait()
+	fmt.Fprintf(os.Stderr, "occlum-run: %s exited with status %d (%d instructions)\n",
+		bin.Name, status, p.Cycles())
+	os.Exit(status)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "occlum-run:", err)
+	os.Exit(1)
+}

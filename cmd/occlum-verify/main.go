@@ -1,0 +1,59 @@
+// Command occlum-verify is the Occlum verifier (§5): it statically checks
+// an OELF binary against MMDSFI's security policies (complete
+// disassembly, instruction set, control transfers, memory accesses) and,
+// on success, signs it so the LibOS loader will accept it.
+//
+// Usage:
+//
+//	occlum-verify [-key seed] [-check-only] prog.oelf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/oelf"
+	"repro/internal/verifier"
+)
+
+func main() {
+	keySeed := flag.String("key", "occlum", "signing key seed (must match the LibOS configuration)")
+	checkOnly := flag.Bool("check-only", false, "verify without signing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: occlum-verify [-key seed] [-check-only] prog.oelf")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	bin, err := oelf.Unmarshal(raw)
+	if err != nil {
+		fatal(err)
+	}
+	v := verifier.New(oelf.NewSigningKey(*keySeed))
+	if *checkOnly {
+		if err := v.Verify(bin); err != nil {
+			fmt.Fprintf(os.Stderr, "occlum-verify: REJECTED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("occlum-verify: %s: compliant with MMDSFI\n", bin.Name)
+		return
+	}
+	if err := v.VerifyAndSign(bin); err != nil {
+		fmt.Fprintf(os.Stderr, "occlum-verify: REJECTED: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, bin.Marshal(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("occlum-verify: %s: verified and signed\n", bin.Name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "occlum-verify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Occlum: Secure and
+// Efficient Multitasking Inside a Single Enclave of Intel SGX" (Shen,
+// Tian et al., ASPLOS 2020).
+//
+// The system under internal/ comprises the paper's three components — the
+// MMDSFI toolchain, the independent binary verifier, and the Occlum LibOS
+// — together with every substrate they need (a synthetic ISA and virtual
+// CPU, an SGX 1.0 enclave model with MPX bound registers, an encrypted
+// filesystem, an untrusted host OS) and both evaluation baselines (native
+// Linux and a Graphene-SGX-like enclave-per-process LibOS).
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every figure of the paper's §9.
+package repro

@@ -1,0 +1,110 @@
+// Secure FS: demonstrates the writable encrypted filesystem that
+// distinguishes Occlum from EIP-based LibOSes (Table 1), and the
+// integrity protection of the protected-file layer: a SIP persists
+// secrets, the image survives a LibOS restart, the host sees only
+// ciphertext, and host tampering is detected at the block layer.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/fs"
+	"repro/internal/hostos"
+)
+
+func main() {
+	host := hostos.New()
+	key := fs.KeyFromString("sealing-key-derived-from-enclave-identity")
+
+	// Create and populate the encrypted filesystem.
+	store, err := fs.CreateStore(host, "occlum.img", key, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.Mkfs(store); err != nil {
+		log.Fatal(err)
+	}
+	efs, err := fs.Mount(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := efs.Mkdir("/secrets"); err != nil {
+		log.Fatal(err)
+	}
+	f, err := efs.Open("/secrets/api-token", fs.ORdWr|fs.OCreate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	secret := []byte("TOKEN-5f4dcc3b5aa765d61d8327deb882cf99")
+	if _, err := f.WriteAt(secret, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := efs.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote /secrets/api-token and synced the image to the host")
+
+	// The untrusted host sees only ciphertext.
+	raw, _ := host.ReadFile("occlum.img")
+	if bytes.Contains(raw, secret) {
+		log.Fatal("PLAINTEXT LEAKED TO HOST")
+	}
+	fmt.Printf("host-side image: %d bytes, plaintext not present ✓\n", len(raw))
+
+	// Remount (a LibOS restart) and read the secret back.
+	store2, err := fs.OpenStore(host, "occlum.img", key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	efs2, err := fs.Mount(store2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := efs2.Open("/secrets/api-token", fs.ORdOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, len(secret))
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after remount: %q ✓\n", buf)
+
+	// A hostile host flips one bit in the authentication table → the
+	// root MAC check rejects the whole image at mount time.
+	if err := host.TamperFile("occlum.img", 100); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fs.OpenStore(host, "occlum.img", key); err != nil {
+		fmt.Printf("tampered metadata rejected at mount: %v ✓\n", err)
+	} else {
+		log.Fatal("TAMPERING WENT UNDETECTED")
+	}
+
+	// Restore, then corrupt a data block instead: the per-block MAC
+	// catches it on read.
+	host.WriteFile("occlum.img", raw)
+	store3, err := fs.OpenStore(host, "occlum.img", key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	efs3, err := fs.Mount(store3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Flip bits across the data area until the secret read fails.
+	for off := 200000 % len(raw); off < len(raw); off += 1000 {
+		_ = host.TamperFile("occlum.img", off)
+	}
+	h, err := efs3.Open("/secrets/api-token", fs.ORdOnly)
+	if err == nil {
+		_, err = h.ReadAt(buf, 0)
+	}
+	if err != nil {
+		fmt.Printf("tampered data block rejected on read: %v ✓\n", err)
+	} else {
+		log.Fatal("DATA TAMPERING WENT UNDETECTED")
+	}
+}

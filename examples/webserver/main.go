@@ -1,0 +1,53 @@
+// Webserver: the paper's Lighttpd workload (§9.1) as a runnable example.
+// A master SIP binds a listening socket and spawns two worker SIPs that
+// inherit it; an ApacheBench-style client hammers the server over the
+// host loopback and reports throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/workloads"
+)
+
+func main() {
+	const (
+		port     = 8080
+		workers  = 2
+		requests = 200
+	)
+	occ, err := workloads.NewOcclumKernel(workloads.DefaultSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	master, err := workloads.InstallHTTPD(occ, port, workers, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := occ.Spawn(master, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lighttpd master (pid %d) + %d workers serving 10 KB pages on :%d\n",
+		p.PID(), workers, port)
+
+	for _, concurrency := range []int{1, 4, 16} {
+		if concurrency != 1 {
+			// Respawn the server for each round (workers exit after
+			// their request quota).
+			p, err = occ.Spawn(master, nil, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		res := workloads.RunHTTPBench(occ, port, concurrency, requests)
+		if status := p.Wait(); status != 0 {
+			log.Fatalf("master exited with %d", status)
+		}
+		fmt.Printf("  c=%-3d %6.0f req/s  (%d requests, %d failed, %.1f MB served)\n",
+			concurrency, res.Throughput(), res.Requests, res.Failed,
+			float64(res.Bytes)/(1<<20))
+	}
+}

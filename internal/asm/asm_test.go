@@ -1,0 +1,213 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("_start")
+	b.MovRI(isa.R1, 10)
+	b.Label("loop")
+	b.SubI(isa.R1, 1)
+	b.CmpI(isa.R1, 0)
+	b.Jne("loop")
+	b.Trap()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Items) != 5 {
+		t.Fatalf("items = %d, want 5", len(p.Items))
+	}
+	if !p.FuncLabels["_start"] {
+		t.Fatal("entry should be a func label")
+	}
+	idx, err := p.LabelIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx["loop"] != 1 {
+		t.Fatalf("label loop at %d, want 1", idx["loop"])
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	// Undefined branch target.
+	b := NewBuilder()
+	b.Entry("_start")
+	b.Jmp("nowhere")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("undefined label should fail")
+	}
+
+	// Missing entry.
+	b = NewBuilder()
+	b.Nop()
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("missing entry should fail")
+	}
+
+	// Trailing label.
+	b = NewBuilder()
+	b.Entry("_start")
+	b.Nop()
+	b.Label("tail")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("trailing label should fail")
+	}
+
+	// Duplicate label.
+	b = NewBuilder()
+	b.Entry("_start")
+	b.Label("x").Nop()
+	b.Label("x").Nop()
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("duplicate label should fail")
+	}
+
+	// Undefined data symbol.
+	b = NewBuilder()
+	b.Entry("_start")
+	b.LeaData(isa.R1, "ghost")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("undefined data symbol should fail")
+	}
+}
+
+func TestLinkResolvesBranches(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("_start")
+	b.Jmp("end") // skips the movri
+	b.MovRI(isa.R1, 99)
+	b.Label("end")
+	b.Trap()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode the jmp and check the displacement skips the 10-byte movri.
+	in, n, err := isa.Decode(img.Code, 0)
+	if err != nil || in.Op != isa.OpJmp {
+		t.Fatalf("first inst = %v, %v", in, err)
+	}
+	if in.Imm != 10 {
+		t.Fatalf("jmp disp = %d, want 10", in.Imm)
+	}
+	_ = n
+	if img.Entry != 0 {
+		t.Fatalf("entry = %d, want 0", img.Entry)
+	}
+}
+
+func TestLinkDataSymbols(t *testing.T) {
+	b := NewBuilder()
+	b.String("greeting", "hi")
+	b.Bytes("word", []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	b.Entry("_start")
+	b.LeaData(isa.R1, "word")
+	b.Trap()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, n, err := isa.Decode(img.Code, 0)
+	if err != nil || in.Op != isa.OpLea {
+		t.Fatalf("first inst = %v, %v", in, err)
+	}
+	if !in.Mem.IsPCRel() {
+		t.Fatalf("data ref not PC-relative: %v", in.Mem)
+	}
+	// Effective address = next-inst offset + disp must equal
+	// DataStart + symbol offset.
+	got := uint64(n) + uint64(int64(in.Mem.Disp))
+	want := img.DataStart() + uint64(p.DataSyms["word"])
+	if got != want {
+		t.Fatalf("resolved address %#x, want %#x", got, want)
+	}
+	if p.DataSyms["word"] != 8 {
+		t.Fatalf("word at offset %d, want 8 (aligned after 3-byte string)", p.DataSyms["word"])
+	}
+}
+
+func TestImageGeometry(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("_start")
+	b.Trap()
+	b.ReserveBSS(1000)
+	b.Bytes("d", make([]byte, 24))
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.CodeSpan()%4096 != 0 || img.CodeSpan() < uint64(len(img.Code)) {
+		t.Fatalf("bad code span %d for %d code bytes", img.CodeSpan(), len(img.Code))
+	}
+	if img.DataStart() != img.CodeSpan()+uint64(img.GuardSize) {
+		t.Fatal("data must start exactly one guard past the code span")
+	}
+	if img.MinDataSize() != 24+1000 {
+		t.Fatalf("MinDataSize = %d, want 1024", img.MinDataSize())
+	}
+}
+
+func TestNonexistenceEnforced(t *testing.T) {
+	// A movri whose immediate contains the CFI magic must be caught.
+	var magicImm int64
+	for i, by := range isa.CFIMagic {
+		magicImm |= int64(by) << (8 * i)
+	}
+
+	b := NewBuilder()
+	b.Entry("_start")
+	b.MovRI(isa.R1, magicImm)
+	b.Trap()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Link(p); err == nil {
+		t.Fatal("link should reject code embedding the CFI magic")
+	}
+
+	// MovRISafe emits a magic-free equivalent.
+	b = NewBuilder()
+	b.Entry("_start")
+	b.MovRISafe(isa.R1, magicImm)
+	b.Trap()
+	p, err = b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Link(p); err != nil {
+		t.Fatalf("MovRISafe variant should link: %v", err)
+	}
+}
+
+func TestCFILabelAllowedByNonexistenceCheck(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("_start")
+	b.I(isa.Inst{Op: isa.OpCFILabel})
+	b.Trap()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Link(p); err != nil {
+		t.Fatalf("genuine cfi_label should pass the nonexistence check: %v", err)
+	}
+}

@@ -1,0 +1,393 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Parse assembles OVM assembly text into a Program. The syntax:
+//
+//	.entry _start            ; declare the entry function
+//	.func name               ; declare an indirect-entry label
+//	.string sym "text"       ; NUL-terminated string data
+//	.bytes sym n             ; n zero bytes of data
+//	.bss n                   ; extend the zero tail
+//
+//	label:                   ; local label
+//	mov r1, r2               ; register-register
+//	movri r1, 42             ; register-immediate
+//	load r1, [r2+8]          ; memory operands: [base], [base+disp],
+//	store [r2+r3*8-4], r1    ;   [base+index*scale+disp]
+//	lea r1, sym              ; data-symbol reference
+//	jmp label                ; direct branches take labels
+//	call fn / callr r1 / ret
+//	trap / nop
+//
+// Comments run from ';' or '#' to end of line. Mnemonics follow the Op
+// names of internal/isa.
+func Parse(src string) (*Program, error) {
+	b := NewBuilder()
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineno+1, err)
+		}
+	}
+	return b.Finish()
+}
+
+func parseLine(b *Builder, line string) error {
+	// Directives.
+	if strings.HasPrefix(line, ".") {
+		return parseDirective(b, line)
+	}
+	// Labels (possibly followed by an instruction).
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 || strings.ContainsAny(line[:i], " \t,[") {
+			break
+		}
+		b.Label(strings.TrimSpace(line[:i]))
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	return parseInst(b, line)
+}
+
+func parseDirective(b *Builder, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".entry":
+		if len(fields) != 2 {
+			return fmt.Errorf(".entry needs a label")
+		}
+		b.DeclareEntry(fields[1])
+		return nil
+	case ".func":
+		if len(fields) != 2 {
+			return fmt.Errorf(".func needs a label")
+		}
+		b.DeclareFunc(fields[1])
+		return nil
+	case ".string":
+		rest := strings.TrimSpace(strings.TrimPrefix(line, ".string"))
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return fmt.Errorf(".string needs a symbol and a quoted value")
+		}
+		sym := rest[:sp]
+		val, err := strconv.Unquote(strings.TrimSpace(rest[sp:]))
+		if err != nil {
+			return fmt.Errorf(".string value: %v", err)
+		}
+		b.String(sym, val)
+		return nil
+	case ".bytes":
+		if len(fields) != 3 {
+			return fmt.Errorf(".bytes needs a symbol and a size")
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return fmt.Errorf(".bytes size: %q", fields[2])
+		}
+		b.Zero(fields[1], n)
+		return nil
+	case ".bss":
+		if len(fields) != 2 {
+			return fmt.Errorf(".bss needs a size")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf(".bss size: %q", fields[1])
+		}
+		b.ReserveBSS(uint32(n))
+		return nil
+	}
+	return fmt.Errorf("unknown directive %s", fields[0])
+}
+
+// mnemonic table: built from the ISA's op names.
+var mnemonics = func() map[string]isa.Op {
+	m := make(map[string]isa.Op)
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func parseInst(b *Builder, line string) error {
+	sp := strings.IndexAny(line, " \t")
+	mn, rest := line, ""
+	if sp >= 0 {
+		mn, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	op, ok := mnemonics[strings.ToLower(mn)]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	var args []string
+	if rest != "" {
+		for _, a := range strings.Split(rest, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	in := isa.Inst{Op: op}
+	var dataSym string
+
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+
+	switch op.Format() {
+	case isa.FNone:
+		if err := need(0); err != nil {
+			return err
+		}
+	case isa.FR:
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		in.R1 = r
+	case isa.FRR:
+		if err := need(2); err != nil {
+			return err
+		}
+		r1, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		r2, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		in.R1, in.R2 = r1, r2
+	case isa.FRI64, isa.FRI32:
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := strconv.ParseInt(args[1], 0, 64)
+		if err != nil {
+			return fmt.Errorf("immediate %q: %v", args[1], err)
+		}
+		in.R1, in.Imm = r, imm
+	case isa.FI32, isa.FI16:
+		if err := need(1); err != nil {
+			return err
+		}
+		imm, err := strconv.ParseInt(args[0], 0, 64)
+		if err != nil {
+			return fmt.Errorf("immediate %q: %v", args[0], err)
+		}
+		in.Imm = imm
+	case isa.FRel32:
+		if err := need(1); err != nil {
+			return err
+		}
+		in.Label = args[0]
+	case isa.FRMem:
+		if op == isa.OpJmpM || op == isa.OpCallM {
+			if err := need(1); err != nil {
+				return err
+			}
+			m, sym, err := parseMem(args[0])
+			if err != nil {
+				return err
+			}
+			in.Mem, dataSym = m, sym
+			break
+		}
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		m, sym, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		in.R1, in.Mem, dataSym = r, m, sym
+	case isa.FMemR:
+		if err := need(2); err != nil {
+			return err
+		}
+		m, sym, err := parseMem(args[0])
+		if err != nil {
+			return err
+		}
+		r, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		in.R1, in.Mem, dataSym = r, m, sym
+	case isa.FBR:
+		if err := need(2); err != nil {
+			return err
+		}
+		bnd, err := parseBnd(args[0])
+		if err != nil {
+			return err
+		}
+		r, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		in.Bnd, in.R1 = bnd, r
+	case isa.FBMem:
+		if err := need(2); err != nil {
+			return err
+		}
+		bnd, err := parseBnd(args[0])
+		if err != nil {
+			return err
+		}
+		m, sym, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		in.Bnd, in.Mem, dataSym = bnd, m, sym
+	case isa.FBB:
+		if err := need(2); err != nil {
+			return err
+		}
+		b1, err := parseBnd(args[0])
+		if err != nil {
+			return err
+		}
+		b2, err := parseBnd(args[1])
+		if err != nil {
+			return err
+		}
+		in.Bnd, in.Bnd2 = b1, b2
+	case isa.FCFI:
+		if err := need(0); err != nil {
+			return err
+		}
+	}
+	if op == isa.OpCall {
+		b.Call(in.Label)
+		return nil
+	}
+	b.emit(Item{Inst: in, DataSym: dataSym})
+	return nil
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(s)
+	if s == "sp" {
+		return isa.SP, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseBnd(s string) (isa.BndReg, error) {
+	s = strings.ToLower(s)
+	if strings.HasPrefix(s, "bnd") {
+		n, err := strconv.Atoi(s[3:])
+		if err == nil && n >= 0 && n < isa.NumBndRegs {
+			return isa.BndReg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad bound register %q", s)
+}
+
+// parseMem parses [base], [base+disp], [base+index*scale+disp], [pc+disp],
+// or a bare data-symbol name (resolved PC-relative at link time).
+func parseMem(s string) (isa.MemRef, string, error) {
+	if !strings.HasPrefix(s, "[") {
+		// Data-symbol reference.
+		if s == "" || strings.ContainsAny(s, " \t[]") {
+			return isa.MemRef{}, "", fmt.Errorf("bad memory operand %q", s)
+		}
+		return isa.MemPC(0), s, nil
+	}
+	if !strings.HasSuffix(s, "]") {
+		return isa.MemRef{}, "", fmt.Errorf("unterminated memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	m := isa.MemRef{Base: isa.RegNone, Index: isa.RegNone, Scale: 1}
+	// Split on +/- while keeping signs for the displacement.
+	terms := splitTerms(inner)
+	for _, t := range terms {
+		body := strings.TrimSpace(strings.TrimLeft(t, "+-"))
+		neg := strings.HasPrefix(strings.TrimSpace(t), "-")
+		switch {
+		case body == "pc":
+			m.Base = isa.RegPC
+		case strings.Contains(body, "*"):
+			parts := strings.SplitN(body, "*", 2)
+			r, err := parseReg(strings.TrimSpace(parts[0]))
+			if err != nil {
+				return m, "", err
+			}
+			sc, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return m, "", fmt.Errorf("bad scale in %q", t)
+			}
+			m.Index, m.Scale = r, uint8(sc)
+		default:
+			if r, err := parseReg(body); err == nil {
+				if m.Base == isa.RegNone {
+					m.Base = r
+				} else if m.Index == isa.RegNone {
+					m.Index, m.Scale = r, 1
+				} else {
+					return m, "", fmt.Errorf("too many registers in %q", s)
+				}
+				break
+			}
+			v, err := strconv.ParseInt(body, 0, 32)
+			if err != nil {
+				return m, "", fmt.Errorf("bad term %q", t)
+			}
+			if neg {
+				v = -v
+			}
+			m.Disp += int32(v)
+		}
+	}
+	return m, "", nil
+}
+
+func splitTerms(s string) []string {
+	var out []string
+	start := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			out = append(out, s[start:i])
+			start = i
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

@@ -1,0 +1,135 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+const sampleAsm = `
+; a small complete program
+.string msg "hello"
+.bytes buf 64
+.bss 128
+.entry _start
+
+_start:
+    movri r1, 10
+    mov r2, r1
+loop:
+    subi r1, 1
+    cmpi r1, 0
+    jg loop
+    lea r3, buf          ; data symbol
+    store [r3+8], r2
+    load r4, [r3+r2*8-8]
+    call helper
+    trap
+
+.func helper
+helper:
+    addi r2, 1
+    ret
+`
+
+func TestParseProgram(t *testing.T) {
+	p, err := Parse(sampleAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != "_start" {
+		t.Fatalf("entry = %q", p.Entry)
+	}
+	if !p.FuncLabels["helper"] || !p.FuncLabels["_start"] {
+		t.Fatalf("func labels = %v", p.FuncLabels)
+	}
+	if p.BSS != 128 {
+		t.Fatalf("bss = %d", p.BSS)
+	}
+	if _, ok := p.DataSyms["msg"]; !ok {
+		t.Fatal("msg symbol missing")
+	}
+	img, err := Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Code) == 0 {
+		t.Fatal("no code")
+	}
+	// Spot-check a decoded instruction: first is movri r1, 10.
+	in, _, err := isa.Decode(img.Code, 0)
+	if err != nil || in.Op != isa.OpMovRI || in.R1 != isa.R1 || in.Imm != 10 {
+		t.Fatalf("first inst = %v, %v", in, err)
+	}
+}
+
+func TestParseMemOperands(t *testing.T) {
+	cases := []struct {
+		src  string
+		want isa.MemRef
+	}{
+		{"load r1, [r2]", isa.Mem(isa.R2, 0)},
+		{"load r1, [r2+16]", isa.Mem(isa.R2, 16)},
+		{"load r1, [r2-8]", isa.Mem(isa.R2, -8)},
+		{"load r1, [r2+r3*4+32]", isa.MemSIB(isa.R2, isa.R3, 4, 32)},
+		{"load r1, [pc+100]", isa.MemPC(100)},
+		{"load r1, [sp-8]", isa.Mem(isa.SP, -8)},
+	}
+	for _, c := range cases {
+		p, err := Parse(".entry _start\n_start:\n" + c.src + "\ntrap\n")
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		// Items: the load is item 0.
+		got := p.Items[0].Inst.Mem
+		if got != c.want {
+			t.Errorf("%s: mem = %+v, want %+v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		".entry",
+		"movri r99, 1\n.entry _start\n_start: trap",
+		"load r1, [r2+r3+r4]\n.entry _start\n_start: trap",
+		".string msg unquoted\n.entry _start\n_start: trap",
+		"jmp\n.entry _start\n_start: trap",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestParsedProgramRoundTripsThroughBuilder(t *testing.T) {
+	// The same program written via the Builder and via text must link
+	// to identical code.
+	b := NewBuilder()
+	b.Entry("_start")
+	b.MovRI(isa.R1, 5)
+	b.AddI(isa.R1, 2)
+	b.I(isa.Inst{Op: isa.OpTrap})
+	pb, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := Link(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pt, err := Parse(".entry _start\n_start:\nmovri r1, 5\naddi r1, 2\ntrap\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := Link(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ib.Code) != string(it.Code) {
+		t.Fatal("builder and parser produced different code")
+	}
+}

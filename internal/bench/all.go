@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment names accepted by Run.
+var Experiments = []string{
+	"fig5a", "fig5b", "fig5c",
+	"fig6a", "fig6b", "fig6c", "fig6d",
+	"fig7a", "fig7b",
+	"ripe", "table1",
+}
+
+// Run executes one named experiment at the given scale, printing its
+// table to w.
+func Run(name string, s Scale, w io.Writer) error {
+	var (
+		t   *Table
+		err error
+	)
+	switch name {
+	case "fig5a":
+		t, err = Fig5aFish(s)
+	case "fig5b":
+		t, err = Fig5bGCC(s)
+	case "fig5c":
+		t, err = Fig5cLighttpd(s)
+	case "fig6a":
+		t, err = Fig6aSpawn(s)
+	case "fig6b":
+		t, err = Fig6bPipe(s)
+	case "fig6c":
+		t, err = Fig6cdFileIO(s, false)
+	case "fig6d":
+		t, err = Fig6cdFileIO(s, true)
+	case "fig7a":
+		t, err = Fig7aSpecint(s)
+	case "fig7b":
+		t, err = Fig7bBreakdown(s)
+	case "ripe":
+		t, err = RIPETable()
+	case "table1":
+		return Table1(s, w)
+	default:
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
+	}
+	if err != nil {
+		return fmt.Errorf("bench: %s: %w", name, err)
+	}
+	t.Print(w)
+	return nil
+}
+
+// RunAll executes every experiment.
+func RunAll(s Scale, w io.Writer) error {
+	for _, name := range Experiments {
+		if err := Run(name, s, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"repro/internal/mmdsfi"
+	"repro/internal/ripe"
+	"repro/internal/workloads/specint"
+)
+
+// Fig7aSpecint measures MMDSFI's overhead on the twelve CPU kernels
+// (paper: mean 36.6%). Cycle-count based, hence deterministic.
+func Fig7aSpecint(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 7a — MMDSFI overhead on SPECint-style kernels",
+		Columns: []string{"overhead"},
+		Unit:    "%",
+	}
+	var sum float64
+	for _, r := range specint.Suite {
+		ov, err := specint.Overhead(r, s.SpecIters, mmdsfi.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		sum += ov
+		t.Rows = append(t.Rows, Row{Label: r.Name, Values: []float64{100 * ov}})
+	}
+	t.Rows = append(t.Rows, Row{Label: "Mean", Values: []float64{100 * sum / float64(len(specint.Suite))}})
+	return t, nil
+}
+
+// Fig7bBreakdown decomposes the overhead into control-transfer, store and
+// load confinement, for the naive and the optimized instrumentation
+// (paper: optimizations cut stores 10.1%→4.3% and loads 39.6%→25.5%).
+func Fig7bBreakdown(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 7b — overhead breakdown (suite mean)",
+		Columns: []string{"control", "stores", "loads", "total"},
+		Unit:    "%",
+	}
+	configs := []struct {
+		label string
+		opt   bool
+	}{
+		{"Baseline (naive)", false},
+		{"+ Optimizations", true},
+	}
+	for _, cfg := range configs {
+		var control, stores, loads, total float64
+		for _, r := range specint.Suite {
+			c, err := specint.Overhead(r, s.SpecIters, mmdsfi.Options{ConfineControl: true, Optimize: cfg.opt})
+			if err != nil {
+				return nil, err
+			}
+			st, err := specint.Overhead(r, s.SpecIters, mmdsfi.Options{ConfineStores: true, Optimize: cfg.opt})
+			if err != nil {
+				return nil, err
+			}
+			ld, err := specint.Overhead(r, s.SpecIters, mmdsfi.Options{ConfineLoads: true, Optimize: cfg.opt})
+			if err != nil {
+				return nil, err
+			}
+			full, err := specint.Overhead(r, s.SpecIters, mmdsfi.Options{
+				ConfineControl: true, ConfineStores: true, ConfineLoads: true, Optimize: cfg.opt})
+			if err != nil {
+				return nil, err
+			}
+			control += c
+			stores += st
+			loads += ld
+			total += full
+		}
+		n := float64(len(specint.Suite))
+		t.Rows = append(t.Rows, Row{
+			Label:  cfg.label,
+			Values: []float64{100 * control / n, 100 * stores / n, 100 * loads / n, 100 * total / n},
+		})
+	}
+	return t, nil
+}
+
+// RIPETable reproduces §9.3: attack-success counts per class on both
+// environments, with and without stack protection.
+func RIPETable() (*Table, error) {
+	t := &Table{
+		Title:   "§9.3 — RIPE attack outcomes (succeeded / attempted)",
+		Columns: []string{"code-inj", "rop", "ret-to-libc"},
+		Unit:    "count",
+	}
+	for _, env := range []ripe.Env{ripe.EnvGraphene, ripe.EnvOcclum} {
+		for _, sp := range []bool{false, true} {
+			cc, _, err := ripe.RunCorpus(ripe.GenerateCorpus(sp), env)
+			if err != nil {
+				return nil, err
+			}
+			label := env.String() + " (no SP)"
+			if sp {
+				label = env.String() + " (SP)"
+			}
+			t.Rows = append(t.Rows, Row{
+				Label: label,
+				Values: []float64{
+					float64(cc.Succeeded[ripe.TargetShellcode]),
+					float64(cc.Succeeded[ripe.TargetGadget]),
+					float64(cc.Succeeded[ripe.TargetLibc]),
+				},
+			})
+		}
+	}
+	return t, nil
+}

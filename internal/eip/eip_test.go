@@ -1,0 +1,253 @@
+package eip_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/eip"
+	"repro/internal/hostos"
+	"repro/internal/isa"
+	"repro/internal/libos"
+	"repro/internal/sgx"
+	"repro/internal/ulib"
+)
+
+func buildProg(t testing.TB, f func(b *asm.Builder)) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder()
+	f(b)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newEIP(t testing.TB) *eip.Graphene {
+	t.Helper()
+	return eip.New(sgx.NewPlatform(1<<30), hostos.New(), eip.DefaultConfig())
+}
+
+func install(t testing.TB, g *eip.Graphene, path string, prog *asm.Program) {
+	t.Helper()
+	bin, err := core.NewToolchain().CompileUnverified(path, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.InstallBinary(path, bin)
+}
+
+func TestEIPHello(t *testing.T) {
+	g := newEIP(t)
+	prog := buildProg(t, func(b *asm.Builder) {
+		b.String("msg", "from an EIP\n")
+		b.Entry("_start")
+		ulib.Prologue(b)
+		ulib.WriteStr(b, 1, "msg", 12)
+		ulib.Exit(b, 4)
+	})
+	install(t, g, "/bin/hello", prog)
+
+	var out bytes.Buffer
+	p, err := g.Spawn("/bin/hello", nil, eip.SpawnOpt{Stdout: libos.NewWriterFile(&out)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := p.Wait(); status != 4 {
+		t.Fatalf("status = %d", status)
+	}
+	if out.String() != "from an EIP\n" {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+func TestEIPSpawnIsExpensive(t *testing.T) {
+	g := newEIP(t)
+	prog := buildProg(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		ulib.Prologue(b)
+		ulib.Exit(b, 0)
+	})
+	install(t, g, "/bin/n", prog)
+
+	start := time.Now()
+	p, err := g.Spawn("/bin/n", nil, eip.SpawnOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	elapsed := time.Since(start)
+	// An 8 MiB enclave must be fully measured: this is milliseconds,
+	// not microseconds.
+	if elapsed < 500*time.Microsecond {
+		t.Fatalf("EIP spawn took %v — enclave measurement cost missing", elapsed)
+	}
+	t.Logf("EIP spawn (8 MiB enclave): %v", elapsed)
+}
+
+func TestEIPEncryptedPipe(t *testing.T) {
+	g := newEIP(t)
+	prog := buildProg(t, func(b *asm.Builder) {
+		b.Zero("fds", 16)
+		b.String("msg", "sealed transit!!")
+		b.Zero("buf", 32)
+		b.Entry("_start")
+		ulib.Prologue(b)
+		ulib.Pipe2(b, "fds")
+		b.LoadData(isa.R6, "fds") // rfd
+		b.LeaData(isa.R1, "fds")
+		b.Load(isa.R1, isa.Mem(isa.R1, 8)) // wfd
+		b.LeaData(isa.R2, "msg")
+		b.MovRI(isa.R3, 16)
+		ulib.Syscall(b, libos.SysWrite)
+		b.MovRR(isa.R1, isa.R6)
+		b.LeaData(isa.R2, "buf")
+		b.MovRI(isa.R3, 16)
+		ulib.Syscall(b, libos.SysRead)
+		b.MovRI(isa.R1, 1)
+		b.LeaData(isa.R2, "buf")
+		b.MovRI(isa.R3, 16)
+		ulib.Syscall(b, libos.SysWrite)
+		ulib.Exit(b, 0)
+	})
+	install(t, g, "/bin/pipe", prog)
+
+	var out bytes.Buffer
+	p, err := g.Spawn("/bin/pipe", nil, eip.SpawnOpt{Stdout: libos.NewWriterFile(&out)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := p.Wait(); status != 0 {
+		t.Fatalf("status = %d", status)
+	}
+	if out.String() != "sealed transit!!" {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+func TestEIPReadOnlyFS(t *testing.T) {
+	g := newEIP(t)
+	g.InstallFile("/etc/conf", []byte("frozen"))
+	prog := buildProg(t, func(b *asm.Builder) {
+		b.String("path", "/etc/conf")
+		b.Zero("buf", 8)
+		b.Entry("_start")
+		ulib.Prologue(b)
+		// Read works.
+		ulib.OpenPath(b, "path", 9, libos.ORdOnly)
+		b.MovRR(isa.R6, isa.R0)
+		b.MovRR(isa.R1, isa.R6)
+		b.LeaData(isa.R2, "buf")
+		b.MovRI(isa.R3, 6)
+		ulib.Syscall(b, libos.SysRead)
+		// Write must fail.
+		b.MovRR(isa.R1, isa.R6)
+		b.LeaData(isa.R2, "buf")
+		b.MovRI(isa.R3, 6)
+		ulib.Syscall(b, libos.SysWrite)
+		// Exit with 1 if the write unexpectedly succeeded.
+		b.CmpI(isa.R0, 0)
+		b.Jg("bad")
+		ulib.Exit(b, 0)
+		b.Label("bad")
+		b.Nop()
+		ulib.Exit(b, 1)
+	})
+	install(t, g, "/bin/ro", prog)
+	p, err := g.Spawn("/bin/ro", nil, eip.SpawnOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := p.Wait(); status != 0 {
+		t.Fatalf("status = %d: read-only FS accepted a write", status)
+	}
+}
+
+func TestEIPProtectedFileTamper(t *testing.T) {
+	g := newEIP(t)
+	g.InstallFile("/secret", []byte("payload"))
+	// Protected files are sealed; direct Graphene-internal read works.
+	prog := buildProg(t, func(b *asm.Builder) {
+		b.String("path", "/secret")
+		b.Zero("buf", 8)
+		b.Entry("_start")
+		ulib.Prologue(b)
+		ulib.OpenPath(b, "path", 7, libos.ORdOnly)
+		b.MovRR(isa.R6, isa.R0)
+		b.MovRR(isa.R1, isa.R6)
+		b.LeaData(isa.R2, "buf")
+		b.MovRI(isa.R3, 7)
+		ulib.Syscall(b, libos.SysRead)
+		b.MovRI(isa.R1, 1)
+		b.LeaData(isa.R2, "buf")
+		b.MovRI(isa.R3, 7)
+		ulib.Syscall(b, libos.SysWrite)
+		ulib.Exit(b, 0)
+	})
+	install(t, g, "/bin/cat", prog)
+	var out bytes.Buffer
+	p, err := g.Spawn("/bin/cat", nil, eip.SpawnOpt{Stdout: libos.NewWriterFile(&out)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := p.Wait(); status != 0 || out.String() != "payload" {
+		t.Fatalf("status=%d out=%q", status, out.String())
+	}
+}
+
+func TestEIPSpawnChild(t *testing.T) {
+	g := newEIP(t)
+	child := buildProg(t, func(b *asm.Builder) {
+		b.String("m", "eip child\n")
+		b.Entry("_start")
+		ulib.Prologue(b)
+		ulib.WriteStr(b, 1, "m", 10)
+		ulib.Exit(b, 0)
+	})
+	install(t, g, "/bin/child", child)
+	parent := buildProg(t, func(b *asm.Builder) {
+		b.String("path", "/bin/child")
+		b.Entry("_start")
+		ulib.Prologue(b)
+		ulib.SpawnPath(b, "path", 10, "", 0)
+		b.MovRR(isa.R6, isa.R0)
+		ulib.Wait4(b, isa.R6)
+		ulib.Exit(b, 0)
+	})
+	install(t, g, "/bin/parent", parent)
+
+	var out bytes.Buffer
+	p, err := g.Spawn("/bin/parent", nil, eip.SpawnOpt{Stdout: libos.NewWriterFile(&out)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := p.Wait(); status != 0 {
+		t.Fatalf("status = %d", status)
+	}
+	if out.String() != "eip child\n" {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+func TestEIPEnclaveDestroyedOnExit(t *testing.T) {
+	platform := sgx.NewPlatform(1 << 30)
+	g := eip.New(platform, hostos.New(), eip.DefaultConfig())
+	prog := buildProg(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		ulib.Prologue(b)
+		ulib.Exit(b, 0)
+	})
+	install(t, g, "/bin/x", prog)
+	before := platform.EPCUsed()
+	p, err := g.Spawn("/bin/x", nil, eip.SpawnOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	if platform.EPCUsed() != before {
+		t.Fatalf("EPC leak: %d → %d", before, platform.EPCUsed())
+	}
+}

@@ -1,0 +1,205 @@
+package eip
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+
+	"repro/internal/libos"
+)
+
+// seal encrypts-and-authenticates data with AES-GCM under a key derived
+// from key32, binding the associated data. This is the cryptography every
+// EIP boundary crossing pays.
+func seal(key32 [32]byte, ad, data []byte) []byte {
+	block, err := aes.NewCipher(key32[:16])
+	if err != nil {
+		panic(err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		panic(err)
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	sum := sha256.Sum256(append(append([]byte{}, ad...), data...))
+	copy(nonce, sum[:])
+	out := make([]byte, 0, gcm.NonceSize()+len(data)+gcm.Overhead())
+	out = append(out, nonce...)
+	return gcm.Seal(out, nonce, data, ad)
+}
+
+// open verifies and decrypts a sealed buffer.
+func open(key32 [32]byte, ad, sealed []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key32[:16])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < gcm.NonceSize() {
+		return nil, errors.New("eip: sealed buffer too short")
+	}
+	return gcm.Open(nil, sealed[:gcm.NonceSize()], sealed[gcm.NonceSize():], ad)
+}
+
+// fdesc is an EIP file descriptor.
+type fdesc interface {
+	read(p []byte) (int, error)
+	write(p []byte) (int, error)
+	close()
+	clone() fdesc
+}
+
+// ofFD adapts a libos.OpenFile (writer stdio, discard, host sockets).
+type ofFD struct{ of *libos.OpenFile }
+
+func wrapOF(of *libos.OpenFile) fdesc {
+	if of == nil {
+		of = libos.NewDiscardFile()
+	} else {
+		of.Ref()
+	}
+	return &ofFD{of: of}
+}
+
+func (d *ofFD) read(p []byte) (int, error)  { return d.of.Read(p) }
+func (d *ofFD) write(p []byte) (int, error) { return d.of.Write(p) }
+func (d *ofFD) close()                      { d.of.Unref() }
+func (d *ofFD) clone() fdesc                { d.of.Ref(); return &ofFD{of: d.of} }
+
+// roFile is an open read-only protected file, fully unsealed at open (the
+// per-open decryption cost of protected files).
+type roFile struct {
+	data []byte
+	off  int
+}
+
+func (d *roFile) read(p []byte) (int, error) {
+	if d.off >= len(d.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, d.data[d.off:])
+	d.off += n
+	return n, nil
+}
+func (d *roFile) write([]byte) (int, error) { return 0, errors.New("eip: read-only filesystem") }
+func (d *roFile) close()                    {}
+func (d *roFile) clone() fdesc              { return &roFile{data: d.data} }
+
+// encPipe is the EIP pipe: a queue of AES-GCM sealed messages standing in
+// untrusted memory between two enclaves. Every write seals; every read
+// unseals — the paper's expensive cross-enclave IPC.
+type encPipe struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	key     [32]byte
+	seq     uint64
+	rseq    uint64
+	queue   [][]byte // sealed chunks in "untrusted memory"
+	residue []byte   // unsealed bytes not yet consumed
+	rClosed bool
+	wClosed bool
+	readers int
+	writers int
+}
+
+func newEncPipe(key [32]byte) *encPipe {
+	ep := &encPipe{key: key, readers: 1, writers: 1}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+type encPipeEnd struct {
+	p       *encPipe
+	writing bool
+}
+
+func (e *encPipeEnd) read(p []byte) (int, error) {
+	if e.writing {
+		return 0, errors.New("eip: write end")
+	}
+	ep := e.p
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for len(ep.residue) == 0 && len(ep.queue) == 0 && !ep.wClosed {
+		ep.cond.Wait()
+	}
+	if len(ep.residue) == 0 && len(ep.queue) > 0 {
+		sealed := ep.queue[0]
+		ep.queue = ep.queue[1:]
+		var ad [8]byte
+		binary.LittleEndian.PutUint64(ad[:], ep.rseq)
+		ep.rseq++
+		pt, err := open(ep.key, ad[:], sealed)
+		if err != nil {
+			return 0, errors.New("eip: pipe message corrupted in untrusted memory")
+		}
+		ep.residue = pt
+	}
+	if len(ep.residue) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, ep.residue)
+	ep.residue = ep.residue[n:]
+	ep.cond.Broadcast()
+	return n, nil
+}
+
+const encPipeMaxQueue = 64
+
+func (e *encPipeEnd) write(p []byte) (int, error) {
+	if !e.writing {
+		return 0, errors.New("eip: read end")
+	}
+	ep := e.p
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.rClosed {
+		return 0, errors.New("eip: broken pipe")
+	}
+	for len(ep.queue) >= encPipeMaxQueue && !ep.rClosed {
+		ep.cond.Wait()
+	}
+	var ad [8]byte
+	binary.LittleEndian.PutUint64(ad[:], ep.seq)
+	ep.seq++
+	ep.queue = append(ep.queue, seal(ep.key, ad[:], p))
+	ep.cond.Broadcast()
+	return len(p), nil
+}
+
+func (e *encPipeEnd) close() {
+	ep := e.p
+	ep.mu.Lock()
+	if e.writing {
+		ep.writers--
+		if ep.writers <= 0 {
+			ep.wClosed = true
+		}
+	} else {
+		ep.readers--
+		if ep.readers <= 0 {
+			ep.rClosed = true
+		}
+	}
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+}
+
+func (e *encPipeEnd) clone() fdesc {
+	ep := e.p
+	ep.mu.Lock()
+	if e.writing {
+		ep.writers++
+	} else {
+		ep.readers++
+	}
+	ep.mu.Unlock()
+	return &encPipeEnd{p: ep, writing: e.writing}
+}

@@ -1,0 +1,301 @@
+package eip
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/libos"
+)
+
+// syscall handles one trap of an EIP. Host-delegated operations model the
+// OCALL path: arguments are copied out of the enclave into untrusted
+// buffers and results copied back (the EENTER/EEXIT transition costs the
+// paper's Lighttpd benchmark measures).
+func (p *Proc) syscall() bool {
+	sp := p.cpu.Regs[isa.SP]
+	retAddr, f := p.cpu.Mem.Load(sp, 8)
+	if f != nil {
+		p.exit(128 + libos.SIGSEGV)
+		return true
+	}
+	p.cpu.Regs[isa.SP] = sp + 8
+
+	no := p.cpu.Regs[isa.R0]
+	a1, a2, a3 := p.cpu.Regs[isa.R1], p.cpu.Regs[isa.R2], p.cpu.Regs[isa.R3]
+	a4 := p.cpu.Regs[isa.R4]
+
+	var ret int64
+	switch no {
+	case libos.SysExit:
+		p.exit(int(int64(a1)) & 0xFF)
+		return true
+	case libos.SysWrite, libos.SysSend:
+		ret = p.rw(int(int64(a1)), a2, a3, true)
+	case libos.SysRead, libos.SysRecv:
+		ret = p.rw(int(int64(a1)), a2, a3, false)
+	case libos.SysOpen:
+		ret = p.sysOpen(a1, a2)
+	case libos.SysClose:
+		p.fdmu.Lock()
+		if d, ok := p.fds[int(int64(a1))]; ok {
+			d.close()
+			delete(p.fds, int(int64(a1)))
+			ret = 0
+		} else {
+			ret = -libos.EBADF
+		}
+		p.fdmu.Unlock()
+	case libos.SysSpawn:
+		ret = p.sysSpawn(a1, a2, a3, a4)
+	case libos.SysWait4:
+		pid, status, errno := p.wait4(int(int64(a1)))
+		if errno != 0 {
+			ret = -int64(errno)
+		} else {
+			if a2 != 0 {
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], uint64(status))
+				_ = p.cpu.Mem.WriteAt(a2, b[:])
+			}
+			ret = int64(pid)
+		}
+	case libos.SysPipe2:
+		// The pipe key would be agreed between the enclaves via local
+		// attestation; derive it from the creating enclave identity.
+		meas := p.encl.Measurement()
+		key := sha256.Sum256(append(meas[:], byte(p.pid)))
+		ep := newEncPipe(key)
+		rfd := p.installFD(&encPipeEnd{p: ep})
+		wfd := p.installFD(&encPipeEnd{p: ep, writing: true})
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[0:], uint64(rfd))
+		binary.LittleEndian.PutUint64(b[8:], uint64(wfd))
+		if f := p.cpu.Mem.WriteAt(a1, b[:]); f != nil {
+			ret = -libos.EFAULT
+		}
+	case libos.SysDup2:
+		p.fdmu.Lock()
+		if d, ok := p.fds[int(int64(a1))]; ok {
+			if a1 != a2 {
+				if old, exists := p.fds[int(int64(a2))]; exists {
+					old.close()
+				}
+				p.fds[int(int64(a2))] = d.clone()
+			}
+			ret = int64(a2)
+		} else {
+			ret = -libos.EBADF
+		}
+		p.fdmu.Unlock()
+	case libos.SysGetpid:
+		ret = int64(p.pid)
+	case libos.SysGetppid:
+		ret = int64(p.ppid)
+	case libos.SysMmap:
+		length := (a1 + 4095) &^ 4095
+		if p.heapPtr+length > p.heapEnd {
+			ret = -libos.ENOMEM
+		} else {
+			addr := p.heapPtr
+			p.heapPtr += length
+			ret = int64(addr)
+		}
+	case libos.SysMunmap:
+		ret = 0
+	case libos.SysSocket:
+		ret = int64(p.installFD(wrapOF(libos.NewSocketFile())))
+	case libos.SysBind:
+		ret = p.withOF(int(int64(a1)), func(of *libos.OpenFile) int64 {
+			if err := of.BindHost(p.g.host, uint16(a2)); err != nil {
+				return -libos.EACCES
+			}
+			return 0
+		})
+	case libos.SysListen:
+		ret = 0
+	case libos.SysAccept:
+		ret = p.withOF(int(int64(a1)), func(of *libos.OpenFile) int64 {
+			nf, err := of.AcceptHost()
+			if err != nil {
+				return -libos.EIO
+			}
+			return int64(p.installFD(wrapOF(nf)))
+		})
+	case libos.SysConnect:
+		ret = p.withOF(int(int64(a1)), func(of *libos.OpenFile) int64 {
+			if err := of.ConnectHost(p.g.host, uint16(a2)); err != nil {
+				return -libos.ECONNREFUSED
+			}
+			return 0
+		})
+	case libos.SysFutex:
+		ret = p.sysFutex(a1, a2, a3)
+	case libos.SysClock:
+		ret = time.Now().UnixNano()
+	case libos.SysYield:
+		runtime.Gosched()
+	case libos.SysMkdir, libos.SysUnlink:
+		ret = -libos.EACCES // read-only filesystem (Table 1)
+	default:
+		ret = -libos.ENOSYS
+	}
+	p.cpu.Regs[isa.R0] = uint64(ret)
+	p.cpu.PC = retAddr
+	return false
+}
+
+func (p *Proc) installFD(d fdesc) int {
+	p.fdmu.Lock()
+	defer p.fdmu.Unlock()
+	fd := 3
+	for {
+		if _, used := p.fds[fd]; !used {
+			break
+		}
+		fd++
+	}
+	p.fds[fd] = d
+	return fd
+}
+
+func (p *Proc) withOF(fd int, f func(*libos.OpenFile) int64) int64 {
+	p.fdmu.Lock()
+	d, ok := p.fds[fd]
+	p.fdmu.Unlock()
+	if !ok {
+		return -libos.EBADF
+	}
+	od, ok := d.(*ofFD)
+	if !ok {
+		return -libos.EBADF
+	}
+	return f(od.of)
+}
+
+func (p *Proc) rw(fd int, buf, n uint64, write bool) int64 {
+	if n > 1<<20 {
+		return -libos.EINVAL
+	}
+	if !p.inData(buf, n) {
+		return -libos.EFAULT
+	}
+	p.fdmu.Lock()
+	d, ok := p.fds[fd]
+	p.fdmu.Unlock()
+	if !ok {
+		return -libos.EBADF
+	}
+	if write {
+		data, err := p.cpu.Mem.ReadDirect(buf, int(n))
+		if err != nil {
+			return -libos.EFAULT
+		}
+		wn, werr := d.write(append([]byte(nil), data...))
+		if werr != nil && wn == 0 {
+			return -libos.EPIPE
+		}
+		return int64(wn)
+	}
+	tmp := make([]byte, n)
+	rn, err := d.read(tmp)
+	if err != nil && err != io.EOF && rn == 0 {
+		return -libos.EIO
+	}
+	if rn > 0 {
+		if f := p.cpu.Mem.WriteAt(buf, tmp[:rn]); f != nil {
+			return -libos.EFAULT
+		}
+	}
+	return int64(rn)
+}
+
+func (p *Proc) inData(addr, n uint64) bool {
+	end := addr + n
+	return addr >= p.dataBase && end >= addr && end <= p.dataBase+p.dataSize
+}
+
+func (p *Proc) sysOpen(pathPtr, pathLen uint64) int64 {
+	path, err := p.cpu.Mem.ReadDirect(pathPtr, int(pathLen))
+	if err != nil {
+		return -libos.EFAULT
+	}
+	data, oerr := p.g.readProtected(string(path))
+	if oerr != nil {
+		return -libos.ENOENT
+	}
+	return int64(p.installFD(&roFile{data: data}))
+}
+
+func (p *Proc) sysSpawn(pathPtr, pathLen, argvPtr, argvLen uint64) int64 {
+	path, err := p.cpu.Mem.ReadDirect(pathPtr, int(pathLen))
+	if err != nil {
+		return -libos.EFAULT
+	}
+	var argv []string
+	if argvLen > 0 {
+		block, err := p.cpu.Mem.ReadDirect(argvPtr, int(argvLen))
+		if err != nil {
+			return -libos.EFAULT
+		}
+		start := 0
+		for i, b := range block {
+			if b == 0 {
+				argv = append(argv, string(block[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	child, serr := p.g.Spawn(string(path), argv, SpawnOpt{Parent: p})
+	if serr != nil {
+		return -libos.EAGAIN
+	}
+	return int64(child.pid)
+}
+
+func (p *Proc) wait4(pid int) (int, int, int) {
+	g := p.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		found := false
+		for cpid, c := range g.procs {
+			if c.ppid != p.pid {
+				continue
+			}
+			if pid >= 0 && cpid != pid {
+				continue
+			}
+			found = true
+			if c.exited {
+				delete(g.procs, cpid)
+				return cpid, c.status, 0
+			}
+		}
+		if !found {
+			return 0, 0, libos.ECHILD
+		}
+		g.procCond.Wait()
+	}
+}
+
+func (p *Proc) sysFutex(op, addr, val uint64) int64 {
+	switch op {
+	case libos.FutexWait:
+		cur, f := p.cpu.Mem.Load(addr, 8)
+		if f != nil {
+			return -libos.EFAULT
+		}
+		if cur != val {
+			return -libos.EAGAIN
+		}
+		p.g.host.FutexWait(addr)
+		return 0
+	case libos.FutexWake:
+		return int64(p.g.host.FutexWake(addr, int(val)))
+	}
+	return -libos.EINVAL
+}

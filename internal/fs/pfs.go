@@ -1,0 +1,249 @@
+// Package fs implements Occlum's writable encrypted filesystem (§6) and
+// the special in-enclave filesystems (/dev, and /proc via internal/libos).
+//
+// The stack has three layers, mirroring the paper:
+//
+//   - BlockStore (this file): the analog of Intel SGX Protected FS — an
+//     encrypted, integrity-protected block device kept in untrusted host
+//     storage. Every block is AES-CTR encrypted and HMAC-authenticated
+//     with a per-write version (anti-replay); a root MAC over the version
+//     table authenticates the whole device.
+//   - EncFS (fs.go): a full Unix-like filesystem (superblock, inodes,
+//     directories, a shared page cache) built on the block store. Because
+//     a single LibOS instance owns it, it is writable and consistent
+//     across all SIPs — the capability EIP-based LibOSes lack (Table 1).
+//   - VFS (vfs.go): mount table dispatching paths to EncFS, devfs, or
+//     procfs.
+package fs
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/hostos"
+)
+
+// BlockSize is the payload size of one protected block.
+const BlockSize = 4096
+
+// macEntrySize is the on-disk size of one version-table entry:
+// version(8) + MAC(32).
+const macEntrySize = 40
+
+// pfs header: magic(8) + maxBlocks(8) + epoch(8) + rootMAC(32).
+const headerSize = 56
+
+var pfsMagic = [8]byte{'O', 'C', 'P', 'F', 'S', 0, 0, 1}
+
+// Integrity errors.
+var (
+	// ErrCorrupt reports failed decryption or integrity verification —
+	// the untrusted host tampered with the image.
+	ErrCorrupt = errors.New("fs: integrity verification failed (image tampered?)")
+	// ErrBadKey reports opening an image with the wrong key.
+	ErrBadKey = errors.New("fs: wrong key or not a protected image")
+	// ErrFull reports block exhaustion.
+	ErrFull = errors.New("fs: no free blocks")
+)
+
+// Key is the 128-bit filesystem sealing key. On real SGX it would be
+// derived from the enclave sealing identity.
+type Key [16]byte
+
+// KeyFromString derives a key from a passphrase-like seed.
+func KeyFromString(s string) Key {
+	sum := sha256.Sum256([]byte("ocpfs-key:" + s))
+	var k Key
+	copy(k[:], sum[:16])
+	return k
+}
+
+// BlockStore is an encrypted, integrity-protected block device stored in
+// an untrusted host file.
+type BlockStore struct {
+	host      *hostos.Host
+	name      string
+	aesKey    []byte
+	macKey    []byte
+	maxBlocks int
+	epoch     uint64
+	versions  []uint64
+	macs      [][32]byte
+	dirtyHdr  bool
+}
+
+func deriveKeys(k Key) (aesKey, macKey []byte) {
+	a := sha256.Sum256(append([]byte("enc:"), k[:]...))
+	m := sha256.Sum256(append([]byte("mac:"), k[:]...))
+	return a[:16], m[:]
+}
+
+// CreateStore formats a new protected image with capacity maxBlocks in the
+// named host file, destroying any previous content.
+func CreateStore(h *hostos.Host, name string, key Key, maxBlocks int) (*BlockStore, error) {
+	if maxBlocks <= 0 {
+		return nil, fmt.Errorf("fs: maxBlocks must be positive")
+	}
+	aesKey, macKey := deriveKeys(key)
+	s := &BlockStore{
+		host: h, name: name, aesKey: aesKey, macKey: macKey,
+		maxBlocks: maxBlocks,
+		versions:  make([]uint64, maxBlocks),
+		macs:      make([][32]byte, maxBlocks),
+		epoch:     1,
+	}
+	h.RemoveFile(name)
+	h.WriteFile(name, make([]byte, headerSize+maxBlocks*macEntrySize))
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenStore opens an existing protected image, verifying the root MAC.
+func OpenStore(h *hostos.Host, name string, key Key) (*BlockStore, error) {
+	hdr := make([]byte, headerSize)
+	if n, err := h.ReadFileAt(name, 0, hdr); err != nil || n < headerSize {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadKey)
+	}
+	if string(hdr[:8]) != string(pfsMagic[:]) {
+		return nil, ErrBadKey
+	}
+	maxBlocks := int(binary.LittleEndian.Uint64(hdr[8:]))
+	epoch := binary.LittleEndian.Uint64(hdr[16:])
+	if maxBlocks <= 0 || maxBlocks > 1<<24 {
+		return nil, ErrBadKey
+	}
+	aesKey, macKey := deriveKeys(key)
+	s := &BlockStore{
+		host: h, name: name, aesKey: aesKey, macKey: macKey,
+		maxBlocks: maxBlocks, epoch: epoch,
+		versions: make([]uint64, maxBlocks),
+		macs:     make([][32]byte, maxBlocks),
+	}
+	table := make([]byte, maxBlocks*macEntrySize)
+	if n, err := h.ReadFileAt(name, headerSize, table); err != nil || n < len(table) {
+		return nil, fmt.Errorf("%w: truncated table", ErrCorrupt)
+	}
+	for i := 0; i < maxBlocks; i++ {
+		e := table[i*macEntrySize:]
+		s.versions[i] = binary.LittleEndian.Uint64(e)
+		copy(s.macs[i][:], e[8:40])
+	}
+	// Verify the root MAC over epoch + table.
+	want := s.rootMAC()
+	if !hmac.Equal(want[:], hdr[24:56]) {
+		return nil, ErrCorrupt
+	}
+	return s, nil
+}
+
+func (s *BlockStore) rootMAC() [32]byte {
+	mac := hmac.New(sha256.New, s.macKey)
+	var e [8]byte
+	binary.LittleEndian.PutUint64(e[:], s.epoch)
+	mac.Write(e[:])
+	for i := range s.versions {
+		binary.LittleEndian.PutUint64(e[:], s.versions[i])
+		mac.Write(e[:])
+		mac.Write(s.macs[i][:])
+	}
+	var out [32]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+// MaxBlocks returns the device capacity in blocks.
+func (s *BlockStore) MaxBlocks() int { return s.maxBlocks }
+
+func (s *BlockStore) blockOffset(i int) int {
+	return headerSize + s.maxBlocks*macEntrySize + i*BlockSize
+}
+
+func (s *BlockStore) keystream(i int, version uint64, dst, src []byte) {
+	block, err := aes.NewCipher(s.aesKey)
+	if err != nil {
+		panic(err) // key length is fixed; cannot fail
+	}
+	var iv [16]byte
+	binary.LittleEndian.PutUint64(iv[0:], uint64(i))
+	binary.LittleEndian.PutUint64(iv[8:], version)
+	cipher.NewCTR(block, iv[:]).XORKeyStream(dst, src)
+}
+
+func (s *BlockStore) blockMAC(i int, version uint64, ct []byte) [32]byte {
+	mac := hmac.New(sha256.New, s.macKey)
+	var e [16]byte
+	binary.LittleEndian.PutUint64(e[0:], uint64(i))
+	binary.LittleEndian.PutUint64(e[8:], version)
+	mac.Write(e[:])
+	mac.Write(ct)
+	var out [32]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+// WriteBlock encrypts and stores one block (padded/truncated to
+// BlockSize). The version table is updated in memory; Flush persists it.
+func (s *BlockStore) WriteBlock(i int, data []byte) error {
+	if i < 0 || i >= s.maxBlocks {
+		return fmt.Errorf("fs: block %d out of range", i)
+	}
+	pt := make([]byte, BlockSize)
+	copy(pt, data)
+	s.versions[i]++
+	ct := make([]byte, BlockSize)
+	s.keystream(i, s.versions[i], ct, pt)
+	s.macs[i] = s.blockMAC(i, s.versions[i], ct)
+	s.host.WriteFileAt(s.name, s.blockOffset(i), ct)
+	s.dirtyHdr = true
+	return nil
+}
+
+// ReadBlock fetches, verifies and decrypts one block. A never-written
+// block reads as zeros.
+func (s *BlockStore) ReadBlock(i int) ([]byte, error) {
+	if i < 0 || i >= s.maxBlocks {
+		return nil, fmt.Errorf("fs: block %d out of range", i)
+	}
+	if s.versions[i] == 0 {
+		return make([]byte, BlockSize), nil
+	}
+	ct := make([]byte, BlockSize)
+	if n, err := s.host.ReadFileAt(s.name, s.blockOffset(i), ct); err != nil || n < BlockSize {
+		return nil, fmt.Errorf("%w: block %d missing", ErrCorrupt, i)
+	}
+	want := s.blockMAC(i, s.versions[i], ct)
+	if !hmac.Equal(want[:], s.macs[i][:]) {
+		return nil, fmt.Errorf("%w: block %d", ErrCorrupt, i)
+	}
+	pt := make([]byte, BlockSize)
+	s.keystream(i, s.versions[i], pt, ct)
+	return pt, nil
+}
+
+// Flush persists the version table and root MAC. Data blocks are written
+// through on WriteBlock; only the authentication state is deferred.
+func (s *BlockStore) Flush() error {
+	hdr := make([]byte, headerSize)
+	copy(hdr, pfsMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.maxBlocks))
+	binary.LittleEndian.PutUint64(hdr[16:], s.epoch)
+	root := s.rootMAC()
+	copy(hdr[24:], root[:])
+	s.host.WriteFileAt(s.name, 0, hdr)
+	table := make([]byte, s.maxBlocks*macEntrySize)
+	for i := 0; i < s.maxBlocks; i++ {
+		e := table[i*macEntrySize:]
+		binary.LittleEndian.PutUint64(e, s.versions[i])
+		copy(e[8:], s.macs[i][:])
+	}
+	s.host.WriteFileAt(s.name, headerSize, table)
+	s.dirtyHdr = false
+	return nil
+}

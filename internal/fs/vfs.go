@@ -1,0 +1,138 @@
+package fs
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// OpenFlag is the open(2)-style flag set of the LibOS VFS.
+type OpenFlag int
+
+// Open flags.
+const (
+	ORdOnly OpenFlag = 0
+	OWrOnly OpenFlag = 1
+	ORdWr   OpenFlag = 2
+
+	OCreate OpenFlag = 0x40
+	OTrunc  OpenFlag = 0x200
+	OAppend OpenFlag = 0x400
+
+	oAccMask OpenFlag = 3
+)
+
+// Readable reports whether the access mode permits reads.
+func (f OpenFlag) Readable() bool { return f&oAccMask != OWrOnly }
+
+// Writable reports whether the access mode permits writes.
+func (f OpenFlag) Writable() bool { return f&oAccMask != ORdOnly }
+
+// FileInfo describes a file for Stat and ReadDir.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	IsDir bool
+}
+
+// Node is an open regular-file-like object. Stream objects (pipes,
+// sockets, TTYs) live at the LibOS FD layer, not in the VFS.
+type Node interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Size() int64
+	Close() error
+}
+
+// FileSystem is one mountable filesystem.
+type FileSystem interface {
+	Open(path string, flags OpenFlag) (Node, error)
+	Mkdir(path string) error
+	Unlink(path string) error
+	ReadDir(path string) ([]FileInfo, error)
+	Stat(path string) (FileInfo, error)
+}
+
+// VFS dispatches paths across mounted filesystems by longest prefix, as
+// the Occlum LibOS does for /, /dev and /proc.
+type VFS struct {
+	mounts []mountPoint
+}
+
+type mountPoint struct {
+	prefix string
+	fs     FileSystem
+}
+
+// NewVFS creates an empty mount table.
+func NewVFS() *VFS { return &VFS{} }
+
+// Mount attaches fs at prefix ("/" for the root filesystem). Longest
+// prefix wins during resolution.
+func (v *VFS) Mount(prefix string, fs FileSystem) {
+	prefix = path.Clean("/" + prefix)
+	v.mounts = append(v.mounts, mountPoint{prefix: prefix, fs: fs})
+	sort.Slice(v.mounts, func(i, j int) bool {
+		return len(v.mounts[i].prefix) > len(v.mounts[j].prefix)
+	})
+}
+
+func (v *VFS) route(p string) (FileSystem, string, error) {
+	p = path.Clean("/" + p)
+	for _, m := range v.mounts {
+		if p == m.prefix || strings.HasPrefix(p, m.prefix+"/") || m.prefix == "/" {
+			rel := strings.TrimPrefix(p, m.prefix)
+			if rel == "" {
+				rel = "/"
+			}
+			return m.fs, rel, nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w: %s (nothing mounted)", ErrNotExist, p)
+}
+
+// Open resolves and opens a path.
+func (v *VFS) Open(p string, flags OpenFlag) (Node, error) {
+	fs, rel, err := v.route(p)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Open(rel, flags)
+}
+
+// Mkdir creates a directory.
+func (v *VFS) Mkdir(p string) error {
+	fs, rel, err := v.route(p)
+	if err != nil {
+		return err
+	}
+	return fs.Mkdir(rel)
+}
+
+// Unlink removes a file or empty directory.
+func (v *VFS) Unlink(p string) error {
+	fs, rel, err := v.route(p)
+	if err != nil {
+		return err
+	}
+	return fs.Unlink(rel)
+}
+
+// ReadDir lists a directory.
+func (v *VFS) ReadDir(p string) ([]FileInfo, error) {
+	fs, rel, err := v.route(p)
+	if err != nil {
+		return nil, err
+	}
+	return fs.ReadDir(rel)
+}
+
+// Stat describes a path.
+func (v *VFS) Stat(p string) (FileInfo, error) {
+	fs, rel, err := v.route(p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return fs.Stat(rel)
+}

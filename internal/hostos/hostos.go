@@ -1,0 +1,187 @@
+// Package hostos models the untrusted host operating system beneath the
+// enclave: persistent storage for encrypted filesystem images, futex
+// sleep/wake primitives, a loopback network, and untrusted shared memory
+// buffers (the channel EIP-based LibOSes use for encrypted IPC).
+//
+// Everything in this package is OUTSIDE the trust boundary. The LibOS must
+// never store plaintext secrets here; the encrypted filesystem (internal/fs)
+// and the EIP baseline's encrypted IPC both treat host storage as hostile,
+// and tests exercise tamper detection over it.
+package hostos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Host is one untrusted host OS instance.
+type Host struct {
+	mu        sync.Mutex
+	files     map[string][]byte
+	futexes   map[uint64]*futexQueue
+	listeners map[uint16]*Listener
+	shm       map[string][]byte
+}
+
+// New creates an empty host.
+func New() *Host {
+	return &Host{
+		files:     make(map[string][]byte),
+		futexes:   make(map[uint64]*futexQueue),
+		listeners: make(map[uint16]*Listener),
+		shm:       make(map[string][]byte),
+	}
+}
+
+// Storage errors.
+var (
+	// ErrNoFile reports a missing host file.
+	ErrNoFile = errors.New("hostos: no such file")
+	// ErrPortInUse reports a taken listen port.
+	ErrPortInUse = errors.New("hostos: port in use")
+	// ErrConnRefused reports dialing a port with no listener.
+	ErrConnRefused = errors.New("hostos: connection refused")
+	// ErrClosed reports an operation on a closed connection or
+	// listener.
+	ErrClosed = errors.New("hostos: closed")
+)
+
+// WriteFile stores (or replaces) a host file. The host sees — and may
+// tamper with — every byte.
+func (h *Host) WriteFile(name string, data []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.files[name] = append([]byte(nil), data...)
+}
+
+// ReadFile returns a copy of a host file.
+func (h *Host) ReadFile(name string) ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	data, ok := h.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoFile, name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// RemoveFile deletes a host file.
+func (h *Host) RemoveFile(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.files, name)
+}
+
+// WriteFileAt overwrites the range [off, off+len(p)) of a host file,
+// growing it as needed. This is the block-device write the encrypted
+// filesystem uses.
+func (h *Host) WriteFileAt(name string, off int, p []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := h.files[name]
+	if need := off + len(p); need > len(f) {
+		nf := make([]byte, need)
+		copy(nf, f)
+		f = nf
+	}
+	copy(f[off:], p)
+	h.files[name] = f
+}
+
+// ReadFileAt reads up to len(p) bytes at off, returning the count.
+func (h *Host) ReadFileAt(name string, off int, p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, ok := h.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoFile, name)
+	}
+	if off >= len(f) {
+		return 0, nil
+	}
+	return copy(p, f[off:]), nil
+}
+
+// FileSize returns the size of a host file (0 if absent).
+func (h *Host) FileSize(name string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.files[name])
+}
+
+// TamperFile flips a bit in a stored file — a hostile-host action used by
+// integrity tests.
+func (h *Host) TamperFile(name string, off int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, ok := h.files[name]
+	if !ok || off >= len(f) {
+		return ErrNoFile
+	}
+	f[off] ^= 0x80
+	return nil
+}
+
+// --- Futex ---------------------------------------------------------------
+
+type futexQueue struct {
+	waiters []chan struct{}
+}
+
+// FutexWait blocks the caller until a FutexWake on the same key. The LibOS
+// uses this to put SGX threads to sleep; the *semantic* correctness of
+// user-visible synchronization stays inside the LibOS, as in the paper
+// (§6): a spurious or missing host wake can delay a SIP but not corrupt
+// LibOS state.
+func (h *Host) FutexWait(key uint64) {
+	h.mu.Lock()
+	q := h.futexes[key]
+	if q == nil {
+		q = &futexQueue{}
+		h.futexes[key] = q
+	}
+	ch := make(chan struct{})
+	q.waiters = append(q.waiters, ch)
+	h.mu.Unlock()
+	<-ch
+}
+
+// FutexWake wakes up to n waiters on key, returning how many were woken.
+func (h *Host) FutexWake(key uint64, n int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	q := h.futexes[key]
+	if q == nil {
+		return 0
+	}
+	woken := 0
+	for woken < n && len(q.waiters) > 0 {
+		ch := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		close(ch)
+		woken++
+	}
+	return woken
+}
+
+// --- Untrusted shared memory ----------------------------------------------
+
+// ShmWrite stores a buffer in untrusted shared memory (used by EIP-based
+// LibOSes to pass encrypted IPC messages between enclaves).
+func (h *Host) ShmWrite(key string, data []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.shm[key] = append([]byte(nil), data...)
+}
+
+// ShmRead fetches a buffer from untrusted shared memory.
+func (h *Host) ShmRead(key string) ([]byte, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.shm[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}

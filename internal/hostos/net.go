@@ -1,0 +1,162 @@
+package hostos
+
+import (
+	"io"
+	"sync"
+)
+
+// Conn is one end of an in-memory duplex byte stream, the host-delegated
+// TCP connection of the paper's networking model (§6: network I/O is
+// redirected to the host and is not secret by default).
+type Conn struct {
+	rd *stream
+	wr *stream
+}
+
+// Listener accepts loopback connections on a port.
+type Listener struct {
+	host   *Host
+	port   uint16
+	mu     sync.Mutex
+	queue  chan *Conn
+	closed bool
+}
+
+// Listen binds a loopback port.
+func (h *Host) Listen(port uint16) (*Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, taken := h.listeners[port]; taken {
+		return nil, ErrPortInUse
+	}
+	l := &Listener{host: h, port: port, queue: make(chan *Conn, 128)}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Dial connects to a listening loopback port.
+func (h *Host) Dial(port uint16) (*Conn, error) {
+	h.mu.Lock()
+	l := h.listeners[port]
+	h.mu.Unlock()
+	if l == nil {
+		return nil, ErrConnRefused
+	}
+	a, b := connPair()
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return nil, ErrConnRefused
+	}
+	select {
+	case l.queue <- b:
+		return a, nil
+	default:
+		return nil, ErrConnRefused // backlog full
+	}
+}
+
+// Accept returns the next queued connection, blocking until one arrives or
+// the listener closes.
+func (l *Listener) Accept() (*Conn, error) {
+	c, ok := <-l.queue
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close unbinds the port and wakes pending Accepts.
+func (l *Listener) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.host.mu.Lock()
+	delete(l.host.listeners, l.port)
+	l.host.mu.Unlock()
+	close(l.queue)
+}
+
+func connPair() (*Conn, *Conn) {
+	s1, s2 := newStream(), newStream()
+	return &Conn{rd: s1, wr: s2}, &Conn{rd: s2, wr: s1}
+}
+
+// Read reads from the connection, blocking until data or EOF.
+func (c *Conn) Read(p []byte) (int, error) { return c.rd.read(p) }
+
+// Write writes to the connection.
+func (c *Conn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+// Close closes both directions.
+func (c *Conn) Close() {
+	c.rd.closeRead()
+	c.wr.closeWrite()
+}
+
+// stream is a bounded in-memory byte queue.
+type stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+const streamCap = 256 << 10
+
+func newStream() *stream {
+	s := &stream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *stream) read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.buf) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	s.cond.Broadcast()
+	return n, nil
+}
+
+func (s *stream) write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		for len(s.buf) >= streamCap && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return total, io.ErrClosedPipe
+		}
+		room := streamCap - len(s.buf)
+		n := min(room, len(p))
+		s.buf = append(s.buf, p[:n]...)
+		p = p[n:]
+		total += n
+		s.cond.Broadcast()
+	}
+	return total, nil
+}
+
+func (s *stream) closeRead()  { s.close() }
+func (s *stream) closeWrite() { s.close() }
+
+func (s *stream) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

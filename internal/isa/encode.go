@@ -1,0 +1,249 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Encoding errors.
+var (
+	// ErrBadInst reports an instruction whose operands do not fit its
+	// opcode's format (invalid register, scale, or immediate range).
+	ErrBadInst = errors.New("isa: malformed instruction")
+	// ErrTruncated reports a byte stream that ends in the middle of an
+	// instruction.
+	ErrTruncated = errors.New("isa: truncated instruction")
+)
+
+// Encode appends the binary encoding of in to dst and returns the extended
+// slice. It validates operand well-formedness but not higher-level policy
+// (that is the verifier's job).
+func Encode(dst []byte, in Inst) ([]byte, error) {
+	if !in.Op.Valid() {
+		return dst, fmt.Errorf("%w: opcode %d", ErrBadInst, in.Op)
+	}
+	switch in.Op.Format() {
+	case FNone:
+		return append(dst, byte(in.Op)), nil
+	case FR:
+		if !in.R1.Valid() {
+			return dst, fmt.Errorf("%w: %s: bad register", ErrBadInst, in.Op)
+		}
+		return append(dst, byte(in.Op), byte(in.R1)), nil
+	case FRR:
+		if !in.R1.Valid() || !in.R2.Valid() {
+			return dst, fmt.Errorf("%w: %s: bad register", ErrBadInst, in.Op)
+		}
+		return append(dst, byte(in.Op), byte(in.R1), byte(in.R2)), nil
+	case FRI64:
+		if !in.R1.Valid() {
+			return dst, fmt.Errorf("%w: %s: bad register", ErrBadInst, in.Op)
+		}
+		dst = append(dst, byte(in.Op), byte(in.R1))
+		return binary.LittleEndian.AppendUint64(dst, uint64(in.Imm)), nil
+	case FRI32:
+		if !in.R1.Valid() {
+			return dst, fmt.Errorf("%w: %s: bad register", ErrBadInst, in.Op)
+		}
+		if err := checkImm32(in); err != nil {
+			return dst, err
+		}
+		dst = append(dst, byte(in.Op), byte(in.R1))
+		return binary.LittleEndian.AppendUint32(dst, uint32(int32(in.Imm))), nil
+	case FI32:
+		if err := checkImm32(in); err != nil {
+			return dst, err
+		}
+		dst = append(dst, byte(in.Op))
+		return binary.LittleEndian.AppendUint32(dst, uint32(int32(in.Imm))), nil
+	case FI16:
+		if in.Imm < 0 || in.Imm > 0xFFFF {
+			return dst, fmt.Errorf("%w: %s: imm16 out of range", ErrBadInst, in.Op)
+		}
+		dst = append(dst, byte(in.Op))
+		return binary.LittleEndian.AppendUint16(dst, uint16(in.Imm)), nil
+	case FRel32:
+		if err := checkImm32(in); err != nil {
+			return dst, err
+		}
+		dst = append(dst, byte(in.Op))
+		return binary.LittleEndian.AppendUint32(dst, uint32(int32(in.Imm))), nil
+	case FRMem, FMemR:
+		if !in.R1.Valid() {
+			return dst, fmt.Errorf("%w: %s: bad register", ErrBadInst, in.Op)
+		}
+		dst = append(dst, byte(in.Op), byte(in.R1))
+		return appendMemRef(dst, in.Op, in.Mem)
+	case FBR:
+		if !in.Bnd.Valid() || !in.R1.Valid() {
+			return dst, fmt.Errorf("%w: %s: bad operand", ErrBadInst, in.Op)
+		}
+		return append(dst, byte(in.Op), byte(in.Bnd), byte(in.R1)), nil
+	case FBMem:
+		if !in.Bnd.Valid() {
+			return dst, fmt.Errorf("%w: %s: bad bound register", ErrBadInst, in.Op)
+		}
+		dst = append(dst, byte(in.Op), byte(in.Bnd))
+		return appendMemRef(dst, in.Op, in.Mem)
+	case FBB:
+		if !in.Bnd.Valid() || !in.Bnd2.Valid() {
+			return dst, fmt.Errorf("%w: %s: bad bound register", ErrBadInst, in.Op)
+		}
+		return append(dst, byte(in.Op), byte(in.Bnd), byte(in.Bnd2)), nil
+	case FCFI:
+		dst = append(dst, CFIMagic[:]...)
+		return binary.LittleEndian.AppendUint32(dst, in.DomainID), nil
+	}
+	return dst, fmt.Errorf("%w: %s: unknown format", ErrBadInst, in.Op)
+}
+
+func checkImm32(in Inst) error {
+	if in.Imm < -1<<31 || in.Imm > 1<<31-1 {
+		return fmt.Errorf("%w: %s: imm32 out of range: %d", ErrBadInst, in.Op, in.Imm)
+	}
+	return nil
+}
+
+func appendMemRef(dst []byte, op Op, m MemRef) ([]byte, error) {
+	okBase := m.Base.Valid() || m.Base == RegNone || m.Base == RegPC
+	okIndex := m.Index.Valid() || m.Index == RegNone
+	if !okBase || !okIndex || !m.ValidScale() {
+		return dst, fmt.Errorf("%w: %s: bad memory operand %s", ErrBadInst, op, m)
+	}
+	dst = append(dst, byte(m.Base), byte(m.Index), m.Scale)
+	return binary.LittleEndian.AppendUint32(dst, uint32(m.Disp)), nil
+}
+
+// Decode decodes the instruction starting at code[off]. It returns the
+// instruction and its encoded length. Decoding fails with ErrTruncated if
+// the stream ends mid-instruction and with ErrBadInst for undefined opcodes
+// or malformed operands — exactly the "invalid instruction" condition of
+// the verifier's Algorithm 1 (line 9).
+func Decode(code []byte, off int) (Inst, int, error) {
+	if off < 0 || off >= len(code) {
+		return Inst{}, 0, ErrTruncated
+	}
+	op := Op(code[off])
+	if !op.Valid() {
+		return Inst{}, 0, fmt.Errorf("%w: opcode byte %#x at offset %d", ErrBadInst, code[off], off)
+	}
+	n := EncodedLen(op)
+	if off+n > len(code) {
+		return Inst{}, 0, fmt.Errorf("%w: %s at offset %d", ErrTruncated, op, off)
+	}
+	b := code[off : off+n]
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FNone:
+	case FR:
+		in.R1 = Reg(b[1])
+		if !in.R1.Valid() {
+			return Inst{}, 0, badOperand(op, off)
+		}
+	case FRR:
+		in.R1, in.R2 = Reg(b[1]), Reg(b[2])
+		if !in.R1.Valid() || !in.R2.Valid() {
+			return Inst{}, 0, badOperand(op, off)
+		}
+	case FRI64:
+		in.R1 = Reg(b[1])
+		if !in.R1.Valid() {
+			return Inst{}, 0, badOperand(op, off)
+		}
+		in.Imm = int64(binary.LittleEndian.Uint64(b[2:]))
+	case FRI32:
+		in.R1 = Reg(b[1])
+		if !in.R1.Valid() {
+			return Inst{}, 0, badOperand(op, off)
+		}
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(b[2:])))
+	case FI32:
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(b[1:])))
+	case FI16:
+		in.Imm = int64(binary.LittleEndian.Uint16(b[1:]))
+	case FRel32:
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(b[1:])))
+	case FRMem, FMemR:
+		in.R1 = Reg(b[1])
+		if !in.R1.Valid() {
+			return Inst{}, 0, badOperand(op, off)
+		}
+		m, err := decodeMemRef(b[2:], op, off)
+		if err != nil {
+			return Inst{}, 0, err
+		}
+		in.Mem = m
+	case FBR:
+		in.Bnd, in.R1 = BndReg(b[1]), Reg(b[2])
+		if !in.Bnd.Valid() || !in.R1.Valid() {
+			return Inst{}, 0, badOperand(op, off)
+		}
+	case FBMem:
+		in.Bnd = BndReg(b[1])
+		if !in.Bnd.Valid() {
+			return Inst{}, 0, badOperand(op, off)
+		}
+		m, err := decodeMemRef(b[2:], op, off)
+		if err != nil {
+			return Inst{}, 0, err
+		}
+		in.Mem = m
+	case FBB:
+		in.Bnd, in.Bnd2 = BndReg(b[1]), BndReg(b[2])
+		if !in.Bnd.Valid() || !in.Bnd2.Valid() {
+			return Inst{}, 0, badOperand(op, off)
+		}
+	case FCFI:
+		if b[1] != CFIMagic[1] || b[2] != CFIMagic[2] || b[3] != CFIMagic[3] {
+			return Inst{}, 0, fmt.Errorf("%w: corrupt cfi_label at offset %d", ErrBadInst, off)
+		}
+		in.DomainID = binary.LittleEndian.Uint32(b[4:])
+	}
+	return in, n, nil
+}
+
+func badOperand(op Op, off int) error {
+	return fmt.Errorf("%w: %s: bad operand at offset %d", ErrBadInst, op, off)
+}
+
+func decodeMemRef(b []byte, op Op, off int) (MemRef, error) {
+	m := MemRef{
+		Base:  Reg(b[0]),
+		Index: Reg(b[1]),
+		Scale: b[2],
+		Disp:  int32(binary.LittleEndian.Uint32(b[3:])),
+	}
+	okBase := m.Base.Valid() || m.Base == RegNone || m.Base == RegPC
+	okIndex := m.Index.Valid() || m.Index == RegNone
+	if !okBase || !okIndex || !m.ValidScale() {
+		return MemRef{}, fmt.Errorf("%w: %s: bad memory operand at offset %d", ErrBadInst, op, off)
+	}
+	return m, nil
+}
+
+// FindCFIMagic returns the offsets of every occurrence of the 4-byte
+// CFIMagic sequence in code, scanning byte by byte. This is line 2 of the
+// verifier's Algorithm 1 and is also used by the assembler to enforce the
+// nonexistence property.
+func FindCFIMagic(code []byte) []int {
+	var offs []int
+	for i := 0; i+len(CFIMagic) <= len(code); i++ {
+		if code[i] == CFIMagic[0] && code[i+1] == CFIMagic[1] &&
+			code[i+2] == CFIMagic[2] && code[i+3] == CFIMagic[3] {
+			offs = append(offs, i)
+		}
+	}
+	return offs
+}
+
+// CFILabelValue returns the 64-bit value stored at a cfi_label with the
+// given domain ID: the little-endian interpretation of the 8 encoded bytes.
+// The LibOS initializes BND1 to exactly this value so that
+// bndcl+bndcu against BND1 is an equality test (cfi_guard).
+func CFILabelValue(domainID uint32) uint64 {
+	var b [8]byte
+	copy(b[:4], CFIMagic[:])
+	binary.LittleEndian.PutUint32(b[4:], domainID)
+	return binary.LittleEndian.Uint64(b[:])
+}

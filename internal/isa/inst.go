@@ -1,0 +1,110 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded (or not-yet-encoded) OVM instruction. It is the common
+// currency between the assembler, the MMDSFI instrumenter, the verifier's
+// disassembler and the virtual CPU.
+type Inst struct {
+	// Op is the opcode.
+	Op Op
+	// R1 is the first register operand (destination for two-operand
+	// forms; the checked register for bound checks).
+	R1 Reg
+	// R2 is the second register operand (source).
+	R2 Reg
+	// Bnd is the bound-register operand of MPX instructions.
+	Bnd BndReg
+	// Bnd2 is the source bound register of bndmov.
+	Bnd2 BndReg
+	// Imm holds an immediate operand: imm64 for movri, sign-extended
+	// imm32 for ALU-immediate forms, rel32 displacement for direct
+	// branches, imm16 for reti.
+	Imm int64
+	// Mem is the memory operand for FRMem/FMemR/FBMem formats.
+	Mem MemRef
+	// DomainID is the 32-bit domain ID carried by a cfi_label. In
+	// binaries produced by the toolchain it is zero; the LibOS loader
+	// rewrites it when loading the binary into a domain.
+	DomainID uint32
+
+	// Label is the symbolic branch target used before layout. The
+	// assembler resolves it into Imm (a rel32); encoded instructions
+	// never carry labels.
+	Label string
+}
+
+// Len returns the encoded length of the instruction in bytes.
+func (in Inst) Len() int { return EncodedLen(in.Op) }
+
+// EncodedLen returns the encoded length in bytes of an instruction with
+// opcode op. Every opcode has a fixed length; variability across opcodes is
+// what makes the encoding "variable-length" in the x86 sense.
+func EncodedLen(op Op) int {
+	switch op.Format() {
+	case FNone:
+		return 1
+	case FR:
+		return 2
+	case FRR:
+		return 3
+	case FRI64:
+		return 10
+	case FRI32:
+		return 6
+	case FI32:
+		return 5
+	case FI16:
+		return 3
+	case FRel32:
+		return 5
+	case FRMem, FMemR:
+		return 2 + memRefLen
+	case FBR:
+		return 3
+	case FBMem:
+		return 2 + memRefLen
+	case FBB:
+		return 3
+	case FCFI:
+		return CFILabelLen
+	}
+	return 1
+}
+
+// String renders the instruction in a readable assembly-like syntax.
+func (in Inst) String() string {
+	switch in.Op.Format() {
+	case FNone:
+		return in.Op.String()
+	case FR:
+		return fmt.Sprintf("%s %s", in.Op, in.R1)
+	case FRR:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.R1, in.R2)
+	case FRI64, FRI32:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.R1, in.Imm)
+	case FI32, FI16:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case FRel32:
+		if in.Label != "" {
+			return fmt.Sprintf("%s %s", in.Op, in.Label)
+		}
+		return fmt.Sprintf("%s %+d", in.Op, in.Imm)
+	case FRMem:
+		if in.Op == OpJmpM || in.Op == OpCallM {
+			return fmt.Sprintf("%s %s", in.Op, in.Mem)
+		}
+		return fmt.Sprintf("%s %s, %s", in.Op, in.R1, in.Mem)
+	case FMemR:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Mem, in.R1)
+	case FBR:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Bnd, in.R1)
+	case FBMem:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Bnd, in.Mem)
+	case FBB:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Bnd, in.Bnd2)
+	case FCFI:
+		return fmt.Sprintf("cfi_label %#x", in.DomainID)
+	}
+	return in.Op.String()
+}

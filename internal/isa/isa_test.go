@@ -1,0 +1,286 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodedLenMatchesEncode(t *testing.T) {
+	for op := Op(1); op < opMax; op++ {
+		in := sampleInst(op)
+		b, err := Encode(nil, in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", op, err)
+		}
+		if len(b) != EncodedLen(op) {
+			t.Errorf("%s: encoded %d bytes, EncodedLen says %d", op, len(b), EncodedLen(op))
+		}
+	}
+}
+
+// sampleInst builds a representative well-formed instruction for op.
+func sampleInst(op Op) Inst {
+	in := Inst{Op: op, R1: R3, R2: R4, Bnd: BND0, Bnd2: BND1, Imm: 42,
+		Mem: MemSIB(R5, R6, 4, -16), DomainID: 7}
+	if op.Format() == FI16 {
+		in.Imm = 16
+	}
+	return in
+}
+
+func TestRoundTripAllOpcodes(t *testing.T) {
+	for op := Op(1); op < opMax; op++ {
+		in := sampleInst(op)
+		b, err := Encode(nil, in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", op, err)
+		}
+		got, n, err := Decode(b, 0)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", op, err)
+		}
+		if n != len(b) {
+			t.Errorf("%s: decode consumed %d of %d bytes", op, n, len(b))
+		}
+		if got.Op != in.Op {
+			t.Errorf("%s: round-trip opcode mismatch: got %s", op, got.Op)
+		}
+		if got.String() != canonical(in).String() {
+			t.Errorf("%s: round trip: got %q want %q", op, got, canonical(in))
+		}
+	}
+}
+
+// canonical zeroes the fields that op's format does not encode, so that a
+// decoded instruction compares equal to its pre-encoding form.
+func canonical(in Inst) Inst {
+	out := Inst{Op: in.Op}
+	switch in.Op.Format() {
+	case FR:
+		out.R1 = in.R1
+	case FRR:
+		out.R1, out.R2 = in.R1, in.R2
+	case FRI64, FRI32:
+		out.R1, out.Imm = in.R1, in.Imm
+	case FI32, FI16, FRel32:
+		out.Imm = in.Imm
+	case FRMem, FMemR:
+		out.R1, out.Mem = in.R1, in.Mem
+	case FBR:
+		out.Bnd, out.R1 = in.Bnd, in.R1
+	case FBMem:
+		out.Bnd, out.Mem = in.Bnd, in.Mem
+	case FBB:
+		out.Bnd, out.Bnd2 = in.Bnd, in.Bnd2
+	case FCFI:
+		out.DomainID = in.DomainID
+	}
+	return out
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	// Property: any well-formed instruction survives encode→decode.
+	f := func(opRaw uint8, r1, r2 uint8, bnd, bnd2 uint8, imm int64, base, index uint8, scaleSel uint8, disp int32, id uint32) bool {
+		op := Op(opRaw%uint8(opMax-1)) + 1
+		scales := []uint8{1, 2, 4, 8}
+		in := Inst{
+			Op: op, R1: Reg(r1 % NumRegs), R2: Reg(r2 % NumRegs),
+			Bnd: BndReg(bnd % NumBndRegs), Bnd2: BndReg(bnd2 % NumBndRegs),
+			Imm: imm, DomainID: id,
+			Mem: MemRef{Base: Reg(base % NumRegs), Index: Reg(index % NumRegs),
+				Scale: scales[scaleSel%4], Disp: disp},
+		}
+		switch op.Format() {
+		case FRI32, FI32, FRel32:
+			in.Imm = int64(int32(imm))
+		case FI16:
+			in.Imm = int64(uint16(imm))
+		}
+		b, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		got, n, err := Decode(b, 0)
+		if err != nil || n != len(b) {
+			return false
+		}
+		return got == canonical(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	if _, _, err := Decode([]byte{0xEE}, 0); err == nil {
+		t.Fatal("decoding an undefined opcode byte should fail")
+	}
+	if _, _, err := Decode([]byte{0}, 0); err == nil {
+		t.Fatal("decoding OpInvalid should fail")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	b, err := Encode(nil, Inst{Op: OpMovRI, R1: R1, Imm: 123456})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(b); cut++ {
+		if _, _, err := Decode(b[:cut], 0); err == nil {
+			t.Errorf("decoding %d of %d bytes should fail", cut, len(b))
+		}
+	}
+}
+
+func TestDecodeRejectsBadOperands(t *testing.T) {
+	cases := [][]byte{
+		{byte(OpMovRR), 99, 0},                       // bad register
+		{byte(OpBndCL), 9, 0},                        // bad bound register
+		{byte(OpLoad), 0, 0xF0, 0xFF, 1, 0, 0, 0, 0}, // bad base reg
+		{byte(OpLoad), 0, 1, 0xFF, 3, 0, 0, 0, 0},    // bad scale
+		{byte(OpCFILabel), 0, 0, 0, 0, 0, 0, 0},      // corrupt magic
+	}
+	for i, c := range cases {
+		if _, _, err := Decode(c, 0); err == nil {
+			t.Errorf("case %d: decode should fail", i)
+		}
+	}
+}
+
+func TestCFILabelProperties(t *testing.T) {
+	// Alignment: fixed 8-byte encoding.
+	b, err := Encode(nil, Inst{Op: OpCFILabel, DomainID: 0xDEADBEEF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != CFILabelLen {
+		t.Fatalf("cfi_label encodes to %d bytes, want %d", len(b), CFILabelLen)
+	}
+	// Uniqueness: last 4 bytes are the domain ID.
+	in, _, err := Decode(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.DomainID != 0xDEADBEEF {
+		t.Fatalf("domain ID round trip: got %#x", in.DomainID)
+	}
+	// The 64-bit label value embeds magic and ID.
+	v := CFILabelValue(0xDEADBEEF)
+	var enc [8]byte
+	copy(enc[:], b)
+	if got := uint64(enc[0]) | uint64(enc[1])<<8 | uint64(enc[2])<<16 | uint64(enc[3])<<24 |
+		uint64(enc[4])<<32 | uint64(enc[5])<<40 | uint64(enc[6])<<48 | uint64(enc[7])<<56; got != v {
+		t.Fatalf("CFILabelValue mismatch: %#x vs %#x", got, v)
+	}
+}
+
+func TestFindCFIMagic(t *testing.T) {
+	var code []byte
+	code, _ = Encode(code, Inst{Op: OpNop})
+	lblOff := len(code)
+	code, _ = Encode(code, Inst{Op: OpCFILabel, DomainID: 5})
+	code, _ = Encode(code, Inst{Op: OpAddRR, R1: R1, R2: R2})
+	lbl2 := len(code)
+	code, _ = Encode(code, Inst{Op: OpCFILabel, DomainID: 6})
+
+	got := FindCFIMagic(code)
+	if len(got) != 2 || got[0] != lblOff || got[1] != lbl2 {
+		t.Fatalf("FindCFIMagic = %v, want [%d %d]", got, lblOff, lbl2)
+	}
+}
+
+func TestDangerousSet(t *testing.T) {
+	want := map[Op]bool{
+		OpEExit: true, OpEAccept: true, OpEModPE: true,
+		OpBndMk: true, OpBndMov: true,
+		OpXRstor: true, OpWrFSBase: true, OpWrGSBase: true,
+		OpHalt: true, OpTrap: true,
+	}
+	for op := Op(1); op < opMax; op++ {
+		if op.IsDangerous() != want[op] {
+			t.Errorf("%s: IsDangerous = %v, want %v", op, op.IsDangerous(), want[op])
+		}
+	}
+}
+
+func TestControlTransferClassification(t *testing.T) {
+	// Every control transfer belongs to exactly one Figure 3 category.
+	for op := Op(1); op < opMax; op++ {
+		n := 0
+		if op.IsDirectBranch() {
+			n++
+		}
+		if op.IsRegIndirect() {
+			n++
+		}
+		if op.IsMemIndirect() {
+			n++
+		}
+		if op.IsReturn() {
+			n++
+		}
+		if op.IsControlTransfer() && n != 1 {
+			t.Errorf("%s: in %d categories", op, n)
+		}
+		if !op.IsControlTransfer() && n != 0 {
+			t.Errorf("%s: categorized but not a control transfer", op)
+		}
+	}
+}
+
+func TestDecodeMisalignedGivesDifferentInstruction(t *testing.T) {
+	// The variable-length hazard: decoding from the middle of an
+	// instruction can yield a different, well-formed instruction.
+	var code []byte
+	// movri r1, imm whose bytes contain a valid opcode.
+	code, _ = Encode(code, Inst{Op: OpMovRI, R1: R1, Imm: int64(OpNop)})
+	in, _, err := Decode(code, 2) // start inside the immediate
+	if err == nil && in.Op == OpNop {
+		return // demonstrated
+	}
+	// Either way it decoded to something other than the real stream —
+	// the point is that offset 2 is not rejected as "misaligned" by
+	// the decoder itself; that is the verifier's job.
+	if err != nil {
+		t.Skipf("mid-instruction bytes happened to be invalid: %v", err)
+	}
+}
+
+func TestMemRefString(t *testing.T) {
+	cases := []struct {
+		m    MemRef
+		want string
+	}{
+		{Mem(R1, 8), "[r1+8]"},
+		{Mem(R1, 0), "[r1]"},
+		{MemSIB(R1, R2, 4, -8), "[r1+r2*4-8]"},
+		{MemPC(16), "[pc+16]"},
+		{Abs(0x1000), "[abs 0x1000]"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.m, got, c.want)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var code []byte
+	for i := 0; i < 1000; i++ {
+		op := Op(rng.Intn(int(OpCall)) + 1)
+		code, _ = Encode(code, sampleInst(op))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := 0
+		for off < len(code) {
+			_, n, err := Decode(code, off)
+			if err != nil {
+				b.Fatal(err)
+			}
+			off += n
+		}
+	}
+}

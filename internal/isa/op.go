@@ -1,0 +1,350 @@
+package isa
+
+// Op is an OVM opcode. Every instruction begins with a single opcode byte;
+// the operand bytes that follow are determined by the opcode's Format.
+type Op uint8
+
+// Opcode space. The numeric values are part of the binary encoding and must
+// not be reordered.
+const (
+	OpInvalid Op = iota
+
+	// Data movement.
+	OpMovRI  // movri dst, imm64
+	OpMovRR  // movrr dst, src
+	OpLoad   // load dst, mem       (64-bit load)
+	OpStore  // store mem, src      (64-bit store)
+	OpLoadB  // loadb dst, mem      (8-bit load, zero-extended)
+	OpStoreB // storeb mem, src     (stores the low byte of src)
+	OpLea    // lea dst, mem        (effective address only; no access)
+	OpPush   // push src            (implicit store to [sp-8]; sp -= 8)
+	OpPushI  // pushi imm32         (implicit store to [sp-8]; sp -= 8)
+	OpPop    // pop dst             (implicit load from [sp]; sp += 8)
+
+	// ALU, register-register.
+	OpAddRR  // add dst, src
+	OpSubRR  // sub dst, src
+	OpMulRR  // mul dst, src
+	OpDivRR  // div dst, src        (signed; divide-by-zero raises #DE)
+	OpModRR  // mod dst, src        (signed; divide-by-zero raises #DE)
+	OpAndRR  // and dst, src
+	OpOrRR   // or dst, src
+	OpXorRR  // xor dst, src
+	OpShlRR  // shl dst, src
+	OpShrRR  // shr dst, src        (logical)
+	OpCmpRR  // cmp a, b            (sets flags from a-b)
+	OpTestRR // test a, b           (sets flags from a&b)
+
+	// ALU, register-immediate (imm32, sign-extended).
+	OpAddRI // add dst, imm32
+	OpSubRI // sub dst, imm32
+	OpMulRI // mul dst, imm32
+	OpAndRI // and dst, imm32
+	OpOrRI  // or dst, imm32
+	OpXorRI // xor dst, imm32
+	OpShlRI // shl dst, imm32
+	OpShrRI // shr dst, imm32
+	OpCmpRI // cmp a, imm32
+
+	// ALU, unary.
+	OpNeg // neg dst
+	OpNot // not dst
+
+	// Direct control transfers (rel32, relative to the next instruction).
+	OpJmp  // jmp rel32
+	OpJe   // je rel32   (ZF)
+	OpJne  // jne rel32  (!ZF)
+	OpJl   // jl rel32   (signed <)
+	OpJle  // jle rel32  (signed <=)
+	OpJg   // jg rel32   (signed >)
+	OpJge  // jge rel32  (signed >=)
+	OpJb   // jb rel32   (unsigned <)
+	OpJae  // jae rel32  (unsigned >=)
+	OpLoop // loop rel32 (r1 -= 1; branch if r1 != 0)
+	OpCall // call rel32 (pushes the return address)
+
+	// Indirect control transfers.
+	OpJmpR  // jmp reg      register-based; must be cfi_guard-ed
+	OpCallR // call reg     register-based; must be cfi_guard-ed
+	OpJmpM  // jmp mem      memory-based; the verifier rejects it
+	OpCallM // call mem     memory-based; the verifier rejects it
+	OpRet   // ret          return-based; the verifier rejects it
+	OpRetI  // ret imm16    return-based; the verifier rejects it
+
+	// MPX bound checks. The check compares a 64-bit value (a register, or
+	// the *effective address* of a memory operand) against a bound
+	// register, raising #BR on violation. These are the building blocks
+	// of the paper's mem_guard and cfi_guard pseudo-instructions.
+	OpBndCL  // bndcl bnd, reg    #BR if reg < bnd.Lower
+	OpBndCU  // bndcu bnd, reg    #BR if reg > bnd.Upper
+	OpBndCLM // bndcl bnd, mem    #BR if ea(mem) < bnd.Lower (no access)
+	OpBndCUM // bndcu bnd, mem    #BR if ea(mem) > bnd.Upper (no access)
+
+	// Dangerous MPX instructions (rejected by verifier Stage 2).
+	OpBndMk  // bndmk bnd, mem    sets bnd to [ea, ea+disp]
+	OpBndMov // bndmov bndDst, bndSrc
+
+	// CFI label: a fixed 8-byte no-op. Bytes 0..3 are the CFIMagic
+	// sequence; bytes 4..7 are the domain ID, rewritten by the LibOS
+	// loader when the binary is loaded into a domain.
+	OpCFILabel
+
+	// Miscellaneous.
+	OpNop  // nop
+	OpHalt // halt: stops the hart (privileged; rejected by Stage 2)
+	OpTrap // trap: enters the LibOS syscall gate (rejected by Stage 2;
+	// only the loader-injected trampoline may contain it)
+
+	// Dangerous SGX instructions (rejected by verifier Stage 2).
+	OpEExit   // eexit: leave the enclave
+	OpEAccept // eaccept: accept an enclave page permission change
+	OpEModPE  // emodpe: extend enclave page permissions
+
+	// Dangerous miscellaneous instructions (rejected by Stage 2).
+	OpXRstor   // xrstor: restores extended CPU state (can disable MPX)
+	OpWrFSBase // wrfsbase reg: writes the FS segment base
+	OpWrGSBase // wrgsbase reg: writes the GS segment base
+
+	// Vector scatter with a vector-SIB operand (rejected by Stage 4:
+	// one instruction touching multiple non-contiguous locations).
+	OpVScatter // vscatter mem, src
+
+	opMax // sentinel; not a real opcode
+)
+
+// NumOps is the number of defined opcodes (including OpInvalid).
+const NumOps = int(opMax)
+
+// Format describes the operand bytes that follow an opcode byte.
+type Format uint8
+
+// Instruction formats.
+const (
+	FNone  Format = iota // no operands
+	FR                   // reg
+	FRR                  // reg, reg
+	FRI64                // reg, imm64
+	FRI32                // reg, imm32
+	FI32                 // imm32
+	FI16                 // imm16
+	FRel32               // rel32 branch displacement
+	FRMem                // reg, mem
+	FMemR                // mem, reg
+	FBR                  // bnd, reg
+	FBMem                // bnd, mem
+	FBB                  // bnd, bnd
+	FCFI                 // cfi_label: 3 magic bytes + 4 ID bytes
+)
+
+// memRefLen is the encoded size of a MemRef operand:
+// base, index, scale, disp[4].
+const memRefLen = 7
+
+// CFILabelLen is the fixed encoded length of a cfi_label instruction.
+const CFILabelLen = 8
+
+// CFIMagic is the first four bytes of every encoded cfi_label. Per the
+// paper's "nonexistence" property, this sequence must not appear anywhere
+// else in instrumented code; the assembler enforces that when encoding.
+var CFIMagic = [4]byte{byte(OpCFILabel), 0xC7, 0x1F, 0x0B}
+
+var opInfo = [NumOps]struct {
+	name   string
+	format Format
+}{
+	OpInvalid:  {"invalid", FNone},
+	OpMovRI:    {"movri", FRI64},
+	OpMovRR:    {"mov", FRR},
+	OpLoad:     {"load", FRMem},
+	OpStore:    {"store", FMemR},
+	OpLoadB:    {"loadb", FRMem},
+	OpStoreB:   {"storeb", FMemR},
+	OpLea:      {"lea", FRMem},
+	OpPush:     {"push", FR},
+	OpPushI:    {"pushi", FI32},
+	OpPop:      {"pop", FR},
+	OpAddRR:    {"add", FRR},
+	OpSubRR:    {"sub", FRR},
+	OpMulRR:    {"mul", FRR},
+	OpDivRR:    {"div", FRR},
+	OpModRR:    {"mod", FRR},
+	OpAndRR:    {"and", FRR},
+	OpOrRR:     {"or", FRR},
+	OpXorRR:    {"xor", FRR},
+	OpShlRR:    {"shl", FRR},
+	OpShrRR:    {"shr", FRR},
+	OpCmpRR:    {"cmp", FRR},
+	OpTestRR:   {"test", FRR},
+	OpAddRI:    {"addi", FRI32},
+	OpSubRI:    {"subi", FRI32},
+	OpMulRI:    {"muli", FRI32},
+	OpAndRI:    {"andi", FRI32},
+	OpOrRI:     {"ori", FRI32},
+	OpXorRI:    {"xori", FRI32},
+	OpShlRI:    {"shli", FRI32},
+	OpShrRI:    {"shri", FRI32},
+	OpCmpRI:    {"cmpi", FRI32},
+	OpNeg:      {"neg", FR},
+	OpNot:      {"not", FR},
+	OpJmp:      {"jmp", FRel32},
+	OpJe:       {"je", FRel32},
+	OpJne:      {"jne", FRel32},
+	OpJl:       {"jl", FRel32},
+	OpJle:      {"jle", FRel32},
+	OpJg:       {"jg", FRel32},
+	OpJge:      {"jge", FRel32},
+	OpJb:       {"jb", FRel32},
+	OpJae:      {"jae", FRel32},
+	OpLoop:     {"loop", FRel32},
+	OpCall:     {"call", FRel32},
+	OpJmpR:     {"jmpr", FR},
+	OpCallR:    {"callr", FR},
+	OpJmpM:     {"jmpm", FRMem}, // reg ignored
+	OpCallM:    {"callm", FRMem},
+	OpRet:      {"ret", FNone},
+	OpRetI:     {"reti", FI16},
+	OpBndCL:    {"bndcl", FBR},
+	OpBndCU:    {"bndcu", FBR},
+	OpBndCLM:   {"bndclm", FBMem},
+	OpBndCUM:   {"bndcum", FBMem},
+	OpBndMk:    {"bndmk", FBMem},
+	OpBndMov:   {"bndmov", FBB},
+	OpCFILabel: {"cfi_label", FCFI},
+	OpNop:      {"nop", FNone},
+	OpHalt:     {"halt", FNone},
+	OpTrap:     {"trap", FNone},
+	OpEExit:    {"eexit", FNone},
+	OpEAccept:  {"eaccept", FNone},
+	OpEModPE:   {"emodpe", FNone},
+	OpXRstor:   {"xrstor", FNone},
+	OpWrFSBase: {"wrfsbase", FR},
+	OpWrGSBase: {"wrgsbase", FR},
+	OpVScatter: {"vscatter", FMemR},
+}
+
+// Valid reports whether op is a defined opcode other than OpInvalid.
+func (op Op) Valid() bool { return op > OpInvalid && op < opMax }
+
+// Format returns the operand format of op.
+func (op Op) Format() Format {
+	if !op.Valid() {
+		return FNone
+	}
+	return opInfo[op].format
+}
+
+// String returns the mnemonic of op.
+func (op Op) String() string {
+	if op >= opMax {
+		return "op?"
+	}
+	return opInfo[op].name
+}
+
+// IsDirectBranch reports whether op is a direct (rel32) control transfer.
+func (op Op) IsDirectBranch() bool {
+	switch op {
+	case OpJmp, OpJe, OpJne, OpJl, OpJle, OpJg, OpJge, OpJb, OpJae, OpLoop, OpCall:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether op is a conditional direct branch (one that
+// falls through when not taken).
+func (op Op) IsCondBranch() bool {
+	switch op {
+	case OpJe, OpJne, OpJl, OpJle, OpJg, OpJge, OpJb, OpJae, OpLoop:
+		return true
+	}
+	return false
+}
+
+// IsRegIndirect reports whether op is a register-based indirect control
+// transfer (the category that MMDSFI guards with cfi_guard).
+func (op Op) IsRegIndirect() bool { return op == OpJmpR || op == OpCallR }
+
+// IsMemIndirect reports whether op is a memory-based indirect control
+// transfer (rejected by the verifier).
+func (op Op) IsMemIndirect() bool { return op == OpJmpM || op == OpCallM }
+
+// IsReturn reports whether op is a return-based indirect control transfer
+// (rejected by the verifier; the toolchain rewrites returns).
+func (op Op) IsReturn() bool { return op == OpRet || op == OpRetI }
+
+// IsControlTransfer reports whether op transfers control anywhere other
+// than the next instruction.
+func (op Op) IsControlTransfer() bool {
+	return op.IsDirectBranch() || op.IsRegIndirect() || op.IsMemIndirect() || op.IsReturn()
+}
+
+// IsUncondTransfer reports whether execution can never fall through to the
+// instruction after op.
+func (op Op) IsUncondTransfer() bool {
+	switch op {
+	case OpJmp, OpJmpR, OpJmpM, OpRet, OpRetI, OpHalt, OpEExit:
+		return true
+	}
+	return false
+}
+
+// IsDangerous reports whether Stage 2 of the verifier must reject op: the
+// SGX, MPX-mutating and miscellaneous privileged instructions of the
+// paper's §5 plus the LibOS syscall gate.
+func (op Op) IsDangerous() bool {
+	switch op {
+	case OpEExit, OpEAccept, OpEModPE, // SGX
+		OpBndMk, OpBndMov, // MPX bound mutation
+		OpXRstor, OpWrFSBase, OpWrGSBase, // misc privileged
+		OpHalt, OpTrap: // hart control / syscall gate
+		return true
+	}
+	return false
+}
+
+// MemKind classifies how an instruction uses its memory operand.
+type MemKind uint8
+
+// Memory-operand use classes.
+const (
+	MemNone    MemKind = iota // no memory operand
+	MemLoad                   // reads memory at the effective address
+	MemStore                  // writes memory at the effective address
+	MemAddr                   // computes the address only (lea, bound checks)
+	MemScatter                // vector scatter: multiple addresses
+)
+
+// MemUse returns how op uses its memory operand, and the access size in
+// bytes for loads and stores.
+func (op Op) MemUse() (kind MemKind, size int) {
+	switch op {
+	case OpLoad:
+		return MemLoad, 8
+	case OpLoadB:
+		return MemLoad, 1
+	case OpStore:
+		return MemStore, 8
+	case OpStoreB:
+		return MemStore, 1
+	case OpJmpM, OpCallM:
+		return MemLoad, 8
+	case OpLea, OpBndCLM, OpBndCUM, OpBndMk:
+		return MemAddr, 0
+	case OpVScatter:
+		return MemScatter, 8
+	}
+	return MemNone, 0
+}
+
+// HasImplicitStackAccess reports whether op implicitly accesses memory
+// through the stack pointer (the paper's "implicit register-based"
+// category in Figure 4). Size is always 8.
+func (op Op) HasImplicitStackAccess() (MemKind, bool) {
+	switch op {
+	case OpPush, OpPushI, OpCall:
+		return MemStore, true
+	case OpPop, OpRet, OpRetI:
+		return MemLoad, true
+	}
+	return MemNone, false
+}

@@ -1,0 +1,128 @@
+package libos
+
+// This file defines the LibOS syscall ABI shared with user programs (the
+// workload generators emit code against these constants — the role musl
+// libc plays in the paper).
+//
+// Calling convention: the user program loads the trampoline address from
+// its auxiliary vector and performs a (cfi_guard-ed) indirect call to it.
+// The trampoline — injected by the loader, and the only way out of the
+// MMDSFI sandbox — consists of a cfi_label and a trap. On trap, the LibOS
+// pops the return address, checks it is a cfi_label of the calling SIP's
+// domain, dispatches on R0, writes the result to R0 (negative errno on
+// failure) and resumes at the return address.
+//
+// Registers: R0 = syscall number in, result out; R1..R5 = arguments.
+
+// Syscall numbers.
+const (
+	SysExit     = 1  // exit(status)
+	SysWrite    = 2  // write(fd, buf, len) → n
+	SysRead     = 3  // read(fd, buf, len) → n
+	SysOpen     = 4  // open(path, pathLen, flags) → fd
+	SysClose    = 5  // close(fd)
+	SysSpawn    = 6  // spawn(path, pathLen, argvBlock, argvLen) → pid
+	SysWait4    = 7  // wait4(pid, statusPtr) → pid
+	SysPipe2    = 8  // pipe2(fds[2]ptr)
+	SysDup2     = 9  // dup2(oldfd, newfd)
+	SysGetpid   = 10 // getpid() → pid
+	SysMmap     = 11 // mmap(len) → addr (anonymous RW only)
+	SysMunmap   = 12 // munmap(addr, len)
+	SysFutex    = 13 // futex(op, addr, val)
+	SysKill     = 14 // kill(pid, sig)
+	SysSigact   = 15 // sigaction(sig, handler)
+	SysSigret   = 16 // sigreturn()
+	SysLseek    = 17 // lseek(fd, off, whence) → off
+	SysStat     = 18 // stat(path, pathLen, statPtr{size,isdir})
+	SysMkdir    = 19 // mkdir(path, pathLen)
+	SysUnlink   = 20 // unlink(path, pathLen)
+	SysReaddir  = 21 // readdir(path, pathLen, buf, bufLen) → n
+	SysSocket   = 22 // socket() → fd
+	SysBind     = 23 // bind(fd, port)
+	SysListen   = 24 // listen(fd)
+	SysAccept   = 25 // accept(fd) → connfd
+	SysConnect  = 26 // connect(fd, port)
+	SysSend     = 27 // send(fd, buf, len) → n
+	SysRecv     = 28 // recv(fd, buf, len) → n
+	SysClock    = 29 // clock_gettime() → ns
+	SysYield    = 30 // sched_yield()
+	SysGetppid  = 31 // getppid() → pid
+	SysFsync    = 32 // fsync(fd)
+	SysSpawnCPU = 33 // internal: report consumed cycles (diagnostics)
+)
+
+// Errno values (returned as -errno in R0).
+const (
+	EPERM        = 1
+	ENOENT       = 2
+	ESRCH        = 3
+	EINTR        = 4
+	EIO          = 5
+	EBADF        = 9
+	ECHILD       = 10
+	EAGAIN       = 11
+	ENOMEM       = 12
+	EACCES       = 13
+	EFAULT       = 14
+	EEXIST       = 17
+	ENOTDIR      = 20
+	EISDIR       = 21
+	EINVAL       = 22
+	EMFILE       = 24
+	ENOSPC       = 28
+	ESPIPE       = 29
+	EPIPE        = 32
+	ENOSYS       = 38
+	ENOTDIRE     = ENOTDIR
+	ENOTEMPTY    = 39
+	ECONNREFUSED = 111
+)
+
+// Open flags in the user ABI (mirroring fs.OpenFlag values).
+const (
+	ORdOnly = 0
+	OWrOnly = 1
+	ORdWr   = 2
+	OCreate = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Futex operations.
+const (
+	FutexWait = 0
+	FutexWake = 1
+)
+
+// Signals.
+const (
+	SIGKILL = 9
+	SIGSEGV = 11
+	SIGTERM = 15
+	SIGUSR1 = 10
+	SIGILL  = 4
+	SIGFPE  = 8
+)
+
+// Lseek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Auxiliary vector layout. At process entry, R10 points to this block in
+// the data region and SP is just below it:
+//
+//	[ 0] trampoline address (the LibOS syscall gate)
+//	[ 8] heap base
+//	[16] heap end
+//	[24] argc
+//	[32] argv[0] pointer, argv[1] pointer, ... (each NUL-terminated)
+const (
+	AuxTrampoline = 0
+	AuxHeapBase   = 8
+	AuxHeapEnd    = 16
+	AuxArgc       = 24
+	AuxArgv       = 32
+)

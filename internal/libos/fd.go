@@ -1,0 +1,343 @@
+package libos
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"repro/internal/fs"
+	"repro/internal/hostos"
+)
+
+// fileKind discriminates open file descriptions.
+type fileKind uint8
+
+const (
+	kindNode fileKind = iota // VFS node (regular file or device)
+	kindPipeR
+	kindPipeW
+	kindSock     // connected socket (host Conn)
+	kindListener // listening socket
+)
+
+// OpenFile is an open file description, shared between fds (dup) and
+// across spawn (a child inherits its parent's table, sharing offsets —
+// the cheap fd inheritance of §6).
+type OpenFile struct {
+	mu     sync.Mutex
+	refs   int
+	kind   fileKind
+	flags  fs.OpenFlag
+	node   fs.Node
+	offset int64
+	pipe   *pipeBuf
+	conn   *hostos.Conn
+	lis    *hostos.Listener
+	port   uint16
+}
+
+func newNodeFile(n fs.Node, flags fs.OpenFlag) *OpenFile {
+	of := &OpenFile{refs: 1, kind: kindNode, node: n, flags: flags}
+	if flags&fs.OAppend != 0 {
+		of.offset = n.Size()
+	}
+	return of
+}
+
+// Ref takes an additional reference on the open file description (exported
+// for the baseline kernels, which share this fd layer).
+func (of *OpenFile) Ref() { of.ref() }
+
+// Unref drops a reference, closing the underlying object at zero.
+func (of *OpenFile) Unref() { of.unref() }
+
+// NewDiscardFile returns a description that discards writes and reads EOF.
+func NewDiscardFile() *OpenFile {
+	return newNodeFile(&discardNode{}, fs.ORdWr)
+}
+
+type discardNode struct{}
+
+func (discardNode) ReadAt([]byte, int64) (int, error)      { return 0, io.EOF }
+func (discardNode) WriteAt(p []byte, _ int64) (int, error) { return len(p), nil }
+func (discardNode) Size() int64                            { return 0 }
+func (discardNode) Close() error                           { return nil }
+
+func (of *OpenFile) ref() {
+	of.mu.Lock()
+	of.refs++
+	of.mu.Unlock()
+}
+
+func (of *OpenFile) unref() {
+	of.mu.Lock()
+	of.refs--
+	last := of.refs == 0
+	of.mu.Unlock()
+	if !last {
+		return
+	}
+	switch of.kind {
+	case kindNode:
+		_ = of.node.Close()
+	case kindPipeR:
+		of.pipe.closeRead()
+	case kindPipeW:
+		of.pipe.closeWrite()
+	case kindSock:
+		of.conn.Close()
+	case kindListener:
+		if of.lis != nil {
+			of.lis.Close()
+		}
+	}
+}
+
+// Read reads from the description, advancing the offset for seekable
+// files and blocking for streams.
+func (of *OpenFile) Read(p []byte) (int, error) {
+	switch of.kind {
+	case kindNode:
+		of.mu.Lock()
+		off := of.offset
+		of.mu.Unlock()
+		n, err := of.node.ReadAt(p, off)
+		of.mu.Lock()
+		of.offset = off + int64(n)
+		of.mu.Unlock()
+		if n == 0 && err == nil {
+			return 0, io.EOF
+		}
+		return n, err
+	case kindPipeR:
+		return of.pipe.read(p)
+	case kindSock:
+		return of.conn.Read(p)
+	}
+	return 0, errors.New("libos: fd not readable")
+}
+
+// Write writes to the description.
+func (of *OpenFile) Write(p []byte) (int, error) {
+	switch of.kind {
+	case kindNode:
+		of.mu.Lock()
+		off := of.offset
+		of.mu.Unlock()
+		n, err := of.node.WriteAt(p, off)
+		of.mu.Lock()
+		of.offset = off + int64(n)
+		of.mu.Unlock()
+		return n, err
+	case kindPipeW:
+		return of.pipe.write(p)
+	case kindSock:
+		return of.conn.Write(p)
+	}
+	return 0, errors.New("libos: fd not writable")
+}
+
+// Seek repositions a seekable description.
+func (of *OpenFile) Seek(off int64, whence int) (int64, error) {
+	if of.kind != kindNode {
+		return 0, errors.New("libos: not seekable")
+	}
+	of.mu.Lock()
+	defer of.mu.Unlock()
+	switch whence {
+	case SeekSet:
+		of.offset = off
+	case SeekCur:
+		of.offset += off
+	case SeekEnd:
+		of.offset = of.node.Size() + off
+	default:
+		return 0, errors.New("libos: bad whence")
+	}
+	if of.offset < 0 {
+		of.offset = 0
+	}
+	return of.offset, nil
+}
+
+// consoleFile opens /dev/console for a SIP's default stdio.
+func (o *Occlum) consoleFile() *OpenFile {
+	n, err := o.vfs.Open("/dev/console", fs.ORdWr)
+	if err != nil {
+		n, _ = o.vfs.Open("/dev/null", fs.ORdWr)
+	}
+	return newNodeFile(n, fs.ORdWr)
+}
+
+// NewPipe creates a pipe pair in the LibOS — the SIP-to-SIP IPC channel
+// that is a plain in-enclave memory copy, no encryption involved
+// (Table 1).
+func NewPipe() (r, w *OpenFile) {
+	pb := newPipeBuf(64 << 10)
+	r = &OpenFile{refs: 1, kind: kindPipeR, pipe: pb}
+	w = &OpenFile{refs: 1, kind: kindPipeW, pipe: pb}
+	return
+}
+
+// OpenNodeFile wraps a VFS node for host-side stdio plumbing in tests and
+// benches.
+func OpenNodeFile(n fs.Node, flags fs.OpenFlag) *OpenFile { return newNodeFile(n, flags) }
+
+// NewWriterFile builds an open file description that appends every write
+// to w — host-side plumbing for capturing a SIP's stdout in tests,
+// examples and benchmarks.
+func NewWriterFile(w io.Writer) *OpenFile {
+	return newNodeFile(&writerNode{w: w}, fs.OWrOnly)
+}
+
+type writerNode struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (n *writerNode) ReadAt([]byte, int64) (int, error) { return 0, io.EOF }
+func (n *writerNode) WriteAt(p []byte, _ int64) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.w.Write(p)
+}
+func (n *writerNode) Size() int64  { return 0 }
+func (n *writerNode) Close() error { return nil }
+
+// installFD places an open file into the lowest free slot at or above 3,
+// the POSIX allocation rule (so dup2 targets never collide with fresh
+// fds).
+func (p *Proc) installFD(of *OpenFile) int {
+	p.fdmu.Lock()
+	defer p.fdmu.Unlock()
+	fd := 3
+	for {
+		if _, used := p.fds[fd]; !used {
+			break
+		}
+		fd++
+	}
+	p.fds[fd] = of
+	return fd
+}
+
+func (p *Proc) getFD(fd int) (*OpenFile, bool) {
+	p.fdmu.Lock()
+	defer p.fdmu.Unlock()
+	of, ok := p.fds[fd]
+	return of, ok
+}
+
+// NewSocketFile creates an unconnected socket description (shared with
+// the baseline kernels).
+func NewSocketFile() *OpenFile { return &OpenFile{refs: 1, kind: kindSock} }
+
+// BindHost turns a socket into a listener on the host loopback network.
+func (of *OpenFile) BindHost(h *hostos.Host, port uint16) error {
+	if of.kind != kindSock {
+		return errors.New("libos: not a socket")
+	}
+	lis, err := h.Listen(port)
+	if err != nil {
+		return err
+	}
+	of.mu.Lock()
+	of.kind = kindListener
+	of.lis = lis
+	of.port = port
+	of.mu.Unlock()
+	return nil
+}
+
+// AcceptHost blocks for an inbound connection and wraps it as a new
+// description.
+func (of *OpenFile) AcceptHost() (*OpenFile, error) {
+	if of.kind != kindListener {
+		return nil, errors.New("libos: not a listener")
+	}
+	conn, err := of.lis.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &OpenFile{refs: 1, kind: kindSock, conn: conn}, nil
+}
+
+// ConnectHost dials a host loopback port.
+func (of *OpenFile) ConnectHost(h *hostos.Host, port uint16) error {
+	if of.kind != kindSock {
+		return errors.New("libos: not a socket")
+	}
+	conn, err := h.Dial(port)
+	if err != nil {
+		return err
+	}
+	of.mu.Lock()
+	of.conn = conn
+	of.mu.Unlock()
+	return nil
+}
+
+// pipeBuf is the shared ring behind a pipe.
+type pipeBuf struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []byte
+	cap     int
+	rClosed bool
+	wClosed bool
+}
+
+func newPipeBuf(capacity int) *pipeBuf {
+	pb := &pipeBuf{cap: capacity}
+	pb.cond = sync.NewCond(&pb.mu)
+	return pb
+}
+
+func (pb *pipeBuf) read(p []byte) (int, error) {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	for len(pb.buf) == 0 && !pb.wClosed {
+		pb.cond.Wait()
+	}
+	if len(pb.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, pb.buf)
+	pb.buf = pb.buf[n:]
+	pb.cond.Broadcast()
+	return n, nil
+}
+
+func (pb *pipeBuf) write(p []byte) (int, error) {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		for len(pb.buf) >= pb.cap && !pb.rClosed {
+			pb.cond.Wait()
+		}
+		if pb.rClosed {
+			return total, errors.New("libos: broken pipe")
+		}
+		n := min(pb.cap-len(pb.buf), len(p))
+		pb.buf = append(pb.buf, p[:n]...)
+		p = p[n:]
+		total += n
+		pb.cond.Broadcast()
+	}
+	return total, nil
+}
+
+func (pb *pipeBuf) closeRead() {
+	pb.mu.Lock()
+	pb.rClosed = true
+	pb.cond.Broadcast()
+	pb.mu.Unlock()
+}
+
+func (pb *pipeBuf) closeWrite() {
+	pb.mu.Lock()
+	pb.wClosed = true
+	pb.cond.Broadcast()
+	pb.mu.Unlock()
+}

@@ -1,0 +1,346 @@
+// Package libos implements the Occlum LibOS (§6 of the paper): a single
+// library operating system instance that hosts many SFI-Isolated
+// Processes (SIPs) inside one enclave.
+//
+// The LibOS owns:
+//
+//   - the enclave and the preallocated MMDSFI domains (SGX 1.0 forbids
+//     page changes after EINIT, so all domain pages are EADDed up front);
+//   - the ELF loader with its four extra duties (signature check,
+//     cfi_label domain-ID rewriting, trampoline injection, MPX bound
+//     initialization);
+//   - the syscall interface (spawn instead of fork, pipes and signals as
+//     shared in-LibOS structures, futex via the host);
+//   - the virtual filesystem: a writable encrypted root, /dev and /proc.
+//
+// Each SIP maps 1:1 onto an SGX thread, modeled as a goroutine running a
+// virtual CPU; scheduling is delegated to the host (the Go runtime), as
+// in the paper.
+package libos
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/fs"
+	"repro/internal/hostos"
+	"repro/internal/mem"
+	"repro/internal/oelf"
+	"repro/internal/sgx"
+)
+
+// Config sizes the enclave and its domains.
+type Config struct {
+	// NumDomains is the number of preallocated MMDSFI domains (the
+	// maximum number of concurrent SIPs).
+	NumDomains int
+	// DomainCodeSize is the code-region size per domain (bytes,
+	// page-multiple).
+	DomainCodeSize uint64
+	// DomainDataSize is the data-region size per domain.
+	DomainDataSize uint64
+	// StackSize is the stack carved from the top of each data region.
+	StackSize uint64
+	// LibOSReserve is enclave memory reserved for the LibOS itself
+	// (contributes to enclave measurement/creation cost).
+	LibOSReserve uint64
+	// MaxThreads is the number of SGX TCS (max concurrent SIPs).
+	MaxThreads int
+	// FSImage is the host file holding the encrypted filesystem.
+	FSImage string
+	// FSKey unseals the filesystem.
+	FSKey fs.Key
+	// FSBlocks sizes a newly created filesystem image.
+	FSBlocks int
+	// Stdout receives /dev/console output (nil discards).
+	Stdout io.Writer
+	// VerifierKey is the signing key the loader trusts.
+	VerifierKey oelf.SigningKey
+	// CycleSlice is the interpreter cycle budget between LibOS
+	// preemption points (signal checks).
+	CycleSlice uint64
+}
+
+// DefaultConfig returns a workable configuration: 8 domains of 1 MiB code
+// + 4 MiB data.
+func DefaultConfig() Config {
+	return Config{
+		NumDomains:     8,
+		DomainCodeSize: 1 << 20,
+		DomainDataSize: 4 << 20,
+		StackSize:      256 << 10,
+		LibOSReserve:   1 << 20,
+		MaxThreads:     32,
+		FSImage:        "occlum.img",
+		FSKey:          fs.KeyFromString("occlum-default"),
+		FSBlocks:       16384,
+		VerifierKey:    oelf.NewSigningKey("occlum"),
+		CycleSlice:     1 << 20,
+	}
+}
+
+// Domain is one preallocated MMDSFI domain: [C][G1][D][G2].
+type Domain struct {
+	ID       uint32
+	CodeBase uint64 // start of the code region C
+	CodeSize uint64
+	DataBase uint64 // start of the data region D
+	DataSize uint64
+	inUse    bool
+}
+
+// Occlum is one LibOS instance inside one enclave.
+type Occlum struct {
+	cfg      Config
+	platform *sgx.Platform
+	enclave  *sgx.Enclave
+	host     *hostos.Host
+
+	mu       sync.Mutex
+	procCond *sync.Cond
+	domains  []*Domain
+	procs    map[int]*Proc
+	nextPID  int
+	threads  int // live SGX threads (SIPs)
+
+	vfs   *fs.VFS
+	encfs *fs.EncFS
+
+	// BootStats records the cost of enclave creation.
+	BootStats BootStats
+}
+
+// BootStats reports what enclave creation cost.
+type BootStats struct {
+	PagesAdded  uint64
+	Measurement sgx.Measurement
+}
+
+// Boot errors.
+var (
+	// ErrNoDomains reports domain exhaustion at spawn.
+	ErrNoDomains = errors.New("libos: no free MMDSFI domains")
+	// ErrNoThreads reports SGX TCS exhaustion at spawn.
+	ErrNoThreads = errors.New("libos: no free SGX threads")
+	// ErrTooBig reports a binary that does not fit a domain.
+	ErrTooBig = errors.New("libos: binary does not fit in a domain")
+	// ErrNotSigned reports a binary without a valid verifier signature.
+	ErrNotSigned = errors.New("libos: binary not signed by the verifier")
+)
+
+// enclaveBase is where the enclave's ELRANGE starts.
+const enclaveBase = 0x10000000
+
+// Boot creates the enclave on platform, preallocates all domains (EADD +
+// EEXTEND over every page — the real cryptographic cost of enclave
+// creation), initializes it, and mounts the filesystems. A fresh
+// encrypted image is created if none exists in host storage.
+func Boot(platform *sgx.Platform, host *hostos.Host, cfg Config) (*Occlum, error) {
+	if cfg.NumDomains <= 0 || cfg.MaxThreads <= 0 {
+		return nil, fmt.Errorf("libos: bad config")
+	}
+	g := uint64(mem.PageSize) // guard size
+	domSpan := cfg.DomainCodeSize + g + cfg.DomainDataSize + g
+	total := cfg.LibOSReserve + g + uint64(cfg.NumDomains)*domSpan
+
+	e, err := platform.ECreate(enclaveBase, total, cfg.MaxThreads)
+	if err != nil {
+		return nil, err
+	}
+	// LibOS reserve pages (RW; the LibOS "code" is this Go package).
+	for off := uint64(0); off < cfg.LibOSReserve; off += mem.PageSize {
+		if err := e.EAdd(enclaveBase+off, nil, mem.PermRW); err != nil {
+			e.Destroy()
+			return nil, err
+		}
+	}
+	o := &Occlum{
+		cfg:      cfg,
+		platform: platform,
+		enclave:  e,
+		host:     host,
+		procs:    make(map[int]*Proc),
+		nextPID:  1,
+	}
+	o.procCond = sync.NewCond(&o.mu)
+
+	// Preallocate domains: code pages RWX (the loader rewrites them;
+	// the common SGX-LibOS pitfall of §7), data pages RW, guards
+	// unmapped.
+	base := enclaveBase + cfg.LibOSReserve + g
+	for i := 0; i < cfg.NumDomains; i++ {
+		d := &Domain{
+			ID:       uint32(i + 1),
+			CodeBase: base,
+			CodeSize: cfg.DomainCodeSize,
+			DataBase: base + cfg.DomainCodeSize + g,
+			DataSize: cfg.DomainDataSize,
+		}
+		for off := uint64(0); off < d.CodeSize; off += mem.PageSize {
+			if err := e.EAdd(d.CodeBase+off, nil, mem.PermRWX); err != nil {
+				e.Destroy()
+				return nil, err
+			}
+		}
+		for off := uint64(0); off < d.DataSize; off += mem.PageSize {
+			if err := e.EAdd(d.DataBase+off, nil, mem.PermRW); err != nil {
+				e.Destroy()
+				return nil, err
+			}
+		}
+		o.domains = append(o.domains, d)
+		base += domSpan
+	}
+	meas, err := e.EInit()
+	if err != nil {
+		e.Destroy()
+		return nil, err
+	}
+	o.BootStats = BootStats{PagesAdded: e.PagesAdded(), Measurement: meas}
+
+	if err := o.mountFilesystems(); err != nil {
+		e.Destroy()
+		return nil, err
+	}
+	return o, nil
+}
+
+func (o *Occlum) mountFilesystems() error {
+	var store *fs.BlockStore
+	var err error
+	if o.host.FileSize(o.cfg.FSImage) == 0 {
+		store, err = fs.CreateStore(o.host, o.cfg.FSImage, o.cfg.FSKey, o.cfg.FSBlocks)
+		if err != nil {
+			return err
+		}
+		if err := fs.Mkfs(store); err != nil {
+			return err
+		}
+	} else {
+		store, err = fs.OpenStore(o.host, o.cfg.FSImage, o.cfg.FSKey)
+		if err != nil {
+			return err
+		}
+	}
+	o.encfs, err = fs.Mount(store)
+	if err != nil {
+		return err
+	}
+	o.vfs = fs.NewVFS()
+	o.vfs.Mount("/", o.encfs)
+	o.vfs.Mount("/dev", fs.NewDevFS(o.cfg.Stdout))
+	o.vfs.Mount("/proc", newProcFS(o))
+	return nil
+}
+
+// VFS exposes the LibOS filesystem (for image preparation and tests).
+func (o *Occlum) VFS() *fs.VFS { return o.vfs }
+
+// Host returns the untrusted host beneath this LibOS.
+func (o *Occlum) Host() *hostos.Host { return o.host }
+
+// Sync flushes the encrypted filesystem to host storage.
+func (o *Occlum) Sync() error { return o.encfs.Sync() }
+
+// Shutdown flushes state and releases the enclave. Processes should have
+// exited.
+func (o *Occlum) Shutdown() error {
+	err := o.encfs.Sync()
+	o.enclave.Destroy()
+	return err
+}
+
+// InstallBinary writes a marshaled binary into the LibOS filesystem at
+// path — the "occlum build" step that prepares an image.
+func (o *Occlum) InstallBinary(path string, bin *oelf.Binary) error {
+	f, err := o.vfs.Open(path, fs.OWrOnly|fs.OCreate|fs.OTrunc)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt(bin.Marshal(), 0)
+	return err
+}
+
+func (o *Occlum) allocDomain() (*Domain, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, d := range o.domains {
+		if !d.inUse {
+			d.inUse = true
+			return d, nil
+		}
+	}
+	return nil, ErrNoDomains
+}
+
+func (o *Occlum) freeDomain(d *Domain) {
+	// Scrub both regions so the next SIP cannot observe stale data —
+	// inter-process isolation across domain reuse.
+	zero := make([]byte, mem.PageSize)
+	for off := uint64(0); off < d.CodeSize; off += mem.PageSize {
+		_ = o.enclave.WriteDirect(d.CodeBase+off, zero)
+	}
+	for off := uint64(0); off < d.DataSize; off += mem.PageSize {
+		_ = o.enclave.WriteDirect(d.DataBase+off, zero)
+	}
+	o.mu.Lock()
+	d.inUse = false
+	o.mu.Unlock()
+}
+
+// readUserString copies a NUL-free string of length n from user memory,
+// validating that the range lies inside the calling SIP's data region
+// (the sanity checks of the syscall entry path).
+func (p *Proc) readUserBytes(addr, n uint64) ([]byte, error) {
+	if n > 1<<20 {
+		return nil, errors.New("libos: user buffer too large")
+	}
+	if !p.inData(addr, n) {
+		return nil, errors.New("libos: user pointer outside domain data region")
+	}
+	b, err := p.os.enclave.ReadDirect(addr, int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+func (p *Proc) writeUserBytes(addr uint64, b []byte) error {
+	if !p.inData(addr, uint64(len(b))) {
+		return errors.New("libos: user pointer outside domain data region")
+	}
+	// WriteAt is permission-checked and does not invalidate decoded-
+	// instruction caches: user data pages are never executable, so a
+	// syscall result landing there cannot change code. (WriteDirect
+	// would flush every SIP's icache on every syscall.)
+	if f := p.os.enclave.WriteAt(addr, b); f != nil {
+		return f
+	}
+	return nil
+}
+
+func (p *Proc) inData(addr, n uint64) bool {
+	d := p.dom
+	end := addr + n
+	return addr >= d.DataBase && end >= addr && end <= d.DataBase+d.DataSize
+}
+
+func (p *Proc) readUserU64(addr uint64) (uint64, error) {
+	b, err := p.readUserBytes(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (p *Proc) writeUserU64(addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return p.writeUserBytes(addr, b[:])
+}

@@ -1,0 +1,119 @@
+package libos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/fs"
+	"repro/internal/isa"
+	"repro/internal/mpx"
+	"repro/internal/oelf"
+)
+
+// loadBinary reads, parses and signature-checks an OELF from the LibOS
+// filesystem. The read decrypts through the encrypted FS — part of the
+// real cost that makes Occlum's spawn scale with binary size (Fig 6a).
+func (o *Occlum) loadBinary(path string) (*oelf.Binary, error) {
+	f, err := o.vfs.Open(path, fs.ORdOnly)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	raw := make([]byte, f.Size())
+	if _, err := f.ReadAt(raw, 0); err != nil {
+		return nil, err
+	}
+	bin, err := oelf.Unmarshal(raw)
+	if err != nil {
+		return nil, err
+	}
+	// Loader duty 1: only verifier-signed binaries may enter a domain.
+	if err := o.cfg.VerifierKey.Verify(bin); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotSigned, err)
+	}
+	return bin, nil
+}
+
+// trampolineLen is the injected syscall gate: cfi_label + trap.
+const trampolineLen = isa.CFILabelLen + 1
+
+// loadIntoDomain performs the program-loader work of §6: copy the image,
+// rewrite cfi_labels, inject the trampoline, build the stack and auxv,
+// and initialize the MPX bound registers.
+//
+// Layout: the code is placed at the *end* of the domain's code region so
+// that the data region begins exactly codeSpan+guard after the code base,
+// matching the layout the binary was linked (and verified) against. The
+// trampoline lives at the start of the code region, far from user code.
+func (o *Occlum) loadIntoDomain(d *Domain, bin *oelf.Binary, argv []string, p *Proc) error {
+	img := &bin.Image
+	codeSpan := img.CodeSpan()
+	if codeSpan+trampolineLen+16 > d.CodeSize {
+		return fmt.Errorf("%w: code span %d > domain code size %d", ErrTooBig, codeSpan, d.CodeSize)
+	}
+	if img.MinDataSize()+o.cfg.StackSize+4096 > d.DataSize {
+		return fmt.Errorf("%w: data %d + stack > domain data size %d", ErrTooBig, img.MinDataSize(), d.DataSize)
+	}
+	if uint64(img.GuardSize) != 4096 {
+		return fmt.Errorf("libos: unsupported guard size %d", img.GuardSize)
+	}
+
+	codeBase := d.CodeBase + d.CodeSize - codeSpan
+
+	// Duty 2: rewrite the last 4 bytes of every cfi_label to this
+	// domain's ID.
+	code := append([]byte(nil), img.Code...)
+	for _, off := range isa.FindCFIMagic(code) {
+		binary.LittleEndian.PutUint32(code[off+4:], d.ID)
+	}
+	if err := o.enclave.WriteDirect(codeBase, code); err != nil {
+		return err
+	}
+
+	// Duty 3: inject the trampoline — the only way out of the sandbox.
+	if err := o.enclave.WriteDirect(d.CodeBase, EncodeTrampoline(d.ID)); err != nil {
+		return err
+	}
+
+	// Data segment (BSS pages were zeroed when the domain was freed).
+	if len(img.Data) > 0 {
+		if err := o.enclave.WriteDirect(d.DataBase, img.Data); err != nil {
+			return err
+		}
+	}
+
+	// CPU state, stack and auxv.
+	p.cpu.Reset()
+	heapBase, heapEnd, err := SetupUserStack(o.enclave.Paged, p.cpu, d.CodeBase,
+		d.DataBase, d.DataSize, o.cfg.StackSize, img.MinDataSize(), argv)
+	if err != nil {
+		return err
+	}
+	p.cpu.PC = codeBase + uint64(img.Entry)
+
+	// Duty 4: initialize MPX bounds — BND0 confines memory accesses to
+	// D; BND1 makes cfi_guard an equality test on this domain's label.
+	p.cpu.Bnd.Set(isa.BND0, mpx.Bound{Lower: d.DataBase, Upper: d.DataBase + d.DataSize - 1})
+	v := isa.CFILabelValue(d.ID)
+	p.cpu.Bnd.Set(isa.BND1, mpx.Bound{Lower: v, Upper: v})
+
+	p.heapBase, p.heapEnd, p.heapPtr = heapBase, heapEnd, heapBase
+	p.tramp = d.CodeBase
+	return nil
+}
+
+// isDomainLabel reports whether addr holds a cfi_label carrying the
+// domain's ID — the check the LibOS performs on syscall return addresses
+// and signal handlers.
+func (o *Occlum) isDomainLabel(d *Domain, addr uint64) bool {
+	b, err := o.enclave.ReadDirect(addr, isa.CFILabelLen)
+	if err != nil {
+		return false
+	}
+	for i, m := range isa.CFIMagic {
+		if b[i] != m {
+			return false
+		}
+	}
+	return binary.LittleEndian.Uint32(b[4:]) == d.ID
+}

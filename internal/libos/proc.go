@@ -1,0 +1,317 @@
+package libos
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Proc is one SIP: an SFI-isolated process occupying one MMDSFI domain and
+// one SGX thread.
+type Proc struct {
+	os   *Occlum
+	pid  int
+	ppid int
+	name string
+	dom  *Domain
+	cpu  *vm.CPU
+
+	fdmu   sync.Mutex
+	fds    map[int]*OpenFile
+	nextFD int
+
+	heapBase, heapEnd, heapPtr uint64
+	tramp                      uint64
+
+	// Signal state (guarded by os.mu).
+	handlers  map[int]uint64
+	pending   []int
+	inHandler bool
+	savedPC   uint64
+	savedRegs [isa.NumRegs]uint64
+	killed    bool
+	killSig   int
+
+	// Exit state (guarded by os.mu).
+	exited bool
+	status int
+	done   chan struct{}
+
+	// Cycles consumed (for diagnostics and /proc).
+	cycles uint64
+}
+
+// PID returns the process ID.
+func (p *Proc) PID() int { return p.pid }
+
+// Cycles returns retired instruction count so far.
+func (p *Proc) Cycles() uint64 { return p.cycles }
+
+// SpawnOpt carries optional spawn parameters.
+type SpawnOpt struct {
+	// Parent, when set, is the spawning SIP; the child inherits its
+	// open file table (sharing open file descriptions, as in §6).
+	Parent *Proc
+	// Stdin/Stdout/Stderr override fds 0-2 when Parent is nil.
+	Stdin, Stdout, Stderr *OpenFile
+}
+
+// Spawn implements the spawn system call (§3.3): create a SIP in a free
+// domain running the verified binary at path. Unlike fork, spawn shares
+// no address space with the parent; unlike EIP spawn, it creates no
+// enclave, performs no attestation, and copies no encrypted state.
+func (o *Occlum) Spawn(path string, argv []string, opt SpawnOpt) (*Proc, error) {
+	bin, err := o.loadBinary(path)
+	if err != nil {
+		return nil, err
+	}
+	dom, err := o.allocDomain()
+	if err != nil {
+		return nil, err
+	}
+
+	o.mu.Lock()
+	if o.threads >= o.cfg.MaxThreads {
+		o.mu.Unlock()
+		o.freeDomain(dom)
+		return nil, ErrNoThreads
+	}
+	o.threads++
+	pid := o.nextPID
+	o.nextPID++
+	p := &Proc{
+		os:       o,
+		pid:      pid,
+		name:     path,
+		dom:      dom,
+		fds:      make(map[int]*OpenFile),
+		nextFD:   3,
+		handlers: make(map[int]uint64),
+		done:     make(chan struct{}),
+	}
+	if opt.Parent != nil {
+		p.ppid = opt.Parent.pid
+	}
+	o.procs[pid] = p
+	o.mu.Unlock()
+
+	// Inherit or set up standard fds.
+	if opt.Parent != nil {
+		opt.Parent.fdmu.Lock()
+		for fd, of := range opt.Parent.fds {
+			of.ref()
+			p.fds[fd] = of
+			if fd >= p.nextFD {
+				p.nextFD = fd + 1
+			}
+		}
+		opt.Parent.fdmu.Unlock()
+	} else {
+		stdio := func(of *OpenFile) *OpenFile {
+			if of != nil {
+				of.ref()
+				return of
+			}
+			return o.consoleFile()
+		}
+		p.fds[0] = stdio(opt.Stdin)
+		p.fds[1] = stdio(opt.Stdout)
+		p.fds[2] = stdio(opt.Stderr)
+	}
+
+	p.cpu = vm.New(o.enclave.Paged)
+	if err := o.loadIntoDomain(dom, bin, append([]string{path}, argv...), p); err != nil {
+		p.teardown(127)
+		return nil, err
+	}
+
+	go p.run()
+	return p, nil
+}
+
+// run is the SGX-thread loop of one SIP.
+func (p *Proc) run() {
+	for {
+		if p.deliverPendingSignal() {
+			return // killed
+		}
+		stop := p.cpu.Run(p.os.cfg.CycleSlice)
+		p.cycles = p.cpu.Cycles
+		switch stop.Reason {
+		case vm.StopCycles:
+			// Preemption point; loop to check signals.
+		case vm.StopTrap:
+			if exited := p.syscallEntry(); exited {
+				return
+			}
+		case vm.StopException:
+			// An AEX the LibOS turns into a fatal signal.
+			sig := SIGSEGV
+			switch stop.Exc {
+			case vm.ExcBound:
+				sig = SIGSEGV // MMDSFI guard violation
+			case vm.ExcDivide:
+				sig = SIGFPE
+			case vm.ExcInvalid:
+				sig = SIGILL
+			}
+			p.teardown(128 + sig)
+			return
+		case vm.StopHalt, vm.StopEExit:
+			// Verified code cannot contain these; treat as fatal.
+			p.teardown(128 + SIGILL)
+			return
+		}
+	}
+}
+
+// syscallEntry is the LibOS entry path: sanity-check the return address,
+// dispatch, and resume the SIP. Returns true if the process exited.
+func (p *Proc) syscallEntry() bool {
+	// Pop the return address pushed by the user's call to the
+	// trampoline and ensure it targets a cfi_label of this SIP (§6).
+	sp := p.cpu.Regs[isa.SP]
+	retAddr, err := p.readUserU64(sp)
+	if err != nil || !p.os.isDomainLabel(p.dom, retAddr) {
+		p.teardown(128 + SIGSEGV)
+		return true
+	}
+	p.cpu.Regs[isa.SP] = sp + 8
+
+	no := p.cpu.Regs[isa.R0]
+	a1, a2, a3, a4 := p.cpu.Regs[isa.R1], p.cpu.Regs[isa.R2], p.cpu.Regs[isa.R3], p.cpu.Regs[isa.R4]
+	ret, exited := p.dispatch(no, a1, a2, a3, a4, p.cpu.Regs[isa.R5])
+	if exited {
+		return true
+	}
+	if ret == sigreturnSentinel {
+		// sigreturn restored the full pre-signal context; do not
+		// clobber it with the syscall return path.
+		return false
+	}
+	p.cpu.Regs[isa.R0] = uint64(ret)
+	p.cpu.PC = retAddr
+	return false
+}
+
+// teardown releases everything the SIP held and publishes its exit
+// status.
+func (p *Proc) teardown(status int) {
+	p.fdmu.Lock()
+	for fd, of := range p.fds {
+		of.unref()
+		delete(p.fds, fd)
+	}
+	p.fdmu.Unlock()
+
+	p.os.freeDomain(p.dom)
+
+	o := p.os
+	o.mu.Lock()
+	p.exited = true
+	p.status = status
+	o.threads--
+	close(p.done)
+	o.procCond.Broadcast()
+	o.mu.Unlock()
+}
+
+// Wait blocks until the process exits and returns its status. Unlike the
+// in-LibOS wait4, Wait does not reap (the host-side caller may wait
+// multiple times).
+func (p *Proc) Wait() int {
+	<-p.done
+	return p.status
+}
+
+// wait4 implements the syscall: wait for a specific child (or any, when
+// pid < 0), reap it, and return (pid, status).
+func (p *Proc) wait4(pid int) (int, int, int) {
+	o := p.os
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for {
+		found := false
+		for cpid, c := range o.procs {
+			if c.ppid != p.pid {
+				continue
+			}
+			if pid >= 0 && cpid != pid {
+				continue
+			}
+			found = true
+			if c.exited {
+				delete(o.procs, cpid)
+				return cpid, c.status, 0
+			}
+		}
+		if !found {
+			return 0, 0, ECHILD
+		}
+		o.procCond.Wait()
+	}
+}
+
+// Kill delivers a signal to pid from outside the enclave (host-side
+// test/bench use) or from another SIP.
+func (o *Occlum) Kill(pid, sig int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p, ok := o.procs[pid]
+	if !ok || p.exited {
+		return fmt.Errorf("libos: kill: no process %d", pid)
+	}
+	p.pending = append(p.pending, sig)
+	if sig == SIGKILL {
+		p.killed, p.killSig = true, sig
+	}
+	return nil
+}
+
+// deliverPendingSignal processes one pending signal at a preemption
+// point. Returns true when the process was terminated.
+func (p *Proc) deliverPendingSignal() bool {
+	o := p.os
+	o.mu.Lock()
+	if len(p.pending) == 0 {
+		o.mu.Unlock()
+		return false
+	}
+	sig := p.pending[0]
+	p.pending = p.pending[1:]
+	handler, hasHandler := p.handlers[sig]
+	inHandler := p.inHandler
+	if hasHandler && !inHandler && sig != SIGKILL {
+		p.inHandler = true
+		o.mu.Unlock()
+		// Push context and run the handler (its address was
+		// validated as a domain cfi_label at sigaction time).
+		p.savedPC = p.cpu.PC
+		p.savedRegs = p.cpu.Regs
+		p.cpu.PC = handler
+		p.cpu.Regs[isa.R1] = uint64(sig)
+		return false
+	}
+	o.mu.Unlock()
+	switch sig {
+	case SIGKILL, SIGTERM, SIGSEGV, SIGILL, SIGFPE, SIGUSR1:
+		p.teardown(128 + sig)
+		return true
+	}
+	return false // default-ignored signal
+}
+
+// Procs returns a snapshot of live process IDs (for /proc and tests).
+func (o *Occlum) Procs() []int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var out []int
+	for pid, p := range o.procs {
+		if !p.exited {
+			out = append(out, pid)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package libos_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/libos"
+	"repro/internal/ulib"
+)
+
+// TestUserSignalHandler exercises sigaction + delivery + sigreturn: a SIP
+// installs a handler for SIGUSR1, spins, and the handler writes a marker
+// and exits.
+func TestUserSignalHandler(t *testing.T) {
+	var out bytes.Buffer
+	sys, tc := bootSys(t, &out)
+	defer sys.OS.Shutdown()
+
+	prog := buildProg(t, func(b *asm.Builder) {
+		b.String("msg", "caught!")
+		b.Zero("hptr", 8)
+		b.Entry("_start")
+		ulib.Prologue(b)
+		// The handler address cannot be taken directly (no
+		// address-of-label), so discover it the way a runtime would:
+		// call a helper whose return address is the instruction after
+		// the call — place the handler function right there.
+		b.Call("after")
+		// ← the return-site cfi_label of this call is the handler's
+		// entry; "handler" begins immediately after the call.
+		b.Label("handler")
+		b.Nop()
+		// write(1, msg, 7); exit(42)
+		b.MovRI(isa.R1, 1)
+		b.LeaData(isa.R2, "msg")
+		b.MovRI(isa.R3, 7)
+		ulib.Syscall(b, libos.SysWrite)
+		ulib.Exit(b, 42)
+
+		// after: pops the return address (= handler address region)
+		// and registers it, then spins until the signal arrives.
+		b.Func("after")
+		b.Load(isa.R6, isa.Mem(isa.SP, 0)) // return address = cfi_label before "handler"
+		// sigaction(SIGUSR1, r6)
+		b.MovRI(isa.R1, libos.SIGUSR1)
+		b.MovRR(isa.R2, isa.R6)
+		ulib.Syscall(b, libos.SysSigact)
+		b.CmpI(isa.R0, 0)
+		b.Jne("bad")
+		b.Label("spin")
+		b.MovRI(isa.R1, 0)
+		ulib.Syscall(b, libos.SysYield)
+		b.Jmp("spin")
+		b.Label("bad")
+		b.Nop()
+		ulib.Exit(b, 9)
+	})
+	if err := sys.Install(tc, "/bin/sig", "sig", prog); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.OS.Spawn("/bin/sig", nil, libos.SpawnOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the SIP a moment to install the handler, then signal it.
+	time.Sleep(20 * time.Millisecond)
+	if err := sys.OS.Kill(p.PID(), libos.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	if status := p.Wait(); status != 42 {
+		t.Fatalf("status = %d, want 42 (handler exit)", status)
+	}
+	if out.String() != "caught!" {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+// TestSigactionRejectsNonLabelHandler: a handler address that is not a
+// cfi_label of the domain would be an arbitrary-jump primitive; the
+// LibOS must refuse it.
+func TestSigactionRejectsNonLabelHandler(t *testing.T) {
+	var out bytes.Buffer
+	sys, tc := bootSys(t, &out)
+	defer sys.OS.Shutdown()
+
+	prog := buildProg(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		ulib.Prologue(b)
+		b.MovRI(isa.R1, libos.SIGUSR1)
+		b.MovRI(isa.R2, 0x10000) // not a cfi_label
+		ulib.Syscall(b, libos.SysSigact)
+		// Expect -EINVAL.
+		b.CmpI(isa.R0, -libos.EINVAL)
+		b.Je("ok")
+		b.Nop()
+		ulib.Exit(b, 1)
+		b.Label("ok")
+		b.Nop()
+		ulib.Exit(b, 0)
+	})
+	if err := sys.Install(tc, "/bin/badsig", "badsig", prog); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.OS.Spawn("/bin/badsig", nil, libos.SpawnOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := p.Wait(); status != 0 {
+		t.Fatalf("status = %d: wild handler accepted", status)
+	}
+}
+
+// TestDefaultSignalTerminates: SIGUSR1 with no handler kills the SIP.
+func TestDefaultSignalTerminates(t *testing.T) {
+	var out bytes.Buffer
+	sys, tc := bootSys(t, &out)
+	defer sys.OS.Shutdown()
+
+	prog := buildProg(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		ulib.Prologue(b)
+		b.Label("spin")
+		b.MovRI(isa.R1, 0)
+		ulib.Syscall(b, libos.SysYield)
+		b.Jmp("spin")
+	})
+	if err := sys.Install(tc, "/bin/spin2", "spin2", prog); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.OS.Spawn("/bin/spin2", nil, libos.SpawnOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.OS.Kill(p.PID(), libos.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	if status := p.Wait(); status != 128+libos.SIGUSR1 {
+		t.Fatalf("status = %d", status)
+	}
+}

@@ -1,0 +1,429 @@
+package libos
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/fs"
+)
+
+// dispatch executes one LibOS system call — just a function call within
+// the enclave, never an enclave transition (the core performance argument
+// of SIPs). Returns the value for R0 and whether the process exited.
+func (p *Proc) dispatch(no, a1, a2, a3, a4, a5 uint64) (int64, bool) {
+	switch no {
+	case SysExit:
+		p.teardown(int(int64(a1)) & 0xFF)
+		return 0, true
+
+	case SysWrite, SysSend:
+		return p.sysWrite(int(int64(a1)), a2, a3), false
+	case SysRead, SysRecv:
+		return p.sysRead(int(int64(a1)), a2, a3), false
+	case SysOpen:
+		return p.sysOpen(a1, a2, fs.OpenFlag(a3)), false
+	case SysClose:
+		return p.sysClose(int(int64(a1))), false
+	case SysSpawn:
+		return p.sysSpawn(a1, a2, a3, a4), false
+	case SysWait4:
+		pid, status, errno := p.wait4(int(int64(a1)))
+		if errno != 0 {
+			return -int64(errno), false
+		}
+		if a2 != 0 {
+			if err := p.writeUserU64(a2, uint64(status)); err != nil {
+				return -EFAULT, false
+			}
+		}
+		return int64(pid), false
+	case SysPipe2:
+		r, w := NewPipe()
+		rfd, wfd := p.installFD(r), p.installFD(w)
+		if err := p.writeUserU64(a1, uint64(rfd)); err != nil {
+			return -EFAULT, false
+		}
+		if err := p.writeUserU64(a1+8, uint64(wfd)); err != nil {
+			return -EFAULT, false
+		}
+		return 0, false
+	case SysDup2:
+		return p.sysDup2(int(int64(a1)), int(int64(a2))), false
+	case SysGetpid:
+		return int64(p.pid), false
+	case SysGetppid:
+		return int64(p.ppid), false
+	case SysMmap:
+		return p.sysMmap(a1), false
+	case SysMunmap:
+		return 0, false // bump allocator: munmap is a no-op
+	case SysFutex:
+		return p.sysFutex(a1, a2, a3), false
+	case SysKill:
+		if err := p.os.Kill(int(int64(a1)), int(int64(a2))); err != nil {
+			return -ESRCH, false
+		}
+		return 0, false
+	case SysSigact:
+		return p.sysSigaction(int(int64(a1)), a2), false
+	case SysSigret:
+		return p.sysSigreturn()
+	case SysLseek:
+		of, ok := p.getFD(int(int64(a1)))
+		if !ok {
+			return -EBADF, false
+		}
+		off, err := of.Seek(int64(a2), int(int64(a3)))
+		if err != nil {
+			return -ESPIPE, false
+		}
+		return off, false
+	case SysStat:
+		return p.sysStat(a1, a2, a3), false
+	case SysMkdir:
+		path, err := p.readUserBytes(a1, a2)
+		if err != nil {
+			return -EFAULT, false
+		}
+		return errno(p.os.vfs.Mkdir(string(path))), false
+	case SysUnlink:
+		path, err := p.readUserBytes(a1, a2)
+		if err != nil {
+			return -EFAULT, false
+		}
+		return errno(p.os.vfs.Unlink(string(path))), false
+	case SysReaddir:
+		return p.sysReaddir(a1, a2, a3, a4), false
+	case SysSocket:
+		of := &OpenFile{refs: 1, kind: kindSock}
+		return int64(p.installFD(of)), false
+	case SysBind:
+		return p.sysBind(int(int64(a1)), uint16(a2)), false
+	case SysListen:
+		return 0, false // binding already created the host listener
+	case SysAccept:
+		return p.sysAccept(int(int64(a1))), false
+	case SysConnect:
+		return p.sysConnect(int(int64(a1)), uint16(a2)), false
+	case SysClock:
+		return time.Now().UnixNano(), false
+	case SysYield:
+		runtime.Gosched()
+		return 0, false
+	case SysFsync:
+		return errno(p.os.encfs.Sync()), false
+	case SysSpawnCPU:
+		return int64(p.cpu.Cycles), false
+	}
+	return -ENOSYS, false
+}
+
+func errno(err error) int64 {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, fs.ErrNotExist):
+		return -ENOENT
+	case errors.Is(err, fs.ErrExist):
+		return -EEXIST
+	case errors.Is(err, fs.ErrIsDir):
+		return -EISDIR
+	case errors.Is(err, fs.ErrNotDir):
+		return -ENOTDIR
+	case errors.Is(err, fs.ErrNotEmpty):
+		return -ENOTEMPTY
+	case errors.Is(err, fs.ErrReadOnly):
+		return -EACCES
+	case errors.Is(err, fs.ErrFull):
+		return -ENOSPC
+	default:
+		return -EIO
+	}
+}
+
+func (p *Proc) sysWrite(fd int, buf, n uint64) int64 {
+	of, ok := p.getFD(fd)
+	if !ok {
+		return -EBADF
+	}
+	data, err := p.readUserBytes(buf, n)
+	if err != nil {
+		return -EFAULT
+	}
+	wn, werr := of.Write(data)
+	if werr != nil && wn == 0 {
+		return -EPIPE
+	}
+	return int64(wn)
+}
+
+func (p *Proc) sysRead(fd int, buf, n uint64) int64 {
+	of, ok := p.getFD(fd)
+	if !ok {
+		return -EBADF
+	}
+	if !p.inData(buf, n) {
+		return -EFAULT
+	}
+	tmp := make([]byte, n)
+	rn, err := of.Read(tmp)
+	if err != nil && err != io.EOF && rn == 0 {
+		return -EIO
+	}
+	if rn > 0 {
+		if werr := p.writeUserBytes(buf, tmp[:rn]); werr != nil {
+			return -EFAULT
+		}
+	}
+	return int64(rn)
+}
+
+func (p *Proc) sysOpen(pathPtr, pathLen uint64, flags fs.OpenFlag) int64 {
+	path, err := p.readUserBytes(pathPtr, pathLen)
+	if err != nil {
+		return -EFAULT
+	}
+	n, oerr := p.os.vfs.Open(string(path), flags)
+	if oerr != nil {
+		return errno(oerr)
+	}
+	return int64(p.installFD(newNodeFile(n, flags)))
+}
+
+func (p *Proc) sysClose(fd int) int64 {
+	p.fdmu.Lock()
+	of, ok := p.fds[fd]
+	if ok {
+		delete(p.fds, fd)
+	}
+	p.fdmu.Unlock()
+	if !ok {
+		return -EBADF
+	}
+	of.unref()
+	return 0
+}
+
+func (p *Proc) sysDup2(oldfd, newfd int) int64 {
+	p.fdmu.Lock()
+	of, ok := p.fds[oldfd]
+	if !ok {
+		p.fdmu.Unlock()
+		return -EBADF
+	}
+	if oldfd == newfd {
+		p.fdmu.Unlock()
+		return int64(newfd)
+	}
+	if old, exists := p.fds[newfd]; exists {
+		old.unref()
+	}
+	of.ref()
+	p.fds[newfd] = of
+	p.fdmu.Unlock()
+	return int64(newfd)
+}
+
+func (p *Proc) sysSpawn(pathPtr, pathLen, argvPtr, argvLen uint64) int64 {
+	path, err := p.readUserBytes(pathPtr, pathLen)
+	if err != nil {
+		return -EFAULT
+	}
+	var argv []string
+	if argvLen > 0 {
+		block, err := p.readUserBytes(argvPtr, argvLen)
+		if err != nil {
+			return -EFAULT
+		}
+		start := 0
+		for i, b := range block {
+			if b == 0 {
+				argv = append(argv, string(block[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	child, err := p.os.Spawn(string(path), argv, SpawnOpt{Parent: p})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNoDomains), errors.Is(err, ErrNoThreads):
+			return -EAGAIN
+		case errors.Is(err, fs.ErrNotExist):
+			return -ENOENT
+		default:
+			return -EACCES
+		}
+	}
+	return int64(child.pid)
+}
+
+func (p *Proc) sysMmap(length uint64) int64 {
+	// Anonymous RW mapping from the domain's heap. The pages were
+	// zeroed when the domain was recycled, and the bump pointer only
+	// hands out fresh memory, so the zero-fill guarantee of §6 holds.
+	length = (length + 4095) &^ 4095
+	p.os.mu.Lock()
+	defer p.os.mu.Unlock()
+	if p.heapPtr+length > p.heapEnd {
+		return -ENOMEM
+	}
+	addr := p.heapPtr
+	p.heapPtr += length
+	// mmap must return zeroed pages even if a previous user of this
+	// heap range dirtied them within this process lifetime.
+	zero := make([]byte, length)
+	if f := p.os.enclave.WriteAt(addr, zero); f != nil {
+		return -ENOMEM
+	}
+	return int64(addr)
+}
+
+func (p *Proc) sysFutex(op, addr, val uint64) int64 {
+	switch op {
+	case FutexWait:
+		// The value check happens inside the LibOS (semantic
+		// correctness), only the sleep is delegated to the host.
+		cur, err := p.readUserU64(addr)
+		if err != nil {
+			return -EFAULT
+		}
+		if cur != val {
+			return -EAGAIN
+		}
+		p.os.host.FutexWait(addr)
+		return 0
+	case FutexWake:
+		return int64(p.os.host.FutexWake(addr, int(val)))
+	}
+	return -EINVAL
+}
+
+func (p *Proc) sysSigaction(sig int, handler uint64) int64 {
+	if sig == SIGKILL {
+		return -EINVAL
+	}
+	if handler != 0 && !p.os.isDomainLabel(p.dom, handler) {
+		// A handler must be a cfi_label of this domain, otherwise
+		// signal delivery would be an arbitrary-jump primitive.
+		return -EINVAL
+	}
+	p.os.mu.Lock()
+	if handler == 0 {
+		delete(p.handlers, sig)
+	} else {
+		p.handlers[sig] = handler
+	}
+	p.os.mu.Unlock()
+	return 0
+}
+
+func (p *Proc) sysSigreturn() (int64, bool) {
+	p.os.mu.Lock()
+	if !p.inHandler {
+		p.os.mu.Unlock()
+		return -EINVAL, false
+	}
+	p.inHandler = false
+	p.os.mu.Unlock()
+	p.cpu.PC = p.savedPC
+	p.cpu.Regs = p.savedRegs
+	// Resume at the saved context rather than the syscall return path:
+	// report "exited=true" semantics are wrong here, so instead we
+	// return a sentinel telling syscallEntry not to clobber PC.
+	return sigreturnSentinel, false
+}
+
+// sigreturnSentinel makes syscallEntry skip the normal PC/R0 update.
+const sigreturnSentinel = int64(-1) << 62
+
+func (p *Proc) sysStat(pathPtr, pathLen, statPtr uint64) int64 {
+	path, err := p.readUserBytes(pathPtr, pathLen)
+	if err != nil {
+		return -EFAULT
+	}
+	fi, serr := p.os.vfs.Stat(string(path))
+	if serr != nil {
+		return errno(serr)
+	}
+	if err := p.writeUserU64(statPtr, uint64(fi.Size)); err != nil {
+		return -EFAULT
+	}
+	var d uint64
+	if fi.IsDir {
+		d = 1
+	}
+	if err := p.writeUserU64(statPtr+8, d); err != nil {
+		return -EFAULT
+	}
+	return 0
+}
+
+func (p *Proc) sysReaddir(pathPtr, pathLen, bufPtr, bufLen uint64) int64 {
+	path, err := p.readUserBytes(pathPtr, pathLen)
+	if err != nil {
+		return -EFAULT
+	}
+	ents, derr := p.os.vfs.ReadDir(string(path))
+	if derr != nil {
+		return errno(derr)
+	}
+	var out []byte
+	for _, e := range ents {
+		out = append(out, e.Name...)
+		out = append(out, 0)
+	}
+	if uint64(len(out)) > bufLen {
+		out = out[:bufLen]
+	}
+	if err := p.writeUserBytes(bufPtr, out); err != nil {
+		return -EFAULT
+	}
+	return int64(len(out))
+}
+
+func (p *Proc) sysBind(fd int, port uint16) int64 {
+	of, ok := p.getFD(fd)
+	if !ok || of.kind != kindSock {
+		return -EBADF
+	}
+	lis, err := p.os.host.Listen(port)
+	if err != nil {
+		return -EACCES
+	}
+	of.mu.Lock()
+	of.kind = kindListener
+	of.lis = lis
+	of.port = port
+	of.mu.Unlock()
+	return 0
+}
+
+func (p *Proc) sysAccept(fd int) int64 {
+	of, ok := p.getFD(fd)
+	if !ok || of.kind != kindListener {
+		return -EBADF
+	}
+	conn, err := of.lis.Accept()
+	if err != nil {
+		return -EIO
+	}
+	nf := &OpenFile{refs: 1, kind: kindSock, conn: conn}
+	return int64(p.installFD(nf))
+}
+
+func (p *Proc) sysConnect(fd int, port uint16) int64 {
+	of, ok := p.getFD(fd)
+	if !ok || of.kind != kindSock {
+		return -EBADF
+	}
+	conn, err := p.os.host.Dial(port)
+	if err != nil {
+		return -ECONNREFUSED
+	}
+	of.mu.Lock()
+	of.conn = conn
+	of.mu.Unlock()
+	return 0
+}

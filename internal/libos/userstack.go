@@ -1,0 +1,66 @@
+package libos
+
+import (
+	"encoding/binary"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// SetupUserStack writes the auxiliary-vector block at the top of the data
+// region and initializes the CPU's SP, R10 and PC-independent state for a
+// fresh process. It is shared between the Occlum loader and the baseline
+// kernels so every system presents the identical process-start ABI.
+//
+// Returns the heap bounds carved between the static data and the stack.
+func SetupUserStack(as *mem.Paged, cpu *vm.CPU, trampAddr, dataBase, dataSize, stackSize, minData uint64, argv []string) (heapBase, heapEnd uint64, err error) {
+	stackTop := dataBase + dataSize
+	heapBase = dataBase + (minData+15)/16*16
+	heapEnd = stackTop - stackSize
+
+	var strBytes []byte
+	strOffs := make([]uint64, len(argv))
+	for i, a := range argv {
+		strOffs[i] = uint64(len(strBytes))
+		strBytes = append(strBytes, a...)
+		strBytes = append(strBytes, 0)
+	}
+	hdrLen := uint64(AuxArgv) + uint64(8*len(argv))
+	blockLen := (hdrLen + uint64(len(strBytes)) + 15) / 16 * 16
+	blockAddr := stackTop - blockLen
+	strBase := blockAddr + hdrLen
+
+	block := make([]byte, blockLen)
+	binary.LittleEndian.PutUint64(block[AuxTrampoline:], trampAddr)
+	binary.LittleEndian.PutUint64(block[AuxHeapBase:], heapBase)
+	binary.LittleEndian.PutUint64(block[AuxHeapEnd:], heapEnd)
+	binary.LittleEndian.PutUint64(block[AuxArgc:], uint64(len(argv)))
+	for i := range argv {
+		binary.LittleEndian.PutUint64(block[AuxArgv+8*i:], strBase+strOffs[i])
+	}
+	copy(block[hdrLen:], strBytes)
+	if err := as.WriteDirect(blockAddr, block); err != nil {
+		return 0, 0, err
+	}
+	cpu.Regs[isa.SP] = blockAddr &^ 15
+	cpu.Regs[isa.R10] = blockAddr
+	return heapBase, heapEnd, nil
+}
+
+// EncodeTrampoline returns the encoded syscall gate for a domain:
+// cfi_label (with the domain ID) followed by trap.
+func EncodeTrampoline(domainID uint32) []byte {
+	var tramp []byte
+	tramp, err := isaEncode(tramp, isa.Inst{Op: isa.OpCFILabel, DomainID: domainID})
+	if err != nil {
+		panic(err)
+	}
+	tramp, err = isaEncode(tramp, isa.Inst{Op: isa.OpTrap})
+	if err != nil {
+		panic(err)
+	}
+	return tramp
+}
+
+func isaEncode(dst []byte, in isa.Inst) ([]byte, error) { return isa.Encode(dst, in) }

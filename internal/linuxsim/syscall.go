@@ -1,0 +1,389 @@
+package linuxsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/libos"
+	"repro/internal/mem"
+	"repro/internal/oelf"
+	"repro/internal/vm"
+)
+
+// loadTrampoline writes the syscall gate page at the base of the address
+// space. Linux has no MMDSFI domains, so the cfi_label domain ID is 0.
+func loadTrampoline(as *mem.Paged, base uint64) error {
+	return as.WriteDirect(base, libos.EncodeTrampoline(0))
+}
+
+func setupStack(p *Proc, as *mem.Paged, base uint64, img *asm.Image, argv []string,
+	dataBase, dataSize, stackSize uint64, heapBase, heapEnd *uint64) error {
+	hb, he, err := libos.SetupUserStack(as, p.cpu, base, dataBase, dataSize,
+		stackSize, img.MinDataSize(), argv)
+	if err != nil {
+		return err
+	}
+	*heapBase, *heapEnd = hb, he
+	p.cpu.PC = base + mem.PageSize + uint64(img.Entry)
+	return nil
+}
+
+// syscall dispatches one trap. Returns true when the process exited.
+func (p *Proc) syscall() bool {
+	// Pop the return address (no cfi_label requirement on native Linux).
+	sp := p.cpu.Regs[isa.SP]
+	retAddr, f := p.cpu.Mem.Load(sp, 8)
+	if f != nil {
+		p.exit(128 + libos.SIGSEGV)
+		return true
+	}
+	p.cpu.Regs[isa.SP] = sp + 8
+
+	no := p.cpu.Regs[isa.R0]
+	a1, a2, a3 := p.cpu.Regs[isa.R1], p.cpu.Regs[isa.R2], p.cpu.Regs[isa.R3]
+	a4 := p.cpu.Regs[isa.R4]
+
+	var ret int64
+	switch no {
+	case libos.SysExit:
+		p.exit(int(int64(a1)) & 0xFF)
+		return true
+	case libos.SysWrite, libos.SysSend:
+		ret = p.rw(int(int64(a1)), a2, a3, true)
+	case libos.SysRead, libos.SysRecv:
+		ret = p.rw(int(int64(a1)), a2, a3, false)
+	case libos.SysOpen:
+		ret = p.sysOpen(a1, a2, int(a3))
+	case libos.SysClose:
+		ret = p.sysClose(int(int64(a1)))
+	case libos.SysSpawn:
+		ret = p.sysSpawn(a1, a2, a3, a4)
+	case libos.SysWait4:
+		pid, status, errno := p.wait4(int(int64(a1)))
+		if errno != 0 {
+			ret = -int64(errno)
+		} else {
+			if a2 != 0 {
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], uint64(status))
+				_ = p.cpu.Mem.WriteAt(a2, b[:])
+			}
+			ret = int64(pid)
+		}
+	case libos.SysPipe2:
+		r, w := libos.NewPipe()
+		rfd, wfd := p.installFD(r), p.installFD(w)
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[0:], uint64(rfd))
+		binary.LittleEndian.PutUint64(b[8:], uint64(wfd))
+		if f := p.cpu.Mem.WriteAt(a1, b[:]); f != nil {
+			ret = -libos.EFAULT
+		}
+	case libos.SysDup2:
+		ret = p.sysDup2(int(int64(a1)), int(int64(a2)))
+	case libos.SysGetpid:
+		ret = int64(p.pid)
+	case libos.SysGetppid:
+		ret = int64(p.ppid)
+	case libos.SysMmap:
+		length := (a1 + 4095) &^ 4095
+		if p.heapPtr+length > p.heapEnd {
+			ret = -libos.ENOMEM
+		} else {
+			addr := p.heapPtr
+			p.heapPtr += length
+			ret = int64(addr)
+		}
+	case libos.SysMunmap:
+		ret = 0
+	case libos.SysFutex:
+		ret = p.sysFutex(a1, a2, a3)
+	case libos.SysSocket:
+		ret = int64(p.installFD(libos.NewSocketFile()))
+	case libos.SysBind:
+		ret = p.withFD(int(int64(a1)), func(of *libos.OpenFile) int64 {
+			if err := of.BindHost(p.l.host, uint16(a2)); err != nil {
+				return -libos.EACCES
+			}
+			return 0
+		})
+	case libos.SysListen:
+		ret = 0
+	case libos.SysAccept:
+		ret = p.withFD(int(int64(a1)), func(of *libos.OpenFile) int64 {
+			nf, err := of.AcceptHost()
+			if err != nil {
+				return -libos.EIO
+			}
+			return int64(p.installFD(nf))
+		})
+	case libos.SysConnect:
+		ret = p.withFD(int(int64(a1)), func(of *libos.OpenFile) int64 {
+			if err := of.ConnectHost(p.l.host, uint16(a2)); err != nil {
+				return -libos.ECONNREFUSED
+			}
+			return 0
+		})
+	case libos.SysLseek:
+		ret = p.withFD(int(int64(a1)), func(of *libos.OpenFile) int64 {
+			off, err := of.Seek(int64(a2), int(int64(a3)))
+			if err != nil {
+				return -libos.ESPIPE
+			}
+			return off
+		})
+	case libos.SysClock:
+		ret = time.Now().UnixNano()
+	case libos.SysYield:
+		runtime.Gosched()
+	case libos.SysFsync:
+		ret = 0
+	case libos.SysKill:
+		ret = -libos.ENOSYS // the baseline does not model signals
+	default:
+		ret = -libos.ENOSYS
+	}
+	p.cpu.Regs[isa.R0] = uint64(ret)
+	p.cpu.PC = retAddr
+	return false
+}
+
+func (p *Proc) withFD(fd int, f func(*libos.OpenFile) int64) int64 {
+	p.fdmu.Lock()
+	of, ok := p.fds[fd]
+	p.fdmu.Unlock()
+	if !ok {
+		return -libos.EBADF
+	}
+	return f(of)
+}
+
+func (p *Proc) installFD(of *libos.OpenFile) int {
+	p.fdmu.Lock()
+	defer p.fdmu.Unlock()
+	fd := 3
+	for {
+		if _, used := p.fds[fd]; !used {
+			break
+		}
+		fd++
+	}
+	p.fds[fd] = of
+	return fd
+}
+
+func (p *Proc) rw(fd int, buf, n uint64, write bool) int64 {
+	if n > 1<<20 {
+		return -libos.EINVAL
+	}
+	p.fdmu.Lock()
+	of, ok := p.fds[fd]
+	p.fdmu.Unlock()
+	if !ok {
+		return -libos.EBADF
+	}
+	if write {
+		data, err := p.cpu.Mem.ReadDirect(buf, int(n))
+		if err != nil {
+			return -libos.EFAULT
+		}
+		wn, werr := of.Write(append([]byte(nil), data...))
+		if werr != nil && wn == 0 {
+			return -libos.EPIPE
+		}
+		return int64(wn)
+	}
+	tmp := make([]byte, n)
+	rn, err := of.Read(tmp)
+	if err != nil && err != io.EOF && rn == 0 {
+		return -libos.EIO
+	}
+	if rn > 0 {
+		if f := p.cpu.Mem.WriteAt(buf, tmp[:rn]); f != nil {
+			return -libos.EFAULT
+		}
+	}
+	return int64(rn)
+}
+
+func (p *Proc) sysOpen(pathPtr, pathLen uint64, flags int) int64 {
+	path, err := p.cpu.Mem.ReadDirect(pathPtr, int(pathLen))
+	if err != nil {
+		return -libos.EFAULT
+	}
+	of, oerr := p.l.openPlain(string(path), flags)
+	if oerr != nil {
+		return -libos.ENOENT
+	}
+	return int64(p.installFD(of))
+}
+
+// openPlain opens a plaintext file (the "ext4" of the baseline).
+func (l *Linux) openPlain(path string, flags int) (*libos.OpenFile, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.files[path]
+	if !ok {
+		if flags&libos.OCreate == 0 {
+			return nil, errors.New("no such file")
+		}
+		l.files[path] = nil
+	}
+	if flags&libos.OTrunc != 0 {
+		l.files[path] = nil
+	}
+	return libos.OpenNodeFile(&plainNode{l: l, path: path}, 0x2 /* rdwr */), nil
+}
+
+// plainNode adapts a map-backed file to the fs.Node interface.
+type plainNode struct {
+	l    *Linux
+	path string
+}
+
+func (n *plainNode) ReadAt(p []byte, off int64) (int, error) {
+	n.l.mu.Lock()
+	defer n.l.mu.Unlock()
+	f := n.l.files[n.path]
+	if off >= int64(len(f)) {
+		return 0, nil
+	}
+	return copy(p, f[off:]), nil
+}
+
+func (n *plainNode) WriteAt(p []byte, off int64) (int, error) {
+	n.l.mu.Lock()
+	defer n.l.mu.Unlock()
+	f := n.l.files[n.path]
+	if need := int(off) + len(p); need > len(f) {
+		if need > cap(f) {
+			nf := make([]byte, need, max(need, 2*cap(f)))
+			copy(nf, f)
+			f = nf
+		} else {
+			f = f[:need]
+		}
+	}
+	copy(f[off:], p)
+	n.l.files[n.path] = f
+	delete(n.l.binCache, n.path)
+	return len(p), nil
+}
+
+func (n *plainNode) Size() int64 {
+	n.l.mu.Lock()
+	defer n.l.mu.Unlock()
+	return int64(len(n.l.files[n.path]))
+}
+
+func (n *plainNode) Close() error { return nil }
+
+func (p *Proc) sysClose(fd int) int64 {
+	p.fdmu.Lock()
+	of, ok := p.fds[fd]
+	if ok {
+		delete(p.fds, fd)
+	}
+	p.fdmu.Unlock()
+	if !ok {
+		return -libos.EBADF
+	}
+	of.Unref()
+	return 0
+}
+
+func (p *Proc) sysDup2(oldfd, newfd int) int64 {
+	p.fdmu.Lock()
+	defer p.fdmu.Unlock()
+	of, ok := p.fds[oldfd]
+	if !ok {
+		return -libos.EBADF
+	}
+	if oldfd == newfd {
+		return int64(newfd)
+	}
+	if old, exists := p.fds[newfd]; exists {
+		old.Unref()
+	}
+	of.Ref()
+	p.fds[newfd] = of
+	return int64(newfd)
+}
+
+func (p *Proc) sysSpawn(pathPtr, pathLen, argvPtr, argvLen uint64) int64 {
+	path, err := p.cpu.Mem.ReadDirect(pathPtr, int(pathLen))
+	if err != nil {
+		return -libos.EFAULT
+	}
+	var argv []string
+	if argvLen > 0 {
+		block, err := p.cpu.Mem.ReadDirect(argvPtr, int(argvLen))
+		if err != nil {
+			return -libos.EFAULT
+		}
+		start := 0
+		for i, b := range block {
+			if b == 0 {
+				argv = append(argv, string(block[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	child, serr := p.l.Spawn(string(path), argv, SpawnOpt{Parent: p})
+	if serr != nil {
+		return -libos.ENOENT
+	}
+	return int64(child.pid)
+}
+
+func (p *Proc) wait4(pid int) (int, int, int) {
+	l := p.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		found := false
+		for cpid, c := range l.procs {
+			if c.ppid != p.pid {
+				continue
+			}
+			if pid >= 0 && cpid != pid {
+				continue
+			}
+			found = true
+			if c.exited {
+				delete(l.procs, cpid)
+				return cpid, c.status, 0
+			}
+		}
+		if !found {
+			return 0, 0, libos.ECHILD
+		}
+		l.procCond.Wait()
+	}
+}
+
+func (p *Proc) sysFutex(op, addr, val uint64) int64 {
+	switch op {
+	case libos.FutexWait:
+		cur, f := p.cpu.Mem.Load(addr, 8)
+		if f != nil {
+			return -libos.EFAULT
+		}
+		if cur != val {
+			return -libos.EAGAIN
+		}
+		p.l.host.FutexWait(addr)
+		return 0
+	case libos.FutexWake:
+		return int64(p.l.host.FutexWake(addr, int(val)))
+	}
+	return -libos.EINVAL
+}
+
+var _ = vm.StopTrap
+var _ = oelf.Magic

@@ -1,0 +1,291 @@
+// Package mem provides the paged, permission-checked memory substrate that
+// both the SGX enclave model (internal/sgx) and the native-Linux baseline
+// (internal/linuxsim) build on.
+//
+// A Paged memory is a contiguous range of virtual addresses divided into
+// 4 KiB pages. Every page is either unmapped or mapped with some
+// combination of read/write/execute permissions. Accesses that touch an
+// unmapped page or violate permissions return a Fault — the model of the
+// hardware #PF that makes MMDSFI's guard regions and non-executable data
+// regions effective.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the page granularity, matching SGX EPC pages.
+const PageSize = 4096
+
+// Perm is a page permission bit set.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR Perm = 1 << iota // readable
+	PermW                  // writable
+	PermX                  // executable
+
+	PermRW  = PermR | PermW
+	PermRX  = PermR | PermX
+	PermRWX = PermR | PermW | PermX
+)
+
+// String renders the permission like "rwx".
+func (p Perm) String() string {
+	s := []byte("---")
+	if p&PermR != 0 {
+		s[0] = 'r'
+	}
+	if p&PermW != 0 {
+		s[1] = 'w'
+	}
+	if p&PermX != 0 {
+		s[2] = 'x'
+	}
+	return string(s)
+}
+
+// Access distinguishes the kinds of memory access for fault reporting.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExec
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return "access?"
+}
+
+// Fault describes a memory access violation (the hardware #PF analog).
+type Fault struct {
+	// Addr is the faulting virtual address.
+	Addr uint64
+	// Access is the attempted access kind.
+	Access Access
+	// Unmapped is true when the page was not mapped at all (e.g. an
+	// MMDSFI guard region), false for a permission violation.
+	Unmapped bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	why := "permission violation"
+	if f.Unmapped {
+		why = "unmapped page"
+	}
+	return fmt.Sprintf("page fault: %s at %#x: %s", f.Access, f.Addr, why)
+}
+
+// ErrRange reports an address range outside the memory object entirely.
+var ErrRange = errors.New("mem: address out of range")
+
+// Paged is a permission-checked paged memory over a contiguous virtual
+// address range [Base, Base+Size).
+type Paged struct {
+	base  uint64
+	data  []byte
+	perms []Perm // one per page; 0 means unmapped
+
+	// gen counts trusted mutations of mapped code/data; virtual CPUs
+	// use it to invalidate their decoded-instruction caches.
+	gen uint64
+}
+
+// NewPaged creates a memory of size bytes (rounded up to a whole number of
+// pages) based at base. All pages start unmapped. base must be
+// page-aligned.
+func NewPaged(base, size uint64) *Paged {
+	if base%PageSize != 0 {
+		panic("mem: base must be page-aligned")
+	}
+	npages := (size + PageSize - 1) / PageSize
+	return &Paged{
+		base:  base,
+		data:  make([]byte, npages*PageSize),
+		perms: make([]Perm, npages),
+	}
+}
+
+// Base returns the lowest virtual address of the memory.
+func (m *Paged) Base() uint64 { return m.base }
+
+// Size returns the size of the virtual range in bytes.
+func (m *Paged) Size() uint64 { return uint64(len(m.data)) }
+
+// Limit returns one past the highest virtual address.
+func (m *Paged) Limit() uint64 { return m.base + uint64(len(m.data)) }
+
+// Generation returns the trusted-mutation counter. It increases whenever
+// the mapping or contents are changed through trusted interfaces (Map,
+// SetPerm, WriteDirect), signalling decoded-instruction caches to flush.
+func (m *Paged) Generation() uint64 { return m.gen }
+
+// Contains reports whether [addr, addr+n) lies inside the virtual range.
+func (m *Paged) Contains(addr uint64, n int) bool {
+	return addr >= m.base && addr+uint64(n) >= addr && addr+uint64(n) <= m.Limit()
+}
+
+func (m *Paged) pageIndex(addr uint64) int { return int((addr - m.base) / PageSize) }
+
+// Map sets the permission of every page overlapping [addr, addr+n) to
+// perm. Mapping with perm 0 unmaps the pages. addr and n need not be
+// page-aligned; the whole overlapped pages are affected.
+func (m *Paged) Map(addr uint64, n uint64, perm Perm) error {
+	if n == 0 {
+		return nil
+	}
+	if !m.Contains(addr, 1) || !m.Contains(addr+n-1, 1) {
+		return fmt.Errorf("%w: map [%#x,+%#x)", ErrRange, addr, n)
+	}
+	first, last := m.pageIndex(addr), m.pageIndex(addr+n-1)
+	for i := first; i <= last; i++ {
+		m.perms[i] = perm
+	}
+	m.gen++
+	return nil
+}
+
+// PermAt returns the permission of the page containing addr, or 0 if addr
+// is outside the range.
+func (m *Paged) PermAt(addr uint64) Perm {
+	if !m.Contains(addr, 1) {
+		return 0
+	}
+	return m.perms[m.pageIndex(addr)]
+}
+
+// check validates an n-byte access at addr for the given access kind.
+func (m *Paged) check(addr uint64, n int, access Access) *Fault {
+	if n <= 0 {
+		return nil
+	}
+	if !m.Contains(addr, n) {
+		return &Fault{Addr: addr, Access: access, Unmapped: true}
+	}
+	var need Perm
+	switch access {
+	case AccessRead:
+		need = PermR
+	case AccessWrite:
+		need = PermW
+	case AccessExec:
+		need = PermX
+	}
+	first, last := m.pageIndex(addr), m.pageIndex(addr+uint64(n)-1)
+	for i := first; i <= last; i++ {
+		p := m.perms[i]
+		if p&need == 0 {
+			return &Fault{
+				Addr:     max64(addr, m.base+uint64(i)*PageSize),
+				Access:   access,
+				Unmapped: p == 0,
+			}
+		}
+	}
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Load reads an n-byte little-endian value (n must be 1 or 8) at addr,
+// checking read permission on every page touched.
+func (m *Paged) Load(addr uint64, n int) (uint64, *Fault) {
+	if f := m.check(addr, n, AccessRead); f != nil {
+		return 0, f
+	}
+	off := addr - m.base
+	if n == 1 {
+		return uint64(m.data[off]), nil
+	}
+	b := m.data[off : off+8]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+}
+
+// Store writes an n-byte little-endian value (n must be 1 or 8) at addr,
+// checking write permission on every page touched. The store is atomic
+// with respect to faults: nothing is written if any byte would fault.
+func (m *Paged) Store(addr uint64, n int, v uint64) *Fault {
+	if f := m.check(addr, n, AccessWrite); f != nil {
+		return f
+	}
+	off := addr - m.base
+	if n == 1 {
+		m.data[off] = byte(v)
+		return nil
+	}
+	b := m.data[off : off+8]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+	return nil
+}
+
+// Fetch returns a read-only view of [addr, addr+n) after checking execute
+// permission, for instruction decode.
+func (m *Paged) Fetch(addr uint64, n int) ([]byte, *Fault) {
+	if f := m.check(addr, n, AccessExec); f != nil {
+		return nil, f
+	}
+	off := addr - m.base
+	return m.data[off : off+uint64(n)], nil
+}
+
+// ReadAt copies n bytes at addr into a fresh slice, checking read
+// permission. It is intended for user-visible reads done on a process's
+// behalf (e.g. the LibOS copying a syscall buffer).
+func (m *Paged) ReadAt(addr uint64, n int) ([]byte, *Fault) {
+	if f := m.check(addr, n, AccessRead); f != nil {
+		return nil, f
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr-m.base:])
+	return out, nil
+}
+
+// WriteAt copies b to addr, checking write permission.
+func (m *Paged) WriteAt(addr uint64, b []byte) *Fault {
+	if f := m.check(addr, len(b), AccessWrite); f != nil {
+		return f
+	}
+	copy(m.data[addr-m.base:], b)
+	return nil
+}
+
+// ReadDirect returns a view of [addr, addr+n) with no permission checks.
+// It models trusted in-enclave code (the LibOS) touching its own memory
+// and must never be reachable from sandboxed user code.
+func (m *Paged) ReadDirect(addr uint64, n int) ([]byte, error) {
+	if !m.Contains(addr, n) {
+		return nil, fmt.Errorf("%w: direct read [%#x,+%d)", ErrRange, addr, n)
+	}
+	return m.data[addr-m.base : addr-m.base+uint64(n)], nil
+}
+
+// WriteDirect writes b at addr with no permission checks (trusted loader
+// and LibOS writes) and bumps the generation counter.
+func (m *Paged) WriteDirect(addr uint64, b []byte) error {
+	if !m.Contains(addr, len(b)) {
+		return fmt.Errorf("%w: direct write [%#x,+%d)", ErrRange, addr, len(b))
+	}
+	copy(m.data[addr-m.base:], b)
+	m.gen++
+	return nil
+}

@@ -1,0 +1,168 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTest(t *testing.T) *Paged {
+	t.Helper()
+	m := NewPaged(0x10000, 16*PageSize)
+	if err := m.Map(0x10000, 4*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(0x10000+8*PageSize, 2*PageSize, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := newTest(t)
+	if f := m.Store(0x10008, 8, 0xDEADBEEFCAFEF00D); f != nil {
+		t.Fatal(f)
+	}
+	v, f := m.Load(0x10008, 8)
+	if f != nil || v != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("load = %#x, %v", v, f)
+	}
+	if f := m.Store(0x10010, 1, 0xAB); f != nil {
+		t.Fatal(f)
+	}
+	v, f = m.Load(0x10010, 1)
+	if f != nil || v != 0xAB {
+		t.Fatalf("byte load = %#x, %v", v, f)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	m := newTest(t)
+	// Page 4 is unmapped (a guard region, in MMDSFI terms).
+	addr := m.Base() + 4*PageSize
+	if _, f := m.Load(addr, 8); f == nil || !f.Unmapped {
+		t.Fatalf("load from unmapped page: fault = %v", f)
+	}
+	if f := m.Store(addr, 8, 1); f == nil || !f.Unmapped {
+		t.Fatalf("store to unmapped page: fault = %v", f)
+	}
+	if _, f := m.Fetch(addr, 1); f == nil || !f.Unmapped {
+		t.Fatalf("fetch from unmapped page: fault = %v", f)
+	}
+}
+
+func TestPermissionFaults(t *testing.T) {
+	m := newTest(t)
+	code := m.Base() + 8*PageSize // RX
+
+	// NX data: fetching from an RW page faults.
+	if _, f := m.Fetch(m.Base(), 1); f == nil || f.Access != AccessExec {
+		t.Fatalf("fetch from rw page: fault = %v", f)
+	}
+	// Read-only code: writing an RX page faults.
+	f := m.Store(code, 8, 1)
+	if f == nil || f.Access != AccessWrite {
+		t.Fatalf("store to rx page: fault = %v", f)
+	}
+	if f.Unmapped {
+		t.Fatal("permission fault misreported as unmapped")
+	}
+	// Fetch from RX succeeds.
+	if _, f := m.Fetch(code, 8); f != nil {
+		t.Fatalf("fetch from rx page: %v", f)
+	}
+}
+
+func TestCrossPageAccessAtomicity(t *testing.T) {
+	m := newTest(t)
+	// An 8-byte store straddling mapped page 3 and unmapped page 4
+	// must fault and write nothing.
+	addr := m.Base() + 4*PageSize - 4
+	before, _ := m.ReadDirect(addr, 4)
+	orig := append([]byte(nil), before...)
+	if f := m.Store(addr, 8, ^uint64(0)); f == nil {
+		t.Fatal("straddling store should fault")
+	}
+	after, _ := m.ReadDirect(addr, 4)
+	for i := range orig {
+		if after[i] != orig[i] {
+			t.Fatal("faulting store wrote partial data")
+		}
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	m := newTest(t)
+	if _, f := m.Load(m.Limit(), 8); f == nil {
+		t.Fatal("load beyond limit should fault")
+	}
+	if _, f := m.Load(m.Base()-8, 8); f == nil {
+		t.Fatal("load below base should fault")
+	}
+	// Wraparound: addr+n overflows.
+	if _, f := m.Load(^uint64(0)-3, 8); f == nil {
+		t.Fatal("wrapping access should fault")
+	}
+	if _, err := m.ReadDirect(m.Limit()-4, 8); err == nil {
+		t.Fatal("direct read beyond limit should error")
+	}
+}
+
+func TestGenerationBumps(t *testing.T) {
+	m := newTest(t)
+	g0 := m.Generation()
+	if err := m.WriteDirect(m.Base(), []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation() == g0 {
+		t.Fatal("WriteDirect should bump generation")
+	}
+	g1 := m.Generation()
+	if err := m.Map(m.Base(), PageSize, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation() == g1 {
+		t.Fatal("Map should bump generation")
+	}
+	// Untrusted stores do not bump the generation (they cannot change
+	// executable bytes unless the page is both W and X, in which case
+	// the verified-code invariant is the toolchain's concern).
+	g2 := m.Generation()
+	if f := m.Store(m.Base()+PageSize, 8, 7); f != nil {
+		t.Fatal(f)
+	}
+	if m.Generation() != g2 {
+		t.Fatal("Store should not bump generation")
+	}
+}
+
+func TestReadWriteAt(t *testing.T) {
+	m := newTest(t)
+	msg := []byte("hello, enclave")
+	if f := m.WriteAt(m.Base()+100, msg); f != nil {
+		t.Fatal(f)
+	}
+	got, f := m.ReadAt(m.Base()+100, len(msg))
+	if f != nil || string(got) != string(msg) {
+		t.Fatalf("ReadAt = %q, %v", got, f)
+	}
+}
+
+func TestLoadStoreQuick(t *testing.T) {
+	m := NewPaged(0, 8*PageSize)
+	if err := m.Map(0, 8*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// Property: a store followed by a load at the same address returns
+	// the stored value (within the mapped region).
+	prop := func(off uint32, v uint64) bool {
+		addr := uint64(off) % (8*PageSize - 8)
+		if f := m.Store(addr, 8, v); f != nil {
+			return false
+		}
+		got, f := m.Load(addr, 8)
+		return f == nil && got == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

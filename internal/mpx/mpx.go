@@ -1,0 +1,66 @@
+// Package mpx models the Intel Memory Protection Extensions state that
+// MMDSFI relies on: four bound registers, each holding a 64-bit lower and
+// upper bound, checked by the bndcl/bndcu instructions.
+//
+// The paper (§2.3) leans on two MPX properties, both preserved here:
+//
+//  1. A bound register can represent any address or size, so a domain can
+//     live anywhere in the enclave and have any size.
+//  2. Bound registers are saved and restored automatically on asynchronous
+//     enclave exits (AEX), so the maximum number of domains is not limited
+//     by the number of bound registers.
+//
+// Occlum does not use MPX bound tables; neither does this model.
+package mpx
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Bound is one MPX bound register: an inclusive [Lower, Upper] range.
+//
+// The Occlum LibOS programs BND0 with a SIP's data region
+// [D.begin, D.end-1] and BND1 with the degenerate range [v, v] where v is
+// the 64-bit cfi_label value of the SIP's domain, turning bndcl+bndcu into
+// an equality test.
+type Bound struct {
+	Lower uint64
+	Upper uint64
+}
+
+// Contains reports whether v passes both the lower and upper check.
+func (b Bound) Contains(v uint64) bool { return v >= b.Lower && v <= b.Upper }
+
+// String renders the bound as [lower, upper].
+func (b Bound) String() string { return fmt.Sprintf("[%#x, %#x]", b.Lower, b.Upper) }
+
+// File is the MPX bound register file of one hart.
+type File struct {
+	regs [isa.NumBndRegs]Bound
+}
+
+// Get returns the value of bound register b.
+func (f *File) Get(b isa.BndReg) Bound { return f.regs[b] }
+
+// Set writes bound register b. Only the LibOS (via enclave/hart setup) and
+// the dangerous bndmk/bndmov instructions call this; verified user code
+// cannot reach it.
+func (f *File) Set(b isa.BndReg, v Bound) { f.regs[b] = v }
+
+// CheckLower implements bndcl: it reports whether v passes the lower-bound
+// check of register b. A false result corresponds to a #BR exception.
+func (f *File) CheckLower(b isa.BndReg, v uint64) bool { return v >= f.regs[b].Lower }
+
+// CheckUpper implements bndcu: it reports whether v passes the upper-bound
+// check of register b. A false result corresponds to a #BR exception.
+func (f *File) CheckUpper(b isa.BndReg, v uint64) bool { return v <= f.regs[b].Upper }
+
+// Snapshot returns a copy of all bound registers, as saved into the SSA on
+// an asynchronous enclave exit.
+func (f *File) Snapshot() [isa.NumBndRegs]Bound { return f.regs }
+
+// Restore reloads all bound registers from an SSA snapshot, as done when an
+// SGX thread resumes from an AEX.
+func (f *File) Restore(s [isa.NumBndRegs]Bound) { f.regs = s }

@@ -1,0 +1,76 @@
+package mpx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestChecks(t *testing.T) {
+	var f File
+	f.Set(isa.BND0, Bound{Lower: 0x1000, Upper: 0x1FFF})
+
+	cases := []struct {
+		v      uint64
+		lo, hi bool
+	}{
+		{0x0FFF, false, true},
+		{0x1000, true, true},
+		{0x1800, true, true},
+		{0x1FFF, true, true},
+		{0x2000, true, false},
+	}
+	for _, c := range cases {
+		if got := f.CheckLower(isa.BND0, c.v); got != c.lo {
+			t.Errorf("CheckLower(%#x) = %v, want %v", c.v, got, c.lo)
+		}
+		if got := f.CheckUpper(isa.BND0, c.v); got != c.hi {
+			t.Errorf("CheckUpper(%#x) = %v, want %v", c.v, got, c.hi)
+		}
+	}
+}
+
+func TestEqualityBound(t *testing.T) {
+	// BND1 programmed as [v, v] makes bndcl+bndcu an equality test —
+	// the cfi_guard trick.
+	v := isa.CFILabelValue(42)
+	var f File
+	f.Set(isa.BND1, Bound{Lower: v, Upper: v})
+	if !(f.CheckLower(isa.BND1, v) && f.CheckUpper(isa.BND1, v)) {
+		t.Fatal("exact label value should pass")
+	}
+	for _, bad := range []uint64{v - 1, v + 1, 0, isa.CFILabelValue(43)} {
+		if f.CheckLower(isa.BND1, bad) && f.CheckUpper(isa.BND1, bad) {
+			t.Errorf("value %#x should fail the equality bound", bad)
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	var f File
+	f.Set(isa.BND0, Bound{1, 2})
+	f.Set(isa.BND3, Bound{7, 9})
+	snap := f.Snapshot()
+
+	// A (hypothetically) malicious host cannot influence the restored
+	// values: Restore reinstates exactly the snapshot.
+	f.Set(isa.BND0, Bound{0, ^uint64(0)})
+	f.Restore(snap)
+	if f.Get(isa.BND0) != (Bound{1, 2}) || f.Get(isa.BND3) != (Bound{7, 9}) {
+		t.Fatalf("restore mismatch: %v %v", f.Get(isa.BND0), f.Get(isa.BND3))
+	}
+}
+
+func TestContainsQuick(t *testing.T) {
+	// Property: Contains ⇔ CheckLower ∧ CheckUpper.
+	f := func(lo, hi, v uint64) bool {
+		b := Bound{Lower: lo, Upper: hi}
+		var file File
+		file.Set(isa.BND2, b)
+		return b.Contains(v) == (file.CheckLower(isa.BND2, v) && file.CheckUpper(isa.BND2, v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package oelf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+)
+
+func sample() *Binary {
+	return FromImage("hello", &asm.Image{
+		Code:      []byte{1, 2, 3, 4, 5},
+		Data:      []byte{9, 8, 7},
+		BSS:       128,
+		Entry:     0,
+		GuardSize: 4096,
+	})
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	b := sample()
+	k := NewSigningKey("test")
+	k.Sign(b)
+	got, err := Unmarshal(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != b.Name || got.Image.BSS != b.Image.BSS ||
+		got.Image.Entry != b.Image.Entry || got.Image.GuardSize != b.Image.GuardSize {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if string(got.Image.Code) != string(b.Image.Code) || string(got.Image.Data) != string(b.Image.Data) {
+		t.Fatal("segment mismatch")
+	}
+	if err := k.Verify(got); err != nil {
+		t.Fatalf("signature should survive round trip: %v", err)
+	}
+}
+
+func TestSignatureTamperDetection(t *testing.T) {
+	k := NewSigningKey("test")
+
+	b := sample()
+	if err := k.Verify(b); err == nil {
+		t.Fatal("unsigned binary must not verify")
+	}
+	k.Sign(b)
+	if err := k.Verify(b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Code tampering after signing is detected.
+	b.Image.Code[0] ^= 1
+	if err := k.Verify(b); err == nil {
+		t.Fatal("tampered code must not verify")
+	}
+	b.Image.Code[0] ^= 1
+
+	// Geometry tampering is detected (a wrong guard size would break
+	// the range-analysis soundness argument).
+	b.Image.GuardSize = 16
+	if err := k.Verify(b); err == nil {
+		t.Fatal("tampered guard size must not verify")
+	}
+
+	// A different key does not verify.
+	k2 := NewSigningKey("other")
+	b = sample()
+	k.Sign(b)
+	if err := k2.Verify(b); err == nil {
+		t.Fatal("wrong key must not verify")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XELF" + string(make([]byte, 100))),
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: should fail", i)
+		}
+	}
+	// Entry beyond code.
+	b := sample()
+	b.Image.Entry = 99
+	if _, err := Unmarshal(b.Marshal()); err == nil {
+		t.Fatal("entry beyond code should fail")
+	}
+}
+
+func TestUnmarshalQuickNoPanic(t *testing.T) {
+	// Property: arbitrary bytes never panic the parser.
+	f := func(data []byte) bool {
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeReflectsContents(t *testing.T) {
+	small := sample()
+	big := sample()
+	big.Image.Code = make([]byte, 100000)
+	if big.Size() <= small.Size() {
+		t.Fatal("size should grow with code")
+	}
+}

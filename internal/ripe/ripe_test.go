@@ -1,0 +1,105 @@
+package ripe
+
+import "testing"
+
+func TestOcclumPreventsInjectionAndROP(t *testing.T) {
+	for _, sp := range []bool{false, true} {
+		cc, outs, err := RunCorpus(GenerateCorpus(sp), EnvOcclum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc.Succeeded[TargetShellcode] != 0 {
+			t.Errorf("sp=%v: %d code-injection attacks succeeded on Occlum",
+				sp, cc.Succeeded[TargetShellcode])
+		}
+		if cc.Succeeded[TargetGadget] != 0 {
+			t.Errorf("sp=%v: %d ROP attacks succeeded on Occlum", sp, cc.Succeeded[TargetGadget])
+		}
+		// Return-to-libc still succeeds (libc functions start with
+		// valid cfi_labels) — matching the paper.
+		if cc.Succeeded[TargetLibc] == 0 {
+			t.Errorf("sp=%v: return-to-libc unexpectedly prevented — corpus broken?", sp)
+		}
+		for _, o := range outs {
+			if !o.Succeeded && o.PreventedBy == "no effect" && o.Attack.Target != TargetLibc {
+				t.Logf("sp=%v %v/%v buf=%d: no effect", sp, o.Attack.Tech, o.Attack.Target, o.Attack.BufSize)
+			}
+		}
+	}
+}
+
+func TestGrapheneVulnerableWithoutSP(t *testing.T) {
+	cc, _, err := RunCorpus(GenerateCorpus(false), EnvGraphene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tgt := range []Target{TargetShellcode, TargetGadget, TargetLibc} {
+		if cc.Succeeded[tgt] == 0 {
+			t.Errorf("no %v attack succeeded on Graphene without stack protection", tgt)
+		}
+	}
+}
+
+func TestStackProtectorReducesGrapheneAttacks(t *testing.T) {
+	noSP, _, err := RunCorpus(GenerateCorpus(false), EnvGraphene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSP, _, err := RunCorpus(GenerateCorpus(true), EnvGraphene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(cc CategoryCounts) int {
+		n := 0
+		for _, v := range cc.Succeeded {
+			n += v
+		}
+		return n
+	}
+	if sum(withSP) >= sum(noSP) {
+		t.Fatalf("stack protector did not reduce successes: %d → %d", sum(noSP), sum(withSP))
+	}
+	// Function-pointer overwrites bypass the canary (the paper's
+	// residual successes under SP).
+	if sum(withSP) == 0 {
+		t.Fatal("canary stopped everything — funcptr bypass missing")
+	}
+}
+
+func TestRetAttacksStoppedByCanary(t *testing.T) {
+	a := Attack{Tech: TechRet, Target: TargetLibc, BufSize: 64, StackProt: true}
+	o, err := Run(a, EnvGraphene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Succeeded || o.PreventedBy != "stack-protector" {
+		t.Fatalf("outcome = %+v, want stack-protector prevention", o)
+	}
+}
+
+func TestOcclumPreventionMechanisms(t *testing.T) {
+	// Plain shellcode: the cfi_guard value check fails (#BR).
+	o, err := Run(Attack{Tech: TechFuncPtr, Target: TargetShellcode, BufSize: 64}, EnvOcclum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Succeeded || o.PreventedBy != "MMDSFI (#BR)" {
+		t.Fatalf("plain shellcode: %+v", o)
+	}
+	// Forged-label shellcode: passes the value check, dies on NX.
+	o, err = Run(Attack{Tech: TechFuncPtr, Target: TargetShellcode, BufSize: 64, ForgedLabel: true}, EnvOcclum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Succeeded || o.PreventedBy != "NX data region (#PF)" {
+		t.Fatalf("forged-label shellcode: %+v", o)
+	}
+	// Gadget: #BR (no cfi_label at the gadget).
+	o, err = Run(Attack{Tech: TechRet, Target: TargetGadget, BufSize: 256}, EnvOcclum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Succeeded || o.PreventedBy != "MMDSFI (#BR)" {
+		t.Fatalf("gadget: %+v", o)
+	}
+}

@@ -1,0 +1,166 @@
+// Package ulib is the user-space support library for OVM programs — the
+// role musl libc plays in the paper's toolchain. It emits the program
+// prologue that captures the syscall trampoline from the auxiliary
+// vector, and wrappers for every LibOS system call.
+//
+// Register conventions on top of the ISA's:
+//
+//	R12  trampoline address (set by Prologue; programs must preserve it)
+//	R10  auxv pointer at entry (consumed by Prologue)
+//	R0   syscall number / return value
+//	R1-5 syscall arguments
+//
+// All wrappers go through a cfi_guard-ed indirect call to the trampoline,
+// exactly like posix_spawn-era musl rewritten for Occlum's spawn (§8).
+package ulib
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/libos"
+)
+
+// TrampReg holds the trampoline address for the program's lifetime.
+const TrampReg = isa.R12
+
+// Prologue captures the trampoline address from the auxv. Emit it first
+// in every program, at the entry label.
+func Prologue(b *asm.Builder) {
+	b.Load(TrampReg, isa.Mem(isa.R10, libos.AuxTrampoline))
+}
+
+// Syscall emits a system call with the number in no. Arguments must
+// already be in R1..R5; the result lands in R0.
+func Syscall(b *asm.Builder, no int64) {
+	b.MovRI(isa.R0, no)
+	b.CallR(TrampReg)
+}
+
+// Exit emits exit(code). The syscall never returns; the trailing
+// self-loop terminates the fallthrough path so the verifier's complete
+// disassembly does not run off the end of the code segment.
+func Exit(b *asm.Builder, code int64) {
+	b.MovRI(isa.R1, code)
+	Syscall(b, libos.SysExit)
+	spin := b.Uniq("exit_unreachable")
+	b.Label(spin)
+	b.Jmp(spin)
+}
+
+// ExitR emits exit(<reg>).
+func ExitR(b *asm.Builder, reg isa.Reg) {
+	b.MovRR(isa.R1, reg)
+	Syscall(b, libos.SysExit)
+	spin := b.Uniq("exit_unreachable")
+	b.Label(spin)
+	b.Jmp(spin)
+}
+
+// WriteStr emits write(fd, sym, len(sym content)) for a string data
+// symbol previously defined with b.String(sym, s).
+func WriteStr(b *asm.Builder, fd int64, sym string, n int64) {
+	b.MovRI(isa.R1, fd)
+	b.LeaData(isa.R2, sym)
+	b.MovRI(isa.R3, n)
+	Syscall(b, libos.SysWrite)
+}
+
+// Write emits write(fd, bufReg, lenReg).
+func Write(b *asm.Builder, fd int64, buf, n isa.Reg) {
+	b.MovRI(isa.R1, fd)
+	if buf != isa.R2 {
+		b.MovRR(isa.R2, buf)
+	}
+	if n != isa.R3 {
+		b.MovRR(isa.R3, n)
+	}
+	Syscall(b, libos.SysWrite)
+}
+
+// Read emits read(fd, bufReg, lenReg).
+func Read(b *asm.Builder, fd int64, buf, n isa.Reg) {
+	b.MovRI(isa.R1, fd)
+	if buf != isa.R2 {
+		b.MovRR(isa.R2, buf)
+	}
+	if n != isa.R3 {
+		b.MovRR(isa.R3, n)
+	}
+	Syscall(b, libos.SysRead)
+}
+
+// OpenPath emits open(pathSym, flags) for a path string symbol; the fd
+// lands in R0.
+func OpenPath(b *asm.Builder, pathSym string, pathLen int64, flags int64) {
+	b.LeaData(isa.R1, pathSym)
+	b.MovRI(isa.R2, pathLen)
+	b.MovRI(isa.R3, flags)
+	Syscall(b, libos.SysOpen)
+}
+
+// Close emits close(fdReg).
+func Close(b *asm.Builder, fd isa.Reg) {
+	if fd != isa.R1 {
+		b.MovRR(isa.R1, fd)
+	}
+	Syscall(b, libos.SysClose)
+}
+
+// SpawnPath emits spawn(pathSym, argvSym) for path and argv-block data
+// symbols; the child pid lands in R0. Pass argvLen 0 for no arguments.
+func SpawnPath(b *asm.Builder, pathSym string, pathLen int64, argvSym string, argvLen int64) {
+	b.LeaData(isa.R1, pathSym)
+	b.MovRI(isa.R2, pathLen)
+	if argvLen > 0 {
+		b.LeaData(isa.R3, argvSym)
+	} else {
+		b.MovRI(isa.R3, 0)
+	}
+	b.MovRI(isa.R4, argvLen)
+	Syscall(b, libos.SysSpawn)
+}
+
+// Wait4 emits wait4(pidReg, 0): wait for a child, status discarded.
+func Wait4(b *asm.Builder, pid isa.Reg) {
+	if pid != isa.R1 {
+		b.MovRR(isa.R1, pid)
+	}
+	b.MovRI(isa.R2, 0)
+	Syscall(b, libos.SysWait4)
+}
+
+// Pipe2 emits pipe2(fdsSym): the read fd lands at the symbol, the write
+// fd 8 bytes later.
+func Pipe2(b *asm.Builder, fdsSym string) {
+	b.LeaData(isa.R1, fdsSym)
+	Syscall(b, libos.SysPipe2)
+}
+
+// Dup2 emits dup2(old, new) from registers.
+func Dup2(b *asm.Builder, oldfd, newfd isa.Reg) {
+	if oldfd != isa.R1 {
+		b.MovRR(isa.R1, oldfd)
+	}
+	if newfd != isa.R2 {
+		b.MovRR(isa.R2, newfd)
+	}
+	Syscall(b, libos.SysDup2)
+}
+
+// Memcpy emits an inline word-wise copy loop: copies lenReg bytes
+// (multiple of 8) from srcReg to dstReg. Clobbers R8, R9 and the three
+// argument registers.
+func Memcpy(b *asm.Builder, dst, src, n isa.Reg, unique string) {
+	loop, done := "memcpy_loop_"+unique, "memcpy_done_"+unique
+	b.Label(loop)
+	b.CmpI(n, 8)
+	b.Jl(done)
+	b.Load(isa.R8, isa.Mem(src, 0))
+	b.Store(isa.Mem(dst, 0), isa.R8)
+	b.AddI(src, 8)
+	b.AddI(dst, 8)
+	b.SubI(n, 8)
+	b.Jmp(loop)
+	b.Label(done)
+	b.Nop()
+}

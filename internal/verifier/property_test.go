@@ -1,0 +1,104 @@
+package verifier
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mmdsfi"
+	"repro/internal/oelf"
+)
+
+// randomProgram generates a structurally valid program with random
+// arithmetic, memory traffic, loops and calls — the kind of code an
+// arbitrary compiler might emit.
+func randomProgram(rng *rand.Rand) (*asm.Program, error) {
+	b := asm.NewBuilder()
+	b.Zero("data", 4096)
+	b.Entry("_start")
+	b.LeaData(isa.R1, "data")
+
+	nBlocks := 2 + rng.Intn(4)
+	for blk := 0; blk < nBlocks; blk++ {
+		loop := fmt.Sprintf("L%d", blk)
+		b.MovRI(isa.R2, int64(2+rng.Intn(5)))
+		b.Label(loop)
+		for i := 0; i < 3+rng.Intn(6); i++ {
+			switch rng.Intn(7) {
+			case 0:
+				b.Load(isa.R3, isa.Mem(isa.R1, int32(rng.Intn(64)*8)))
+			case 1:
+				b.Store(isa.Mem(isa.R1, int32(rng.Intn(64)*8)), isa.R3)
+			case 2:
+				b.AddI(isa.R3, int32(rng.Intn(100)))
+			case 3:
+				b.Mul(isa.R3, isa.R2)
+			case 4:
+				b.Push(isa.R3)
+				b.Pop(isa.R4)
+			case 5:
+				b.Call(fmt.Sprintf("fn%d", rng.Intn(2)))
+			case 6:
+				b.AddI(isa.R1, 8)
+				b.SubI(isa.R1, 8)
+			}
+		}
+		b.SubI(isa.R2, 1)
+		b.CmpI(isa.R2, 0)
+		b.Jg(loop)
+	}
+	lbl := "end"
+	b.Label(lbl)
+	b.Jmp(lbl)
+
+	for i := 0; i < 2; i++ {
+		b.Func(fmt.Sprintf("fn%d", i))
+		b.AddI(isa.R5, int32(i+1))
+		b.Ret()
+	}
+	return b.Finish()
+}
+
+// TestPropertyInstrumentedAlwaysVerifies is the toolchain/verifier
+// agreement property at the heart of the paper's architecture: whatever
+// the (untrusted) instrumenter emits for well-formed input, the
+// (trusted, independent) verifier accepts — including the output of the
+// range-analysis optimizations and loop hoisting.
+func TestPropertyInstrumentedAlwaysVerifies(t *testing.T) {
+	v := New(testKey)
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := randomProgram(rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, opts := range []mmdsfi.Options{
+			mmdsfi.DefaultOptions(),
+			{ConfineControl: true, ConfineLoads: true, ConfineStores: true}, // naive
+		} {
+			ip, err := mmdsfi.Instrument(p, opts)
+			if err != nil {
+				t.Fatalf("seed %d: instrument: %v", seed, err)
+			}
+			img, err := asm.Link(ip)
+			if err != nil {
+				t.Fatalf("seed %d: link: %v", seed, err)
+			}
+			if err := v.Verify(oelf.FromImage("rnd", img)); err != nil {
+				t.Fatalf("seed %d (opt=%v): verifier rejected toolchain output: %v",
+					seed, opts.Optimize, err)
+			}
+		}
+		// And the uninstrumented version is always rejected (it
+		// contains raw rets and unguarded accesses).
+		img, err := asm.Link(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := v.Verify(oelf.FromImage("raw", img)); err == nil {
+			t.Fatalf("seed %d: uninstrumented program accepted", seed)
+		}
+	}
+}

@@ -1,0 +1,485 @@
+// Package vm implements the OVM virtual CPU: an interpreter that executes
+// encoded OVM instructions (internal/isa) over permission-checked paged
+// memory (internal/mem).
+//
+// The CPU plays the role of the hardware in the Occlum paper's security
+// argument. It enforces exactly what real hardware enforces — page
+// permissions (guard regions fault, data pages are not executable) and MPX
+// bound checks (#BR) — and nothing more. All sandboxing beyond that comes
+// from the MMDSFI instrumentation in the code it runs, which is the point
+// of the paper.
+//
+// The CPU counts retired instructions as "cycles". Because MMDSFI's
+// instrumentation inserts extra instructions, the SPECint-style overhead
+// figures (paper Figure 7) fall out of cycle counts deterministically.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/mpx"
+)
+
+// Exception enumerates the hardware exceptions the CPU can raise.
+type Exception uint8
+
+// Exceptions.
+const (
+	ExcNone    Exception = iota
+	ExcPage              // #PF: unmapped page or permission violation
+	ExcBound             // #BR: MPX bound check failed
+	ExcDivide            // #DE: divide by zero
+	ExcInvalid           // #UD: undefined or malformed instruction
+)
+
+func (e Exception) String() string {
+	switch e {
+	case ExcNone:
+		return "none"
+	case ExcPage:
+		return "#PF"
+	case ExcBound:
+		return "#BR"
+	case ExcDivide:
+		return "#DE"
+	case ExcInvalid:
+		return "#UD"
+	}
+	return "#?"
+}
+
+// StopReason says why Run returned.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopTrap      StopReason = iota // executed trap (the LibOS syscall gate)
+	StopException                   // raised a hardware exception (AEX)
+	StopHalt                        // executed halt
+	StopEExit                       // executed eexit (left the enclave)
+	StopCycles                      // reached the cycle budget
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopTrap:
+		return "trap"
+	case StopException:
+		return "exception"
+	case StopHalt:
+		return "halt"
+	case StopEExit:
+		return "eexit"
+	case StopCycles:
+		return "cycle-budget"
+	}
+	return "stop?"
+}
+
+// Stop describes why and where execution stopped.
+type Stop struct {
+	Reason StopReason
+	// Exc is the exception kind when Reason == StopException.
+	Exc Exception
+	// Fault carries page-fault details when Exc == ExcPage.
+	Fault *mem.Fault
+	// PC is the program counter at the stop: the address *after* a
+	// trap/halt/eexit, or the address *of* the faulting instruction
+	// for exceptions.
+	PC uint64
+}
+
+// String renders the stop for diagnostics.
+func (s Stop) String() string {
+	if s.Reason == StopException {
+		if s.Fault != nil {
+			return fmt.Sprintf("%s %s at pc=%#x (%v)", s.Reason, s.Exc, s.PC, s.Fault)
+		}
+		return fmt.Sprintf("%s %s at pc=%#x", s.Reason, s.Exc, s.PC)
+	}
+	return fmt.Sprintf("%s at pc=%#x", s.Reason, s.PC)
+}
+
+type icacheEntry struct {
+	inst isa.Inst
+	len  int
+}
+
+// CPU is one OVM hart. It is not safe for concurrent use; each SGX thread
+// (and hence each Occlum SIP) owns one CPU.
+type CPU struct {
+	// Mem is the memory the hart executes over (an enclave's ELRANGE,
+	// or a plain address space for the native baseline).
+	Mem *mem.Paged
+	// Regs are the general-purpose registers.
+	Regs [isa.NumRegs]uint64
+	// PC is the program counter.
+	PC uint64
+	// ZF, LTS, LTU are the comparison flags: equal, signed-less and
+	// unsigned-less, set by cmp/test.
+	ZF, LTS, LTU bool
+	// Bnd is the MPX bound register file.
+	Bnd mpx.File
+	// Cycles counts retired instructions.
+	Cycles uint64
+
+	icache map[uint64]icacheEntry
+	icgen  uint64
+}
+
+// New creates a CPU over m with zeroed state.
+func New(m *mem.Paged) *CPU {
+	return &CPU{Mem: m, icache: make(map[uint64]icacheEntry)}
+}
+
+// Reset clears registers, flags and cycle count (but not the icache, which
+// is keyed to memory generation).
+func (c *CPU) Reset() {
+	c.Regs = [isa.NumRegs]uint64{}
+	c.PC, c.Cycles = 0, 0
+	c.ZF, c.LTS, c.LTU = false, false, false
+	c.Bnd = mpx.File{}
+}
+
+func (c *CPU) fetch(addr uint64) (isa.Inst, int, *mem.Fault, error) {
+	if g := c.Mem.Generation(); g != c.icgen {
+		clear(c.icache)
+		c.icgen = g
+	}
+	if e, ok := c.icache[addr]; ok {
+		return e.inst, e.len, nil, nil
+	}
+	// Peek the opcode byte to learn the length, then fetch the whole
+	// instruction with the execute-permission check.
+	b, f := c.Mem.Fetch(addr, 1)
+	if f != nil {
+		return isa.Inst{}, 0, f, nil
+	}
+	op := isa.Op(b[0])
+	if !op.Valid() {
+		return isa.Inst{}, 0, nil, isa.ErrBadInst
+	}
+	n := isa.EncodedLen(op)
+	view, f := c.Mem.Fetch(addr, n)
+	if f != nil {
+		return isa.Inst{}, 0, f, nil
+	}
+	in, n, err := isa.Decode(view, 0)
+	if err != nil {
+		return isa.Inst{}, 0, nil, err
+	}
+	c.icache[addr] = icacheEntry{inst: in, len: n}
+	return in, n, nil, nil
+}
+
+// ea computes the effective address of a memory operand given the address
+// of the next instruction (for PC-relative operands).
+func (c *CPU) ea(m isa.MemRef, next uint64) uint64 {
+	var a uint64
+	switch {
+	case m.IsAbs():
+	case m.IsPCRel():
+		a = next
+	default:
+		a = c.Regs[m.Base]
+	}
+	if m.HasIndex() {
+		a += c.Regs[m.Index] * uint64(m.Scale)
+	}
+	return a + uint64(int64(m.Disp))
+}
+
+// Run executes instructions until a trap, halt, eexit, exception, or until
+// maxCycles more instructions have retired (0 means no budget). It returns
+// the reason for stopping. After StopTrap the PC addresses the instruction
+// after the trap, so resuming continues past it.
+func (c *CPU) Run(maxCycles uint64) Stop {
+	budget := ^uint64(0)
+	if maxCycles > 0 {
+		budget = maxCycles
+	}
+	for budget > 0 {
+		budget--
+		stop, done := c.Step()
+		if done {
+			return stop
+		}
+	}
+	return Stop{Reason: StopCycles, PC: c.PC}
+}
+
+// Step executes a single instruction. done is false when execution should
+// simply continue with the next instruction.
+func (c *CPU) Step() (Stop, bool) {
+	pc := c.PC
+	in, n, fault, err := c.fetch(pc)
+	if fault != nil {
+		return Stop{Reason: StopException, Exc: ExcPage, Fault: fault, PC: pc}, true
+	}
+	if err != nil {
+		return Stop{Reason: StopException, Exc: ExcInvalid, PC: pc}, true
+	}
+	next := pc + uint64(n)
+	c.Cycles++
+
+	// Helpers that raise exceptions at this pc.
+	pf := func(f *mem.Fault) (Stop, bool) {
+		return Stop{Reason: StopException, Exc: ExcPage, Fault: f, PC: pc}, true
+	}
+	br := func() (Stop, bool) {
+		return Stop{Reason: StopException, Exc: ExcBound, PC: pc}, true
+	}
+
+	switch in.Op {
+	case isa.OpMovRI:
+		c.Regs[in.R1] = uint64(in.Imm)
+	case isa.OpMovRR:
+		c.Regs[in.R1] = c.Regs[in.R2]
+	case isa.OpLoad, isa.OpLoadB:
+		size := 8
+		if in.Op == isa.OpLoadB {
+			size = 1
+		}
+		v, f := c.Mem.Load(c.ea(in.Mem, next), size)
+		if f != nil {
+			return pf(f)
+		}
+		c.Regs[in.R1] = v
+	case isa.OpStore, isa.OpStoreB:
+		size := 8
+		if in.Op == isa.OpStoreB {
+			size = 1
+		}
+		if f := c.Mem.Store(c.ea(in.Mem, next), size, c.Regs[in.R1]); f != nil {
+			return pf(f)
+		}
+	case isa.OpLea:
+		c.Regs[in.R1] = c.ea(in.Mem, next)
+	case isa.OpPush:
+		if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, c.Regs[in.R1]); f != nil {
+			return pf(f)
+		}
+		c.Regs[isa.SP] -= 8
+	case isa.OpPushI:
+		if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, uint64(in.Imm)); f != nil {
+			return pf(f)
+		}
+		c.Regs[isa.SP] -= 8
+	case isa.OpPop:
+		v, f := c.Mem.Load(c.Regs[isa.SP], 8)
+		if f != nil {
+			return pf(f)
+		}
+		c.Regs[isa.SP] += 8
+		c.Regs[in.R1] = v
+
+	case isa.OpAddRR:
+		c.Regs[in.R1] += c.Regs[in.R2]
+	case isa.OpSubRR:
+		c.Regs[in.R1] -= c.Regs[in.R2]
+	case isa.OpMulRR:
+		c.Regs[in.R1] *= c.Regs[in.R2]
+	case isa.OpDivRR, isa.OpModRR:
+		d := int64(c.Regs[in.R2])
+		if d == 0 {
+			return Stop{Reason: StopException, Exc: ExcDivide, PC: pc}, true
+		}
+		if in.Op == isa.OpDivRR {
+			c.Regs[in.R1] = uint64(int64(c.Regs[in.R1]) / d)
+		} else {
+			c.Regs[in.R1] = uint64(int64(c.Regs[in.R1]) % d)
+		}
+	case isa.OpAndRR:
+		c.Regs[in.R1] &= c.Regs[in.R2]
+	case isa.OpOrRR:
+		c.Regs[in.R1] |= c.Regs[in.R2]
+	case isa.OpXorRR:
+		c.Regs[in.R1] ^= c.Regs[in.R2]
+	case isa.OpShlRR:
+		c.Regs[in.R1] <<= c.Regs[in.R2] & 63
+	case isa.OpShrRR:
+		c.Regs[in.R1] >>= c.Regs[in.R2] & 63
+	case isa.OpCmpRR:
+		c.setCmp(c.Regs[in.R1], c.Regs[in.R2])
+	case isa.OpTestRR:
+		c.setTest(c.Regs[in.R1] & c.Regs[in.R2])
+
+	case isa.OpAddRI:
+		c.Regs[in.R1] += uint64(in.Imm)
+	case isa.OpSubRI:
+		c.Regs[in.R1] -= uint64(in.Imm)
+	case isa.OpMulRI:
+		c.Regs[in.R1] *= uint64(in.Imm)
+	case isa.OpAndRI:
+		c.Regs[in.R1] &= uint64(in.Imm)
+	case isa.OpOrRI:
+		c.Regs[in.R1] |= uint64(in.Imm)
+	case isa.OpXorRI:
+		c.Regs[in.R1] ^= uint64(in.Imm)
+	case isa.OpShlRI:
+		c.Regs[in.R1] <<= uint64(in.Imm) & 63
+	case isa.OpShrRI:
+		c.Regs[in.R1] >>= uint64(in.Imm) & 63
+	case isa.OpCmpRI:
+		c.setCmp(c.Regs[in.R1], uint64(in.Imm))
+	case isa.OpNeg:
+		c.Regs[in.R1] = -c.Regs[in.R1]
+	case isa.OpNot:
+		c.Regs[in.R1] = ^c.Regs[in.R1]
+
+	case isa.OpJmp:
+		c.PC = next + uint64(in.Imm)
+		return Stop{}, false
+	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge, isa.OpJb, isa.OpJae:
+		if c.cond(in.Op) {
+			c.PC = next + uint64(in.Imm)
+			return Stop{}, false
+		}
+	case isa.OpLoop:
+		c.Regs[isa.R1]--
+		if c.Regs[isa.R1] != 0 {
+			c.PC = next + uint64(in.Imm)
+			return Stop{}, false
+		}
+	case isa.OpCall:
+		if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
+			return pf(f)
+		}
+		c.Regs[isa.SP] -= 8
+		c.PC = next + uint64(in.Imm)
+		return Stop{}, false
+	case isa.OpJmpR:
+		c.PC = c.Regs[in.R1]
+		return Stop{}, false
+	case isa.OpCallR:
+		if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
+			return pf(f)
+		}
+		c.Regs[isa.SP] -= 8
+		c.PC = c.Regs[in.R1]
+		return Stop{}, false
+	case isa.OpJmpM, isa.OpCallM:
+		target, f := c.Mem.Load(c.ea(in.Mem, next), 8)
+		if f != nil {
+			return pf(f)
+		}
+		if in.Op == isa.OpCallM {
+			if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
+				return pf(f)
+			}
+			c.Regs[isa.SP] -= 8
+		}
+		c.PC = target
+		return Stop{}, false
+	case isa.OpRet, isa.OpRetI:
+		target, f := c.Mem.Load(c.Regs[isa.SP], 8)
+		if f != nil {
+			return pf(f)
+		}
+		c.Regs[isa.SP] += 8 + uint64(in.Imm)
+		c.PC = target
+		return Stop{}, false
+
+	case isa.OpBndCL:
+		if !c.Bnd.CheckLower(in.Bnd, c.Regs[in.R1]) {
+			return br()
+		}
+	case isa.OpBndCU:
+		if !c.Bnd.CheckUpper(in.Bnd, c.Regs[in.R1]) {
+			return br()
+		}
+	case isa.OpBndCLM:
+		if !c.Bnd.CheckLower(in.Bnd, c.ea(in.Mem, next)) {
+			return br()
+		}
+	case isa.OpBndCUM:
+		if !c.Bnd.CheckUpper(in.Bnd, c.ea(in.Mem, next)) {
+			return br()
+		}
+	case isa.OpBndMk:
+		// bndmk: lower = base register, upper = effective address.
+		var lo uint64
+		if in.Mem.Base.Valid() {
+			lo = c.Regs[in.Mem.Base]
+		}
+		c.Bnd.Set(in.Bnd, mpx.Bound{Lower: lo, Upper: c.ea(in.Mem, next)})
+	case isa.OpBndMov:
+		c.Bnd.Set(in.Bnd, c.Bnd.Get(in.Bnd2))
+
+	case isa.OpCFILabel, isa.OpNop:
+		// no-ops
+	case isa.OpHalt:
+		c.PC = next
+		return Stop{Reason: StopHalt, PC: next}, true
+	case isa.OpTrap:
+		c.PC = next
+		return Stop{Reason: StopTrap, PC: next}, true
+	case isa.OpEExit:
+		c.PC = next
+		return Stop{Reason: StopEExit, PC: next}, true
+	case isa.OpEAccept, isa.OpEModPE:
+		// SGX 1.0: these SGX 2.0 instructions are undefined.
+		return Stop{Reason: StopException, Exc: ExcInvalid, PC: pc}, true
+	case isa.OpXRstor:
+		// Restoring extended state can silently disable MPX: all bound
+		// registers become permissive. This is exactly why Stage 2 of
+		// the verifier must reject it.
+		for b := isa.BndReg(0); b < isa.NumBndRegs; b++ {
+			c.Bnd.Set(b, mpx.Bound{Lower: 0, Upper: ^uint64(0)})
+		}
+	case isa.OpWrFSBase, isa.OpWrGSBase:
+		// Segment bases are not modeled; the instructions are rejected
+		// by the verifier and behave as no-ops here.
+	case isa.OpVScatter:
+		// A vector scatter writes multiple non-contiguous locations
+		// from one instruction — the reason Stage 4 rejects it.
+		a := c.ea(in.Mem, next)
+		if f := c.Mem.Store(a, 8, c.Regs[in.R1]); f != nil {
+			return pf(f)
+		}
+		if f := c.Mem.Store(a+128, 8, c.Regs[in.R1]); f != nil {
+			return pf(f)
+		}
+	default:
+		return Stop{Reason: StopException, Exc: ExcInvalid, PC: pc}, true
+	}
+
+	c.PC = next
+	return Stop{}, false
+}
+
+func (c *CPU) setCmp(a, b uint64) {
+	c.ZF = a == b
+	c.LTS = int64(a) < int64(b)
+	c.LTU = a < b
+}
+
+func (c *CPU) setTest(v uint64) {
+	c.ZF = v == 0
+	c.LTS = int64(v) < 0
+	c.LTU = false
+}
+
+func (c *CPU) cond(op isa.Op) bool {
+	switch op {
+	case isa.OpJe:
+		return c.ZF
+	case isa.OpJne:
+		return !c.ZF
+	case isa.OpJl:
+		return c.LTS
+	case isa.OpJle:
+		return c.LTS || c.ZF
+	case isa.OpJg:
+		return !c.LTS && !c.ZF
+	case isa.OpJge:
+		return !c.LTS
+	case isa.OpJb:
+		return c.LTU
+	case isa.OpJae:
+		return !c.LTU
+	}
+	return false
+}

@@ -1,0 +1,395 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/mpx"
+)
+
+// loadImage maps a linked image into fresh memory the way a loader would:
+// code RX (made RWX to mirror SGX LibOS pools where noted), a guard gap,
+// data+bss+stack RW, and a trailing guard page. It returns a CPU ready to
+// run at the entry point with SP at the top of the stack.
+func loadImage(t *testing.T, img *asm.Image, stack uint64) *CPU {
+	t.Helper()
+	const base = 0x100000
+	dataSize := (img.MinDataSize() + stack + mem.PageSize - 1) / mem.PageSize * mem.PageSize
+	total := img.DataStart() + dataSize + uint64(img.GuardSize)
+	m := mem.NewPaged(base, total+mem.PageSize)
+	if err := m.Map(base, img.CodeSpan(), mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteDirect(base, img.Code); err != nil {
+		t.Fatal(err)
+	}
+	dbase := base + img.DataStart()
+	if err := m.Map(dbase, dataSize, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteDirect(dbase, img.Data); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m)
+	c.PC = base + uint64(img.Entry)
+	c.Regs[isa.SP] = dbase + dataSize // top of stack
+	return c
+}
+
+func build(t *testing.T, f func(b *asm.Builder)) *asm.Image {
+	t.Helper()
+	b := asm.NewBuilder()
+	f(b)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// Sum 1..100 into R0.
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R0, 0)
+		b.MovRI(isa.R2, 1)
+		b.Label("loop")
+		b.Add(isa.R0, isa.R2)
+		b.AddI(isa.R2, 1)
+		b.CmpI(isa.R2, 100)
+		b.Jle("loop")
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	st := c.Run(0)
+	if st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R0] != 5050 {
+		t.Fatalf("sum = %d, want 5050", c.Regs[isa.R0])
+	}
+}
+
+func TestMemoryAndDataSymbols(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Bytes("buf", make([]byte, 64))
+		b.Entry("_start")
+		b.LeaData(isa.R1, "buf")
+		b.MovRI(isa.R2, 0xCAFE)
+		b.Store(isa.Mem(isa.R1, 8), isa.R2)
+		b.Load(isa.R3, isa.Mem(isa.R1, 8))
+		b.MovRI(isa.R4, 0x41)
+		b.StoreB(isa.Mem(isa.R1, 0), isa.R4)
+		b.LoadB(isa.R5, isa.Mem(isa.R1, 0))
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R3] != 0xCAFE || c.Regs[isa.R5] != 0x41 {
+		t.Fatalf("r3=%#x r5=%#x", c.Regs[isa.R3], c.Regs[isa.R5])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R1, 20)
+		b.MovRI(isa.R2, 22)
+		b.Call("addfn")
+		b.Trap()
+		b.Func("addfn")
+		b.MovRR(isa.R0, isa.R1)
+		b.Add(isa.R0, isa.R2)
+		b.Ret()
+	})
+	c := loadImage(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R0] != 42 {
+		t.Fatalf("r0 = %d, want 42", c.Regs[isa.R0])
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R0, 7)
+		// Compute the function address as entry + known offsets is
+		// fragile; instead call via a pushed return-style pointer:
+		// lea of a label is not exposed, so use call/ret plumbing.
+		b.Call("getpc") // r6 = address after this call
+		// r6 now points at the addi below; skip it (6 bytes) and the
+		// 5-byte jmp to reach "target".
+		b.AddI(isa.R6, 11)
+		b.Jmp("do")
+		b.Label("target")
+		b.MovRI(isa.R0, 42)
+		b.Trap()
+		b.Label("do")
+		b.JmpR(isa.R6)
+		b.Func("getpc")
+		b.Load(isa.R6, isa.Mem(isa.SP, 0))
+		b.Ret()
+	})
+	c := loadImage(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R0] != 42 {
+		t.Fatalf("r0 = %d, want 42", c.Regs[isa.R0])
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R1, 11)
+		b.MovRI(isa.R2, 22)
+		b.Push(isa.R1)
+		b.Push(isa.R2)
+		b.Pop(isa.R3)
+		b.Pop(isa.R4)
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	sp0 := uint64(0)
+	c2 := c // capture initial sp after load
+	sp0 = c2.Regs[isa.SP]
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R3] != 22 || c.Regs[isa.R4] != 11 {
+		t.Fatalf("r3=%d r4=%d", c.Regs[isa.R3], c.Regs[isa.R4])
+	}
+	if c.Regs[isa.SP] != sp0 {
+		t.Fatalf("sp not balanced: %#x vs %#x", c.Regs[isa.SP], sp0)
+	}
+}
+
+func TestGuardRegionFaults(t *testing.T) {
+	// A store into the code/data gap (guard region) must raise #PF on
+	// an unmapped page — the MMDSFI guard-region mechanism.
+	img := build(t, func(b *asm.Builder) {
+		b.Bytes("buf", make([]byte, 16))
+		b.Entry("_start")
+		b.LeaData(isa.R1, "buf")
+		b.SubI(isa.R1, 2048) // into the guard gap
+		b.Store(isa.Mem(isa.R1, 0), isa.R1)
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	st := c.Run(0)
+	if st.Reason != StopException || st.Exc != ExcPage || st.Fault == nil || !st.Fault.Unmapped {
+		t.Fatalf("stop = %v, want unmapped #PF", st)
+	}
+}
+
+func TestNXDataFetchFaults(t *testing.T) {
+	// Jumping into the data region must fault: data pages are RW, not X.
+	img := build(t, func(b *asm.Builder) {
+		b.Bytes("buf", []byte{byte(isa.OpNop), byte(isa.OpNop)})
+		b.Entry("_start")
+		b.LeaData(isa.R1, "buf")
+		b.JmpR(isa.R1)
+	})
+	c := loadImage(t, img, 4096)
+	st := c.Run(0)
+	if st.Reason != StopException || st.Exc != ExcPage {
+		t.Fatalf("stop = %v, want #PF", st)
+	}
+	if st.Fault.Access != mem.AccessExec {
+		t.Fatalf("fault access = %v, want exec", st.Fault.Access)
+	}
+}
+
+func TestBoundCheckRaisesBR(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R1, 0x5000)
+		b.I(isa.Inst{Op: isa.OpBndCL, Bnd: isa.BND0, R1: isa.R1})
+		b.I(isa.Inst{Op: isa.OpBndCU, Bnd: isa.BND0, R1: isa.R1})
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	c.Bnd.Set(isa.BND0, mpx.Bound{Lower: 0x4000, Upper: 0x4FFF})
+	st := c.Run(0)
+	if st.Reason != StopException || st.Exc != ExcBound {
+		t.Fatalf("stop = %v, want #BR", st)
+	}
+
+	// In range: passes.
+	c2 := loadImage(t, img, 4096)
+	c2.Bnd.Set(isa.BND0, mpx.Bound{Lower: 0x4000, Upper: 0x5FFF})
+	if st := c2.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v, want trap", st)
+	}
+}
+
+func TestDivideByZero(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R1, 10)
+		b.MovRI(isa.R2, 0)
+		b.Div(isa.R1, isa.R2)
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopException || st.Exc != ExcDivide {
+		t.Fatalf("stop = %v, want #DE", st)
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.Label("spin")
+		b.Jmp("spin")
+	})
+	c := loadImage(t, img, 4096)
+	st := c.Run(1000)
+	if st.Reason != StopCycles {
+		t.Fatalf("stop = %v, want cycle budget", st)
+	}
+	if c.Cycles != 1000 {
+		t.Fatalf("cycles = %d, want 1000", c.Cycles)
+	}
+}
+
+func TestXRstorDisablesMPX(t *testing.T) {
+	// The reason Stage 2 rejects xrstor: it makes every bound check pass.
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.I(isa.Inst{Op: isa.OpXRstor})
+		b.MovRI(isa.R1, 0xFFFF_FFFF)
+		b.I(isa.Inst{Op: isa.OpBndCL, Bnd: isa.BND0, R1: isa.R1})
+		b.I(isa.Inst{Op: isa.OpBndCU, Bnd: isa.BND0, R1: isa.R1})
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	c.Bnd.Set(isa.BND0, mpx.Bound{Lower: 1, Upper: 2})
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v: xrstor should have widened bounds", st)
+	}
+}
+
+func TestCFILabelIsNoOp(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R1, 5)
+		b.I(isa.Inst{Op: isa.OpCFILabel, DomainID: 9})
+		b.AddI(isa.R1, 1)
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R1] != 6 {
+		t.Fatalf("r1 = %d", c.Regs[isa.R1])
+	}
+}
+
+func TestTrapResume(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R0, 1)
+		b.Trap()
+		b.MovRI(isa.R0, 2)
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap || c.Regs[isa.R0] != 1 {
+		t.Fatalf("first stop = %v r0=%d", st, c.Regs[isa.R0])
+	}
+	// Resuming continues after the trap.
+	if st := c.Run(0); st.Reason != StopTrap || c.Regs[isa.R0] != 2 {
+		t.Fatalf("second stop = %v r0=%d", st, c.Regs[isa.R0])
+	}
+}
+
+func TestICacheInvalidatedOnTrustedWrite(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R0, 1)
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	// Trusted rewrite of the movri immediate (like the loader patching
+	// cfi_label domain IDs) must take effect on re-execution.
+	base := c.Mem.Base()
+	if err := c.Mem.WriteDirect(base+2, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	c.PC = base + uint64(img.Entry)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R0] != 7 {
+		t.Fatalf("r0 = %d, want 7 (icache must be invalidated)", c.Regs[isa.R0])
+	}
+}
+
+func TestRunawayPCFaults(t *testing.T) {
+	// Falling off the end of code hits the zero padding of the last
+	// code page (#UD on the zero opcode) or, past that, the unmapped
+	// guard gap (#PF). Either way the runaway hart stops.
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.Nop()
+	})
+	c := loadImage(t, img, 4096)
+	st := c.Run(0)
+	if st.Reason != StopException || (st.Exc != ExcPage && st.Exc != ExcInvalid) {
+		t.Fatalf("stop = %v, want #PF or #UD", st)
+	}
+}
+
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	bb := asm.NewBuilder()
+	bb.Entry("_start")
+	bb.MovRI(isa.R0, 0)
+	bb.MovRI(isa.R2, 1)
+	bb.Label("loop")
+	bb.Add(isa.R0, isa.R2)
+	bb.AddI(isa.R2, 1)
+	bb.CmpI(isa.R2, 1000000)
+	bb.Jle("loop")
+	bb.Trap()
+	p, err := bb.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := asm.Link(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const base = 0x100000
+	dataSize := uint64(2 * mem.PageSize)
+	m := mem.NewPaged(base, img.DataStart()+dataSize+mem.PageSize)
+	_ = m.Map(base, img.CodeSpan(), mem.PermRX)
+	_ = m.WriteDirect(base, img.Code)
+	_ = m.Map(base+img.DataStart(), dataSize, mem.PermRW)
+	c := New(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		c.PC = base + uint64(img.Entry)
+		c.Regs[isa.SP] = base + img.DataStart() + dataSize
+		if st := c.Run(0); st.Reason != StopTrap {
+			b.Fatalf("stop = %v", st)
+		}
+	}
+	b.ReportMetric(float64(c.Cycles), "cycles/op")
+}

@@ -1,0 +1,213 @@
+package workloads
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/libos"
+	"repro/internal/ulib"
+)
+
+// PageSize10K is the HTML page size served by the lighttpd workload
+// (10 KB pages, as in §9.1).
+const PageSize10K = 10 * 1024
+
+// BuildHTTPWorker builds a lighttpd worker: it accepts connections on the
+// inherited listening socket (fd 6), reads a request, writes the 10 KB
+// page, and exits after reqs requests.
+func BuildHTTPWorker(reqs int) (*asm.Program, error) {
+	page := make([]byte, PageSize10K)
+	copy(page, "<html>occlum</html>")
+	b := asm.NewBuilder()
+	b.Bytes("page", page)
+	b.Zero("req", 128)
+	b.Entry("_start")
+	ulib.Prologue(b)
+	b.MovRI(isa.R9, int64(reqs))
+	b.Label("serve")
+	b.CmpI(isa.R9, 0)
+	b.Jle("done")
+	// cfd = accept(ListenFD)
+	b.MovRI(isa.R1, ListenFD)
+	ulib.Syscall(b, libos.SysAccept)
+	b.MovRR(isa.R6, isa.R0)
+	b.CmpI(isa.R6, 0)
+	b.Jl("done")
+	// read(cfd, req, 128)
+	b.MovRR(isa.R1, isa.R6)
+	b.LeaData(isa.R2, "req")
+	b.MovRI(isa.R3, 128)
+	ulib.Syscall(b, libos.SysRead)
+	// write(cfd, page, PageSize10K)
+	b.MovRR(isa.R1, isa.R6)
+	b.LeaData(isa.R2, "page")
+	b.MovRI(isa.R3, PageSize10K)
+	ulib.Syscall(b, libos.SysWrite)
+	ulib.Close(b, isa.R6)
+	b.SubI(isa.R9, 1)
+	b.Jmp("serve")
+	b.Label("done")
+	b.Nop()
+	ulib.Exit(b, 0)
+	return b.Finish()
+}
+
+// BuildHTTPMaster builds the lighttpd master: it binds the listening
+// socket, spawns the worker processes (which inherit the socket, as the
+// paper's configuration does), and waits for them.
+func BuildHTTPMaster(port uint16, workerPath string, workers int) (*asm.Program, error) {
+	b := asm.NewBuilder()
+	b.String("wpath", workerPath)
+	b.Entry("_start")
+	ulib.Prologue(b)
+	// sfd = socket(); bind(sfd, port); listen(sfd); dup2(sfd, ListenFD)
+	ulib.Syscall(b, libos.SysSocket)
+	b.MovRR(isa.R6, isa.R0)
+	b.MovRR(isa.R1, isa.R6)
+	b.MovRI(isa.R2, int64(port))
+	ulib.Syscall(b, libos.SysBind)
+	b.MovRR(isa.R1, isa.R6)
+	ulib.Syscall(b, libos.SysListen)
+	b.MovRR(isa.R1, isa.R6)
+	b.MovRI(isa.R2, ListenFD)
+	ulib.Syscall(b, libos.SysDup2)
+	ulib.Close(b, isa.R6)
+	for i := 0; i < workers; i++ {
+		ulib.SpawnPath(b, "wpath", int64(len(workerPath)), "", 0)
+		b.Push(isa.R0)
+	}
+	for i := 0; i < workers; i++ {
+		b.Pop(isa.R6)
+		ulib.Wait4(b, isa.R6)
+	}
+	ulib.Exit(b, 0)
+	return b.Finish()
+}
+
+// HTTPBenchResult reports a load-generation run.
+type HTTPBenchResult struct {
+	Requests   int
+	Elapsed    time.Duration
+	Failed     int
+	Bytes      int64
+	Concurrent int
+}
+
+// Throughput returns requests per second.
+func (r HTTPBenchResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests-r.Failed) / r.Elapsed.Seconds()
+}
+
+// InstallHTTPD installs master and worker binaries configured for the
+// given total request count split across workers, returning the master
+// path.
+func InstallHTTPD(k Kernel, port uint16, workers, totalRequests int) (string, error) {
+	per := totalRequests / workers
+	if per*workers != totalRequests {
+		return "", fmt.Errorf("workloads: requests %d not divisible by %d workers", totalRequests, workers)
+	}
+	w, err := BuildHTTPWorker(per)
+	if err != nil {
+		return "", err
+	}
+	if err := k.InstallProgram("/bin/httpd-worker", w); err != nil {
+		return "", err
+	}
+	m, err := BuildHTTPMaster(port, "/bin/httpd-worker", workers)
+	if err != nil {
+		return "", err
+	}
+	if err := k.InstallProgram("/bin/httpd", m); err != nil {
+		return "", err
+	}
+	return "/bin/httpd", nil
+}
+
+// RunHTTPBench is the ApacheBench analog: it drives exactly totalRequests
+// requests at the given concurrency against the server on the kernel's
+// host loopback, returning the measured throughput.
+func RunHTTPBench(k Kernel, port uint16, concurrency, totalRequests int) HTTPBenchResult {
+	var (
+		wg      sync.WaitGroup
+		failed  atomic.Int64
+		nbytes  atomic.Int64
+		pending atomic.Int64
+	)
+	pending.Store(int64(totalRequests))
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			for pending.Add(-1) >= 0 {
+				conn, err := dialRetry(k, port, 200)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if _, err := conn.Write([]byte("GET / HTTP/1.0\r\n\r\n")); err != nil {
+					failed.Add(1)
+					conn.Close()
+					continue
+				}
+				got := 0
+				for got < PageSize10K {
+					n, err := conn.Read(buf)
+					if n > 0 {
+						got += n
+						nbytes.Add(int64(n))
+					}
+					if err != nil {
+						break
+					}
+				}
+				if got < PageSize10K {
+					failed.Add(1)
+				}
+				conn.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	return HTTPBenchResult{
+		Requests:   totalRequests,
+		Elapsed:    time.Since(start),
+		Failed:     int(failed.Load()),
+		Bytes:      nbytes.Load(),
+		Concurrent: concurrency,
+	}
+}
+
+func dialRetry(k Kernel, port uint16, attempts int) (io.ReadWriteCloser, error) {
+	for i := 0; ; i++ {
+		conn, err := k.Host().Dial(port)
+		if err == nil {
+			return connCloser{conn}, nil
+		}
+		if i >= attempts {
+			return nil, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+type connCloser struct {
+	c interface {
+		Read([]byte) (int, error)
+		Write([]byte) (int, error)
+		Close()
+	}
+}
+
+func (cc connCloser) Read(p []byte) (int, error)  { return cc.c.Read(p) }
+func (cc connCloser) Write(p []byte) (int, error) { return cc.c.Write(p) }
+func (cc connCloser) Close() error                { cc.c.Close(); return nil }

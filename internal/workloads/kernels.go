@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/eip"
+	"repro/internal/hostos"
+	"repro/internal/libos"
+	"repro/internal/linuxsim"
+	"repro/internal/sgx"
+)
+
+// KernelSpec sizes the systems under test.
+type KernelSpec struct {
+	// Domains is the number of preallocated Occlum domains.
+	Domains int
+	// DomainCode / DomainData size each Occlum domain.
+	DomainCode, DomainData uint64
+	// EIPEnclaveSize is the per-process enclave size of the
+	// Graphene-SGX baseline ("minimal size able to run the benchmark").
+	EIPEnclaveSize uint64
+	// Stdout receives console output.
+	Stdout io.Writer
+}
+
+// DefaultSpec fits the small workloads used in tests.
+func DefaultSpec() KernelSpec {
+	return KernelSpec{
+		Domains:        8,
+		DomainCode:     1 << 20,
+		DomainData:     4 << 20,
+		EIPEnclaveSize: 8 << 20,
+	}
+}
+
+// NewOcclumKernel boots an Occlum system per spec.
+func NewOcclumKernel(spec KernelSpec) (*OcclumKernel, error) {
+	tc := core.NewToolchain()
+	lc := libos.DefaultConfig()
+	lc.NumDomains = spec.Domains
+	lc.DomainCodeSize = spec.DomainCode
+	lc.DomainDataSize = spec.DomainData
+	lc.MaxThreads = spec.Domains * 2
+	lc.VerifierKey = tc.Key()
+	sys, err := core.BootSystem(core.SystemConfig{
+		LibOS:    lc,
+		EPCBytes: 4 << 30,
+		Stdout:   spec.Stdout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &OcclumKernel{Sys: sys, TC: tc}, nil
+}
+
+// NewLinuxKernel creates the native baseline.
+func NewLinuxKernel(spec KernelSpec) *LinuxKernel {
+	return &LinuxKernel{L: linuxsim.New(hostos.New()), TC: core.NewToolchain()}
+}
+
+// NewEIPKernel creates the Graphene-SGX-like baseline.
+func NewEIPKernel(spec KernelSpec) *EIPKernel {
+	cfg := eip.DefaultConfig()
+	cfg.EnclaveSize = spec.EIPEnclaveSize
+	return &EIPKernel{
+		G:  eip.New(sgx.NewPlatform(8<<30), hostos.New(), cfg),
+		TC: core.NewToolchain(),
+	}
+}
+
+// AllKernels builds the three systems for a comparison run.
+func AllKernels(spec KernelSpec) ([]Kernel, error) {
+	occ, err := NewOcclumKernel(spec)
+	if err != nil {
+		return nil, err
+	}
+	return []Kernel{NewLinuxKernel(spec), occ, NewEIPKernel(spec)}, nil
+}

@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/libos"
+	"repro/internal/ulib"
+)
+
+// BuildPipelineDriver builds the shell-like driver program: it opens the
+// input file, connects the stage programs with pipes (arranging fds 4/5
+// with dup2 before each spawn, like a shell arranges 0/1), spawns every
+// stage with spawn — not fork, per §3.3 — and waits for all of them. The
+// final stage writes to the driver's stdout.
+func BuildPipelineDriver(input string, stages []string) (*asm.Program, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("workloads: empty pipeline")
+	}
+	b := asm.NewBuilder()
+	b.String("input", input)
+	for i, s := range stages {
+		b.String(fmt.Sprintf("stage%d", i), s)
+	}
+	b.Zero("pfds", 16)
+	b.Entry("_start")
+	ulib.Prologue(b)
+
+	// fd4 ← input file
+	ulib.OpenPath(b, "input", int64(len(input)), libos.ORdOnly)
+	b.MovRR(isa.R6, isa.R0)
+	b.MovRR(isa.R1, isa.R6)
+	b.MovRI(isa.R2, FilterIn)
+	ulib.Syscall(b, libos.SysDup2)
+	ulib.Close(b, isa.R6)
+
+	last := len(stages) - 1
+	for i := range stages {
+		if i < last {
+			// pipe2; fd5 ← write end
+			ulib.Pipe2(b, "pfds")
+			b.LeaData(isa.R6, "pfds")
+			b.Load(isa.R6, isa.Mem(isa.R6, 8))
+			b.MovRR(isa.R1, isa.R6)
+			b.MovRI(isa.R2, FilterOut)
+			ulib.Syscall(b, libos.SysDup2)
+			ulib.Close(b, isa.R6)
+		} else {
+			// fd5 ← stdout
+			b.MovRI(isa.R1, 1)
+			b.MovRI(isa.R2, FilterOut)
+			ulib.Syscall(b, libos.SysDup2)
+		}
+
+		sym := fmt.Sprintf("stage%d", i)
+		ulib.SpawnPath(b, sym, int64(len(stages[i])), "", 0)
+		b.Push(isa.R0) // save pid
+
+		if i < last {
+			// fd4 ← read end (input of the next stage)
+			b.LoadData(isa.R6, "pfds")
+			b.MovRR(isa.R1, isa.R6)
+			b.MovRI(isa.R2, FilterIn)
+			ulib.Syscall(b, libos.SysDup2)
+			ulib.Close(b, isa.R6)
+		}
+	}
+	// Close the driver's pipe copies so EOF propagates, then wait.
+	b.MovRI(isa.R1, FilterIn)
+	ulib.Syscall(b, libos.SysClose)
+	b.MovRI(isa.R1, FilterOut)
+	ulib.Syscall(b, libos.SysClose)
+	for range stages {
+		b.Pop(isa.R6)
+		ulib.Wait4(b, isa.R6)
+	}
+	ulib.Exit(b, 0)
+	return b.Finish()
+}
+
+// FishStages is the UnixBench-style transformation pipeline of §9.1: data
+// flows through od, grep, sort and a counting sink.
+var FishStages = []string{"/bin/od", "/bin/grep", "/bin/sort", "/bin/wc"}
+
+// InstallFish installs the fish workload (driver + utilities + input) on
+// a kernel and returns the driver path.
+func InstallFish(k Kernel, inputSize int) (string, error) {
+	utils := []struct {
+		path  string
+		build func() (*asm.Program, error)
+	}{
+		{"/bin/od", BuildOd},
+		{"/bin/grep", BuildGrep},
+		{"/bin/sort", BuildSort},
+		{"/bin/wc", BuildWc},
+		{"/bin/cat", BuildCat},
+	}
+	for _, u := range utils {
+		p, err := u.build()
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", u.path, err)
+		}
+		if err := k.InstallProgram(u.path, p); err != nil {
+			return "", fmt.Errorf("%s: %w", u.path, err)
+		}
+	}
+	input := make([]byte, inputSize)
+	for i := range input {
+		input[i] = byte(i*31 + 7)
+	}
+	if err := k.WriteInput("/data/fish.in", input); err != nil {
+		return "", err
+	}
+	driver, err := BuildPipelineDriver("/data/fish.in", FishStages)
+	if err != nil {
+		return "", err
+	}
+	if err := k.InstallProgram("/bin/fish", driver); err != nil {
+		return "", err
+	}
+	return "/bin/fish", nil
+}
+
+// RunToCompletion spawns path and waits, returning the exit status.
+func RunToCompletion(k Kernel, path string, argv []string, stdout io.Writer) (int, error) {
+	p, err := k.Spawn(path, argv, stdout)
+	if err != nil {
+		return -1, err
+	}
+	return p.Wait(), nil
+}
+
+// GCCStage describes one stage of the compilation pipeline.
+type GCCStage struct {
+	Path string
+	Work int // arithmetic passes per chunk
+	Pad  int // static data inflating the binary size
+}
+
+// GCCStages models the paper's GCC: preprocessor, compiler (the huge
+// cc1), assembler, linker. The compiler stage carries both the bulk of
+// the compute and a large binary image.
+var GCCStages = []GCCStage{
+	{Path: "/bin/cpp", Work: 2, Pad: 256 << 10},
+	{Path: "/bin/cc1", Work: 12, Pad: 12 << 20},
+	{Path: "/bin/as", Work: 3, Pad: 512 << 10},
+	{Path: "/bin/ld", Work: 2, Pad: 1 << 20},
+}
+
+// InstallGCC installs the compilation pipeline and a source input of the
+// given size, returning the driver path.
+func InstallGCC(k Kernel, name string, sourceSize int, stages []GCCStage) (string, error) {
+	var paths []string
+	for _, s := range stages {
+		p, err := BuildCompilerStage(s.Work, s.Pad)
+		if err != nil {
+			return "", err
+		}
+		if err := k.InstallProgram(s.Path, p); err != nil {
+			return "", err
+		}
+		paths = append(paths, s.Path)
+	}
+	src := make([]byte, sourceSize)
+	for i := range src {
+		src[i] = byte("int main(){}"[i%12])
+	}
+	in := "/data/" + name + ".c"
+	if err := k.WriteInput(in, src); err != nil {
+		return "", err
+	}
+	driver, err := BuildPipelineDriver(in, paths)
+	if err != nil {
+		return "", err
+	}
+	path := "/bin/gcc-" + name
+	if err := k.InstallProgram(path, driver); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,100 @@
+package specint
+
+import (
+	"testing"
+
+	"repro/internal/mmdsfi"
+)
+
+const testIters = 200
+
+func TestAllKernelsRun(t *testing.T) {
+	for _, r := range Suite {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			base, err := Measure(r, testIters, mmdsfi.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base == 0 {
+				t.Fatal("zero cycles")
+			}
+		})
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	r := Suite[0]
+	a, err := Measure(r, testIters, mmdsfi.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(r, testIters, mmdsfi.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic cycle counts: %d vs %d", a, b)
+	}
+}
+
+func TestOverheadPositiveAndBounded(t *testing.T) {
+	var sum float64
+	for _, r := range Suite {
+		ov, err := Overhead(r, testIters, mmdsfi.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if ov <= 0 {
+			t.Errorf("%s: overhead %.1f%% not positive", r.Name, 100*ov)
+		}
+		if ov > 1.2 {
+			t.Errorf("%s: overhead %.1f%% implausibly high", r.Name, 100*ov)
+		}
+		sum += ov
+		t.Logf("%-11s %.1f%%", r.Name, 100*ov)
+	}
+	mean := sum / float64(len(Suite))
+	t.Logf("mean: %.1f%% (paper: 36.6%%)", 100*mean)
+	if mean < 0.10 || mean > 0.90 {
+		t.Fatalf("mean overhead %.1f%% far from the paper's regime", 100*mean)
+	}
+}
+
+func TestOptimizationsReduceOverhead(t *testing.T) {
+	naive := mmdsfi.Options{ConfineControl: true, ConfineLoads: true, ConfineStores: true}
+	for _, r := range Suite[:4] {
+		n, err := Overhead(r, testIters, naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := Overhead(r, testIters, mmdsfi.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o > n {
+			t.Errorf("%s: optimized overhead %.1f%% exceeds naive %.1f%%", r.Name, 100*o, 100*n)
+		}
+	}
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	// Selective confinement must cost less than full confinement.
+	r := Suite[1] // bzip2: memory heavy
+	full, err := Overhead(r, testIters, mmdsfi.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := Overhead(r, testIters, mmdsfi.Options{ConfineLoads: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores, err := Overhead(r, testIters, mmdsfi.Options{ConfineStores: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads >= full || stores >= full {
+		t.Fatalf("components (loads %.1f%%, stores %.1f%%) should be below full %.1f%%",
+			100*loads, 100*stores, 100*full)
+	}
+}

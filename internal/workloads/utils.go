@@ -1,0 +1,248 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/libos"
+	"repro/internal/ulib"
+)
+
+// The utility convention (the pipeline equivalent of stdin/stdout): every
+// filter reads its input from fd 4 and writes its output to fd 5. The
+// pipeline driver arranges fds 4/5 with dup2 before each spawn, the way a
+// shell arranges fds 0/1.
+//
+// The conventional fds live above the dynamic allocation range so that a
+// dup2 to them never collides with fds handed out by pipe2/open (the fd
+// allocator advances past explicit dup2 targets).
+const (
+	// FilterIn is the input fd of pipeline filters.
+	FilterIn = 60
+	// FilterOut is the output fd of pipeline filters.
+	FilterOut = 61
+	// ListenFD is the conventional fd of an inherited listening socket.
+	ListenFD = 62
+)
+
+const ioBufSize = 4096
+
+// filterProgram builds the read→transform→write loop shared by all
+// utilities. transform receives the builder positioned after a read that
+// left the byte count in R7 and the buffer symbol "iobuf"; it must
+// preserve R7 (the output length may be adjusted by writing R7).
+func filterProgram(pad int, transform func(b *asm.Builder)) (*asm.Program, error) {
+	b := asm.NewBuilder()
+	b.Zero("iobuf", ioBufSize)
+	if pad > 0 {
+		b.Bytes("binpad", make([]byte, pad))
+	}
+	b.Entry("_start")
+	ulib.Prologue(b)
+	b.Label("rdloop")
+	// n = read(FilterIn, iobuf, ioBufSize)
+	b.MovRI(isa.R1, FilterIn)
+	b.LeaData(isa.R2, "iobuf")
+	b.MovRI(isa.R3, ioBufSize)
+	ulib.Syscall(b, libos.SysRead)
+	b.MovRR(isa.R7, isa.R0)
+	b.CmpI(isa.R7, 0)
+	b.Jle("done")
+	if transform != nil {
+		transform(b)
+	}
+	// write(FilterOut, iobuf, n)
+	b.MovRI(isa.R1, FilterOut)
+	b.LeaData(isa.R2, "iobuf")
+	b.MovRR(isa.R3, isa.R7)
+	ulib.Syscall(b, libos.SysWrite)
+	b.Jmp("rdloop")
+	b.Label("done")
+	b.Nop()
+	ulib.Exit(b, 0)
+	return b.Finish()
+}
+
+// BuildCat builds the identity filter.
+func BuildCat() (*asm.Program, error) {
+	return filterProgram(0, nil)
+}
+
+// BuildOd builds an od-like byte transformer (xors every byte, standing
+// in for the octal-dump transformation of the UnixBench fish script).
+func BuildOd() (*asm.Program, error) {
+	return filterProgram(0, func(b *asm.Builder) {
+		// for i in 0..n-1: buf[i] ^= 0x55
+		b.LeaData(isa.R4, "iobuf")
+		b.MovRR(isa.R5, isa.R7)
+		b.Label("odloop")
+		b.CmpI(isa.R5, 0)
+		b.Jle("oddone")
+		b.LoadB(isa.R6, isa.Mem(isa.R4, 0))
+		b.XorI(isa.R6, 0x55)
+		b.StoreB(isa.Mem(isa.R4, 0), isa.R6)
+		b.AddI(isa.R4, 1)
+		b.SubI(isa.R5, 1)
+		b.Jmp("odloop")
+		b.Label("oddone")
+		b.Nop()
+	})
+}
+
+// BuildGrep builds a grep-like filter: it keeps only bytes ≥ 0x20,
+// compacting the buffer in place (line filtering at byte granularity).
+func BuildGrep() (*asm.Program, error) {
+	return filterProgram(0, func(b *asm.Builder) {
+		b.LeaData(isa.R4, "iobuf") // src cursor
+		b.LeaData(isa.R8, "iobuf") // dst cursor
+		b.MovRR(isa.R5, isa.R7)    // remaining
+		b.MovRI(isa.R9, 0)         // kept
+		b.Label("grloop")
+		b.CmpI(isa.R5, 0)
+		b.Jle("grdone")
+		b.LoadB(isa.R6, isa.Mem(isa.R4, 0))
+		b.CmpI(isa.R6, 0x20)
+		b.Jl("grskip")
+		b.StoreB(isa.Mem(isa.R8, 0), isa.R6)
+		b.AddI(isa.R8, 1)
+		b.AddI(isa.R9, 1)
+		b.Label("grskip")
+		b.AddI(isa.R4, 1)
+		b.SubI(isa.R5, 1)
+		b.Jmp("grloop")
+		b.Label("grdone")
+		b.MovRR(isa.R7, isa.R9) // new output length
+	})
+}
+
+// BuildSort builds a sort-like filter: each chunk is counting-sorted by
+// byte value (the byte-granular stand-in for UnixBench's sort stage).
+func BuildSort() (*asm.Program, error) {
+	b := asm.NewBuilder()
+	b.Zero("iobuf", ioBufSize)
+	b.Zero("counts", 256*8)
+	b.Entry("_start")
+	ulib.Prologue(b)
+	b.Label("rdloop")
+	b.MovRI(isa.R1, FilterIn)
+	b.LeaData(isa.R2, "iobuf")
+	b.MovRI(isa.R3, ioBufSize)
+	ulib.Syscall(b, libos.SysRead)
+	b.MovRR(isa.R7, isa.R0)
+	b.CmpI(isa.R7, 0)
+	b.Jle("done")
+
+	// Zero the count table.
+	b.LeaData(isa.R4, "counts")
+	b.MovRI(isa.R5, 256)
+	b.MovRI(isa.R6, 0)
+	b.Label("zloop")
+	b.Store(isa.Mem(isa.R4, 0), isa.R6)
+	b.AddI(isa.R4, 8)
+	b.SubI(isa.R5, 1)
+	b.CmpI(isa.R5, 0)
+	b.Jg("zloop")
+
+	// Count byte values.
+	b.LeaData(isa.R4, "iobuf")
+	b.MovRR(isa.R5, isa.R7)
+	b.Label("cloop")
+	b.LoadB(isa.R6, isa.Mem(isa.R4, 0))
+	b.ShlI(isa.R6, 3) // ×8
+	b.LeaData(isa.R8, "counts")
+	b.Add(isa.R8, isa.R6)
+	b.Load(isa.R9, isa.Mem(isa.R8, 0))
+	b.AddI(isa.R9, 1)
+	b.Store(isa.Mem(isa.R8, 0), isa.R9)
+	b.AddI(isa.R4, 1)
+	b.SubI(isa.R5, 1)
+	b.CmpI(isa.R5, 0)
+	b.Jg("cloop")
+
+	// Emit in order.
+	b.LeaData(isa.R4, "iobuf") // output cursor
+	b.MovRI(isa.R5, 0)         // byte value
+	b.Label("eloop")
+	b.MovRR(isa.R6, isa.R5)
+	b.ShlI(isa.R6, 3)
+	b.LeaData(isa.R8, "counts")
+	b.Add(isa.R8, isa.R6)
+	b.Load(isa.R9, isa.Mem(isa.R8, 0)) // count for value R5
+	b.Label("emitval")
+	b.CmpI(isa.R9, 0)
+	b.Jle("nextval")
+	b.StoreB(isa.Mem(isa.R4, 0), isa.R5)
+	b.AddI(isa.R4, 1)
+	b.SubI(isa.R9, 1)
+	b.Jmp("emitval")
+	b.Label("nextval")
+	b.AddI(isa.R5, 1)
+	b.CmpI(isa.R5, 256)
+	b.Jl("eloop")
+
+	// write(FilterOut, iobuf, n)
+	b.MovRI(isa.R1, FilterOut)
+	b.LeaData(isa.R2, "iobuf")
+	b.MovRR(isa.R3, isa.R7)
+	ulib.Syscall(b, libos.SysWrite)
+	b.Jmp("rdloop")
+	b.Label("done")
+	b.Nop()
+	ulib.Exit(b, 0)
+	return b.Finish()
+}
+
+// BuildWc builds a wc-like sink: it counts input bytes and writes the
+// 8-byte total at EOF.
+func BuildWc() (*asm.Program, error) {
+	b := asm.NewBuilder()
+	b.Zero("iobuf", ioBufSize)
+	b.Zero("total", 8)
+	b.Entry("_start")
+	ulib.Prologue(b)
+	b.MovRI(isa.R9, 0)
+	b.Label("rdloop")
+	b.MovRI(isa.R1, FilterIn)
+	b.LeaData(isa.R2, "iobuf")
+	b.MovRI(isa.R3, ioBufSize)
+	ulib.Syscall(b, libos.SysRead)
+	b.CmpI(isa.R0, 0)
+	b.Jle("done")
+	b.Add(isa.R9, isa.R0)
+	b.Jmp("rdloop")
+	b.Label("done")
+	b.StoreData("total", isa.R9)
+	b.MovRI(isa.R1, FilterOut)
+	b.LeaData(isa.R2, "total")
+	b.MovRI(isa.R3, 8)
+	ulib.Syscall(b, libos.SysWrite)
+	ulib.Exit(b, 0)
+	return b.Finish()
+}
+
+// BuildCompilerStage builds a GCC pipeline stage: a compute-heavy filter
+// that performs `work` arithmetic passes over each input chunk before
+// forwarding it. pad bytes of static data inflate the binary to realistic
+// compiler sizes (cc1 is 14 MB in the paper's Figure 6a).
+func BuildCompilerStage(work int, pad int) (*asm.Program, error) {
+	return filterProgram(pad, func(b *asm.Builder) {
+		b.MovRI(isa.R9, int64(work))
+		b.Label("workpass")
+		b.LeaData(isa.R4, "iobuf")
+		b.MovRR(isa.R5, isa.R7)
+		b.Label("wloop")
+		b.CmpI(isa.R5, 8)
+		b.Jl("wdone")
+		b.Load(isa.R6, isa.Mem(isa.R4, 0))
+		b.MulI(isa.R6, 31)
+		b.AddI(isa.R6, 17)
+		b.XorI(isa.R6, 0x5c5c5c)
+		b.Store(isa.Mem(isa.R4, 0), isa.R6)
+		b.AddI(isa.R4, 8)
+		b.SubI(isa.R5, 8)
+		b.Jmp("wloop")
+		b.Label("wdone")
+		b.SubI(isa.R9, 1)
+		b.CmpI(isa.R9, 0)
+		b.Jg("workpass")
+	})
+}

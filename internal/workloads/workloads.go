@@ -1,0 +1,154 @@
+// Package workloads builds the paper's application benchmarks — Fish
+// (process-intensive shell pipelines), GCC (CPU-intensive multi-stage
+// compilation) and Lighttpd (I/O-intensive web serving) — as OVM programs,
+// and provides a uniform Kernel interface so the same workload runs
+// unchanged on Occlum, on the EIP (Graphene-SGX-like) baseline and on the
+// native-Linux baseline.
+package workloads
+
+import (
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/eip"
+	"repro/internal/hostos"
+	"repro/internal/libos"
+	"repro/internal/linuxsim"
+)
+
+// Proc is a spawned process on any of the three systems.
+type Proc interface {
+	Wait() int
+	PID() int
+	Cycles() uint64
+}
+
+// Kernel abstracts the three systems under test.
+type Kernel interface {
+	// Name identifies the system in benchmark output.
+	Name() string
+	// InstallProgram compiles a program appropriately for this system
+	// (instrumented+verified for Occlum, plain for the baselines) and
+	// installs it at path.
+	InstallProgram(path string, prog *asm.Program) error
+	// WriteInput installs input data at path (at image-preparation
+	// time; the EIP filesystem is read-only afterwards).
+	WriteInput(path string, data []byte) error
+	// Spawn starts a process with the given stdout.
+	Spawn(path string, argv []string, stdout io.Writer) (Proc, error)
+	// Host returns the loopback network substrate.
+	Host() *hostos.Host
+}
+
+// --- Occlum adapter ----------------------------------------------------------
+
+// OcclumKernel adapts a booted Occlum system.
+type OcclumKernel struct {
+	Sys *core.System
+	TC  *core.Toolchain
+}
+
+// Name implements Kernel.
+func (k *OcclumKernel) Name() string { return "Occlum" }
+
+// InstallProgram compiles with full MMDSFI instrumentation, verifies,
+// signs and installs.
+func (k *OcclumKernel) InstallProgram(path string, prog *asm.Program) error {
+	return k.Sys.Install(k.TC, path, path, prog)
+}
+
+// WriteInput writes to the encrypted filesystem.
+func (k *OcclumKernel) WriteInput(path string, data []byte) error {
+	return k.Sys.WriteFile(path, data)
+}
+
+// Spawn starts a SIP.
+func (k *OcclumKernel) Spawn(path string, argv []string, stdout io.Writer) (Proc, error) {
+	opt := libos.SpawnOpt{}
+	if stdout != nil {
+		opt.Stdout = libos.NewWriterFile(stdout)
+	}
+	return k.Sys.OS.Spawn(path, argv, opt)
+}
+
+// Host implements Kernel.
+func (k *OcclumKernel) Host() *hostos.Host { return k.Sys.Host }
+
+// --- Linux adapter -----------------------------------------------------------
+
+// LinuxKernel adapts the native baseline.
+type LinuxKernel struct {
+	L  *linuxsim.Linux
+	TC *core.Toolchain
+}
+
+// Name implements Kernel.
+func (k *LinuxKernel) Name() string { return "Linux" }
+
+// InstallProgram links without instrumentation (native execution).
+func (k *LinuxKernel) InstallProgram(path string, prog *asm.Program) error {
+	bin, err := k.TC.CompileUnverified(path, prog)
+	if err != nil {
+		return err
+	}
+	k.L.InstallBinary(path, bin)
+	return nil
+}
+
+// WriteInput writes to the plaintext filesystem.
+func (k *LinuxKernel) WriteInput(path string, data []byte) error {
+	k.L.WriteFile(path, data)
+	return nil
+}
+
+// Spawn starts a native process.
+func (k *LinuxKernel) Spawn(path string, argv []string, stdout io.Writer) (Proc, error) {
+	opt := linuxsim.SpawnOpt{}
+	if stdout != nil {
+		opt.Stdout = libos.NewWriterFile(stdout)
+	}
+	return k.L.Spawn(path, argv, opt)
+}
+
+// Host implements Kernel.
+func (k *LinuxKernel) Host() *hostos.Host { return k.L.Host() }
+
+// --- EIP (Graphene-SGX-like) adapter ------------------------------------------
+
+// EIPKernel adapts the enclave-per-process baseline.
+type EIPKernel struct {
+	G  *eip.Graphene
+	TC *core.Toolchain
+}
+
+// Name implements Kernel.
+func (k *EIPKernel) Name() string { return "Graphene-SGX" }
+
+// InstallProgram links without instrumentation (Graphene applies no SFI).
+func (k *EIPKernel) InstallProgram(path string, prog *asm.Program) error {
+	bin, err := k.TC.CompileUnverified(path, prog)
+	if err != nil {
+		return err
+	}
+	k.G.InstallBinary(path, bin)
+	return nil
+}
+
+// WriteInput seals into the read-only protected FS.
+func (k *EIPKernel) WriteInput(path string, data []byte) error {
+	k.G.InstallFile(path, data)
+	return nil
+}
+
+// Spawn starts an EIP (creating a fresh enclave).
+func (k *EIPKernel) Spawn(path string, argv []string, stdout io.Writer) (Proc, error) {
+	opt := eip.SpawnOpt{}
+	if stdout != nil {
+		opt.Stdout = libos.NewWriterFile(stdout)
+	}
+	return k.G.Spawn(path, argv, opt)
+}
+
+// Host implements Kernel.
+func (k *EIPKernel) Host() *hostos.Host { return k.G.Host() }
