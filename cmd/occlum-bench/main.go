@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	occlum-bench [-scale quick|full] [experiment ...]
+//	occlum-bench [-scale quick|full] [-vmstats] [experiment ...]
 //
 // With no arguments, all experiments run. Experiments: fig5a fig5b fig5c
-// fig6a fig6b fig6c fig6d fig7a fig7b ripe table1.
+// fig6a fig6b fig6c fig6d fig7a fig7b ripe table1. With -vmstats, each
+// experiment also reports the OVM basic-block translation-cache counters
+// (blocks decoded, hits, misses, flushes) aggregated over every
+// simulated hart.
 package main
 
 import (
@@ -20,7 +23,9 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
+	vmStats := flag.Bool("vmstats", false, "report OVM translation-cache counters per experiment")
 	flag.Parse()
+	bench.VMStats = *vmStats
 
 	var scale bench.Scale
 	switch *scaleName {

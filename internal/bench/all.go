@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/vm"
 )
 
 // Experiment names accepted by Run.
@@ -13,9 +15,26 @@ var Experiments = []string{
 	"ripe", "table1",
 }
 
+// VMStats, when true, makes Run report the OVM translation-cache
+// counters (blocks decoded, hits, misses, flushes) accumulated across
+// every simulated hart during each experiment. Enabled by
+// occlum-bench -vmstats.
+var VMStats bool
+
 // Run executes one named experiment at the given scale, printing its
 // table to w.
 func Run(name string, s Scale, w io.Writer) error {
+	if VMStats {
+		vm.ResetGlobalCacheStats()
+	}
+	err := run(name, s, w)
+	if err == nil && VMStats {
+		fmt.Fprintf(w, "  [vm cache: %v]\n", vm.GlobalCacheStats())
+	}
+	return err
+}
+
+func run(name string, s Scale, w io.Writer) error {
 	var (
 		t   *Table
 		err error

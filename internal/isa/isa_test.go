@@ -284,3 +284,29 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+func TestEndsBlock(t *testing.T) {
+	// Every control transfer ends a basic block, as does every
+	// instruction that unconditionally stops the hart when executed.
+	for op := OpInvalid + 1; op < Op(NumOps); op++ {
+		want := op.IsControlTransfer()
+		switch op {
+		case OpTrap, OpHalt, OpEExit, OpEAccept, OpEModPE:
+			want = true
+		}
+		if got := op.EndsBlock(); got != want {
+			t.Errorf("%s.EndsBlock() = %v, want %v", op, got, want)
+		}
+	}
+	// Spot checks for the ops the vm's translate loop depends on.
+	for _, op := range []Op{OpJmp, OpJe, OpLoop, OpCall, OpJmpR, OpRet, OpTrap, OpHalt} {
+		if !op.EndsBlock() {
+			t.Errorf("%s must end a block", op)
+		}
+	}
+	for _, op := range []Op{OpNop, OpMovRI, OpAddRR, OpLoad, OpStore, OpBndCL, OpXRstor, OpCFILabel} {
+		if op.EndsBlock() {
+			t.Errorf("%s must not end a block", op)
+		}
+	}
+}

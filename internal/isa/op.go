@@ -288,6 +288,23 @@ func (op Op) IsUncondTransfer() bool {
 	return false
 }
 
+// EndsBlock reports whether op terminates a basic block for straight-line
+// decode: every control transfer, plus the instructions that
+// unconditionally stop the hart when executed — trap/halt/eexit and the
+// SGX 2.0 instructions that raise #UD under the SGX 1.0 model. The vm's
+// translation cache decodes forward from a block head until the first
+// instruction for which this reports true.
+func (op Op) EndsBlock() bool {
+	if op.IsControlTransfer() {
+		return true
+	}
+	switch op {
+	case OpTrap, OpHalt, OpEExit, OpEAccept, OpEModPE:
+		return true
+	}
+	return false
+}
+
 // IsDangerous reports whether Stage 2 of the verifier must reject op: the
 // SGX, MPX-mutating and miscellaneous privileged instructions of the
 // paper's §5 plus the LibOS syscall gate.

@@ -315,10 +315,10 @@ func (p *Proc) writeUserBytes(addr uint64, b []byte) error {
 	if !p.inData(addr, uint64(len(b))) {
 		return errors.New("libos: user pointer outside domain data region")
 	}
-	// WriteAt is permission-checked and does not invalidate decoded-
-	// instruction caches: user data pages are never executable, so a
-	// syscall result landing there cannot change code. (WriteDirect
-	// would flush every SIP's icache on every syscall.)
+	// WriteAt is permission-checked, which is the point here: syscall
+	// results may only land in the SIP's (never-executable) data pages.
+	// Translated-code caches are unaffected either way — generation
+	// stamps are page-granular, and these pages hold no code.
 	if f := p.os.enclave.WriteAt(addr, b); f != nil {
 		return f
 	}

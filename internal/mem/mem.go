@@ -13,6 +13,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // PageSize is the page granularity, matching SGX EPC pages.
@@ -99,9 +100,22 @@ type Paged struct {
 	data  []byte
 	perms []Perm // one per page; 0 means unmapped
 
-	// gen counts trusted mutations of mapped code/data; virtual CPUs
-	// use it to invalidate their decoded-instruction caches.
-	gen uint64
+	// gen is a monotonic sequence number of code-affecting mutations:
+	// mapping changes, trusted writes, and stores that hit an executable
+	// page. pageGen records, per page, the gen value of the last such
+	// mutation touching that page, so virtual CPUs can invalidate their
+	// translated-code caches at page granularity — a store to a data
+	// page never disturbs the generation of a code page.
+	//
+	// Both are maintained with atomics, and every mutator writes its
+	// bytes (or permissions) BEFORE stamping: SIP harts in one enclave
+	// share a Paged and may mutate concurrently with the LibOS. The
+	// write-then-stamp order gives translators a sound protocol — read
+	// Generation() before decoding, and treat any span stamp above that
+	// snapshot as an invalidation — under which a decode that raced a
+	// mutation can never be cached with a generation that hides it.
+	gen     atomic.Uint64
+	pageGen []uint64 // elements accessed atomically
 }
 
 // NewPaged creates a memory of size bytes (rounded up to a whole number of
@@ -113,9 +127,10 @@ func NewPaged(base, size uint64) *Paged {
 	}
 	npages := (size + PageSize - 1) / PageSize
 	return &Paged{
-		base:  base,
-		data:  make([]byte, npages*PageSize),
-		perms: make([]Perm, npages),
+		base:    base,
+		data:    make([]byte, npages*PageSize),
+		perms:   make([]Perm, npages),
+		pageGen: make([]uint64, npages),
 	}
 }
 
@@ -128,10 +143,68 @@ func (m *Paged) Size() uint64 { return uint64(len(m.data)) }
 // Limit returns one past the highest virtual address.
 func (m *Paged) Limit() uint64 { return m.base + uint64(len(m.data)) }
 
-// Generation returns the trusted-mutation counter. It increases whenever
-// the mapping or contents are changed through trusted interfaces (Map,
-// SetPerm, WriteDirect), signalling decoded-instruction caches to flush.
-func (m *Paged) Generation() uint64 { return m.gen }
+// Generation returns the global mutation counter. It increases whenever
+// the mapping is changed (Map), contents are changed through trusted
+// interfaces (WriteDirect), or an untrusted store hits an executable
+// page — every event after which previously decoded code may be stale.
+func (m *Paged) Generation() uint64 { return m.gen.Load() }
+
+// GenerationOf returns the mutation generation of the span
+// [addr, addr+n): the largest per-page generation over the pages the
+// span overlaps. Translated-code caches snapshot this value when
+// decoding a block and treat any later change as an invalidation
+// signal; mutations of pages outside the span leave it untouched.
+// A degenerate or out-of-range span reports 0.
+func (m *Paged) GenerationOf(addr uint64, n int) uint64 {
+	if n <= 0 || !m.Contains(addr, n) {
+		return 0
+	}
+	first, last := m.pageIndex(addr), m.pageIndex(addr+uint64(n)-1)
+	var g uint64
+	for i := first; i <= last; i++ {
+		if pg := atomic.LoadUint64(&m.pageGen[i]); pg > g {
+			g = pg
+		}
+	}
+	return g
+}
+
+// stamp records one mutation touching pages [first, last].
+func (m *Paged) stamp(first, last int) {
+	g := m.gen.Add(1)
+	for i := first; i <= last; i++ {
+		storeMax(&m.pageGen[i], g)
+	}
+}
+
+// storeMax publishes g to *p unless a concurrent stamper already
+// published a later one — a blind store could bury a newer stamp under
+// an older value and hide that mutation from translators forever.
+func storeMax(p *uint64, g uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if old >= g || atomic.CompareAndSwapUint64(p, old, g) {
+			return
+		}
+	}
+}
+
+// stampExec records a store to [addr, addr+n) on whichever of its pages
+// are executable. Stores to plain data pages leave every generation
+// untouched (they cannot stale decoded code); stores through a
+// writable+executable mapping — self-modifying code, as in a LibOS
+// loader pool — invalidate exactly the pages written.
+func (m *Paged) stampExec(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	first, last := m.pageIndex(addr), m.pageIndex(addr+uint64(n)-1)
+	for i := first; i <= last; i++ {
+		if m.perms[i]&PermX != 0 {
+			storeMax(&m.pageGen[i], m.gen.Add(1))
+		}
+	}
+}
 
 // Contains reports whether [addr, addr+n) lies inside the virtual range.
 func (m *Paged) Contains(addr uint64, n int) bool {
@@ -154,7 +227,7 @@ func (m *Paged) Map(addr uint64, n uint64, perm Perm) error {
 	for i := first; i <= last; i++ {
 		m.perms[i] = perm
 	}
-	m.gen++
+	m.stamp(first, last)
 	return nil
 }
 
@@ -230,11 +303,12 @@ func (m *Paged) Store(addr uint64, n int, v uint64) *Fault {
 	off := addr - m.base
 	if n == 1 {
 		m.data[off] = byte(v)
-		return nil
+	} else {
+		b := m.data[off : off+8]
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
 	}
-	b := m.data[off : off+8]
-	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+	m.stampExec(addr, n)
 	return nil
 }
 
@@ -262,10 +336,14 @@ func (m *Paged) ReadAt(addr uint64, n int) ([]byte, *Fault) {
 
 // WriteAt copies b to addr, checking write permission.
 func (m *Paged) WriteAt(addr uint64, b []byte) *Fault {
+	if len(b) == 0 {
+		return nil
+	}
 	if f := m.check(addr, len(b), AccessWrite); f != nil {
 		return f
 	}
 	copy(m.data[addr-m.base:], b)
+	m.stampExec(addr, len(b))
 	return nil
 }
 
@@ -280,12 +358,15 @@ func (m *Paged) ReadDirect(addr uint64, n int) ([]byte, error) {
 }
 
 // WriteDirect writes b at addr with no permission checks (trusted loader
-// and LibOS writes) and bumps the generation counter.
+// and LibOS writes) and bumps the generation of the pages written.
 func (m *Paged) WriteDirect(addr uint64, b []byte) error {
 	if !m.Contains(addr, len(b)) {
 		return fmt.Errorf("%w: direct write [%#x,+%d)", ErrRange, addr, len(b))
 	}
+	if len(b) == 0 {
+		return nil
+	}
 	copy(m.data[addr-m.base:], b)
-	m.gen++
+	m.stamp(m.pageIndex(addr), m.pageIndex(addr+uint64(len(b))-1))
 	return nil
 }

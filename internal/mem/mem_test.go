@@ -123,15 +123,86 @@ func TestGenerationBumps(t *testing.T) {
 	if m.Generation() == g1 {
 		t.Fatal("Map should bump generation")
 	}
-	// Untrusted stores do not bump the generation (they cannot change
-	// executable bytes unless the page is both W and X, in which case
-	// the verified-code invariant is the toolchain's concern).
+	// Untrusted stores to plain data pages do not bump the generation:
+	// they cannot change executable bytes.
 	g2 := m.Generation()
 	if f := m.Store(m.Base()+PageSize, 8, 7); f != nil {
 		t.Fatal(f)
 	}
 	if m.Generation() != g2 {
-		t.Fatal("Store should not bump generation")
+		t.Fatal("Store to a data page should not bump generation")
+	}
+	// A store through a writable+executable mapping is self-modifying
+	// code and must bump the generation.
+	if err := m.Map(m.Base()+10*PageSize, PageSize, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	g3 := m.Generation()
+	if f := m.Store(m.Base()+10*PageSize, 8, 7); f != nil {
+		t.Fatal(f)
+	}
+	if m.Generation() == g3 {
+		t.Fatal("Store to a writable+executable page should bump generation")
+	}
+}
+
+func TestGenerationOfPageGranular(t *testing.T) {
+	m := newTest(t) // pages 0-3 RW (data), pages 8-9 RX (code)
+	data := m.Base()
+	code := m.Base() + 8*PageSize
+
+	gCode := m.GenerationOf(code, 2*PageSize)
+	gData := m.GenerationOf(data, PageSize)
+
+	// A trusted write to a data page advances that page's generation
+	// but leaves the code span untouched.
+	if err := m.WriteDirect(data, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.GenerationOf(code, 2*PageSize); got != gCode {
+		t.Fatalf("code span generation moved on data write: %d -> %d", gCode, got)
+	}
+	if got := m.GenerationOf(data, PageSize); got == gData {
+		t.Fatal("data span generation did not move on data write")
+	}
+
+	// Untrusted stores to data pages move no generation at all.
+	gCode = m.GenerationOf(code, 2*PageSize)
+	gData = m.GenerationOf(data, PageSize)
+	if f := m.Store(data+8, 8, 42); f != nil {
+		t.Fatal(f)
+	}
+	if m.GenerationOf(data, PageSize) != gData || m.GenerationOf(code, 2*PageSize) != gCode {
+		t.Fatal("untrusted data store moved a generation")
+	}
+
+	// Remapping the code span advances it.
+	if err := m.Map(code, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.GenerationOf(code, 2*PageSize); got == gCode {
+		t.Fatal("code span generation did not move on remap")
+	}
+
+	// A WriteAt through a writable+executable page advances it.
+	if err := m.Map(m.Base()+10*PageSize, PageSize, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	rwx := m.Base() + 10*PageSize
+	gRWX := m.GenerationOf(rwx, PageSize)
+	if f := m.WriteAt(rwx, []byte{0xCC}); f != nil {
+		t.Fatal(f)
+	}
+	if got := m.GenerationOf(rwx, PageSize); got == gRWX {
+		t.Fatal("rwx span generation did not move on WriteAt")
+	}
+
+	// Degenerate spans report zero.
+	if got := m.GenerationOf(m.Base(), 0); got != 0 {
+		t.Fatalf("empty span generation = %d, want 0", got)
+	}
+	if got := m.GenerationOf(m.Limit(), 8); got != 0 {
+		t.Fatalf("out-of-range span generation = %d, want 0", got)
 	}
 }
 

@@ -1,0 +1,95 @@
+package ulib_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/libos"
+	"repro/internal/ulib"
+)
+
+// run builds a program with f, installs it through the full toolchain
+// (instrument, sign, verify), spawns it as a SIP and returns its stdout
+// and exit status.
+func run(t *testing.T, f func(b *asm.Builder)) (string, int) {
+	t.Helper()
+	b := asm.NewBuilder()
+	f(b)
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	tc := core.NewToolchain()
+	sys, err := core.BootSystem(core.SystemConfig{Stdout: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.OS.Shutdown()
+	if err := sys.Install(tc, "/bin/prog", "prog", prog); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.OS.Spawn("/bin/prog", nil, libos.SpawnOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := p.Wait()
+	return out.String(), status
+}
+
+func TestPrologueWriteStrExit(t *testing.T) {
+	const msg = "ulib says hi\n"
+	out, status := run(t, func(b *asm.Builder) {
+		b.String("msg", msg)
+		b.Entry("_start")
+		ulib.Prologue(b)
+		ulib.WriteStr(b, 1, "msg", int64(len(msg)))
+		ulib.Exit(b, 3)
+	})
+	if out != msg {
+		t.Fatalf("stdout = %q, want %q", out, msg)
+	}
+	if status != 3 {
+		t.Fatalf("exit status = %d, want 3", status)
+	}
+}
+
+func TestExitR(t *testing.T) {
+	_, status := run(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		ulib.Prologue(b)
+		b.MovRI(isa.R7, 21)
+		b.AddI(isa.R7, 21)
+		ulib.ExitR(b, isa.R7)
+	})
+	if status != 42 {
+		t.Fatalf("exit status = %d, want 42", status)
+	}
+}
+
+func TestMemcpyAndWrite(t *testing.T) {
+	const msg = "0123456789abcdef" // 16 bytes, a multiple of the word size
+	out, status := run(t, func(b *asm.Builder) {
+		b.String("src", msg)
+		b.Zero("dst", len(msg))
+		b.Entry("_start")
+		ulib.Prologue(b)
+		b.LeaData(isa.R4, "dst")
+		b.LeaData(isa.R5, "src")
+		b.MovRI(isa.R6, int64(len(msg)))
+		ulib.Memcpy(b, isa.R4, isa.R5, isa.R6, "t")
+		b.LeaData(isa.R2, "dst")
+		b.MovRI(isa.R3, int64(len(msg)))
+		ulib.Write(b, 1, isa.R2, isa.R3)
+		ulib.Exit(b, 0)
+	})
+	if out != msg {
+		t.Fatalf("stdout = %q, want %q (Memcpy corrupted the buffer)", out, msg)
+	}
+	if status != 0 {
+		t.Fatalf("exit status = %d, want 0", status)
+	}
+}

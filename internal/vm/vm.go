@@ -12,10 +12,38 @@
 // The CPU counts retired instructions as "cycles". Because MMDSFI's
 // instrumentation inserts extra instructions, the SPECint-style overhead
 // figures (paper Figure 7) fall out of cycle counts deterministically.
+//
+// # Translation cache
+//
+// Run executes through a basic-block translation cache: the first time
+// execution reaches a PC, the straight-line run of instructions starting
+// there is decoded once — up to the first control transfer, trap, or
+// privileged stop (isa.Op.EndsBlock), or a length cap — and stored with
+// precomputed successor PCs. Subsequent visits execute the whole
+// pre-decoded block in a tight loop, paying one cache lookup per block
+// instead of one per instruction, exactly like a mini-JIT without code
+// generation.
+//
+// Blocks are invalidated through the page-granular generation counters of
+// mem.Paged: each block snapshots the global generation before decoding
+// and is re-decoded once any page it spans carries a later stamp (any
+// remap or rewrite, including one racing the decode itself — mutators
+// write bytes before stamping, see block.gen). Stores to plain data pages
+// leave code generations untouched,
+// so data traffic never flushes translated code; a store through a
+// writable+executable mapping (self-modifying code) invalidates exactly
+// the pages written, taking effect at the next block boundary — the same
+// granularity at which real hardware requires a serializing control
+// transfer after code modification.
+//
+// Step remains the uncached single-instruction slow path, used by Run to
+// materialize fetch faults and kept as the precise-execution API for the
+// verifier and tests.
 package vm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -102,9 +130,95 @@ func (s Stop) String() string {
 	return fmt.Sprintf("%s at pc=%#x", s.Reason, s.PC)
 }
 
-type icacheEntry struct {
-	inst isa.Inst
-	len  int
+// Translation-cache tuning.
+const (
+	// maxBlockInsts caps the instructions decoded into one basic block.
+	// MMDSFI-instrumented straight-line runs are short (guards every few
+	// instructions are still straight-line; branches end blocks), so the
+	// cap exists only to bound decode-ahead past data mistaken for code.
+	maxBlockInsts = 64
+	// maxBlocks caps the cached blocks per CPU before the whole cache is
+	// discarded — a memory bound for pathological code, not a hot path.
+	maxBlocks = 1 << 14
+)
+
+// block is one translated basic block: the decoded straight-line
+// instruction run starting at start, ending with the first terminator
+// (isa.Op.EndsBlock) or at the maxBlockInsts cap.
+type block struct {
+	start uint64 // PC of insts[0]
+	size  uint64 // total encoded length in bytes
+	// gen is Mem.Generation() sampled BEFORE decoding. Because every
+	// memory mutator writes bytes before stamping, any mutation whose
+	// new bytes this block could have missed stamps its pages with a
+	// value strictly above this snapshot — so the block is valid while
+	// GenerationOf(start, size) <= gen, even against mutations racing
+	// the decode itself.
+	gen   uint64
+	insts []isa.Inst
+	// nexts[i] is the address of the instruction after insts[i]: the
+	// fall-through PC, and the base for PC-relative operands.
+	nexts []uint64
+}
+
+// CacheStats counts translation-cache events. All counters are
+// cumulative; hit rate is Hits / (Hits + Misses).
+type CacheStats struct {
+	// Blocks is the number of basic blocks decoded (translated).
+	Blocks uint64
+	// Hits counts block lookups served from the cache.
+	Hits uint64
+	// Misses counts block lookups that had to decode.
+	Misses uint64
+	// Flushes counts blocks discarded because the memory generation of
+	// their span changed (remap or code rewrite) or the cache overflowed.
+	Flushes uint64
+}
+
+// String renders the counters in one line.
+func (s CacheStats) String() string {
+	rate := 0.0
+	if n := s.Hits + s.Misses; n > 0 {
+		rate = 100 * float64(s.Hits) / float64(n)
+	}
+	return fmt.Sprintf("blocks=%d hits=%d misses=%d flushes=%d hit-rate=%.2f%%",
+		s.Blocks, s.Hits, s.Misses, s.Flushes, rate)
+}
+
+func (s CacheStats) sub(o CacheStats) CacheStats {
+	return CacheStats{
+		Blocks:  s.Blocks - o.Blocks,
+		Hits:    s.Hits - o.Hits,
+		Misses:  s.Misses - o.Misses,
+		Flushes: s.Flushes - o.Flushes,
+	}
+}
+
+// globalStats aggregates cache counters across every CPU in the process,
+// so benchmark drivers can report totals without owning the CPUs (each
+// simulated kernel creates its own harts internally).
+var globalStats struct {
+	blocks, hits, misses, flushes atomic.Uint64
+}
+
+// GlobalCacheStats returns the process-wide translation-cache totals,
+// accumulated from every CPU at each Run return.
+func GlobalCacheStats() CacheStats {
+	return CacheStats{
+		Blocks:  globalStats.blocks.Load(),
+		Hits:    globalStats.hits.Load(),
+		Misses:  globalStats.misses.Load(),
+		Flushes: globalStats.flushes.Load(),
+	}
+}
+
+// ResetGlobalCacheStats zeroes the process-wide totals (between
+// benchmark experiments).
+func ResetGlobalCacheStats() {
+	globalStats.blocks.Store(0)
+	globalStats.hits.Store(0)
+	globalStats.misses.Store(0)
+	globalStats.flushes.Store(0)
 }
 
 // CPU is one OVM hart. It is not safe for concurrent use; each SGX thread
@@ -125,17 +239,19 @@ type CPU struct {
 	// Cycles counts retired instructions.
 	Cycles uint64
 
-	icache map[uint64]icacheEntry
-	icgen  uint64
+	blocks    map[uint64]*block
+	stats     CacheStats
+	published CacheStats // portion of stats already added to the globals
+	stop      Stop       // set by exec when it stops the hart
 }
 
 // New creates a CPU over m with zeroed state.
 func New(m *mem.Paged) *CPU {
-	return &CPU{Mem: m, icache: make(map[uint64]icacheEntry)}
+	return &CPU{Mem: m, blocks: make(map[uint64]*block)}
 }
 
-// Reset clears registers, flags and cycle count (but not the icache, which
-// is keyed to memory generation).
+// Reset clears registers, flags and cycle count (but not the translation
+// cache, which is keyed to memory generations).
 func (c *CPU) Reset() {
 	c.Regs = [isa.NumRegs]uint64{}
 	c.PC, c.Cycles = 0, 0
@@ -143,14 +259,27 @@ func (c *CPU) Reset() {
 	c.Bnd = mpx.File{}
 }
 
+// CacheStats returns this CPU's cumulative translation-cache counters.
+func (c *CPU) CacheStats() CacheStats { return c.stats }
+
+// publishStats adds the counter deltas since the last publish to the
+// process-wide totals. Called once per Run return, so the atomics stay
+// off the per-instruction and per-block paths.
+func (c *CPU) publishStats() {
+	d := c.stats.sub(c.published)
+	if d == (CacheStats{}) {
+		return
+	}
+	globalStats.blocks.Add(d.Blocks)
+	globalStats.hits.Add(d.Hits)
+	globalStats.misses.Add(d.Misses)
+	globalStats.flushes.Add(d.Flushes)
+	c.published = c.stats
+}
+
+// fetch decodes the single instruction at addr, applying the
+// execute-permission check to every byte fetched.
 func (c *CPU) fetch(addr uint64) (isa.Inst, int, *mem.Fault, error) {
-	if g := c.Mem.Generation(); g != c.icgen {
-		clear(c.icache)
-		c.icgen = g
-	}
-	if e, ok := c.icache[addr]; ok {
-		return e.inst, e.len, nil, nil
-	}
 	// Peek the opcode byte to learn the length, then fetch the whole
 	// instruction with the execute-permission check.
 	b, f := c.Mem.Fetch(addr, 1)
@@ -170,8 +299,133 @@ func (c *CPU) fetch(addr uint64) (isa.Inst, int, *mem.Fault, error) {
 	if err != nil {
 		return isa.Inst{}, 0, nil, err
 	}
-	c.icache[addr] = icacheEntry{inst: in, len: n}
 	return in, n, nil, nil
+}
+
+// lookup returns a valid translated block starting at pc, translating or
+// re-translating as needed. It returns nil when the first fetch at pc
+// faults or decodes to garbage; the caller takes the Step slow path to
+// materialize the exception.
+func (c *CPU) lookup(pc uint64) *block {
+	if b, ok := c.blocks[pc]; ok {
+		if c.Mem.GenerationOf(b.start, int(b.size)) <= b.gen {
+			c.stats.Hits++
+			return b
+		}
+		delete(c.blocks, pc)
+		c.stats.Flushes++
+	}
+	c.stats.Misses++
+	return c.translate(pc)
+}
+
+// translate decodes the basic block starting at pc and caches it.
+func (c *CPU) translate(pc uint64) *block {
+	// The generation snapshot must precede the byte fetches: see the
+	// block.gen comment for the ordering argument.
+	b := &block{start: pc, gen: c.Mem.Generation()}
+	addr := pc
+	for len(b.insts) < maxBlockInsts {
+		in, n, fault, err := c.fetch(addr)
+		if fault != nil || err != nil {
+			// The block ends before the undecodable instruction; if
+			// execution falls through to it, the next lookup fails and
+			// Step raises the exception.
+			break
+		}
+		addr += uint64(n)
+		b.insts = append(b.insts, in)
+		b.nexts = append(b.nexts, addr)
+		if in.Op.EndsBlock() {
+			break
+		}
+	}
+	if len(b.insts) == 0 {
+		return nil
+	}
+	b.size = addr - pc
+	if len(c.blocks) >= maxBlocks {
+		c.stats.Flushes += uint64(len(c.blocks))
+		clear(c.blocks)
+	}
+	c.blocks[pc] = b
+	c.stats.Blocks++
+	return b
+}
+
+// Run executes instructions until a trap, halt, eexit, exception, or until
+// maxCycles more instructions have retired (0 means no budget). It returns
+// the reason for stopping. After StopTrap the PC addresses the instruction
+// after the trap, so resuming continues past it.
+func (c *CPU) Run(maxCycles uint64) Stop {
+	st := c.run(maxCycles)
+	c.publishStats()
+	return st
+}
+
+func (c *CPU) run(maxCycles uint64) Stop {
+	budget := ^uint64(0)
+	if maxCycles > 0 {
+		budget = maxCycles
+	}
+	for budget > 0 {
+		b := c.lookup(c.PC)
+		if b == nil {
+			budget--
+			if stop, done := c.Step(); done {
+				return stop
+			}
+			continue
+		}
+		// Execute the block, clipped to the remaining budget. Only the
+		// final instruction of a block can redirect control, so a
+		// clipped prefix always falls through and leaves PC at the next
+		// unexecuted instruction — Run(maxCycles) semantics are exact.
+		n := len(b.insts)
+		if uint64(n) > budget {
+			n = int(budget)
+		}
+		if c.runBlock(b, n) {
+			return c.stop
+		}
+		budget -= uint64(n)
+	}
+	return Stop{Reason: StopCycles, PC: c.PC}
+}
+
+// runBlock executes the first n instructions of b. It reports true when
+// the hart stopped (c.stop holds the reason); otherwise the whole prefix
+// retired and c.PC is the follow-on instruction.
+func (c *CPU) runBlock(b *block, n int) bool {
+	pc := b.start
+	for i := 0; i < n; i++ {
+		next := b.nexts[i]
+		if c.exec(&b.insts[i], pc, next) {
+			return true
+		}
+		pc = next
+	}
+	return false
+}
+
+// Step executes a single instruction at PC, bypassing the translation
+// cache: the precise slow path used by Run to materialize fetch faults
+// and kept as the single-instruction API for the verifier and tests.
+// done is false when execution should simply continue with the next
+// instruction.
+func (c *CPU) Step() (Stop, bool) {
+	pc := c.PC
+	in, n, fault, err := c.fetch(pc)
+	if fault != nil {
+		return Stop{Reason: StopException, Exc: ExcPage, Fault: fault, PC: pc}, true
+	}
+	if err != nil {
+		return Stop{Reason: StopException, Exc: ExcInvalid, PC: pc}, true
+	}
+	if c.exec(&in, pc, pc+uint64(n)) {
+		return c.stop, true
+	}
+	return Stop{}, false
 }
 
 // ea computes the effective address of a memory operand given the address
@@ -191,46 +445,36 @@ func (c *CPU) ea(m isa.MemRef, next uint64) uint64 {
 	return a + uint64(int64(m.Disp))
 }
 
-// Run executes instructions until a trap, halt, eexit, exception, or until
-// maxCycles more instructions have retired (0 means no budget). It returns
-// the reason for stopping. After StopTrap the PC addresses the instruction
-// after the trap, so resuming continues past it.
-func (c *CPU) Run(maxCycles uint64) Stop {
-	budget := ^uint64(0)
-	if maxCycles > 0 {
-		budget = maxCycles
-	}
-	for budget > 0 {
-		budget--
-		stop, done := c.Step()
-		if done {
-			return stop
-		}
-	}
-	return Stop{Reason: StopCycles, PC: c.PC}
+// Exception raisers for exec: they fill c.stop and report "stopped" so
+// the hot path never copies a Stop struct for instructions that retire
+// normally.
+
+func (c *CPU) pageFault(f *mem.Fault, pc uint64) bool {
+	c.stop = Stop{Reason: StopException, Exc: ExcPage, Fault: f, PC: pc}
+	return true
 }
 
-// Step executes a single instruction. done is false when execution should
-// simply continue with the next instruction.
-func (c *CPU) Step() (Stop, bool) {
-	pc := c.PC
-	in, n, fault, err := c.fetch(pc)
-	if fault != nil {
-		return Stop{Reason: StopException, Exc: ExcPage, Fault: fault, PC: pc}, true
-	}
-	if err != nil {
-		return Stop{Reason: StopException, Exc: ExcInvalid, PC: pc}, true
-	}
-	next := pc + uint64(n)
-	c.Cycles++
+func (c *CPU) boundFault(pc uint64) bool {
+	c.stop = Stop{Reason: StopException, Exc: ExcBound, PC: pc}
+	return true
+}
 
-	// Helpers that raise exceptions at this pc.
-	pf := func(f *mem.Fault) (Stop, bool) {
-		return Stop{Reason: StopException, Exc: ExcPage, Fault: f, PC: pc}, true
-	}
-	br := func() (Stop, bool) {
-		return Stop{Reason: StopException, Exc: ExcBound, PC: pc}, true
-	}
+func (c *CPU) halted(reason StopReason, next uint64) bool {
+	c.PC = next
+	c.stop = Stop{Reason: reason, PC: next}
+	return true
+}
+
+func (c *CPU) invalid(pc uint64) bool {
+	c.stop = Stop{Reason: StopException, Exc: ExcInvalid, PC: pc}
+	return true
+}
+
+// exec executes one decoded instruction located at pc whose successor is
+// next. It reports true when the hart stopped, with the reason in c.stop;
+// on fall-through it advances PC to next and reports false.
+func (c *CPU) exec(in *isa.Inst, pc, next uint64) bool {
+	c.Cycles++
 
 	switch in.Op {
 	case isa.OpMovRI:
@@ -244,7 +488,7 @@ func (c *CPU) Step() (Stop, bool) {
 		}
 		v, f := c.Mem.Load(c.ea(in.Mem, next), size)
 		if f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 		c.Regs[in.R1] = v
 	case isa.OpStore, isa.OpStoreB:
@@ -253,24 +497,24 @@ func (c *CPU) Step() (Stop, bool) {
 			size = 1
 		}
 		if f := c.Mem.Store(c.ea(in.Mem, next), size, c.Regs[in.R1]); f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 	case isa.OpLea:
 		c.Regs[in.R1] = c.ea(in.Mem, next)
 	case isa.OpPush:
 		if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, c.Regs[in.R1]); f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 		c.Regs[isa.SP] -= 8
 	case isa.OpPushI:
 		if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, uint64(in.Imm)); f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 		c.Regs[isa.SP] -= 8
 	case isa.OpPop:
 		v, f := c.Mem.Load(c.Regs[isa.SP], 8)
 		if f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 		c.Regs[isa.SP] += 8
 		c.Regs[in.R1] = v
@@ -284,7 +528,8 @@ func (c *CPU) Step() (Stop, bool) {
 	case isa.OpDivRR, isa.OpModRR:
 		d := int64(c.Regs[in.R2])
 		if d == 0 {
-			return Stop{Reason: StopException, Exc: ExcDivide, PC: pc}, true
+			c.stop = Stop{Reason: StopException, Exc: ExcDivide, PC: pc}
+			return true
 		}
 		if in.Op == isa.OpDivRR {
 			c.Regs[in.R1] = uint64(int64(c.Regs[in.R1]) / d)
@@ -331,72 +576,72 @@ func (c *CPU) Step() (Stop, bool) {
 
 	case isa.OpJmp:
 		c.PC = next + uint64(in.Imm)
-		return Stop{}, false
+		return false
 	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge, isa.OpJb, isa.OpJae:
 		if c.cond(in.Op) {
 			c.PC = next + uint64(in.Imm)
-			return Stop{}, false
+			return false
 		}
 	case isa.OpLoop:
 		c.Regs[isa.R1]--
 		if c.Regs[isa.R1] != 0 {
 			c.PC = next + uint64(in.Imm)
-			return Stop{}, false
+			return false
 		}
 	case isa.OpCall:
 		if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 		c.Regs[isa.SP] -= 8
 		c.PC = next + uint64(in.Imm)
-		return Stop{}, false
+		return false
 	case isa.OpJmpR:
 		c.PC = c.Regs[in.R1]
-		return Stop{}, false
+		return false
 	case isa.OpCallR:
 		if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 		c.Regs[isa.SP] -= 8
 		c.PC = c.Regs[in.R1]
-		return Stop{}, false
+		return false
 	case isa.OpJmpM, isa.OpCallM:
 		target, f := c.Mem.Load(c.ea(in.Mem, next), 8)
 		if f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 		if in.Op == isa.OpCallM {
 			if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
-				return pf(f)
+				return c.pageFault(f, pc)
 			}
 			c.Regs[isa.SP] -= 8
 		}
 		c.PC = target
-		return Stop{}, false
+		return false
 	case isa.OpRet, isa.OpRetI:
 		target, f := c.Mem.Load(c.Regs[isa.SP], 8)
 		if f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 		c.Regs[isa.SP] += 8 + uint64(in.Imm)
 		c.PC = target
-		return Stop{}, false
+		return false
 
 	case isa.OpBndCL:
 		if !c.Bnd.CheckLower(in.Bnd, c.Regs[in.R1]) {
-			return br()
+			return c.boundFault(pc)
 		}
 	case isa.OpBndCU:
 		if !c.Bnd.CheckUpper(in.Bnd, c.Regs[in.R1]) {
-			return br()
+			return c.boundFault(pc)
 		}
 	case isa.OpBndCLM:
 		if !c.Bnd.CheckLower(in.Bnd, c.ea(in.Mem, next)) {
-			return br()
+			return c.boundFault(pc)
 		}
 	case isa.OpBndCUM:
 		if !c.Bnd.CheckUpper(in.Bnd, c.ea(in.Mem, next)) {
-			return br()
+			return c.boundFault(pc)
 		}
 	case isa.OpBndMk:
 		// bndmk: lower = base register, upper = effective address.
@@ -411,17 +656,14 @@ func (c *CPU) Step() (Stop, bool) {
 	case isa.OpCFILabel, isa.OpNop:
 		// no-ops
 	case isa.OpHalt:
-		c.PC = next
-		return Stop{Reason: StopHalt, PC: next}, true
+		return c.halted(StopHalt, next)
 	case isa.OpTrap:
-		c.PC = next
-		return Stop{Reason: StopTrap, PC: next}, true
+		return c.halted(StopTrap, next)
 	case isa.OpEExit:
-		c.PC = next
-		return Stop{Reason: StopEExit, PC: next}, true
+		return c.halted(StopEExit, next)
 	case isa.OpEAccept, isa.OpEModPE:
 		// SGX 1.0: these SGX 2.0 instructions are undefined.
-		return Stop{Reason: StopException, Exc: ExcInvalid, PC: pc}, true
+		return c.invalid(pc)
 	case isa.OpXRstor:
 		// Restoring extended state can silently disable MPX: all bound
 		// registers become permissive. This is exactly why Stage 2 of
@@ -437,17 +679,17 @@ func (c *CPU) Step() (Stop, bool) {
 		// from one instruction — the reason Stage 4 rejects it.
 		a := c.ea(in.Mem, next)
 		if f := c.Mem.Store(a, 8, c.Regs[in.R1]); f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 		if f := c.Mem.Store(a+128, 8, c.Regs[in.R1]); f != nil {
-			return pf(f)
+			return c.pageFault(f, pc)
 		}
 	default:
-		return Stop{Reason: StopException, Exc: ExcInvalid, PC: pc}, true
+		return c.invalid(pc)
 	}
 
 	c.PC = next
-	return Stop{}, false
+	return false
 }
 
 func (c *CPU) setCmp(a, b uint64) {

@@ -356,6 +356,301 @@ func TestRunawayPCFaults(t *testing.T) {
 	}
 }
 
+// loadImageRWX is loadImage with the code region remapped writable, the
+// shape of a LibOS loader pool where code is patched in place.
+func loadImageRWX(t *testing.T, img *asm.Image, stack uint64) *CPU {
+	t.Helper()
+	c := loadImage(t, img, stack)
+	if err := c.Mem.Map(c.Mem.Base(), img.CodeSpan(), mem.PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSelfModifyingCodeFlushesBlocks(t *testing.T) {
+	// A program that patches the immediate of its own movri through an
+	// untrusted store to a writable+executable page, then loops back
+	// over the patched instruction. The translated block for the loop
+	// body must be re-decoded at the next block boundary, so the second
+	// pass sees the new immediate.
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.Call("getpc") // r6 = address of "patch"
+		b.Label("patch")
+		b.MovRI(isa.R0, 1) // imm64 low byte at patch+2
+		b.MovRI(isa.R2, 9)
+		b.StoreB(isa.Mem(isa.R6, 2), isa.R2) // movri r0, 1 -> movri r0, 9
+		b.AddI(isa.R5, 1)
+		b.CmpI(isa.R5, 2)
+		b.Jl("patch")
+		b.Trap()
+		b.Func("getpc")
+		b.Load(isa.R6, isa.Mem(isa.SP, 0))
+		b.Ret()
+	})
+	c := loadImageRWX(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R0] != 9 {
+		t.Fatalf("r0 = %d, want 9 (stale translated block executed)", c.Regs[isa.R0])
+	}
+	if s := c.CacheStats(); s.Flushes == 0 {
+		t.Fatalf("stats = %v: self-modifying store flushed no blocks", s)
+	}
+}
+
+func TestStoreToCodePageFlushesBlocks(t *testing.T) {
+	// Same invalidation path, driven from outside the program: after a
+	// warm run, an untrusted store into the (writable+executable) code
+	// page rewrites an immediate; re-execution must see it.
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R0, 1)
+		b.Trap()
+	})
+	c := loadImageRWX(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	base := c.Mem.Base()
+	if f := c.Mem.Store(base+uint64(img.Entry)+2, 1, 7); f != nil {
+		t.Fatal(f)
+	}
+	c.PC = base + uint64(img.Entry)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R0] != 7 {
+		t.Fatalf("r0 = %d, want 7 (block not invalidated by code-page store)", c.Regs[isa.R0])
+	}
+}
+
+func TestMapOverCodeFlushesBlocks(t *testing.T) {
+	// Remapping the code region non-executable (the teardown half of an
+	// mmap-over-code) must invalidate translated blocks: re-running from
+	// the entry raises an exec #PF instead of executing stale decodes.
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R0, 1)
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	base := c.Mem.Base()
+	if err := c.Mem.Map(base, img.CodeSpan(), mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	c.PC = base + uint64(img.Entry)
+	st := c.Run(0)
+	if st.Reason != StopException || st.Exc != ExcPage || st.Fault == nil || st.Fault.Access != mem.AccessExec {
+		t.Fatalf("stop = %v, want exec #PF (stale block executed from non-executable page)", st)
+	}
+}
+
+func TestMmapOverCodeRunsNewCode(t *testing.T) {
+	// The full mmap-over-code sequence: remap the code range and write a
+	// different program at the same addresses. The old translation must
+	// not survive.
+	oldImg := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R0, 1)
+		b.Trap()
+	})
+	newImg := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R0, 2)
+		b.MovRI(isa.R1, 40)
+		b.AddI(isa.R1, 2)
+		b.Trap()
+	})
+	c := loadImage(t, oldImg, 4096)
+	if st := c.Run(0); st.Reason != StopTrap || c.Regs[isa.R0] != 1 {
+		t.Fatalf("old program: stop=%v r0=%d", st, c.Regs[isa.R0])
+	}
+	base := c.Mem.Base()
+	if err := c.Mem.Map(base, newImg.CodeSpan(), mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mem.WriteDirect(base, newImg.Code); err != nil {
+		t.Fatal(err)
+	}
+	c.PC = base + uint64(newImg.Entry)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("new program: stop = %v", st)
+	}
+	if c.Regs[isa.R0] != 2 || c.Regs[isa.R1] != 42 {
+		t.Fatalf("r0=%d r1=%d, want 2 and 42 (stale translation ran)", c.Regs[isa.R0], c.Regs[isa.R1])
+	}
+}
+
+func TestDataStoresDoNotFlushBlocks(t *testing.T) {
+	// Stores to plain data pages must not invalidate translated code:
+	// a warm re-run of a store-heavy program is served entirely from
+	// the block cache.
+	img := build(t, func(b *asm.Builder) {
+		b.Bytes("buf", make([]byte, 64))
+		b.Entry("_start")
+		b.LeaData(isa.R1, "buf")
+		b.MovRI(isa.R2, 0x77)
+		b.Store(isa.Mem(isa.R1, 0), isa.R2)
+		b.Store(isa.Mem(isa.R1, 8), isa.R2)
+		b.Push(isa.R2)
+		b.Pop(isa.R3)
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	entry := c.Mem.Base() + uint64(img.Entry)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	warm := c.CacheStats()
+	c.PC = entry
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	s := c.CacheStats()
+	if s.Flushes != warm.Flushes {
+		t.Fatalf("data stores flushed blocks: %v -> %v", warm, s)
+	}
+	if s.Misses != warm.Misses {
+		t.Fatalf("warm re-run missed the cache: %v -> %v", warm, s)
+	}
+	if s.Hits <= warm.Hits {
+		t.Fatalf("warm re-run recorded no hits: %v -> %v", warm, s)
+	}
+}
+
+func TestTrustedDataWriteDoesNotFlushBlocks(t *testing.T) {
+	// A trusted WriteDirect into a data page (the LibOS copying a
+	// syscall result into user memory) must not flush code blocks —
+	// and the program must still observe the new data, since data reads
+	// are never cached.
+	img := build(t, func(b *asm.Builder) {
+		b.Bytes("buf", []byte{1, 0, 0, 0, 0, 0, 0, 0})
+		b.Entry("_start")
+		b.LeaData(isa.R1, "buf")
+		b.Load(isa.R3, isa.Mem(isa.R1, 0))
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	entry := c.Mem.Base() + uint64(img.Entry)
+	if st := c.Run(0); st.Reason != StopTrap || c.Regs[isa.R3] != 1 {
+		t.Fatalf("stop=%v r3=%d", st, c.Regs[isa.R3])
+	}
+	warm := c.CacheStats()
+	// Locate buf: the program left its address in r1.
+	if err := c.Mem.WriteDirect(c.Regs[isa.R1], []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	c.PC = entry
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R3] != 9 {
+		t.Fatalf("r3 = %d, want 9", c.Regs[isa.R3])
+	}
+	s := c.CacheStats()
+	if s.Flushes != warm.Flushes || s.Misses != warm.Misses {
+		t.Fatalf("trusted data write disturbed code blocks: %v -> %v", warm, s)
+	}
+}
+
+func TestCycleBudgetMidBlock(t *testing.T) {
+	// A budget that lands in the middle of a translated block must stop
+	// exactly there and resume exactly there.
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		for i := 0; i < 10; i++ {
+			b.AddI(isa.R0, 1)
+		}
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	st := c.Run(3)
+	if st.Reason != StopCycles {
+		t.Fatalf("stop = %v, want cycle budget", st)
+	}
+	if c.Cycles != 3 || c.Regs[isa.R0] != 3 {
+		t.Fatalf("cycles=%d r0=%d, want 3 and 3", c.Cycles, c.Regs[isa.R0])
+	}
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Cycles != 11 || c.Regs[isa.R0] != 10 {
+		t.Fatalf("cycles=%d r0=%d, want 11 and 10", c.Cycles, c.Regs[isa.R0])
+	}
+}
+
+func TestStepMatchesRun(t *testing.T) {
+	// Differential check: the translated-block fast path and the Step
+	// slow path must produce identical architectural state.
+	img := build(t, func(b *asm.Builder) {
+		b.Bytes("buf", make([]byte, 64))
+		b.Entry("_start")
+		b.MovRI(isa.R0, 0)
+		b.MovRI(isa.R2, 1)
+		b.Label("loop")
+		b.Add(isa.R0, isa.R2)
+		b.AddI(isa.R2, 3)
+		b.Call("touch")
+		b.CmpI(isa.R2, 40)
+		b.Jle("loop")
+		b.Trap()
+		b.Func("touch")
+		b.LeaData(isa.R1, "buf")
+		b.Store(isa.Mem(isa.R1, 16), isa.R0)
+		b.Load(isa.R3, isa.Mem(isa.R1, 16))
+		b.Ret()
+	})
+	fast := loadImage(t, img, 4096)
+	slow := loadImage(t, img, 4096)
+
+	stFast := fast.Run(0)
+	var stSlow Stop
+	for {
+		st, done := slow.Step()
+		if done {
+			stSlow = st
+			break
+		}
+	}
+	if stFast != stSlow {
+		t.Fatalf("stops differ: run=%v step=%v", stFast, stSlow)
+	}
+	if fast.Regs != slow.Regs || fast.PC != slow.PC || fast.Cycles != slow.Cycles {
+		t.Fatalf("state differs:\nrun:  regs=%v pc=%#x cycles=%d\nstep: regs=%v pc=%#x cycles=%d",
+			fast.Regs, fast.PC, fast.Cycles, slow.Regs, slow.PC, slow.Cycles)
+	}
+	if fast.ZF != slow.ZF || fast.LTS != slow.LTS || fast.LTU != slow.LTU {
+		t.Fatal("flags differ between Run and Step execution")
+	}
+}
+
+func TestCacheStatsAccumulate(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.MovRI(isa.R1, 50)
+		b.Label("spin")
+		b.Jcc(isa.OpLoop, "spin")
+		b.Trap()
+	})
+	c := loadImage(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	s := c.CacheStats()
+	if s.Blocks == 0 || s.Misses == 0 {
+		t.Fatalf("stats = %v: expected decoded blocks", s)
+	}
+	// The 50-iteration loop re-enters its block: hits must dominate.
+	if s.Hits < 40 {
+		t.Fatalf("stats = %v: loop not served from cache", s)
+	}
+}
+
 func BenchmarkInterpreterThroughput(b *testing.B) {
 	bb := asm.NewBuilder()
 	bb.Entry("_start")
