@@ -3,27 +3,42 @@
 //
 // Usage:
 //
-//	occlum-bench [-scale quick|full] [-vmstats] [experiment ...]
+//	occlum-bench [-scale quick|full] [-vmstats] [-cpuprofile f] [-memprofile f] [experiment ...]
 //
 // With no arguments, all experiments run. Experiments: fig5a fig5b fig5c
 // fig6a fig6b fig6c fig6d fig7a fig7b ripe table1. With -vmstats, each
-// experiment also reports the OVM basic-block translation-cache counters
-// (blocks decoded, hits, misses, flushes) aggregated over every
-// simulated hart.
+// experiment also reports the OVM translation-cache counters
+// (blocks decoded, hits, misses, flushes, chained transitions,
+// threaded-dispatch instructions) aggregated over every simulated hart.
+// -cpuprofile and -memprofile write pprof profiles covering the
+// selected experiments, so interpreter-perf work can profile the hot
+// path without editing code (the memory profile is written at exit,
+// after a final GC).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"slices"
 	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
+	// Exit through realMain's return value so the deferred profile
+	// flushes run even when an experiment fails.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	vmStats := flag.Bool("vmstats", false, "report OVM translation-cache counters per experiment")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
 	flag.Parse()
 	bench.VMStats = *vmStats
 
@@ -35,7 +50,7 @@ func main() {
 		scale = bench.Full()
 	default:
 		fmt.Fprintln(os.Stderr, "occlum-bench: -scale must be quick or full")
-		os.Exit(2)
+		return 2
 	}
 
 	names := flag.Args()
@@ -43,11 +58,52 @@ func main() {
 		names = bench.Experiments
 	}
 	for _, name := range names {
+		if !slices.Contains(bench.Experiments, name) {
+			fmt.Fprintf(os.Stderr, "occlum-bench: unknown experiment %q (valid: %v)\n", name, bench.Experiments)
+			return 2
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "occlum-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "occlum-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Deferred, like the CPU profile, so a failing experiment still
+		// leaves a usable heap profile — the case where one is most
+		// wanted.
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "occlum-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "occlum-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	for _, name := range names {
 		start := time.Now()
 		if err := bench.Run(name, scale, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "occlum-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("  (%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
 	}
+
+	return 0
 }

@@ -10,6 +10,9 @@ import (
 // orders of magnitude cheaper than Graphene-SGX spawn and scales with
 // binary size, while Linux is flat-ish and Graphene is flat-and-huge.
 func TestShapeFig6aSpawn(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock shape distorted by race instrumentation")
+	}
 	tab, err := Fig6aSpawn(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -44,6 +47,9 @@ func TestShapeFig6aSpawn(t *testing.T) {
 }
 
 func TestShapeFig6bPipe(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock shape distorted by race instrumentation")
+	}
 	tab, err := Fig6bPipe(Quick())
 	if err != nil {
 		t.Fatal(err)

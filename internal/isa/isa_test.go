@@ -310,3 +310,75 @@ func TestEndsBlock(t *testing.T) {
 		}
 	}
 }
+
+func TestRandomInstRoundTrip(t *testing.T) {
+	// Every instruction RandomInst produces must be well-formed: it
+	// encodes, and decoding the bytes reproduces it exactly. This is
+	// the contract the vm's randomized differential test builds on.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		in := RandomInst(r)
+		b, err := Encode(nil, in)
+		if err != nil {
+			t.Fatalf("#%d %v: encode: %v", i, in, err)
+		}
+		got, n, err := Decode(b, 0)
+		if err != nil {
+			t.Fatalf("#%d %v: decode: %v", i, in, err)
+		}
+		if n != len(b) || n != EncodedLen(in.Op) {
+			t.Fatalf("#%d %v: length %d, want %d", i, in, n, len(b))
+		}
+		if got != in {
+			t.Fatalf("#%d: round trip %v -> %v", i, in, got)
+		}
+	}
+}
+
+func TestRandomInstCoversOpSpace(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	seen := map[Op]bool{}
+	for i := 0; i < 10000; i++ {
+		seen[RandomInst(r).Op] = true
+	}
+	for op := OpInvalid + 1; op < opMax; op++ {
+		if !seen[op] {
+			t.Errorf("RandomInst never produced %s", op)
+		}
+	}
+}
+
+func TestEvalCond(t *testing.T) {
+	// The eight flag conditions, against all flag combinations, plus
+	// the pairwise complement identities the conditional jumps imply.
+	for _, zf := range []bool{false, true} {
+		for _, lts := range []bool{false, true} {
+			for _, ltu := range []bool{false, true} {
+				if OpJe.EvalCond(zf, lts, ltu) != zf {
+					t.Errorf("je(%v,%v,%v)", zf, lts, ltu)
+				}
+				if OpJl.EvalCond(zf, lts, ltu) != lts {
+					t.Errorf("jl(%v,%v,%v)", zf, lts, ltu)
+				}
+				if OpJb.EvalCond(zf, lts, ltu) != ltu {
+					t.Errorf("jb(%v,%v,%v)", zf, lts, ltu)
+				}
+				if OpJle.EvalCond(zf, lts, ltu) != (lts || zf) {
+					t.Errorf("jle(%v,%v,%v)", zf, lts, ltu)
+				}
+				pairs := [][2]Op{{OpJe, OpJne}, {OpJl, OpJge}, {OpJb, OpJae}, {OpJle, OpJg}}
+				for _, p := range pairs {
+					if p[0].EvalCond(zf, lts, ltu) == p[1].EvalCond(zf, lts, ltu) {
+						t.Errorf("%s and %s not complementary at (%v,%v,%v)", p[0], p[1], zf, lts, ltu)
+					}
+				}
+			}
+		}
+	}
+	// Non-flag-based opcodes always report false.
+	for _, op := range []Op{OpJmp, OpLoop, OpCall, OpJmpR, OpRet, OpNop, OpAddRR} {
+		if op.EvalCond(true, true, true) {
+			t.Errorf("%s.EvalCond must be false", op)
+		}
+	}
+}

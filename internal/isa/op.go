@@ -241,6 +241,37 @@ func (op Op) String() string {
 	return opInfo[op].name
 }
 
+// EvalCond evaluates the branch condition of a flag-based conditional
+// branch against the comparison flags: zf (equal), lts (signed less),
+// ltu (unsigned less). It reports false for every other opcode,
+// including loop, whose condition is register- rather than flag-based.
+// This is the reference definition of branch semantics: the
+// interpreter's switch dispatch defers to it directly, while the
+// compiled per-op handlers are hand-specialized for speed and pinned
+// to it by exhaustive tests (vm's TestCompiledBranchesMatchEvalCond
+// and TestFusedCmpBranchMatchesUnfused).
+func (op Op) EvalCond(zf, lts, ltu bool) bool {
+	switch op {
+	case OpJe:
+		return zf
+	case OpJne:
+		return !zf
+	case OpJl:
+		return lts
+	case OpJle:
+		return lts || zf
+	case OpJg:
+		return !lts && !zf
+	case OpJge:
+		return !lts
+	case OpJb:
+		return ltu
+	case OpJae:
+		return !ltu
+	}
+	return false
+}
+
 // IsDirectBranch reports whether op is a direct (rel32) control transfer.
 func (op Op) IsDirectBranch() bool {
 	switch op {

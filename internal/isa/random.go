@@ -1,0 +1,84 @@
+package isa
+
+import "math/rand"
+
+// Random instruction generation, for randomized differential testing of
+// the virtual CPU: the cached Run fast path (block chaining + threaded
+// dispatch) must match the Step slow path state-for-state on arbitrary
+// programs over the full opcode space — including programs whose
+// branches land mid-instruction and decode garbage, the hazard this
+// ISA's variable-length encoding exists to model.
+
+// RandomInst returns a well-formed (encodable) instruction whose opcode
+// is drawn uniformly from the full defined opcode space and whose
+// operands are drawn from r. Branch displacements are kept small so
+// that random programs keep jumping around their own code (often into
+// the middle of other instructions) instead of leaving it immediately.
+func RandomInst(r *rand.Rand) Inst {
+	return RandomInstOp(r, Op(1+r.Intn(NumOps-1)))
+}
+
+// RandomInstOp returns a well-formed instruction with opcode op and
+// random operands drawn from r.
+func RandomInstOp(r *rand.Rand, op Op) Inst {
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FNone:
+	case FR:
+		in.R1 = randReg(r)
+	case FRR:
+		in.R1, in.R2 = randReg(r), randReg(r)
+	case FRI64:
+		in.R1, in.Imm = randReg(r), int64(r.Uint64())
+	case FRI32:
+		in.R1, in.Imm = randReg(r), randImm32(r)
+	case FI32:
+		in.Imm = randImm32(r)
+	case FI16:
+		in.Imm = int64(r.Intn(1 << 16))
+	case FRel32:
+		// Small displacements: stay near (and often inside) the code.
+		in.Imm = int64(r.Intn(129) - 64)
+	case FRMem, FMemR:
+		in.R1, in.Mem = randReg(r), randMem(r)
+	case FBR:
+		in.Bnd, in.R1 = randBnd(r), randReg(r)
+	case FBMem:
+		in.Bnd, in.Mem = randBnd(r), randMem(r)
+	case FBB:
+		in.Bnd, in.Bnd2 = randBnd(r), randBnd(r)
+	case FCFI:
+		in.DomainID = r.Uint32()
+	}
+	return in
+}
+
+func randReg(r *rand.Rand) Reg    { return Reg(r.Intn(NumRegs)) }
+func randBnd(r *rand.Rand) BndReg { return BndReg(r.Intn(NumBndRegs)) }
+
+func randImm32(r *rand.Rand) int64 {
+	// Mix small immediates (interesting arithmetic) with full-range
+	// ones (shift counts, overflow).
+	if r.Intn(2) == 0 {
+		return int64(r.Intn(257) - 128)
+	}
+	return int64(int32(r.Uint32()))
+}
+
+func randMem(r *rand.Rand) MemRef {
+	m := MemRef{Base: randReg(r), Index: RegNone, Scale: 1}
+	switch r.Intn(8) {
+	case 0:
+		m.Base = RegNone // absolute (direct memory offset)
+	case 1:
+		m.Base = RegPC // PC-relative
+	}
+	if r.Intn(4) == 0 {
+		m.Index = randReg(r)
+		m.Scale = uint8(1 << r.Intn(4))
+	}
+	// Small displacements: register-relative accesses mostly stay near
+	// whatever region the register points into.
+	m.Disp = int32(r.Intn(257) - 128)
+	return m
+}

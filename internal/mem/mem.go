@@ -19,6 +19,9 @@ import (
 // PageSize is the page granularity, matching SGX EPC pages.
 const PageSize = 4096
 
+// pageShift is log2(PageSize), for the single-page fast paths.
+const pageShift = 12
+
 // Perm is a page permission bit set.
 type Perm uint8
 
@@ -96,9 +99,20 @@ var ErrRange = errors.New("mem: address out of range")
 // Paged is a permission-checked paged memory over a contiguous virtual
 // address range [Base, Base+Size).
 type Paged struct {
-	base  uint64
-	data  []byte
-	perms []Perm // one per page; 0 means unmapped
+	base uint64
+	data []byte
+	// perms holds one permission word per page; 0 means unmapped. The
+	// elements are atomic because SIP harts in one enclave share a Paged
+	// with the LibOS: a hart's permission check (check, stampExec) can
+	// race a concurrent Map from another thread.
+	perms []atomic.Uint32
+	// wx counts pages currently mapped writable+executable. While it is
+	// zero — the overwhelmingly common case outside the loader — no
+	// untrusted store can touch an executable page (stores need PermW),
+	// so stampExec reduces to this single counter check. Map publishes
+	// increments BEFORE the permission words and decrements after, so a
+	// store that observes a W+X mapping can never see a zero counter.
+	wx atomic.Int64
 
 	// gen is a monotonic sequence number of code-affecting mutations:
 	// mapping changes, trusted writes, and stores that hit an executable
@@ -107,15 +121,24 @@ type Paged struct {
 	// translated-code caches at page granularity — a store to a data
 	// page never disturbs the generation of a code page.
 	//
-	// Both are maintained with atomics, and every mutator writes its
+	// All are maintained with atomics, and every mutator writes its
 	// bytes (or permissions) BEFORE stamping: SIP harts in one enclave
 	// share a Paged and may mutate concurrently with the LibOS. The
 	// write-then-stamp order gives translators a sound protocol — read
 	// Generation() before decoding, and treat any span stamp above that
 	// snapshot as an invalidation — under which a decode that raced a
 	// mutation can never be cached with a generation that hides it.
-	gen     atomic.Uint64
-	pageGen []uint64 // elements accessed atomically
+	//
+	// stamping counts stamp operations currently in flight (global
+	// counter bumped, page stamps possibly not yet stored). Translation
+	// caches that memoize "this block was valid as of Generation() == G"
+	// may do so only when Quiescent() held before their span check:
+	// otherwise a span check could miss an in-flight page stamp whose
+	// value is already ≤ G, and the memo would hide that mutation
+	// forever (a per-visit span check merely sees it one visit later).
+	gen      atomic.Uint64
+	stamping atomic.Int64
+	pageGen  []uint64 // elements accessed atomically
 }
 
 // NewPaged creates a memory of size bytes (rounded up to a whole number of
@@ -129,7 +152,7 @@ func NewPaged(base, size uint64) *Paged {
 	return &Paged{
 		base:    base,
 		data:    make([]byte, npages*PageSize),
-		perms:   make([]Perm, npages),
+		perms:   make([]atomic.Uint32, npages),
 		pageGen: make([]uint64, npages),
 	}
 }
@@ -160,6 +183,11 @@ func (m *Paged) GenerationOf(addr uint64, n int) uint64 {
 		return 0
 	}
 	first, last := m.pageIndex(addr), m.pageIndex(addr+uint64(n)-1)
+	if first == last {
+		// Single-page span — the common case for translated basic
+		// blocks, revalidated on every chained block transition.
+		return atomic.LoadUint64(&m.pageGen[first])
+	}
 	var g uint64
 	for i := first; i <= last; i++ {
 		if pg := atomic.LoadUint64(&m.pageGen[i]); pg > g {
@@ -169,13 +197,26 @@ func (m *Paged) GenerationOf(addr uint64, n int) uint64 {
 	return g
 }
 
-// stamp records one mutation touching pages [first, last].
+// stamp records one mutation touching pages [first, last]. The
+// stamping window opens before the counter bump and closes after the
+// last page stamp lands, so Quiescent() can tell validators when no
+// stamp value ≤ Generation() is still in flight.
 func (m *Paged) stamp(first, last int) {
+	m.stamping.Add(1)
 	g := m.gen.Add(1)
 	for i := first; i <= last; i++ {
 		storeMax(&m.pageGen[i], g)
 	}
+	m.stamping.Add(-1)
 }
+
+// Quiescent reports that no stamp operation was in flight at the
+// moment of the call: every page stamp of every mutation counted in
+// Generation() is visible. Callers memoizing validity against a
+// Generation() value must sample this BEFORE their span checks —
+// mutations starting later will advance Generation() past the
+// memoized value and so cannot be hidden by the memo.
+func (m *Paged) Quiescent() bool { return m.stamping.Load() == 0 }
 
 // storeMax publishes g to *p unless a concurrent stamper already
 // published a later one — a blind store could bury a newer stamp under
@@ -195,14 +236,32 @@ func storeMax(p *uint64, g uint64) {
 // writable+executable mapping — self-modifying code, as in a LibOS
 // loader pool — invalidate exactly the pages written.
 func (m *Paged) stampExec(addr uint64, n int) {
+	if m.wx.Load() == 0 {
+		// No writable+executable page exists, and the store already
+		// passed its write-permission check — it cannot have touched an
+		// executable page. One counter load instead of a page scan.
+		return
+	}
 	if n <= 0 {
 		return
 	}
 	first, last := m.pageIndex(addr), m.pageIndex(addr+uint64(n)-1)
+	var g uint64
+	stamping := false
 	for i := first; i <= last; i++ {
-		if m.perms[i]&PermX != 0 {
-			storeMax(&m.pageGen[i], m.gen.Add(1))
+		if Perm(m.perms[i].Load())&PermX != 0 {
+			if !stamping {
+				// Open the stamping window before the counter bump,
+				// as in stamp.
+				m.stamping.Add(1)
+				stamping = true
+				g = m.gen.Add(1)
+			}
+			storeMax(&m.pageGen[i], g)
 		}
+	}
+	if stamping {
+		m.stamping.Add(-1)
 	}
 }
 
@@ -224,8 +283,25 @@ func (m *Paged) Map(addr uint64, n uint64, perm Perm) error {
 		return fmt.Errorf("%w: map [%#x,+%#x)", ErrRange, addr, n)
 	}
 	first, last := m.pageIndex(addr), m.pageIndex(addr+n-1)
+	isWX := perm&PermW != 0 && perm&PermX != 0
+	if isWX {
+		// Count the pages before their permissions become visible: a
+		// concurrent store that observes the new W+X mapping must not
+		// pass stampExec's zero-counter fast path.
+		m.wx.Add(int64(last - first + 1))
+	}
+	var wasWX int64
 	for i := first; i <= last; i++ {
-		m.perms[i] = perm
+		old := Perm(m.perms[i].Swap(uint32(perm)))
+		if old&PermW != 0 && old&PermX != 0 {
+			wasWX++
+		}
+	}
+	// Pages that were already W+X are either double-counted (isWX) or
+	// no longer W+X; either way their old count comes off now, after
+	// the permission words are published.
+	if wasWX > 0 {
+		m.wx.Add(-wasWX)
 	}
 	m.stamp(first, last)
 	return nil
@@ -237,7 +313,7 @@ func (m *Paged) PermAt(addr uint64) Perm {
 	if !m.Contains(addr, 1) {
 		return 0
 	}
-	return m.perms[m.pageIndex(addr)]
+	return Perm(m.perms[m.pageIndex(addr)].Load())
 }
 
 // check validates an n-byte access at addr for the given access kind.
@@ -259,7 +335,7 @@ func (m *Paged) check(addr uint64, n int, access Access) *Fault {
 	}
 	first, last := m.pageIndex(addr), m.pageIndex(addr+uint64(n)-1)
 	for i := first; i <= last; i++ {
-		p := m.perms[i]
+		p := Perm(m.perms[i].Load())
 		if p&need == 0 {
 			return &Fault{
 				Addr:     max64(addr, m.base+uint64(i)*PageSize),
@@ -278,13 +354,42 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
+// inOnePage reports whether [off, off+n) lies inside the data slice and
+// within a single page, and returns the page index. It is the guard of
+// the single-page fast paths: callers substitute one bounds compare and
+// one permission load for the general Contains + per-page loop. An off
+// that underflowed (addr below base) wraps to a huge value and fails the
+// length compare.
+func (m *Paged) inOnePage(off uint64, n uint64) (int, bool) {
+	if off >= uint64(len(m.data)) || uint64(len(m.data))-off < n {
+		return 0, false
+	}
+	pg := off >> pageShift
+	if (off+n-1)>>pageShift != pg {
+		return 0, false
+	}
+	return int(pg), true
+}
+
 // Load reads an n-byte little-endian value (n must be 1 or 8) at addr,
 // checking read permission on every page touched.
 func (m *Paged) Load(addr uint64, n int) (uint64, *Fault) {
+	off := addr - m.base
+	if n == 8 {
+		if pg, ok := m.inOnePage(off, 8); ok && Perm(m.perms[pg].Load())&PermR != 0 {
+			b := m.data[off : off+8]
+			return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+				uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+		}
+	} else if n == 1 {
+		if pg, ok := m.inOnePage(off, 1); ok && Perm(m.perms[pg].Load())&PermR != 0 {
+			return uint64(m.data[off]), nil
+		}
+	}
+	// Slow path: cross-page accesses and fault materialization.
 	if f := m.check(addr, n, AccessRead); f != nil {
 		return 0, f
 	}
-	off := addr - m.base
 	if n == 1 {
 		return uint64(m.data[off]), nil
 	}
@@ -297,10 +402,34 @@ func (m *Paged) Load(addr uint64, n int) (uint64, *Fault) {
 // checking write permission on every page touched. The store is atomic
 // with respect to faults: nothing is written if any byte would fault.
 func (m *Paged) Store(addr uint64, n int, v uint64) *Fault {
+	off := addr - m.base
+	// Both fast paths still run stampExec after the write (one counter
+	// load in the common no-W+X case): gating it on the permission
+	// word loaded *before* the write would drop the stamp when a
+	// concurrent Map made the page executable in between.
+	if n == 8 {
+		if pg, ok := m.inOnePage(off, 8); ok {
+			if Perm(m.perms[pg].Load())&PermW != 0 {
+				b := m.data[off : off+8]
+				b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+				b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+				m.stampExec(addr, n)
+				return nil
+			}
+		}
+	} else if n == 1 {
+		if pg, ok := m.inOnePage(off, 1); ok {
+			if Perm(m.perms[pg].Load())&PermW != 0 {
+				m.data[off] = byte(v)
+				m.stampExec(addr, n)
+				return nil
+			}
+		}
+	}
+	// Slow path: cross-page accesses and fault materialization.
 	if f := m.check(addr, n, AccessWrite); f != nil {
 		return f
 	}
-	off := addr - m.base
 	if n == 1 {
 		m.data[off] = byte(v)
 	} else {
@@ -315,10 +444,15 @@ func (m *Paged) Store(addr uint64, n int, v uint64) *Fault {
 // Fetch returns a read-only view of [addr, addr+n) after checking execute
 // permission, for instruction decode.
 func (m *Paged) Fetch(addr uint64, n int) ([]byte, *Fault) {
+	off := addr - m.base
+	if n > 0 {
+		if pg, ok := m.inOnePage(off, uint64(n)); ok && Perm(m.perms[pg].Load())&PermX != 0 {
+			return m.data[off : off+uint64(n)], nil
+		}
+	}
 	if f := m.check(addr, n, AccessExec); f != nil {
 		return nil, f
 	}
-	off := addr - m.base
 	return m.data[off : off+uint64(n)], nil
 }
 

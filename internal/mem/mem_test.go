@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -203,6 +204,137 @@ func TestGenerationOfPageGranular(t *testing.T) {
 	}
 	if got := m.GenerationOf(m.Limit(), 8); got != 0 {
 		t.Fatalf("out-of-range span generation = %d, want 0", got)
+	}
+}
+
+func TestConcurrentMapStoreRace(t *testing.T) {
+	// Regression test (run under -race): SIP harts share a Paged with
+	// the LibOS, so a hart's Store (which reads page permissions in its
+	// check and in stampExec) can race a concurrent Map rewriting those
+	// permissions. Page permissions must therefore be atomically
+	// accessed. The Map flips a page between RW and RWX so both the
+	// stampExec fast path (wx == 0) and the per-page X scan race it.
+	m := NewPaged(0, 8*PageSize)
+	if err := m.Map(0, 8*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 2000
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			perm := PermRW
+			if i%2 == 0 {
+				perm = PermRWX
+			}
+			if err := m.Map(2*PageSize, PageSize, perm); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			// Store into the page being remapped: permission checks and
+			// exec stamping race the Map. (The data bytes themselves are
+			// only touched by this goroutine.)
+			if f := m.Store(2*PageSize+64, 8, uint64(i)); f != nil {
+				t.Errorf("store: %v", f)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			// An unrelated data page: exercises the single-page fast
+			// paths while the mapping mutates elsewhere.
+			if f := m.Store(4*PageSize, 8, uint64(i)); f != nil {
+				t.Errorf("store: %v", f)
+				return
+			}
+			if _, f := m.Load(4*PageSize, 8); f != nil {
+				t.Errorf("load: %v", f)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestWXCounterTracksMappings(t *testing.T) {
+	// The stampExec fast path depends on wx counting exactly the
+	// writable+executable pages through arbitrary remap sequences.
+	m := NewPaged(0, 8*PageSize)
+	check := func(want int64, when string) {
+		t.Helper()
+		if got := m.wx.Load(); got != want {
+			t.Fatalf("%s: wx = %d, want %d", when, got, want)
+		}
+	}
+	check(0, "fresh")
+	if err := m.Map(0, 2*PageSize, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	check(2, "map 2 pages rwx")
+	if err := m.Map(0, 2*PageSize, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	check(2, "idempotent remap rwx")
+	if err := m.Map(PageSize, PageSize, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	check(1, "downgrade one page to rx")
+	if err := m.Map(0, 4*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	check(0, "downgrade all to rw")
+
+	// With no W+X page, a store must not bump any generation even when
+	// an executable (but read-only) page exists.
+	if err := m.Map(6*PageSize, PageSize, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	g := m.Generation()
+	if f := m.Store(0, 8, 1); f != nil {
+		t.Fatal(f)
+	}
+	if m.Generation() != g {
+		t.Fatal("store with wx == 0 bumped the generation")
+	}
+}
+
+func TestSinglePageFastPathFaults(t *testing.T) {
+	// The fast paths must fall back to full fault materialization for
+	// every non-trivial case: unmapped pages, permission violations,
+	// page-straddling accesses, and out-of-range addresses.
+	m := newTest(t) // pages 0-3 RW, pages 8-9 RX
+	if f := m.Store(m.Base()+5*PageSize, 8, 1); f == nil || !f.Unmapped {
+		t.Fatalf("store to unmapped: fault = %v", f)
+	}
+	if _, f := m.Load(m.Base()+5*PageSize, 1); f == nil || !f.Unmapped {
+		t.Fatalf("byte load from unmapped: fault = %v", f)
+	}
+	if f := m.Store(m.Base()+8*PageSize, 1, 1); f == nil || f.Access != AccessWrite {
+		t.Fatalf("store to rx: fault = %v", f)
+	}
+	if _, f := m.Fetch(m.Base(), 4); f == nil || f.Access != AccessExec {
+		t.Fatalf("fetch from rw: fault = %v", f)
+	}
+	// A straddling load across two mapped RW pages succeeds via the
+	// slow path.
+	if f := m.Store(m.Base()+PageSize-4, 8, 0x1122334455667788); f != nil {
+		t.Fatal(f)
+	}
+	v, f := m.Load(m.Base()+PageSize-4, 8)
+	if f != nil || v != 0x1122334455667788 {
+		t.Fatalf("straddling load = %#x, %v", v, f)
+	}
+	// A fetch straddling the RX pages succeeds via the slow path.
+	if _, f := m.Fetch(m.Base()+9*PageSize-2, 4); f != nil {
+		t.Fatalf("straddling fetch: %v", f)
 	}
 }
 

@@ -1,0 +1,118 @@
+package vm
+
+// Interpreter microbenchmarks for the DBT optimization ladder: block
+// chaining, threaded dispatch and single-page memory fast paths. Each
+// benchmark runs a small program to completion per iteration and reports
+// ns/inst (wall time divided by retired instructions) so results are
+// comparable across programs of different lengths. Before/after numbers
+// are recorded in BENCH_PR2.json and EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// runToTrap drives one warm CPU through the program once per benchmark
+// iteration and reports ns/inst.
+func runToTrap(b *testing.B, img *asm.Image) {
+	c := loadImage(b, img, 4096)
+	entry := c.PC
+	sp := c.Regs[isa.SP]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		c.PC = entry
+		c.Regs[isa.SP] = sp
+		if st := c.Run(0); st.Reason != StopTrap {
+			b.Fatalf("stop = %v", st)
+		}
+	}
+	b.StopTimer()
+	if c.Cycles > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(c.Cycles)/float64(b.N), "ns/inst")
+	}
+}
+
+// BenchmarkHotLoop is the headline microbenchmark: a single-block
+// arithmetic loop that chains to itself, the best case for block
+// chaining + threaded dispatch (no memory traffic).
+func BenchmarkHotLoop(b *testing.B) {
+	img := build(b, func(bb *asm.Builder) {
+		bb.Entry("_start")
+		bb.MovRI(isa.R0, 0)
+		bb.MovRI(isa.R2, 1)
+		bb.Label("loop")
+		bb.Add(isa.R0, isa.R2)
+		bb.AddI(isa.R2, 1)
+		bb.CmpI(isa.R2, 1<<20)
+		bb.Jle("loop")
+		bb.Trap()
+	})
+	runToTrap(b, img)
+}
+
+// BenchmarkMemoryLoop stresses the single-page Load/Store fast paths:
+// every iteration does two loads and two stores inside one page.
+func BenchmarkMemoryLoop(b *testing.B) {
+	img := build(b, func(bb *asm.Builder) {
+		bb.Bytes("buf", make([]byte, 64))
+		bb.Entry("_start")
+		bb.LeaData(isa.R1, "buf")
+		bb.MovRI(isa.R2, 0)
+		bb.Label("loop")
+		bb.Store(isa.Mem(isa.R1, 0), isa.R2)
+		bb.Load(isa.R3, isa.Mem(isa.R1, 0))
+		bb.Store(isa.Mem(isa.R1, 8), isa.R3)
+		bb.Load(isa.R4, isa.Mem(isa.R1, 8))
+		bb.AddI(isa.R2, 1)
+		bb.CmpI(isa.R2, 1<<18)
+		bb.Jle("loop")
+		bb.Trap()
+	})
+	runToTrap(b, img)
+}
+
+// BenchmarkCallRet alternates direct calls (chainable) with returns
+// (indirect: falls back to the block-cache lookup), plus the implicit
+// stack stores/loads of call/ret.
+func BenchmarkCallRet(b *testing.B) {
+	img := build(b, func(bb *asm.Builder) {
+		bb.Entry("_start")
+		bb.MovRI(isa.R1, 1<<18)
+		bb.Label("loop")
+		bb.Call("fn")
+		bb.Jcc(isa.OpLoop, "loop")
+		bb.Trap()
+		bb.Func("fn")
+		bb.AddI(isa.R0, 1)
+		bb.Ret()
+	})
+	runToTrap(b, img)
+}
+
+// BenchmarkMultiBlockLoop runs a loop body split into several basic
+// blocks by conditional branches (one never taken, one always taken):
+// the chain-heavy shape of MMDSFI-instrumented code, where guards
+// break straight-line runs every few instructions.
+func BenchmarkMultiBlockLoop(b *testing.B) {
+	img := build(b, func(bb *asm.Builder) {
+		bb.Entry("_start")
+		bb.MovRI(isa.R1, 1<<18)
+		bb.Label("loop")
+		bb.AddI(isa.R0, 1)
+		bb.CmpI(isa.R0, 0)
+		bb.Je("dead") // never taken: falls through (chained)
+		bb.AddI(isa.R3, 2)
+		bb.CmpI(isa.R0, 0)
+		bb.Jne("skip") // always taken (chained)
+		bb.AddI(isa.R4, 5)
+		bb.Label("skip")
+		bb.Jcc(isa.OpLoop, "loop")
+		bb.Trap()
+		bb.Label("dead")
+		bb.Trap()
+	})
+	runToTrap(b, img)
+}

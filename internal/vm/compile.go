@@ -1,0 +1,791 @@
+package vm
+
+// Threaded dispatch: at translate time every decoded instruction is
+// specialized into a handler closure with its operands (registers,
+// immediates, precomputed branch targets and effective-address shapes)
+// captured, so the cached execution path pays one indirect call per
+// instruction instead of re-walking the ~60-case exec switch and
+// re-reading operand fields. Step keeps the switch as the bit-exact
+// slow path; the randomized differential tests hold the two paths to
+// state-for-state equality.
+//
+// Inside a block, PC and the cycle counter are dead state: the
+// dispatch loops in run and runNoBudget (vm.go) batch Cycles and
+// materialize PC only at block exit, so plain fall-through handlers
+// touch neither. The invariants that make the architectural state
+// exact at every observation point:
+//
+//   - control-transfer handlers set PC themselves (they are always the
+//     last instruction of a block);
+//   - stopping handlers restore PC before raising (pageFaultPC etc.
+//     leave PC at the faulting instruction, halted at its successor,
+//     matching exec);
+//   - the dispatch loops add the retired-instruction count (including
+//     a stopping instruction) to Cycles on every exit path.
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/mpx"
+)
+
+// handler executes one specialized instruction. It reports true when
+// the hart stopped (c.stop holds the reason), exactly like exec.
+type handler func(c *CPU) bool
+
+// compilerFunc specializes one decoded instruction located at pc with
+// successor address next into a handler.
+type compilerFunc func(in *isa.Inst, pc, next uint64) handler
+
+// compilers is the handler table, keyed by opcode. It is total over
+// valid opcodes (enforced by TestCompilersCoverOpSpace); translate only
+// sees instructions that already decoded, so a nil entry is a
+// programming error, not a runtime condition.
+var compilers [isa.NumOps]compilerFunc
+
+// compile specializes in into a handler.
+func compile(in *isa.Inst, pc, next uint64) handler {
+	f := compilers[in.Op]
+	if f == nil {
+		panic(fmt.Sprintf("vm: opcode %v has no handler compiler", in.Op))
+	}
+	return f(in, pc, next)
+}
+
+// fuseCmpBranch macro-fuses a compare + conditional-branch pair — the
+// tail of most loop blocks — into one handler: one dispatch instead of
+// two, with the branch decided on the just-computed comparison instead
+// of a round trip through the stored flags. The flags are still set
+// (they are architectural state), and both instructions are stop-free,
+// which is what lets the run loop substitute the fused tail only for
+// whole-block execution. Returns nil when the pair has no fused form.
+// Every fused closure is checked against its unfused handler pair over
+// an operand grid by TestFusedCmpBranchMatchesUnfused.
+func fuseCmpBranch(cmp, br *isa.Inst, brNext uint64) handler {
+	target, next := brNext+uint64(br.Imm), brNext
+	switch cmp.Op {
+	case isa.OpCmpRI:
+		r1, v := cmp.R1&15, uint64(cmp.Imm)
+		switch br.Op {
+		case isa.OpJe:
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if a == v {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJne:
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if a != v {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJl:
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if int64(a) < int64(v) {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJle:
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if int64(a) <= int64(v) {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJg:
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if int64(a) > int64(v) {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJge:
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if int64(a) >= int64(v) {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJb:
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if a < v {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJae:
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if a >= v {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		}
+	case isa.OpCmpRR:
+		r1, r2 := cmp.R1&15, cmp.R2&15
+		switch br.Op {
+		case isa.OpJe:
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if a == v {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJne:
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if a != v {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJl:
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if int64(a) < int64(v) {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJle:
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if int64(a) <= int64(v) {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJg:
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if int64(a) > int64(v) {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJge:
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if int64(a) >= int64(v) {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJb:
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if a < v {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		case isa.OpJae:
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if a >= v {
+					c.PC = target
+				} else {
+					c.PC = next
+				}
+				return false
+			}
+		}
+	}
+	return nil
+}
+
+// Stop raisers for compiled handlers: like the exec raisers, but they
+// also restore PC (dead inside a block) to its architecturally exact
+// value first.
+
+func (c *CPU) pageFaultPC(f *mem.Fault, pc uint64) bool {
+	c.PC = pc
+	return c.pageFault(f, pc)
+}
+
+func (c *CPU) boundFaultPC(pc uint64) bool {
+	c.PC = pc
+	return c.boundFault(pc)
+}
+
+func (c *CPU) invalidPC(pc uint64) bool {
+	c.PC = pc
+	return c.invalid(pc)
+}
+
+func (c *CPU) divideFaultPC(pc uint64) bool {
+	c.PC = pc
+	c.stop = Stop{Reason: StopException, Exc: ExcDivide, PC: pc}
+	return true
+}
+
+// compileEA specializes effective-address computation for the
+// memory-operand shapes of Figure 4: absolute and PC-relative operands
+// fold to constants at translate time, the common base+disp form reads
+// one register, and indexed forms fall back to the general ea.
+func compileEA(m isa.MemRef, next uint64) func(c *CPU) uint64 {
+	if !m.HasIndex() {
+		switch {
+		case m.IsAbs():
+			a := uint64(int64(m.Disp))
+			return func(*CPU) uint64 { return a }
+		case m.IsPCRel():
+			a := next + uint64(int64(m.Disp))
+			return func(*CPU) uint64 { return a }
+		default:
+			base, d := m.Base&15, uint64(int64(m.Disp))
+			return func(c *CPU) uint64 { return c.Regs[base] + d }
+		}
+	}
+	mm := m
+	return func(c *CPU) uint64 { return c.ea(mm, next) }
+}
+
+func init() {
+	compilers[isa.OpMovRI] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, v := in.R1&15, uint64(in.Imm)
+		return func(c *CPU) bool { c.Regs[r1] = v; return false }
+	}
+	compilers[isa.OpMovRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := in.R1&15, in.R2&15
+		return func(c *CPU) bool { c.Regs[r1] = c.Regs[r2]; return false }
+	}
+
+	loadOf := func(size int) compilerFunc {
+		return func(in *isa.Inst, pc, next uint64) handler {
+			r1 := in.R1 & 15
+			// The hot shape [base+disp] skips even the ea closure.
+			if m := in.Mem; !m.HasIndex() && !m.IsAbs() && !m.IsPCRel() {
+				base, d := m.Base&15, uint64(int64(m.Disp))
+				return func(c *CPU) bool {
+					v, f := c.Mem.Load(c.Regs[base]+d, size)
+					if f != nil {
+						return c.pageFaultPC(f, pc)
+					}
+					c.Regs[r1] = v
+					return false
+				}
+			}
+			ea := compileEA(in.Mem, next)
+			return func(c *CPU) bool {
+				v, f := c.Mem.Load(ea(c), size)
+				if f != nil {
+					return c.pageFaultPC(f, pc)
+				}
+				c.Regs[r1] = v
+				return false
+			}
+		}
+	}
+	compilers[isa.OpLoad] = loadOf(8)
+	compilers[isa.OpLoadB] = loadOf(1)
+
+	storeOf := func(size int) compilerFunc {
+		return func(in *isa.Inst, pc, next uint64) handler {
+			r1 := in.R1 & 15
+			if m := in.Mem; !m.HasIndex() && !m.IsAbs() && !m.IsPCRel() {
+				base, d := m.Base&15, uint64(int64(m.Disp))
+				return func(c *CPU) bool {
+					if f := c.Mem.Store(c.Regs[base]+d, size, c.Regs[r1]); f != nil {
+						return c.pageFaultPC(f, pc)
+					}
+					return false
+				}
+			}
+			ea := compileEA(in.Mem, next)
+			return func(c *CPU) bool {
+				if f := c.Mem.Store(ea(c), size, c.Regs[r1]); f != nil {
+					return c.pageFaultPC(f, pc)
+				}
+				return false
+			}
+		}
+	}
+	compilers[isa.OpStore] = storeOf(8)
+	compilers[isa.OpStoreB] = storeOf(1)
+
+	compilers[isa.OpLea] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, ea := in.R1&15, compileEA(in.Mem, next)
+		return func(c *CPU) bool { c.Regs[r1] = ea(c); return false }
+	}
+	compilers[isa.OpPush] = func(in *isa.Inst, pc, next uint64) handler {
+		r1 := in.R1 & 15
+		return func(c *CPU) bool {
+			if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, c.Regs[r1]); f != nil {
+				return c.pageFaultPC(f, pc)
+			}
+			c.Regs[isa.SP] -= 8
+			return false
+		}
+	}
+	compilers[isa.OpPushI] = func(in *isa.Inst, pc, next uint64) handler {
+		v := uint64(in.Imm)
+		return func(c *CPU) bool {
+			if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, v); f != nil {
+				return c.pageFaultPC(f, pc)
+			}
+			c.Regs[isa.SP] -= 8
+			return false
+		}
+	}
+	compilers[isa.OpPop] = func(in *isa.Inst, pc, next uint64) handler {
+		r1 := in.R1 & 15
+		return func(c *CPU) bool {
+			v, f := c.Mem.Load(c.Regs[isa.SP], 8)
+			if f != nil {
+				return c.pageFaultPC(f, pc)
+			}
+			c.Regs[isa.SP] += 8
+			c.Regs[r1] = v
+			return false
+		}
+	}
+
+	// ALU register-register forms, written out per op: one closure, no
+	// inner operator call.
+	rr := func(in *isa.Inst) (isa.Reg, isa.Reg) { return in.R1 & 15, in.R2 & 15 }
+	compilers[isa.OpAddRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := rr(in)
+		return func(c *CPU) bool { c.Regs[r1] += c.Regs[r2]; return false }
+	}
+	compilers[isa.OpSubRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := rr(in)
+		return func(c *CPU) bool { c.Regs[r1] -= c.Regs[r2]; return false }
+	}
+	compilers[isa.OpMulRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := rr(in)
+		return func(c *CPU) bool { c.Regs[r1] *= c.Regs[r2]; return false }
+	}
+	compilers[isa.OpAndRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := rr(in)
+		return func(c *CPU) bool { c.Regs[r1] &= c.Regs[r2]; return false }
+	}
+	compilers[isa.OpOrRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := rr(in)
+		return func(c *CPU) bool { c.Regs[r1] |= c.Regs[r2]; return false }
+	}
+	compilers[isa.OpXorRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := rr(in)
+		return func(c *CPU) bool { c.Regs[r1] ^= c.Regs[r2]; return false }
+	}
+	compilers[isa.OpShlRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := rr(in)
+		return func(c *CPU) bool { c.Regs[r1] <<= c.Regs[r2] & 63; return false }
+	}
+	compilers[isa.OpShrRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := rr(in)
+		return func(c *CPU) bool { c.Regs[r1] >>= c.Regs[r2] & 63; return false }
+	}
+
+	divMod := func(div bool) compilerFunc {
+		return func(in *isa.Inst, pc, next uint64) handler {
+			r1, r2 := in.R1&15, in.R2&15
+			return func(c *CPU) bool {
+				d := int64(c.Regs[r2])
+				if d == 0 {
+					return c.divideFaultPC(pc)
+				}
+				if div {
+					c.Regs[r1] = uint64(int64(c.Regs[r1]) / d)
+				} else {
+					c.Regs[r1] = uint64(int64(c.Regs[r1]) % d)
+				}
+				return false
+			}
+		}
+	}
+	compilers[isa.OpDivRR] = divMod(true)
+	compilers[isa.OpModRR] = divMod(false)
+
+	compilers[isa.OpCmpRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := rr(in)
+		return func(c *CPU) bool { c.setCmp(c.Regs[r1], c.Regs[r2]); return false }
+	}
+	compilers[isa.OpTestRR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, r2 := rr(in)
+		return func(c *CPU) bool { c.setTest(c.Regs[r1] & c.Regs[r2]); return false }
+	}
+
+	// ALU register-immediate forms.
+	ri := func(in *isa.Inst) (isa.Reg, uint64) { return in.R1 & 15, uint64(in.Imm) }
+	compilers[isa.OpAddRI] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, v := ri(in)
+		return func(c *CPU) bool { c.Regs[r1] += v; return false }
+	}
+	compilers[isa.OpSubRI] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, v := ri(in)
+		return func(c *CPU) bool { c.Regs[r1] -= v; return false }
+	}
+	compilers[isa.OpMulRI] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, v := ri(in)
+		return func(c *CPU) bool { c.Regs[r1] *= v; return false }
+	}
+	compilers[isa.OpAndRI] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, v := ri(in)
+		return func(c *CPU) bool { c.Regs[r1] &= v; return false }
+	}
+	compilers[isa.OpOrRI] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, v := ri(in)
+		return func(c *CPU) bool { c.Regs[r1] |= v; return false }
+	}
+	compilers[isa.OpXorRI] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, v := ri(in)
+		return func(c *CPU) bool { c.Regs[r1] ^= v; return false }
+	}
+	compilers[isa.OpShlRI] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, v := ri(in)
+		s := v & 63
+		return func(c *CPU) bool { c.Regs[r1] <<= s; return false }
+	}
+	compilers[isa.OpShrRI] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, v := ri(in)
+		s := v & 63
+		return func(c *CPU) bool { c.Regs[r1] >>= s; return false }
+	}
+	compilers[isa.OpCmpRI] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, v := ri(in)
+		return func(c *CPU) bool { c.setCmp(c.Regs[r1], v); return false }
+	}
+	compilers[isa.OpNeg] = func(in *isa.Inst, pc, next uint64) handler {
+		r1 := in.R1 & 15
+		return func(c *CPU) bool { c.Regs[r1] = -c.Regs[r1]; return false }
+	}
+	compilers[isa.OpNot] = func(in *isa.Inst, pc, next uint64) handler {
+		r1 := in.R1 & 15
+		return func(c *CPU) bool { c.Regs[r1] = ^c.Regs[r1]; return false }
+	}
+
+	// Direct branches: the target folds to a constant at translate
+	// time. Each condition gets its own closure reading the flags
+	// directly — deliberately not calling isa.Op.EvalCond on the hot
+	// path — and TestCompiledBranchesMatchEvalCond exhaustively pins
+	// every closure to that reference definition.
+	compilers[isa.OpJmp] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool { c.PC = target; return false }
+	}
+	compilers[isa.OpJe] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool {
+			if c.ZF {
+				c.PC = target
+			} else {
+				c.PC = next
+			}
+			return false
+		}
+	}
+	compilers[isa.OpJne] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool {
+			if !c.ZF {
+				c.PC = target
+			} else {
+				c.PC = next
+			}
+			return false
+		}
+	}
+	compilers[isa.OpJl] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool {
+			if c.LTS {
+				c.PC = target
+			} else {
+				c.PC = next
+			}
+			return false
+		}
+	}
+	compilers[isa.OpJle] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool {
+			if c.LTS || c.ZF {
+				c.PC = target
+			} else {
+				c.PC = next
+			}
+			return false
+		}
+	}
+	compilers[isa.OpJg] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool {
+			if !c.LTS && !c.ZF {
+				c.PC = target
+			} else {
+				c.PC = next
+			}
+			return false
+		}
+	}
+	compilers[isa.OpJge] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool {
+			if !c.LTS {
+				c.PC = target
+			} else {
+				c.PC = next
+			}
+			return false
+		}
+	}
+	compilers[isa.OpJb] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool {
+			if c.LTU {
+				c.PC = target
+			} else {
+				c.PC = next
+			}
+			return false
+		}
+	}
+	compilers[isa.OpJae] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool {
+			if !c.LTU {
+				c.PC = target
+			} else {
+				c.PC = next
+			}
+			return false
+		}
+	}
+	compilers[isa.OpLoop] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool {
+			c.Regs[isa.R1]--
+			if c.Regs[isa.R1] != 0 {
+				c.PC = target
+			} else {
+				c.PC = next
+			}
+			return false
+		}
+	}
+	compilers[isa.OpCall] = func(in *isa.Inst, pc, next uint64) handler {
+		target := next + uint64(in.Imm)
+		return func(c *CPU) bool {
+			if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
+				return c.pageFaultPC(f, pc)
+			}
+			c.Regs[isa.SP] -= 8
+			c.PC = target
+			return false
+		}
+	}
+	compilers[isa.OpJmpR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1 := in.R1 & 15
+		return func(c *CPU) bool { c.PC = c.Regs[r1]; return false }
+	}
+	compilers[isa.OpCallR] = func(in *isa.Inst, pc, next uint64) handler {
+		r1 := in.R1 & 15
+		return func(c *CPU) bool {
+			if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
+				return c.pageFaultPC(f, pc)
+			}
+			c.Regs[isa.SP] -= 8
+			c.PC = c.Regs[r1]
+			return false
+		}
+	}
+	jmpCallM := func(call bool) compilerFunc {
+		return func(in *isa.Inst, pc, next uint64) handler {
+			ea := compileEA(in.Mem, next)
+			return func(c *CPU) bool {
+				target, f := c.Mem.Load(ea(c), 8)
+				if f != nil {
+					return c.pageFaultPC(f, pc)
+				}
+				if call {
+					if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
+						return c.pageFaultPC(f, pc)
+					}
+					c.Regs[isa.SP] -= 8
+				}
+				c.PC = target
+				return false
+			}
+		}
+	}
+	compilers[isa.OpJmpM] = jmpCallM(false)
+	compilers[isa.OpCallM] = jmpCallM(true)
+
+	ret := func(in *isa.Inst, pc, next uint64) handler {
+		pop := 8 + uint64(in.Imm)
+		return func(c *CPU) bool {
+			target, f := c.Mem.Load(c.Regs[isa.SP], 8)
+			if f != nil {
+				return c.pageFaultPC(f, pc)
+			}
+			c.Regs[isa.SP] += pop
+			c.PC = target
+			return false
+		}
+	}
+	compilers[isa.OpRet] = ret
+	compilers[isa.OpRetI] = ret
+
+	compilers[isa.OpBndCL] = func(in *isa.Inst, pc, next uint64) handler {
+		bnd, r1 := in.Bnd, in.R1&15
+		return func(c *CPU) bool {
+			if !c.Bnd.CheckLower(bnd, c.Regs[r1]) {
+				return c.boundFaultPC(pc)
+			}
+			return false
+		}
+	}
+	compilers[isa.OpBndCU] = func(in *isa.Inst, pc, next uint64) handler {
+		bnd, r1 := in.Bnd, in.R1&15
+		return func(c *CPU) bool {
+			if !c.Bnd.CheckUpper(bnd, c.Regs[r1]) {
+				return c.boundFaultPC(pc)
+			}
+			return false
+		}
+	}
+	compilers[isa.OpBndCLM] = func(in *isa.Inst, pc, next uint64) handler {
+		bnd, ea := in.Bnd, compileEA(in.Mem, next)
+		return func(c *CPU) bool {
+			if !c.Bnd.CheckLower(bnd, ea(c)) {
+				return c.boundFaultPC(pc)
+			}
+			return false
+		}
+	}
+	compilers[isa.OpBndCUM] = func(in *isa.Inst, pc, next uint64) handler {
+		bnd, ea := in.Bnd, compileEA(in.Mem, next)
+		return func(c *CPU) bool {
+			if !c.Bnd.CheckUpper(bnd, ea(c)) {
+				return c.boundFaultPC(pc)
+			}
+			return false
+		}
+	}
+	compilers[isa.OpBndMk] = func(in *isa.Inst, pc, next uint64) handler {
+		bnd, ea := in.Bnd, compileEA(in.Mem, next)
+		base, hasBase := in.Mem.Base, in.Mem.Base.Valid()
+		return func(c *CPU) bool {
+			var lo uint64
+			if hasBase {
+				lo = c.Regs[base]
+			}
+			c.Bnd.Set(bnd, mpx.Bound{Lower: lo, Upper: ea(c)})
+			return false
+		}
+	}
+	compilers[isa.OpBndMov] = func(in *isa.Inst, pc, next uint64) handler {
+		bnd, bnd2 := in.Bnd, in.Bnd2
+		return func(c *CPU) bool {
+			c.Bnd.Set(bnd, c.Bnd.Get(bnd2))
+			return false
+		}
+	}
+
+	nop := func(in *isa.Inst, pc, next uint64) handler {
+		return func(c *CPU) bool { return false }
+	}
+	compilers[isa.OpCFILabel] = nop
+	compilers[isa.OpNop] = nop
+
+	halted := func(reason StopReason) compilerFunc {
+		return func(in *isa.Inst, pc, next uint64) handler {
+			return func(c *CPU) bool { return c.halted(reason, next) }
+		}
+	}
+	compilers[isa.OpHalt] = halted(StopHalt)
+	compilers[isa.OpTrap] = halted(StopTrap)
+	compilers[isa.OpEExit] = halted(StopEExit)
+
+	invalid := func(in *isa.Inst, pc, next uint64) handler {
+		return func(c *CPU) bool { return c.invalidPC(pc) }
+	}
+	compilers[isa.OpEAccept] = invalid
+	compilers[isa.OpEModPE] = invalid
+
+	compilers[isa.OpXRstor] = func(in *isa.Inst, pc, next uint64) handler {
+		return func(c *CPU) bool {
+			for b := isa.BndReg(0); b < isa.NumBndRegs; b++ {
+				c.Bnd.Set(b, mpx.Bound{Lower: 0, Upper: ^uint64(0)})
+			}
+			return false
+		}
+	}
+	compilers[isa.OpWrFSBase] = nop
+	compilers[isa.OpWrGSBase] = nop
+
+	compilers[isa.OpVScatter] = func(in *isa.Inst, pc, next uint64) handler {
+		r1, ea := in.R1&15, compileEA(in.Mem, next)
+		return func(c *CPU) bool {
+			a := ea(c)
+			if f := c.Mem.Store(a, 8, c.Regs[r1]); f != nil {
+				return c.pageFaultPC(f, pc)
+			}
+			if f := c.Mem.Store(a+128, 8, c.Regs[r1]); f != nil {
+				return c.pageFaultPC(f, pc)
+			}
+			return false
+		}
+	}
+}

@@ -24,6 +24,16 @@
 // instead of one per instruction, exactly like a mini-JIT without code
 // generation.
 //
+// On top of the cache sits the classic DBT optimization ladder:
+// threaded dispatch (each instruction is specialized at translate time
+// into a per-op handler closure — one indirect call on the cached path
+// instead of the exec switch, with the compare+branch block tail
+// macro-fused; see compile.go) and block chaining (each block lazily
+// caches pointers to its fall-through and direct-branch successor
+// blocks, so hot loops run block-to-block without re-entering the
+// cache map; every chained transition revalidates the target's
+// generation, severing links to flushed translations).
+//
 // Blocks are invalidated through the page-granular generation counters of
 // mem.Paged: each block snapshots the global generation before decoding
 // and is re-decoded once any page it spans carries a later stamp (any
@@ -159,10 +169,45 @@ type block struct {
 	// nexts[i] is the address of the instruction after insts[i]: the
 	// fall-through PC, and the base for PC-relative operands.
 	nexts []uint64
+	// ops[i] is the threaded-dispatch handler for insts[i]: the
+	// instruction specialized at translate time into a closure over its
+	// operands, so the cached path pays one indirect call instead of
+	// the exec switch (see compile.go).
+	ops []handler
+	// fastOps is the dispatch array for whole-block execution: ops,
+	// except that a compare + conditional-branch tail is macro-fused
+	// into one handler (one dispatch instead of two, and the branch
+	// decision rides on the just-computed flags). Both fused ops are
+	// stop-free, so only the unclipped path may use fastOps; a
+	// budget-clipped prefix executes ops and stays exact.
+	fastOps []handler
+	// lastSetsPC records that the final instruction is a control
+	// transfer whose handler writes PC itself; otherwise the run loop
+	// materializes the fall-through PC when the whole block retires.
+	lastSetsPC bool
+
+	// okGen is the global generation at which this block was last
+	// known valid. When Generation() still equals it, no mutation of
+	// any kind has happened since, so revalidation is one atomic load;
+	// otherwise the span's pages are re-checked against gen.
+	okGen uint64
+
+	// Block chaining: the static successors of the block, so hot paths
+	// run block-to-block without re-entering the cache map. fallPC is
+	// the fall-through successor (cond branch not taken, or a block cut
+	// at the decode cap); takenPC is the direct-branch target. The
+	// *block pointers lazily cache the translated successors; every
+	// chained transition revalidates the target's generation, so a
+	// severed (flushed) successor can never execute stale — the pointer
+	// is then relinked to the fresh translation.
+	fallPC, takenPC     uint64
+	hasFall, hasTaken   bool
+	fallNext, takenNext *block
 }
 
 // CacheStats counts translation-cache events. All counters are
-// cumulative; hit rate is Hits / (Hits + Misses).
+// cumulative; the hit rate over all block transitions is
+// (Hits + Chains) / (Hits + Misses + Chains).
 type CacheStats struct {
 	// Blocks is the number of basic blocks decoded (translated).
 	Blocks uint64
@@ -173,24 +218,35 @@ type CacheStats struct {
 	// Flushes counts blocks discarded because the memory generation of
 	// their span changed (remap or code rewrite) or the cache overflowed.
 	Flushes uint64
+	// Chains counts block transitions served by chained successor
+	// pointers — fall-through or direct-branch targets reached without
+	// re-entering the cache map. Indirect transfers (jmpr/ret) and
+	// first visits still go through Hits/Misses.
+	Chains uint64
+	// Threaded counts instructions retired through compiled per-op
+	// handlers (the threaded-dispatch fast path). Instructions executed
+	// by the Step switch account for the rest of CPU.Cycles.
+	Threaded uint64
 }
 
 // String renders the counters in one line.
 func (s CacheStats) String() string {
 	rate := 0.0
-	if n := s.Hits + s.Misses; n > 0 {
-		rate = 100 * float64(s.Hits) / float64(n)
+	if n := s.Hits + s.Misses + s.Chains; n > 0 {
+		rate = 100 * float64(s.Hits+s.Chains) / float64(n)
 	}
-	return fmt.Sprintf("blocks=%d hits=%d misses=%d flushes=%d hit-rate=%.2f%%",
-		s.Blocks, s.Hits, s.Misses, s.Flushes, rate)
+	return fmt.Sprintf("blocks=%d hits=%d misses=%d flushes=%d chains=%d threaded=%d hit-rate=%.2f%%",
+		s.Blocks, s.Hits, s.Misses, s.Flushes, s.Chains, s.Threaded, rate)
 }
 
 func (s CacheStats) sub(o CacheStats) CacheStats {
 	return CacheStats{
-		Blocks:  s.Blocks - o.Blocks,
-		Hits:    s.Hits - o.Hits,
-		Misses:  s.Misses - o.Misses,
-		Flushes: s.Flushes - o.Flushes,
+		Blocks:   s.Blocks - o.Blocks,
+		Hits:     s.Hits - o.Hits,
+		Misses:   s.Misses - o.Misses,
+		Flushes:  s.Flushes - o.Flushes,
+		Chains:   s.Chains - o.Chains,
+		Threaded: s.Threaded - o.Threaded,
 	}
 }
 
@@ -198,17 +254,19 @@ func (s CacheStats) sub(o CacheStats) CacheStats {
 // so benchmark drivers can report totals without owning the CPUs (each
 // simulated kernel creates its own harts internally).
 var globalStats struct {
-	blocks, hits, misses, flushes atomic.Uint64
+	blocks, hits, misses, flushes, chains, threaded atomic.Uint64
 }
 
 // GlobalCacheStats returns the process-wide translation-cache totals,
 // accumulated from every CPU at each Run return.
 func GlobalCacheStats() CacheStats {
 	return CacheStats{
-		Blocks:  globalStats.blocks.Load(),
-		Hits:    globalStats.hits.Load(),
-		Misses:  globalStats.misses.Load(),
-		Flushes: globalStats.flushes.Load(),
+		Blocks:   globalStats.blocks.Load(),
+		Hits:     globalStats.hits.Load(),
+		Misses:   globalStats.misses.Load(),
+		Flushes:  globalStats.flushes.Load(),
+		Chains:   globalStats.chains.Load(),
+		Threaded: globalStats.threaded.Load(),
 	}
 }
 
@@ -219,6 +277,8 @@ func ResetGlobalCacheStats() {
 	globalStats.hits.Store(0)
 	globalStats.misses.Store(0)
 	globalStats.flushes.Store(0)
+	globalStats.chains.Store(0)
+	globalStats.threaded.Store(0)
 }
 
 // CPU is one OVM hart. It is not safe for concurrent use; each SGX thread
@@ -274,6 +334,8 @@ func (c *CPU) publishStats() {
 	globalStats.hits.Add(d.Hits)
 	globalStats.misses.Add(d.Misses)
 	globalStats.flushes.Add(d.Flushes)
+	globalStats.chains.Add(d.Chains)
+	globalStats.threaded.Add(d.Threaded)
 	c.published = c.stats
 }
 
@@ -302,13 +364,58 @@ func (c *CPU) fetch(addr uint64) (isa.Inst, int, *mem.Fault, error) {
 	return in, n, nil, nil
 }
 
+// chainVia resolves a chained transition to pc through the given
+// successor link after the inline fast check (link valid and nothing
+// mutated globally) has failed: it revalidates the linked block
+// against its span generations, or relinks through the cache map —
+// which severs links to flushed translations. Returns nil when pc has
+// no translation (the caller falls back to Step). This is the single
+// copy of the validate-or-relink protocol; only the two-line fast
+// check is inlined at the call sites in run and runNoBudget, where a
+// helper call per block transition is measurable.
+func (c *CPU) chainVia(link **block, pc uint64) *block {
+	if nb := *link; nb != nil && c.blockValid(nb) {
+		c.stats.Chains++
+		return nb
+	}
+	*link = c.lookup(pc)
+	return *link
+}
+
+// blockValid reports whether b's decode is still current. The global
+// generation is the fast filter: if nothing anywhere has mutated since
+// the last validation, no page stamp can have moved and one atomic load
+// suffices. Otherwise the block's span is re-checked page by page and,
+// on success, the validation point advances — but only when no stamp
+// was in flight (mem.Quiescent sampled BEFORE the span check). A span
+// check concurrent with a stamp may transiently miss it, which a
+// per-visit check absorbs at the next block boundary; a memo must not,
+// or the mutation would stay hidden until an unrelated generation
+// bump. Mutations starting after the quiescence sample advance the
+// global generation past g, so they defeat the g == okGen fast path on
+// their own.
+func (c *CPU) blockValid(b *block) bool {
+	g := c.Mem.Generation()
+	if g == b.okGen {
+		return true
+	}
+	quiet := c.Mem.Quiescent()
+	if c.Mem.GenerationOf(b.start, int(b.size)) <= b.gen {
+		if quiet {
+			b.okGen = g
+		}
+		return true
+	}
+	return false
+}
+
 // lookup returns a valid translated block starting at pc, translating or
 // re-translating as needed. It returns nil when the first fetch at pc
 // faults or decodes to garbage; the caller takes the Step slow path to
 // materialize the exception.
 func (c *CPU) lookup(pc uint64) *block {
 	if b, ok := c.blocks[pc]; ok {
-		if c.Mem.GenerationOf(b.start, int(b.size)) <= b.gen {
+		if c.blockValid(b) {
 			c.stats.Hits++
 			return b
 		}
@@ -319,11 +426,13 @@ func (c *CPU) lookup(pc uint64) *block {
 	return c.translate(pc)
 }
 
-// translate decodes the basic block starting at pc and caches it.
+// translate decodes the basic block starting at pc, compiles its
+// instructions into threaded handlers, and caches it.
 func (c *CPU) translate(pc uint64) *block {
 	// The generation snapshot must precede the byte fetches: see the
 	// block.gen comment for the ordering argument.
 	b := &block{start: pc, gen: c.Mem.Generation()}
+	b.okGen = b.gen
 	addr := pc
 	for len(b.insts) < maxBlockInsts {
 		in, n, fault, err := c.fetch(addr)
@@ -344,7 +453,48 @@ func (c *CPU) translate(pc uint64) *block {
 		return nil
 	}
 	b.size = addr - pc
+	// Threaded dispatch: specialize every instruction into its per-op
+	// handler closure (after the decode loop, so the insts slice no
+	// longer moves).
+	b.ops = make([]handler, len(b.insts))
+	ipc := pc
+	for i := range b.insts {
+		b.ops[i] = compile(&b.insts[i], ipc, b.nexts[i])
+		ipc = b.nexts[i]
+	}
+	b.fastOps = b.ops
+	if k := len(b.insts) - 2; k >= 0 {
+		if f := fuseCmpBranch(&b.insts[k], &b.insts[k+1], b.nexts[k+1]); f != nil {
+			b.fastOps = append(append(make([]handler, 0, k+1), b.ops[:k]...), f)
+		}
+	}
+	// Chain metadata: the static successors control can reach when the
+	// whole block retires.
+	last := &b.insts[len(b.insts)-1]
+	b.lastSetsPC = last.Op.IsControlTransfer()
+	switch {
+	case !last.Op.EndsBlock():
+		// Cut at the decode cap (or before an undecodable
+		// instruction): control always falls through.
+		b.hasFall, b.fallPC = true, addr
+	case last.Op.IsDirectBranch():
+		b.hasTaken, b.takenPC = true, addr+uint64(last.Imm)
+		if last.Op.IsCondBranch() {
+			b.hasFall, b.fallPC = true, addr
+		}
+	}
+	// Indirect transfers, returns and stop instructions have no static
+	// successor: every exit goes through lookup (or stops the hart).
 	if len(c.blocks) >= maxBlocks {
+		// Sever every chain pointer along with the map: a discarded
+		// cluster that stayed generation-valid could otherwise keep
+		// executing (and keep itself alive) through its own links,
+		// defeating the memory bound this flush exists to enforce. The
+		// block the run loop currently holds relinks through lookup on
+		// its next transition.
+		for _, ob := range c.blocks {
+			ob.fallNext, ob.takenNext = nil, nil
+		}
 		c.stats.Flushes += uint64(len(c.blocks))
 		clear(c.blocks)
 	}
@@ -358,54 +508,173 @@ func (c *CPU) translate(pc uint64) *block {
 // the reason for stopping. After StopTrap the PC addresses the instruction
 // after the trap, so resuming continues past it.
 func (c *CPU) Run(maxCycles uint64) Stop {
-	st := c.run(maxCycles)
+	var st Stop
+	if maxCycles == 0 {
+		st = c.runNoBudget()
+	} else {
+		st = c.run(maxCycles)
+	}
 	c.publishStats()
 	return st
 }
 
-func (c *CPU) run(maxCycles uint64) Stop {
-	budget := ^uint64(0)
-	if maxCycles > 0 {
-		budget = maxCycles
-	}
-	for budget > 0 {
-		b := c.lookup(c.PC)
+// runNoBudget is the cached execution loop without a cycle budget
+// (maxCycles == 0) — the common case: harts run until the next
+// trap/exception. It is run with the budget arithmetic and clip logic
+// stripped from the per-block path (worth ~5% on hot loops); the two
+// loops are kept in lockstep, and the randomized differential tests
+// drive both (random budgets there, Run(0) here) against Step.
+func (c *CPU) runNoBudget() Stop {
+	var b *block
+	for {
 		if b == nil {
-			budget--
+			b = c.lookup(c.PC)
+			if b == nil {
+				if stop, done := c.Step(); done {
+					return stop
+				}
+				continue
+			}
+		}
+		ops := b.fastOps
+		for i := 0; i < len(ops); i++ {
+			if ops[i](c) {
+				c.Cycles += uint64(i + 1)
+				c.stats.Threaded += uint64(i + 1)
+				return c.stop
+			}
+		}
+		n := len(b.insts)
+		c.Cycles += uint64(n)
+		c.stats.Threaded += uint64(n)
+		if !b.lastSetsPC {
+			c.PC = b.nexts[n-1]
+		}
+		// Block chaining: the inline check covers the hot case (linked
+		// successor, no mutation anywhere since its last validation —
+		// one atomic load); chainVia holds the shared validate-or-
+		// relink slow path. Indirect targets take the map.
+		pc := c.PC
+		switch {
+		case b.hasTaken && pc == b.takenPC:
+			if nb := b.takenNext; nb != nil && c.Mem.Generation() == nb.okGen {
+				c.stats.Chains++
+				b = nb
+				continue
+			}
+			b = c.chainVia(&b.takenNext, pc)
+		case b.hasFall && pc == b.fallPC:
+			if nb := b.fallNext; nb != nil && c.Mem.Generation() == nb.okGen {
+				c.stats.Chains++
+				b = nb
+				continue
+			}
+			b = c.chainVia(&b.fallNext, pc)
+		default:
+			b = c.lookup(pc)
+		}
+		if b == nil {
 			if stop, done := c.Step(); done {
 				return stop
 			}
-			continue
+		}
+	}
+}
+
+// run is the cached execution loop with a cycle budget: threaded
+// dispatch inside blocks, chained transitions between them. The
+// block-execution loop is inlined here (rather than a runBlock helper)
+// because its per-block overhead is on the critical path of every hot
+// loop.
+//
+// PC and Cycles are dead state inside a block: handlers only write PC
+// when they transfer control or stop (see compile.go), so the loop
+// batches the cycle count and materializes the fall-through PC at block
+// exit — architectural state is exact at every point a caller can
+// observe it.
+func (c *CPU) run(maxCycles uint64) Stop {
+	budget := maxCycles // Run routes maxCycles == 0 to runNoBudget
+	var b *block
+	for budget > 0 {
+		if b == nil {
+			b = c.lookup(c.PC)
+			if b == nil {
+				budget--
+				if stop, done := c.Step(); done {
+					return stop
+				}
+				continue
+			}
 		}
 		// Execute the block, clipped to the remaining budget. Only the
 		// final instruction of a block can redirect control, so a
 		// clipped prefix always falls through and leaves PC at the next
 		// unexecuted instruction — Run(maxCycles) semantics are exact.
 		n := len(b.insts)
-		if uint64(n) > budget {
+		clipped := uint64(n) > budget
+		var ops []handler
+		if clipped {
 			n = int(budget)
+			ops = b.ops[:n] // never the fused array: exact clipping
+		} else {
+			ops = b.fastOps
 		}
-		if c.runBlock(b, n) {
-			return c.stop
+		// A fused tail sits in the last slot and cannot stop, so the
+		// slot index i of any stop equals its instruction index.
+		for i := 0; i < len(ops); i++ {
+			if ops[i](c) {
+				// The stopping instruction retired (exec counts it
+				// too), and its handler restored PC.
+				c.Cycles += uint64(i + 1)
+				c.stats.Threaded += uint64(i + 1)
+				return c.stop
+			}
 		}
+		c.Cycles += uint64(n)
+		c.stats.Threaded += uint64(n)
 		budget -= uint64(n)
+		if clipped || !b.lastSetsPC {
+			// A clipped prefix, or a block ending in a plain
+			// instruction, falls through to the next unexecuted
+			// address.
+			c.PC = b.nexts[n-1]
+		}
+		if clipped {
+			break
+		}
+		if budget == 0 {
+			// Exactly exhausted at a block boundary: don't validate,
+			// translate, or count a transition that will not execute.
+			break
+		}
+		// Block chaining, as in runNoBudget.
+		pc := c.PC
+		switch {
+		case b.hasTaken && pc == b.takenPC:
+			if nb := b.takenNext; nb != nil && c.Mem.Generation() == nb.okGen {
+				c.stats.Chains++
+				b = nb
+				continue
+			}
+			b = c.chainVia(&b.takenNext, pc)
+		case b.hasFall && pc == b.fallPC:
+			if nb := b.fallNext; nb != nil && c.Mem.Generation() == nb.okGen {
+				c.stats.Chains++
+				b = nb
+				continue
+			}
+			b = c.chainVia(&b.fallNext, pc)
+		default:
+			b = c.lookup(pc)
+		}
+		if b == nil && budget > 0 {
+			budget--
+			if stop, done := c.Step(); done {
+				return stop
+			}
+		}
 	}
 	return Stop{Reason: StopCycles, PC: c.PC}
-}
-
-// runBlock executes the first n instructions of b. It reports true when
-// the hart stopped (c.stop holds the reason); otherwise the whole prefix
-// retired and c.PC is the follow-on instruction.
-func (c *CPU) runBlock(b *block, n int) bool {
-	pc := b.start
-	for i := 0; i < n; i++ {
-		next := b.nexts[i]
-		if c.exec(&b.insts[i], pc, next) {
-			return true
-		}
-		pc = next
-	}
-	return false
 }
 
 // Step executes a single instruction at PC, bypassing the translation
@@ -429,14 +698,17 @@ func (c *CPU) Step() (Stop, bool) {
 }
 
 // ea computes the effective address of a memory operand given the address
-// of the next instruction (for PC-relative operands).
+// of the next instruction (for PC-relative operands). An absent base
+// contributes zero: the encoding permits index-without-base operands
+// (x86 SIB does too), and indexing Regs with RegNone would crash the
+// whole process on an operand hostile code can construct (found by the
+// randomized differential test).
 func (c *CPU) ea(m isa.MemRef, next uint64) uint64 {
 	var a uint64
 	switch {
-	case m.IsAbs():
 	case m.IsPCRel():
 		a = next
-	default:
+	case m.Base.Valid():
 		a = c.Regs[m.Base]
 	}
 	if m.HasIndex() {
@@ -704,24 +976,11 @@ func (c *CPU) setTest(v uint64) {
 	c.LTU = false
 }
 
+// cond evaluates a conditional branch against the flags, deferring to
+// the reference definition in isa.Op.EvalCond. The compiled branch
+// handlers inline their conditions instead (one fewer switch on the
+// hot path); TestCompiledBranchesMatchEvalCond holds them to the same
+// semantics exhaustively.
 func (c *CPU) cond(op isa.Op) bool {
-	switch op {
-	case isa.OpJe:
-		return c.ZF
-	case isa.OpJne:
-		return !c.ZF
-	case isa.OpJl:
-		return c.LTS
-	case isa.OpJle:
-		return c.LTS || c.ZF
-	case isa.OpJg:
-		return !c.LTS && !c.ZF
-	case isa.OpJge:
-		return !c.LTS
-	case isa.OpJb:
-		return c.LTU
-	case isa.OpJae:
-		return !c.LTU
-	}
-	return false
+	return op.EvalCond(c.ZF, c.LTS, c.LTU)
 }

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/asm"
@@ -13,7 +14,7 @@ import (
 // code RX (made RWX to mirror SGX LibOS pools where noted), a guard gap,
 // data+bss+stack RW, and a trailing guard page. It returns a CPU ready to
 // run at the entry point with SP at the top of the stack.
-func loadImage(t *testing.T, img *asm.Image, stack uint64) *CPU {
+func loadImage(t testing.TB, img *asm.Image, stack uint64) *CPU {
 	t.Helper()
 	const base = 0x100000
 	dataSize := (img.MinDataSize() + stack + mem.PageSize - 1) / mem.PageSize * mem.PageSize
@@ -38,7 +39,7 @@ func loadImage(t *testing.T, img *asm.Image, stack uint64) *CPU {
 	return c
 }
 
-func build(t *testing.T, f func(b *asm.Builder)) *asm.Image {
+func build(t testing.TB, f func(b *asm.Builder)) *asm.Image {
 	t.Helper()
 	b := asm.NewBuilder()
 	f(b)
@@ -645,9 +646,19 @@ func TestCacheStatsAccumulate(t *testing.T) {
 	if s.Blocks == 0 || s.Misses == 0 {
 		t.Fatalf("stats = %v: expected decoded blocks", s)
 	}
-	// The 50-iteration loop re-enters its block: hits must dominate.
-	if s.Hits < 40 {
+	// The 50-iteration loop re-enters its block through its own chain
+	// pointer: chained transitions must dominate, with no extra map
+	// traffic.
+	if s.Hits+s.Chains < 40 {
 		t.Fatalf("stats = %v: loop not served from cache", s)
+	}
+	if s.Chains < 40 {
+		t.Fatalf("stats = %v: loop not chained block-to-block", s)
+	}
+	// Every retired instruction of this program went through the
+	// threaded handlers (no Step fallback was ever needed).
+	if s.Threaded != c.Cycles {
+		t.Fatalf("threaded=%d cycles=%d: instructions escaped the fast path", s.Threaded, c.Cycles)
 	}
 }
 
@@ -687,4 +698,231 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(c.Cycles), "cycles/op")
+}
+
+// TestCompilersCoverOpSpace: every valid opcode must have a handler
+// compiler (compile panics on a missing table entry).
+func TestCompilersCoverOpSpace(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for op := isa.OpInvalid + 1; op < isa.Op(isa.NumOps); op++ {
+		in := isa.RandomInstOp(r, op)
+		if h := compile(&in, 0x1000, 0x1000+uint64(in.Len())); h == nil {
+			t.Errorf("%s: nil handler", op)
+		}
+	}
+}
+
+// chainImage lays out two single blocks on two different code pages,
+// A = jmp B (so A chains to B) and B = movri r0, imm; trap. Keeping
+// them on separate pages means an invalidation of B leaves A valid —
+// the scenario where only the *chained successor* is stale.
+func chainImage(t *testing.T, perm mem.Perm) (*CPU, uint64, uint64) {
+	t.Helper()
+	const base = 0x100000
+	m := mem.NewPaged(base, 4*mem.PageSize)
+	if err := m.Map(base, 2*mem.PageSize, perm); err != nil {
+		t.Fatal(err)
+	}
+	// Block A at base: jmp +(PageSize-5) -> lands at base+PageSize.
+	codeA, err := isa.Encode(nil, isa.Inst{Op: isa.OpJmp, Imm: mem.PageSize - 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block B at base+PageSize: movri r0, 1; trap.
+	codeB, err := isa.Encode(nil, isa.Inst{Op: isa.OpMovRI, R1: isa.R0, Imm: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeB, err = isa.Encode(codeB, isa.Inst{Op: isa.OpTrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteDirect(base, codeA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteDirect(base+mem.PageSize, codeB); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m)
+	c.PC = base
+	return c, base, base + mem.PageSize
+}
+
+func TestChainedSuccessorInvalidatedBySMC(t *testing.T) {
+	// Warm run establishes the chain A->B; an untrusted store then
+	// rewrites B's immediate (self-modifying code through a W+X page).
+	// Re-running A must NOT follow the chain into the stale B: the
+	// chained transition revalidates B's span and re-translates.
+	c, entry, bAddr := chainImage(t, mem.PermRWX)
+	if st := c.Run(0); st.Reason != StopTrap || c.Regs[isa.R0] != 1 {
+		t.Fatalf("warm run: stop=%v r0=%d", st, c.Regs[isa.R0])
+	}
+	warm := c.CacheStats()
+	if f := c.Mem.Store(bAddr+2, 1, 9); f != nil { // movri imm low byte
+		t.Fatal(f)
+	}
+	c.PC = entry
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R0] != 9 {
+		t.Fatalf("r0 = %d, want 9: chained successor executed stale", c.Regs[isa.R0])
+	}
+	s := c.CacheStats()
+	if s.Flushes != warm.Flushes+1 {
+		t.Fatalf("flushes %d -> %d, want exactly one (B)", warm.Flushes, s.Flushes)
+	}
+	// A itself stayed valid (different page): served as a hit, not
+	// re-translated.
+	if s.Blocks != warm.Blocks+1 {
+		t.Fatalf("blocks %d -> %d, want exactly one re-translation (B)", warm.Blocks, s.Blocks)
+	}
+}
+
+func TestChainedSuccessorSeveredByMapOverCode(t *testing.T) {
+	// The teardown half of mmap-over-code, applied to the *chained*
+	// successor's page only: following the chain out of the still-valid
+	// A must fault on B's now non-executable page, not run stale code.
+	c, entry, bAddr := chainImage(t, mem.PermRX)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("warm run: stop = %v", st)
+	}
+	if err := c.Mem.Map(bAddr, mem.PageSize, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	c.PC = entry
+	st := c.Run(0)
+	if st.Reason != StopException || st.Exc != ExcPage || st.Fault == nil ||
+		st.Fault.Access != mem.AccessExec || st.PC != bAddr {
+		t.Fatalf("stop = %v, want exec #PF at %#x (stale chained block ran)", st, bAddr)
+	}
+}
+
+func TestChainedLoopSeesPatchedCode(t *testing.T) {
+	// In-loop SMC across a chain: every iteration, block A patches the
+	// movri immediate inside block B (its direct-branch successor) to
+	// the iteration counter, so a stale chained B is observable
+	// immediately. asm-built, all on one RWX region.
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("_start")
+		b.Call("getpc") // r6 = address of "loop"
+		b.Label("loop") // block A: patch B, then jump to it
+		b.AddI(isa.R5, 1)
+		b.MovRR(isa.R2, isa.R5)
+		// B's movri starts 23 bytes after "loop" (addi 6 + mov 3 +
+		// storeb 9 + jmp 5); its imm64 low byte is 2 further in.
+		b.StoreB(isa.Mem(isa.R6, 25), isa.R2)
+		b.Jmp("target")
+		b.Label("target")  // block B
+		b.MovRI(isa.R0, 0) // imm patched to 1, 2, 3
+		b.CmpI(isa.R5, 3)
+		b.Jl("loop")
+		b.Trap()
+		b.Func("getpc")
+		b.Load(isa.R6, isa.Mem(isa.SP, 0))
+		b.Ret()
+	})
+	c := loadImageRWX(t, img, 4096)
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if c.Regs[isa.R0] != 3 {
+		t.Fatalf("r0 = %d, want 3 (stale chained block executed)", c.Regs[isa.R0])
+	}
+	if s := c.CacheStats(); s.Flushes == 0 {
+		t.Fatalf("stats = %v: in-loop SMC flushed nothing", s)
+	}
+}
+
+// condOps are the eight flag-based conditional branches.
+var condOps = []isa.Op{isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge, isa.OpJb, isa.OpJae}
+
+// TestCompiledBranchesMatchEvalCond exhaustively pins every compiled
+// conditional-branch handler to the reference semantics in
+// isa.Op.EvalCond, over all flag combinations. The handlers inline
+// their conditions for speed; this test is what keeps them from
+// drifting.
+func TestCompiledBranchesMatchEvalCond(t *testing.T) {
+	const pc, next, disp = 0x1000, 0x1005, 0x40
+	for _, op := range condOps {
+		in := isa.Inst{Op: op, Imm: disp}
+		h := compile(&in, pc, next)
+		for _, zf := range []bool{false, true} {
+			for _, lts := range []bool{false, true} {
+				for _, ltu := range []bool{false, true} {
+					c := New(mem.NewPaged(0, mem.PageSize))
+					c.ZF, c.LTS, c.LTU = zf, lts, ltu
+					if h(c) {
+						t.Fatalf("%s: branch handler stopped the hart", op)
+					}
+					want := uint64(next)
+					if op.EvalCond(zf, lts, ltu) {
+						want = next + disp
+					}
+					if c.PC != want {
+						t.Errorf("%s(zf=%v lts=%v ltu=%v): pc=%#x want %#x", op, zf, lts, ltu, c.PC, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedCmpBranchMatchesUnfused checks every fused compare+branch
+// closure against executing its two unfused handlers, over a grid of
+// operand values covering signed/unsigned boundaries: identical PC and
+// identical resulting flags.
+func TestFusedCmpBranchMatchesUnfused(t *testing.T) {
+	const cmpPC, cmpNext, brNext, disp = 0x1000, 0x1006, 0x100B, 0x40
+	vals := []uint64{0, 1, 2, 127, 128, 1<<31 - 1, 1 << 31, 1<<63 - 1, 1 << 63, ^uint64(0), ^uint64(0) - 1}
+	for _, cmpOp := range []isa.Op{isa.OpCmpRI, isa.OpCmpRR} {
+		for _, br := range condOps {
+			brIn := isa.Inst{Op: br, Imm: disp}
+			for _, a := range vals {
+				for _, bv := range vals {
+					cmpIn := isa.Inst{Op: cmpOp, R1: isa.R2}
+					if cmpOp == isa.OpCmpRI {
+						cmpIn.Imm = int64(bv)
+					} else {
+						cmpIn.R2 = isa.R3
+					}
+					fused := fuseCmpBranch(&cmpIn, &brIn, brNext)
+					if fused == nil {
+						t.Fatalf("%s+%s: no fused form", cmpOp, br)
+					}
+					newCPU := func() *CPU {
+						c := New(mem.NewPaged(0, mem.PageSize))
+						c.Regs[isa.R2], c.Regs[isa.R3] = a, bv
+						return c
+					}
+					fc, uc := newCPU(), newCPU()
+					if fused(fc) {
+						t.Fatalf("%s+%s: fused handler stopped the hart", cmpOp, br)
+					}
+					hc := compile(&cmpIn, cmpPC, cmpNext)
+					hb := compile(&brIn, cmpNext, brNext)
+					if hc(uc) || hb(uc) {
+						t.Fatalf("%s+%s: unfused handlers stopped the hart", cmpOp, br)
+					}
+					if fc.PC != uc.PC {
+						t.Errorf("%s+%s a=%#x b=%#x: pc %#x vs %#x", cmpOp, br, a, bv, fc.PC, uc.PC)
+					}
+					if fc.ZF != uc.ZF || fc.LTS != uc.LTS || fc.LTU != uc.LTU {
+						t.Errorf("%s+%s a=%#x b=%#x: flags differ", cmpOp, br, a, bv)
+					}
+				}
+			}
+		}
+	}
+	// Pairs without a fused form stay unfused.
+	for _, pair := range [][2]isa.Inst{
+		{{Op: isa.OpTestRR, R1: isa.R2, R2: isa.R3}, {Op: isa.OpJe, Imm: disp}},
+		{{Op: isa.OpCmpRI, R1: isa.R2, Imm: 1}, {Op: isa.OpLoop, Imm: disp}},
+		{{Op: isa.OpAddRR, R1: isa.R2, R2: isa.R3}, {Op: isa.OpJe, Imm: disp}},
+	} {
+		cmpIn, brIn := pair[0], pair[1]
+		if fuseCmpBranch(&cmpIn, &brIn, brNext) != nil {
+			t.Errorf("%s+%s: unexpectedly fused", cmpIn.Op, brIn.Op)
+		}
+	}
 }
