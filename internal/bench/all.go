@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/sched"
 	"repro/internal/vm"
 )
 
@@ -21,15 +22,28 @@ var Experiments = []string{
 // occlum-bench -vmstats.
 var VMStats bool
 
+// SchedStats, when true, makes Run report the M:N scheduler counters
+// (parks, unparks, steals, preemptions, hart utilization) accumulated
+// across every Occlum hart pool during each experiment. Enabled by
+// occlum-bench -schedstats. The baselines run no scheduler, so their
+// experiments contribute zeros.
+var SchedStats bool
+
 // Run executes one named experiment at the given scale, printing its
 // table to w.
 func Run(name string, s Scale, w io.Writer) error {
 	if VMStats {
 		vm.ResetGlobalCacheStats()
 	}
+	before := sched.GlobalSnapshot()
 	err := run(name, s, w)
 	if err == nil && VMStats {
 		fmt.Fprintf(w, "  [vm cache: %v]\n", vm.GlobalCacheStats())
+	}
+	if err == nil && SchedStats {
+		d := sched.GlobalSnapshot().Sub(before)
+		fmt.Fprintf(w, "  [sched: tasks=%d slices=%d parks=%d unparks=%d steals=%d preempts=%d (%d requested) yields=%d hart-util=%.1f%%]\n",
+			d.Tasks, d.Slices, d.Parks, d.Unparks, d.Steals, d.Preempts, d.PreemptReqs, d.Yields, 100*d.Utilization())
 	}
 	return err
 }

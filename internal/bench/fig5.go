@@ -89,34 +89,37 @@ func Fig5cLighttpd(s Scale) (*Table, error) {
 	for i, c := range s.HTTPConcurrency {
 		t.Columns[i] = fmt.Sprintf("c=%d", c)
 	}
-	for _, c := range s.HTTPConcurrency {
-		_ = c
-	}
 	kernels, err := workloads.AllKernels(s.kernelSpec())
 	if err != nil {
 		return nil, err
 	}
-	const basePort = 9000
+	const (
+		basePort = 9000
+		workers  = 2
+	)
 	for ki, k := range kernels {
 		row := Row{Label: k.Name()}
-		for ci, c := range s.HTTPConcurrency {
-			port := uint16(basePort + ki*100 + ci)
-			master, err := workloads.InstallHTTPD(k, port, 2, s.HTTPRequests)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", k.Name(), err)
-			}
-			p, err := k.Spawn(master, nil, nil)
-			if err != nil {
-				return nil, err
-			}
+		// One server instance serves every concurrency round: workers
+		// run until StopHTTPD, so no respawn between rounds.
+		port := uint16(basePort + ki)
+		master, err := workloads.InstallHTTPD(k, port, workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name(), err)
+		}
+		p, err := k.Spawn(master, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range s.HTTPConcurrency {
 			res := workloads.RunHTTPBench(k, port, c, s.HTTPRequests)
-			if status := p.Wait(); status != 0 {
-				return nil, fmt.Errorf("%s: master status %d", k.Name(), status)
-			}
 			if res.Failed > 0 {
 				return nil, fmt.Errorf("%s c=%d: %d failed requests", k.Name(), c, res.Failed)
 			}
 			row.Values = append(row.Values, res.Throughput())
+		}
+		workloads.StopHTTPD(k, port, workers)
+		if status := p.Wait(); status != 0 {
+			return nil, fmt.Errorf("%s: master status %d", k.Name(), status)
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -126,7 +126,53 @@ func (h *Host) TamperFile(name string, off int) error {
 // --- Futex ---------------------------------------------------------------
 
 type futexQueue struct {
-	waiters []chan struct{}
+	waiters []*FutexReg
+}
+
+// FutexReg is one registered futex waiter. Exactly one of two things
+// happens to a registration: FutexWake pops it and invokes its callback,
+// or the owner Cancels it. Cancel after a wake is a harmless no-op.
+type FutexReg struct {
+	h    *Host
+	key  uint64
+	wake func()
+}
+
+// FutexSubscribe registers wake to be called by a future FutexWake on
+// key. This is the asynchronous form of FutexWait used by the M:N
+// scheduler: instead of blocking a hart, a SIP registers a callback that
+// unparks it. The caller must Cancel the registration if it stops
+// waiting for any reason other than being woken (e.g. the SIP is killed
+// while parked) — a stale registration would otherwise swallow a wake
+// meant for a real waiter.
+func (h *Host) FutexSubscribe(key uint64, wake func()) *FutexReg {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	q := h.futexes[key]
+	if q == nil {
+		q = &futexQueue{}
+		h.futexes[key] = q
+	}
+	reg := &FutexReg{h: h, key: key, wake: wake}
+	q.waiters = append(q.waiters, reg)
+	return reg
+}
+
+// Cancel removes the registration if it has not been consumed by a wake.
+func (r *FutexReg) Cancel() {
+	h := r.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	q := h.futexes[r.key]
+	if q == nil {
+		return
+	}
+	for i, w := range q.waiters {
+		if w == r {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // FutexWait blocks the caller until a FutexWake on the same key. The LibOS
@@ -135,34 +181,28 @@ type futexQueue struct {
 // (§6): a spurious or missing host wake can delay a SIP but not corrupt
 // LibOS state.
 func (h *Host) FutexWait(key uint64) {
-	h.mu.Lock()
-	q := h.futexes[key]
-	if q == nil {
-		q = &futexQueue{}
-		h.futexes[key] = q
-	}
 	ch := make(chan struct{})
-	q.waiters = append(q.waiters, ch)
-	h.mu.Unlock()
+	h.FutexSubscribe(key, func() { close(ch) })
 	<-ch
 }
 
 // FutexWake wakes up to n waiters on key, returning how many were woken.
+// Callbacks run outside the host lock.
 func (h *Host) FutexWake(key uint64, n int) int {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	q := h.futexes[key]
-	if q == nil {
-		return 0
+	var woken []*FutexReg
+	if q != nil {
+		for len(woken) < n && len(q.waiters) > 0 {
+			woken = append(woken, q.waiters[0])
+			q.waiters = q.waiters[1:]
+		}
 	}
-	woken := 0
-	for woken < n && len(q.waiters) > 0 {
-		ch := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		close(ch)
-		woken++
+	h.mu.Unlock()
+	for _, r := range woken {
+		r.wake()
 	}
-	return woken
+	return len(woken)
 }
 
 // --- Untrusted shared memory ----------------------------------------------

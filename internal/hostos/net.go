@@ -15,12 +15,24 @@ type Conn struct {
 
 // Listener accepts loopback connections on a port.
 type Listener struct {
-	host   *Host
-	port   uint16
-	mu     sync.Mutex
-	queue  chan *Conn
-	closed bool
+	host *Host
+	port uint16
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog []*Conn
+	// waiters are one-shot wake callbacks registered by parked accepts
+	// (the M:N scheduler's non-blocking path). Every arrival and the
+	// close wake all of them — the woken tasks retry TryAccept and
+	// re-register if they lose the race, so broadcast semantics are
+	// correct, if occasionally a thundering herd.
+	waiters []func()
+	closed  bool
 }
+
+// backlogMax bounds queued-but-unaccepted connections, like listen(2)'s
+// backlog.
+const backlogMax = 128
 
 // Listen binds a loopback port.
 func (h *Host) Listen(port uint16) (*Listener, error) {
@@ -29,7 +41,8 @@ func (h *Host) Listen(port uint16) (*Listener, error) {
 	if _, taken := h.listeners[port]; taken {
 		return nil, ErrPortInUse
 	}
-	l := &Listener{host: h, port: port, queue: make(chan *Conn, 128)}
+	l := &Listener{host: h, port: port}
+	l.cond = sync.NewCond(&l.mu)
 	h.listeners[port] = l
 	return l, nil
 }
@@ -44,27 +57,55 @@ func (h *Host) Dial(port uint16) (*Conn, error) {
 	}
 	a, b := connPair()
 	l.mu.Lock()
-	closed := l.closed
-	l.mu.Unlock()
-	if closed {
+	if l.closed || len(l.backlog) >= backlogMax {
+		l.mu.Unlock()
 		return nil, ErrConnRefused
 	}
-	select {
-	case l.queue <- b:
-		return a, nil
-	default:
-		return nil, ErrConnRefused // backlog full
+	l.backlog = append(l.backlog, b)
+	l.cond.Broadcast()
+	waiters := l.waiters
+	l.waiters = nil
+	l.mu.Unlock()
+	for _, w := range waiters {
+		w()
 	}
+	return a, nil
 }
 
 // Accept returns the next queued connection, blocking until one arrives or
 // the listener closes.
 func (l *Listener) Accept() (*Conn, error) {
-	c, ok := <-l.queue
-	if !ok {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.backlog) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.backlog) == 0 {
 		return nil, ErrClosed
 	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
 	return c, nil
+}
+
+// TryAccept is the non-blocking accept for parking callers: it returns a
+// queued connection if one is ready; otherwise, when the listener is
+// still open, it registers wait (called on the next arrival or close)
+// and reports ok=false. Registration and the emptiness check happen
+// under one lock, so a wake cannot slip between them.
+func (l *Listener) TryAccept(wait func()) (c *Conn, ok, closed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.backlog) > 0 {
+		c = l.backlog[0]
+		l.backlog = l.backlog[1:]
+		return c, true, false
+	}
+	if l.closed {
+		return nil, false, true
+	}
+	l.waiters = append(l.waiters, wait)
+	return nil, false, false
 }
 
 // Close unbinds the port and wakes pending Accepts.
@@ -75,11 +116,16 @@ func (l *Listener) Close() {
 		return
 	}
 	l.closed = true
+	l.cond.Broadcast()
+	waiters := l.waiters
+	l.waiters = nil
 	l.mu.Unlock()
 	l.host.mu.Lock()
 	delete(l.host.listeners, l.port)
 	l.host.mu.Unlock()
-	close(l.queue)
+	for _, w := range waiters {
+		w()
+	}
 }
 
 func connPair() (*Conn, *Conn) {

@@ -13,85 +13,92 @@ package libos
 // failure) and resumes at the return address.
 //
 // Registers: R0 = syscall number in, result out; R1..R5 = arguments.
+//
+// The numbers, errnos and flag values themselves live in
+// internal/sysdispatch — the syscall spine shared with the baseline
+// kernels — and are re-exported here so user-program builders keep a
+// single import.
 
-// Syscall numbers.
+import "repro/internal/sysdispatch"
+
+// Syscall numbers (see internal/sysdispatch/abi.go for the catalog).
 const (
-	SysExit     = 1  // exit(status)
-	SysWrite    = 2  // write(fd, buf, len) → n
-	SysRead     = 3  // read(fd, buf, len) → n
-	SysOpen     = 4  // open(path, pathLen, flags) → fd
-	SysClose    = 5  // close(fd)
-	SysSpawn    = 6  // spawn(path, pathLen, argvBlock, argvLen) → pid
-	SysWait4    = 7  // wait4(pid, statusPtr) → pid
-	SysPipe2    = 8  // pipe2(fds[2]ptr)
-	SysDup2     = 9  // dup2(oldfd, newfd)
-	SysGetpid   = 10 // getpid() → pid
-	SysMmap     = 11 // mmap(len) → addr (anonymous RW only)
-	SysMunmap   = 12 // munmap(addr, len)
-	SysFutex    = 13 // futex(op, addr, val)
-	SysKill     = 14 // kill(pid, sig)
-	SysSigact   = 15 // sigaction(sig, handler)
-	SysSigret   = 16 // sigreturn()
-	SysLseek    = 17 // lseek(fd, off, whence) → off
-	SysStat     = 18 // stat(path, pathLen, statPtr{size,isdir})
-	SysMkdir    = 19 // mkdir(path, pathLen)
-	SysUnlink   = 20 // unlink(path, pathLen)
-	SysReaddir  = 21 // readdir(path, pathLen, buf, bufLen) → n
-	SysSocket   = 22 // socket() → fd
-	SysBind     = 23 // bind(fd, port)
-	SysListen   = 24 // listen(fd)
-	SysAccept   = 25 // accept(fd) → connfd
-	SysConnect  = 26 // connect(fd, port)
-	SysSend     = 27 // send(fd, buf, len) → n
-	SysRecv     = 28 // recv(fd, buf, len) → n
-	SysClock    = 29 // clock_gettime() → ns
-	SysYield    = 30 // sched_yield()
-	SysGetppid  = 31 // getppid() → pid
-	SysFsync    = 32 // fsync(fd)
-	SysSpawnCPU = 33 // internal: report consumed cycles (diagnostics)
+	SysExit     = sysdispatch.SysExit
+	SysWrite    = sysdispatch.SysWrite
+	SysRead     = sysdispatch.SysRead
+	SysOpen     = sysdispatch.SysOpen
+	SysClose    = sysdispatch.SysClose
+	SysSpawn    = sysdispatch.SysSpawn
+	SysWait4    = sysdispatch.SysWait4
+	SysPipe2    = sysdispatch.SysPipe2
+	SysDup2     = sysdispatch.SysDup2
+	SysGetpid   = sysdispatch.SysGetpid
+	SysMmap     = sysdispatch.SysMmap
+	SysMunmap   = sysdispatch.SysMunmap
+	SysFutex    = sysdispatch.SysFutex
+	SysKill     = sysdispatch.SysKill
+	SysSigact   = sysdispatch.SysSigact
+	SysSigret   = sysdispatch.SysSigret
+	SysLseek    = sysdispatch.SysLseek
+	SysStat     = sysdispatch.SysStat
+	SysMkdir    = sysdispatch.SysMkdir
+	SysUnlink   = sysdispatch.SysUnlink
+	SysReaddir  = sysdispatch.SysReaddir
+	SysSocket   = sysdispatch.SysSocket
+	SysBind     = sysdispatch.SysBind
+	SysListen   = sysdispatch.SysListen
+	SysAccept   = sysdispatch.SysAccept
+	SysConnect  = sysdispatch.SysConnect
+	SysSend     = sysdispatch.SysSend
+	SysRecv     = sysdispatch.SysRecv
+	SysClock    = sysdispatch.SysClock
+	SysYield    = sysdispatch.SysYield
+	SysGetppid  = sysdispatch.SysGetppid
+	SysFsync    = sysdispatch.SysFsync
+	SysSpawnCPU = sysdispatch.SysSpawnCPU
 )
 
 // Errno values (returned as -errno in R0).
 const (
-	EPERM        = 1
-	ENOENT       = 2
-	ESRCH        = 3
-	EINTR        = 4
-	EIO          = 5
-	EBADF        = 9
-	ECHILD       = 10
-	EAGAIN       = 11
-	ENOMEM       = 12
-	EACCES       = 13
-	EFAULT       = 14
-	EEXIST       = 17
-	ENOTDIR      = 20
-	EISDIR       = 21
-	EINVAL       = 22
-	EMFILE       = 24
-	ENOSPC       = 28
-	ESPIPE       = 29
-	EPIPE        = 32
-	ENOSYS       = 38
+	EPERM        = sysdispatch.EPERM
+	ENOENT       = sysdispatch.ENOENT
+	ESRCH        = sysdispatch.ESRCH
+	EINTR        = sysdispatch.EINTR
+	EIO          = sysdispatch.EIO
+	EBADF        = sysdispatch.EBADF
+	ECHILD       = sysdispatch.ECHILD
+	EAGAIN       = sysdispatch.EAGAIN
+	ENOMEM       = sysdispatch.ENOMEM
+	EACCES       = sysdispatch.EACCES
+	EFAULT       = sysdispatch.EFAULT
+	EEXIST       = sysdispatch.EEXIST
+	ENOTDIR      = sysdispatch.ENOTDIR
+	EISDIR       = sysdispatch.EISDIR
+	EINVAL       = sysdispatch.EINVAL
+	EMFILE       = sysdispatch.EMFILE
+	ENOSPC       = sysdispatch.ENOSPC
+	ESPIPE       = sysdispatch.ESPIPE
+	EPIPE        = sysdispatch.EPIPE
+	ENOSYS       = sysdispatch.ENOSYS
 	ENOTDIRE     = ENOTDIR
-	ENOTEMPTY    = 39
-	ECONNREFUSED = 111
+	ENOTEMPTY    = sysdispatch.ENOTEMPTY
+	ECONNREFUSED = sysdispatch.ECONNREFUSED
 )
 
 // Open flags in the user ABI (mirroring fs.OpenFlag values).
 const (
-	ORdOnly = 0
-	OWrOnly = 1
-	ORdWr   = 2
-	OCreate = 0x40
-	OTrunc  = 0x200
-	OAppend = 0x400
+	ORdOnly = sysdispatch.ORdOnly
+	OWrOnly = sysdispatch.OWrOnly
+	ORdWr   = sysdispatch.ORdWr
+	OCreate = sysdispatch.OCreate
+	OTrunc  = sysdispatch.OTrunc
+	OAppend = sysdispatch.OAppend
 )
 
 // Futex operations.
 const (
-	FutexWait = 0
-	FutexWake = 1
+	FutexWait = sysdispatch.FutexWait
+	FutexWake = sysdispatch.FutexWake
 )
 
 // Signals.
@@ -106,9 +113,9 @@ const (
 
 // Lseek whence values.
 const (
-	SeekSet = 0
-	SeekCur = 1
-	SeekEnd = 2
+	SeekSet = sysdispatch.SeekSet
+	SeekCur = sysdispatch.SeekCur
+	SeekEnd = sysdispatch.SeekEnd
 )
 
 // Auxiliary vector layout. At process entry, R10 points to this block in

@@ -204,30 +204,6 @@ func (n *writerNode) WriteAt(p []byte, _ int64) (int, error) {
 func (n *writerNode) Size() int64  { return 0 }
 func (n *writerNode) Close() error { return nil }
 
-// installFD places an open file into the lowest free slot at or above 3,
-// the POSIX allocation rule (so dup2 targets never collide with fresh
-// fds).
-func (p *Proc) installFD(of *OpenFile) int {
-	p.fdmu.Lock()
-	defer p.fdmu.Unlock()
-	fd := 3
-	for {
-		if _, used := p.fds[fd]; !used {
-			break
-		}
-		fd++
-	}
-	p.fds[fd] = of
-	return fd
-}
-
-func (p *Proc) getFD(fd int) (*OpenFile, bool) {
-	p.fdmu.Lock()
-	defer p.fdmu.Unlock()
-	of, ok := p.fds[fd]
-	return of, ok
-}
-
 // NewSocketFile creates an unconnected socket description (shared with
 // the baseline kernels).
 func NewSocketFile() *OpenFile { return &OpenFile{refs: 1, kind: kindSock} }
@@ -277,20 +253,47 @@ func (of *OpenFile) ConnectHost(h *hostos.Host, port uint16) error {
 	return nil
 }
 
-// pipeBuf is the shared ring behind a pipe.
+// pipeBuf is the shared ring behind a pipe. It serves two waiting
+// styles at once: the baselines' goroutine-per-process kernels block on
+// the condvar, while SIPs under the M:N scheduler use the try* calls,
+// registering a one-shot wake callback instead of blocking a hart. Every
+// state change broadcasts to both: woken parked SIPs retry and
+// re-register if they lose the race, so the callback lists need no
+// precise accounting (a stale callback is a spurious unpark, which the
+// retry protocol absorbs).
 type pipeBuf struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	buf     []byte
-	cap     int
-	rClosed bool
-	wClosed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte
+	cap      int
+	rClosed  bool
+	wClosed  bool
+	rWaiters []func() // parked readers, woken by writes and closes
+	wWaiters []func() // parked writers, woken by reads and closes
 }
 
 func newPipeBuf(capacity int) *pipeBuf {
 	pb := &pipeBuf{cap: capacity}
 	pb.cond = sync.NewCond(&pb.mu)
 	return pb
+}
+
+// wakeReaders/wakeWriters run under pb.mu; the callbacks only flip
+// scheduler state (Unpark), which never re-enters the pipe.
+func (pb *pipeBuf) wakeReaders() {
+	pb.cond.Broadcast()
+	for _, w := range pb.rWaiters {
+		w()
+	}
+	pb.rWaiters = nil
+}
+
+func (pb *pipeBuf) wakeWriters() {
+	pb.cond.Broadcast()
+	for _, w := range pb.wWaiters {
+		w()
+	}
+	pb.wWaiters = nil
 }
 
 func (pb *pipeBuf) read(p []byte) (int, error) {
@@ -304,8 +307,28 @@ func (pb *pipeBuf) read(p []byte) (int, error) {
 	}
 	n := copy(p, pb.buf)
 	pb.buf = pb.buf[n:]
-	pb.cond.Broadcast()
+	pb.wakeWriters()
 	return n, nil
+}
+
+// tryRead is the non-blocking read for parking callers. When the pipe is
+// empty and writers remain, it registers wait and reports parked; the
+// emptiness check and the registration share one critical section, so no
+// write can slip between them unseen.
+func (pb *pipeBuf) tryRead(p []byte, wait func()) (n int, eof, parked bool) {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	if len(pb.buf) == 0 {
+		if pb.wClosed {
+			return 0, true, false
+		}
+		pb.rWaiters = append(pb.rWaiters, wait)
+		return 0, false, true
+	}
+	n = copy(p, pb.buf)
+	pb.buf = pb.buf[n:]
+	pb.wakeWriters()
+	return n, false, false
 }
 
 func (pb *pipeBuf) write(p []byte) (int, error) {
@@ -323,21 +346,44 @@ func (pb *pipeBuf) write(p []byte) (int, error) {
 		pb.buf = append(pb.buf, p[:n]...)
 		p = p[n:]
 		total += n
-		pb.cond.Broadcast()
+		pb.wakeReaders()
 	}
 	return total, nil
+}
+
+// tryWrite appends as much of p as fits. If anything is left over it
+// registers wait and the caller parks, resuming from its recorded
+// progress — so a large write drains in chunks without ever blocking a
+// hart or duplicating bytes.
+func (pb *pipeBuf) tryWrite(p []byte, wait func()) (n int, closed bool) {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	if pb.rClosed {
+		return 0, true
+	}
+	n = min(pb.cap-len(pb.buf), len(p))
+	if n > 0 {
+		pb.buf = append(pb.buf, p[:n]...)
+		pb.wakeReaders()
+	}
+	if n < len(p) {
+		pb.wWaiters = append(pb.wWaiters, wait)
+	}
+	return n, false
 }
 
 func (pb *pipeBuf) closeRead() {
 	pb.mu.Lock()
 	pb.rClosed = true
-	pb.cond.Broadcast()
+	pb.wakeReaders()
+	pb.wakeWriters()
 	pb.mu.Unlock()
 }
 
 func (pb *pipeBuf) closeWrite() {
 	pb.mu.Lock()
 	pb.wClosed = true
-	pb.cond.Broadcast()
+	pb.wakeReaders()
+	pb.wakeWriters()
 	pb.mu.Unlock()
 }

@@ -10,12 +10,13 @@
 //     cfi_label domain-ID rewriting, trampoline injection, MPX bound
 //     initialization);
 //   - the syscall interface (spawn instead of fork, pipes and signals as
-//     shared in-LibOS structures, futex via the host);
-//   - the virtual filesystem: a writable encrypted root, /dev and /proc.
-//
-// Each SIP maps 1:1 onto an SGX thread, modeled as a goroutine running a
-// virtual CPU; scheduling is delegated to the host (the Go runtime), as
-// in the paper.
+//     shared in-LibOS structures, futex via the host), dispatched through
+//     the shared table of internal/sysdispatch;
+//   - the virtual filesystem: a writable encrypted root, /dev and /proc;
+//   - the M:N scheduler (internal/sched): a fixed pool of harts — one
+//     per configured SGX TCS — multiplexes every SIP, so many more SIPs
+//     than TCS entries can be live, and a SIP blocked in a syscall parks
+//     instead of holding a hardware thread hostage.
 package libos
 
 import (
@@ -29,6 +30,7 @@ import (
 	"repro/internal/hostos"
 	"repro/internal/mem"
 	"repro/internal/oelf"
+	"repro/internal/sched"
 	"repro/internal/sgx"
 )
 
@@ -47,7 +49,10 @@ type Config struct {
 	// LibOSReserve is enclave memory reserved for the LibOS itself
 	// (contributes to enclave measurement/creation cost).
 	LibOSReserve uint64
-	// MaxThreads is the number of SGX TCS (max concurrent SIPs).
+	// MaxThreads is the number of SGX TCS — the size of the hart pool
+	// the M:N scheduler runs SIPs on. It no longer caps concurrent
+	// SIPs (NumDomains does): a blocked or runnable-but-descheduled
+	// SIP holds no TCS.
 	MaxThreads int
 	// FSImage is the host file holding the encrypted filesystem.
 	FSImage string
@@ -98,13 +103,16 @@ type Occlum struct {
 	platform *sgx.Platform
 	enclave  *sgx.Enclave
 	host     *hostos.Host
+	sched    *sched.Scheduler
 
-	mu       sync.Mutex
-	procCond *sync.Cond
-	domains  []*Domain
-	procs    map[int]*Proc
-	nextPID  int
-	threads  int // live SGX threads (SIPs)
+	mu      sync.Mutex
+	domains []*Domain
+	procs   map[int]*Proc
+	nextPID int
+	// waitWakers holds the unpark callbacks of SIPs parked in wait4,
+	// keyed by the waiting (parent) pid; every child teardown
+	// broadcasts to its parent's entry.
+	waitWakers map[int][]func()
 
 	vfs   *fs.VFS
 	encfs *fs.EncFS
@@ -123,7 +131,10 @@ type BootStats struct {
 var (
 	// ErrNoDomains reports domain exhaustion at spawn.
 	ErrNoDomains = errors.New("libos: no free MMDSFI domains")
-	// ErrNoThreads reports SGX TCS exhaustion at spawn.
+	// ErrNoThreads reported SGX TCS exhaustion at spawn under the old
+	// SIP-per-thread model. The M:N scheduler removed that limit (SIP
+	// concurrency is bounded by domains only); the variable remains so
+	// existing callers' errors.Is checks keep compiling.
 	ErrNoThreads = errors.New("libos: no free SGX threads")
 	// ErrTooBig reports a binary that does not fit a domain.
 	ErrTooBig = errors.New("libos: binary does not fit in a domain")
@@ -158,14 +169,14 @@ func Boot(platform *sgx.Platform, host *hostos.Host, cfg Config) (*Occlum, error
 		}
 	}
 	o := &Occlum{
-		cfg:      cfg,
-		platform: platform,
-		enclave:  e,
-		host:     host,
-		procs:    make(map[int]*Proc),
-		nextPID:  1,
+		cfg:        cfg,
+		platform:   platform,
+		enclave:    e,
+		host:       host,
+		procs:      make(map[int]*Proc),
+		nextPID:    1,
+		waitWakers: make(map[int][]func()),
 	}
-	o.procCond = sync.NewCond(&o.mu)
 
 	// Preallocate domains: code pages RWX (the loader rewrites them;
 	// the common SGX-LibOS pitfall of §7), data pages RW, guards
@@ -205,6 +216,9 @@ func Boot(platform *sgx.Platform, host *hostos.Host, cfg Config) (*Occlum, error
 		e.Destroy()
 		return nil, err
 	}
+	// The hart pool starts last, once boot can no longer fail: one hart
+	// per TCS, multiplexing every SIP this enclave will ever run.
+	o.sched = sched.New(cfg.MaxThreads)
 	return o, nil
 }
 
@@ -245,13 +259,17 @@ func (o *Occlum) Host() *hostos.Host { return o.host }
 // Sync flushes the encrypted filesystem to host storage.
 func (o *Occlum) Sync() error { return o.encfs.Sync() }
 
-// Shutdown flushes state and releases the enclave. Processes should have
-// exited.
+// Shutdown flushes state, stops the hart pool and releases the enclave.
+// Processes should have exited.
 func (o *Occlum) Shutdown() error {
 	err := o.encfs.Sync()
+	o.sched.Stop()
 	o.enclave.Destroy()
 	return err
 }
+
+// Sched exposes the hart-pool scheduler (stats and tests).
+func (o *Occlum) Sched() *sched.Scheduler { return o.sched }
 
 // InstallBinary writes a marshaled binary into the LibOS filesystem at
 // path — the "occlum build" step that prepares an image.

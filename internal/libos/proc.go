@@ -2,25 +2,32 @@ package libos
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/isa"
+	"repro/internal/sched"
+	"repro/internal/sysdispatch"
 	"repro/internal/vm"
 )
 
-// Proc is one SIP: an SFI-isolated process occupying one MMDSFI domain and
-// one SGX thread.
+// Proc is one SIP: an SFI-isolated process occupying one MMDSFI domain.
+//
+// Under the M:N scheduler a SIP no longer owns a goroutine (nor, in the
+// model, an SGX TCS) for its lifetime: it is a resumable coroutine
+// stepped by the hart pool. Everything the CPU needs to continue — PC,
+// registers, flags, bounds, and a possibly-in-flight blocked syscall —
+// lives in this struct, so a hart can drop the SIP at any quantum
+// boundary and any hart can pick it up later.
 type Proc struct {
 	os   *Occlum
 	pid  int
-	ppid int
+	ppid int // guarded by os.mu after spawn (reparenting)
 	name string
 	dom  *Domain
 	cpu  *vm.CPU
+	task *sched.G
 
-	fdmu   sync.Mutex
-	fds    map[int]*OpenFile
-	nextFD int
+	fds *sysdispatch.FDTable
 
 	heapBase, heapEnd, heapPtr uint64
 	tramp                      uint64
@@ -31,23 +38,79 @@ type Proc struct {
 	inHandler bool
 	savedPC   uint64
 	savedRegs [isa.NumRegs]uint64
-	killed    bool
-	killSig   int
+
+	// blocked is the parked syscall awaiting its wakeup, nil while the
+	// SIP runs user code. Owned by the hart currently stepping the SIP
+	// (only one ever does); the waker side never touches it — it only
+	// flips flags inside and calls Unpark.
+	blocked *blockedSys
+	// cursys is the syscall record being dispatched right now, so
+	// handlers can persist progress and registrations across parks.
+	cursys *blockedSys
 
 	// Exit state (guarded by os.mu).
 	exited bool
 	status int
 	done   chan struct{}
 
-	// Cycles consumed (for diagnostics and /proc).
-	cycles uint64
+	// Cycles consumed (for diagnostics and /proc; read concurrently).
+	cycles atomic.Uint64
+}
+
+// blockedSys is the continuation of a parked syscall: the original trap
+// arguments plus whatever the handler needs to resume where it left off.
+// Parked syscalls are re-dispatched from scratch on every wakeup, so
+// handlers must be retry-safe; prog and woken are the two pieces of
+// state that make pipe writes and futex waits idempotent across retries.
+type blockedSys struct {
+	no      uint64
+	a       [5]uint64
+	retAddr uint64
+	// prog counts bytes already transferred (pipe writes park midway
+	// without re-sending what the reader already consumed).
+	prog int64
+	// woken latches a futex wake: the wake consumed our queue slot, so
+	// the retry must return 0 instead of re-checking the futex word.
+	// Written by the waker, read by the hart; ordered by the
+	// unpark/park protocol.
+	woken atomic.Bool
+	// cancel deregisters from the wait queue (futex registrations must
+	// not outlive the syscall — a stale one would swallow a wake meant
+	// for a real waiter). Called on any completion; wakers make it a
+	// no-op for consumed registrations.
+	cancel func()
 }
 
 // PID returns the process ID.
 func (p *Proc) PID() int { return p.pid }
 
+// PPID returns the parent process ID (0 after orphaning).
+func (p *Proc) PPID() int {
+	p.os.mu.Lock()
+	defer p.os.mu.Unlock()
+	return p.ppid
+}
+
 // Cycles returns retired instruction count so far.
-func (p *Proc) Cycles() uint64 { return p.cycles }
+func (p *Proc) Cycles() uint64 { return p.cycles.Load() }
+
+// ReadUser implements sysdispatch.Kernel over the domain's data region.
+func (p *Proc) ReadUser(addr, n uint64) ([]byte, error) { return p.readUserBytes(addr, n) }
+
+// WriteUser implements sysdispatch.Kernel.
+func (p *Proc) WriteUser(addr uint64, b []byte) error { return p.writeUserBytes(addr, b) }
+
+// FDs implements sysdispatch.Kernel.
+func (p *Proc) FDs() *sysdispatch.FDTable { return p.fds }
+
+// RequestPreempt implements sched.Preempter: the scheduler asks a
+// CPU-bound SIP to yield at the next block boundary when runnable work
+// piles up behind it.
+func (p *Proc) RequestPreempt() { p.cpu.RequestPreempt() }
+
+// unpark makes the SIP runnable again; resource wakeup callbacks close
+// over this.
+func (p *Proc) unpark() { p.task.Unpark() }
 
 // SpawnOpt carries optional spawn parameters.
 type SpawnOpt struct {
@@ -62,6 +125,11 @@ type SpawnOpt struct {
 // domain running the verified binary at path. Unlike fork, spawn shares
 // no address space with the parent; unlike EIP spawn, it creates no
 // enclave, performs no attestation, and copies no encrypted state.
+//
+// Concurrency is bounded by domains only: the SIP is a scheduler task,
+// not a dedicated SGX thread, so far more SIPs than TCS entries
+// (Config.NumThreads harts) can be live at once — the point of the M:N
+// refactor.
 func (o *Occlum) Spawn(path string, argv []string, opt SpawnOpt) (*Proc, error) {
 	bin, err := o.loadBinary(path)
 	if err != nil {
@@ -73,12 +141,6 @@ func (o *Occlum) Spawn(path string, argv []string, opt SpawnOpt) (*Proc, error) 
 	}
 
 	o.mu.Lock()
-	if o.threads >= o.cfg.MaxThreads {
-		o.mu.Unlock()
-		o.freeDomain(dom)
-		return nil, ErrNoThreads
-	}
-	o.threads++
 	pid := o.nextPID
 	o.nextPID++
 	p := &Proc{
@@ -86,11 +148,12 @@ func (o *Occlum) Spawn(path string, argv []string, opt SpawnOpt) (*Proc, error) 
 		pid:      pid,
 		name:     path,
 		dom:      dom,
-		fds:      make(map[int]*OpenFile),
-		nextFD:   3,
+		cpu:      vm.New(o.enclave.Paged),
+		fds:      sysdispatch.NewFDTable(),
 		handlers: make(map[int]uint64),
 		done:     make(chan struct{}),
 	}
+	p.task = o.sched.Prepare(p)
 	if opt.Parent != nil {
 		p.ppid = opt.Parent.pid
 	}
@@ -99,15 +162,7 @@ func (o *Occlum) Spawn(path string, argv []string, opt SpawnOpt) (*Proc, error) 
 
 	// Inherit or set up standard fds.
 	if opt.Parent != nil {
-		opt.Parent.fdmu.Lock()
-		for fd, of := range opt.Parent.fds {
-			of.ref()
-			p.fds[fd] = of
-			if fd >= p.nextFD {
-				p.nextFD = fd + 1
-			}
-		}
-		opt.Parent.fdmu.Unlock()
+		p.fds.InheritFrom(opt.Parent.fds)
 	} else {
 		stdio := func(of *OpenFile) *OpenFile {
 			if of != nil {
@@ -116,36 +171,84 @@ func (o *Occlum) Spawn(path string, argv []string, opt SpawnOpt) (*Proc, error) 
 			}
 			return o.consoleFile()
 		}
-		p.fds[0] = stdio(opt.Stdin)
-		p.fds[1] = stdio(opt.Stdout)
-		p.fds[2] = stdio(opt.Stderr)
+		p.fds.Set(0, stdio(opt.Stdin))
+		p.fds.Set(1, stdio(opt.Stdout))
+		p.fds.Set(2, stdio(opt.Stderr))
 	}
 
-	p.cpu = vm.New(o.enclave.Paged)
 	if err := o.loadIntoDomain(dom, bin, append([]string{path}, argv...), p); err != nil {
 		p.teardown(127)
 		return nil, err
 	}
 
-	go p.run()
+	o.sched.Start(p.task)
 	return p, nil
 }
 
-// run is the SGX-thread loop of one SIP.
-func (p *Proc) run() {
+// stepResult says how one syscall dispatch left the SIP.
+type stepResult uint8
+
+const (
+	sysResume stepResult = iota // continue executing user code
+	sysExited                   // the SIP tore down
+	sysParked                   // the SIP parked; re-dispatch on unpark
+	sysYield                    // end the quantum (sched_yield)
+)
+
+// Step implements sched.Task: run the SIP for one scheduling quantum
+// (up to CycleSlice retired instructions), handling however many
+// syscalls occur within it. It returns Park when a blocking syscall
+// registered a waiter, releasing the hart to other SIPs — the core of
+// the M:N model.
+func (p *Proc) Step() sched.Status {
+	if cur := p.blocked; cur != nil {
+		// Parked syscall: let fatal signals terminate a blocked SIP
+		// (handler-signals wait until the syscall completes, as they
+		// did when a blocked syscall held its goroutine), then retry.
+		if p.fatalSignalWhileBlocked() {
+			return sched.Done
+		}
+		p.blocked = nil
+		switch p.dispatch(cur) {
+		case sysExited:
+			return sched.Done
+		case sysParked:
+			return sched.Park
+		case sysYield:
+			return sched.Yield
+		}
+	}
+
+	deadline := p.cpu.Cycles + p.os.cfg.CycleSlice
 	for {
 		if p.deliverPendingSignal() {
-			return // killed
+			return sched.Done
 		}
-		stop := p.cpu.Run(p.os.cfg.CycleSlice)
-		p.cycles = p.cpu.Cycles
+		if p.cpu.Cycles >= deadline {
+			return sched.Yield
+		}
+		stop := p.cpu.Run(deadline - p.cpu.Cycles)
+		p.cycles.Store(p.cpu.Cycles)
 		switch stop.Reason {
 		case vm.StopCycles:
-			// Preemption point; loop to check signals.
+			// Quantum exhausted; requeue so other SIPs get the hart.
+			return sched.Yield
+		case vm.StopPreempt:
+			// Asynchronous preemption honored at a block boundary —
+			// requeue; the pending signal (or the queued work that
+			// requested the preemption) is serviced on the next Step.
+			p.os.sched.Stats().Preempts.Add(1)
+			return sched.Yield
 		case vm.StopTrap:
-			if exited := p.syscallEntry(); exited {
-				return
+			switch p.syscallEntry() {
+			case sysExited:
+				return sched.Done
+			case sysParked:
+				return sched.Park
+			case sysYield:
+				return sched.Yield
 			}
+			// sysResume: keep running within the same quantum.
 		case vm.StopException:
 			// An AEX the LibOS turns into a fatal signal.
 			sig := SIGSEGV
@@ -158,64 +261,112 @@ func (p *Proc) run() {
 				sig = SIGILL
 			}
 			p.teardown(128 + sig)
-			return
+			return sched.Done
 		case vm.StopHalt, vm.StopEExit:
 			// Verified code cannot contain these; treat as fatal.
 			p.teardown(128 + SIGILL)
-			return
+			return sched.Done
 		}
 	}
 }
 
 // syscallEntry is the LibOS entry path: sanity-check the return address,
-// dispatch, and resume the SIP. Returns true if the process exited.
-func (p *Proc) syscallEntry() bool {
+// build the syscall record, and dispatch.
+func (p *Proc) syscallEntry() stepResult {
 	// Pop the return address pushed by the user's call to the
 	// trampoline and ensure it targets a cfi_label of this SIP (§6).
 	sp := p.cpu.Regs[isa.SP]
 	retAddr, err := p.readUserU64(sp)
 	if err != nil || !p.os.isDomainLabel(p.dom, retAddr) {
 		p.teardown(128 + SIGSEGV)
-		return true
+		return sysExited
 	}
 	p.cpu.Regs[isa.SP] = sp + 8
 
-	no := p.cpu.Regs[isa.R0]
-	a1, a2, a3, a4 := p.cpu.Regs[isa.R1], p.cpu.Regs[isa.R2], p.cpu.Regs[isa.R3], p.cpu.Regs[isa.R4]
-	ret, exited := p.dispatch(no, a1, a2, a3, a4, p.cpu.Regs[isa.R5])
-	if exited {
-		return true
+	cur := &blockedSys{
+		no: p.cpu.Regs[isa.R0],
+		a: [5]uint64{
+			p.cpu.Regs[isa.R1], p.cpu.Regs[isa.R2], p.cpu.Regs[isa.R3],
+			p.cpu.Regs[isa.R4], p.cpu.Regs[isa.R5],
+		},
+		retAddr: retAddr,
 	}
-	if ret == sigreturnSentinel {
-		// sigreturn restored the full pre-signal context; do not
-		// clobber it with the syscall return path.
-		return false
+	return p.dispatch(cur)
+}
+
+// dispatch runs one LibOS system call — just a function call within the
+// enclave, never an enclave transition (the core performance argument of
+// SIPs) — through the shared dispatch table, and applies the return
+// protocol: R0 gets the result, PC the validated return address.
+func (p *Proc) dispatch(cur *blockedSys) stepResult {
+	p.cursys = cur
+	res := sysTable.Dispatch(p, cur.no, &cur.a)
+	p.cursys = nil
+	if res.Exited {
+		return sysExited
 	}
-	p.cpu.Regs[isa.R0] = uint64(ret)
-	p.cpu.PC = retAddr
-	return false
+	if res.Parked {
+		p.blocked = cur
+		return sysParked
+	}
+	if cur.cancel != nil {
+		// The syscall is done; a wait-queue registration that was not
+		// consumed by a wake must not linger.
+		cur.cancel()
+		cur.cancel = nil
+	}
+	if !res.NoWriteback {
+		p.cpu.Regs[isa.R0] = uint64(res.Ret)
+		p.cpu.PC = cur.retAddr
+	}
+	if res.Yielded {
+		return sysYield
+	}
+	return sysResume
 }
 
 // teardown releases everything the SIP held and publishes its exit
 // status.
 func (p *Proc) teardown(status int) {
-	p.fdmu.Lock()
-	for fd, of := range p.fds {
-		of.unref()
-		delete(p.fds, fd)
+	if p.blocked != nil && p.blocked.cancel != nil {
+		// Deregister the parked syscall's waiter so no future wake is
+		// wasted on a dead SIP.
+		p.blocked.cancel()
+		p.blocked = nil
 	}
-	p.fdmu.Unlock()
-
+	p.fds.CloseAll()
 	p.os.freeDomain(p.dom)
 
 	o := p.os
 	o.mu.Lock()
 	p.exited = true
 	p.status = status
-	o.threads--
+	// Children: reap zombies, orphan the living (they auto-reap when
+	// they exit — no one is left to wait4 them).
+	for cpid, c := range o.procs {
+		if c.ppid != p.pid || c == p {
+			continue
+		}
+		if c.exited {
+			delete(o.procs, cpid)
+		} else {
+			c.ppid = 0
+		}
+	}
+	// A SIP with no parent to reap it does not linger as a zombie.
+	if parent, ok := o.procs[p.ppid]; p.ppid == 0 || !ok || parent.exited {
+		delete(o.procs, p.pid)
+	}
+	// Wake the parent if it is parked in wait4, and drop our own
+	// wait4 registrations.
+	wakers := o.waitWakers[p.ppid]
+	delete(o.waitWakers, p.ppid)
+	delete(o.waitWakers, p.pid)
 	close(p.done)
-	o.procCond.Broadcast()
 	o.mu.Unlock()
+	for _, w := range wakers {
+		w()
+	}
 }
 
 // Wait blocks until the process exits and returns its status. Unlike the
@@ -226,47 +377,53 @@ func (p *Proc) Wait() int {
 	return p.status
 }
 
-// wait4 implements the syscall: wait for a specific child (or any, when
-// pid < 0), reap it, and return (pid, status).
-func (p *Proc) wait4(pid int) (int, int, int) {
+// sysWait4 is the reaping primitive behind wait4: find a matching child
+// and reap it, report ECHILD when none can ever match, or park until a
+// child exits. Parking registers a waker keyed by our pid; every child
+// teardown broadcasts to it, and the retry re-scans (wait4 semantics
+// tolerate the spurious wakeups this allows).
+func (p *Proc) sysWait4(pid int) (cpid, status int, errno int64, parked bool) {
 	o := p.os
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	for {
-		found := false
-		for cpid, c := range o.procs {
-			if c.ppid != p.pid {
-				continue
-			}
-			if pid >= 0 && cpid != pid {
-				continue
-			}
-			found = true
-			if c.exited {
-				delete(o.procs, cpid)
-				return cpid, c.status, 0
-			}
+	found := false
+	for c0pid, c := range o.procs {
+		if c.ppid != p.pid || c == p {
+			continue
 		}
-		if !found {
-			return 0, 0, ECHILD
+		if pid >= 0 && c0pid != pid {
+			continue
 		}
-		o.procCond.Wait()
+		found = true
+		if c.exited {
+			delete(o.procs, c0pid)
+			return c0pid, c.status, 0, false
+		}
 	}
+	if !found {
+		return 0, 0, ECHILD, false
+	}
+	o.waitWakers[p.pid] = append(o.waitWakers[p.pid], p.unpark)
+	return 0, 0, 0, true
 }
 
 // Kill delivers a signal to pid from outside the enclave (host-side
-// test/bench use) or from another SIP.
+// test/bench use) or from another SIP. Delivery is prompt: the preempt
+// flag stops a running SIP at its next block boundary, and an unpark
+// wakes a parked one, instead of waiting out the CycleSlice as the
+// goroutine-per-SIP model did.
 func (o *Occlum) Kill(pid, sig int) error {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	p, ok := o.procs[pid]
 	if !ok || p.exited {
+		o.mu.Unlock()
 		return fmt.Errorf("libos: kill: no process %d", pid)
 	}
 	p.pending = append(p.pending, sig)
-	if sig == SIGKILL {
-		p.killed, p.killSig = true, sig
-	}
+	task := p.task
+	o.mu.Unlock()
+	p.cpu.RequestPreempt()
+	task.Unpark()
 	return nil
 }
 
@@ -295,12 +452,54 @@ func (p *Proc) deliverPendingSignal() bool {
 		return false
 	}
 	o.mu.Unlock()
-	switch sig {
-	case SIGKILL, SIGTERM, SIGSEGV, SIGILL, SIGFPE, SIGUSR1:
+	if fatalByDefault(sig) {
 		p.teardown(128 + sig)
 		return true
 	}
 	return false // default-ignored signal
+}
+
+// fatalSignalWhileBlocked scans the pending queue of a SIP parked in a
+// syscall: default-fatal signals terminate it immediately (cancelling
+// the parked waiter); handler-signals stay queued until the syscall
+// completes, matching the old behavior of a goroutine blocked in a
+// syscall. Returns true when the SIP was terminated.
+func (p *Proc) fatalSignalWhileBlocked() bool {
+	o := p.os
+	o.mu.Lock()
+	kept := p.pending[:0]
+	fatal := 0
+	hasFatal := false
+	for _, sig := range p.pending {
+		_, hasHandler := p.handlers[sig]
+		if (!hasHandler || sig == SIGKILL) && fatalByDefault(sig) {
+			if !hasFatal {
+				fatal, hasFatal = sig, true
+			}
+			continue
+		}
+		if !hasHandler && !fatalByDefault(sig) {
+			continue // default-ignored: drop
+		}
+		kept = append(kept, sig)
+	}
+	p.pending = kept
+	o.mu.Unlock()
+	if hasFatal {
+		p.teardown(128 + fatal)
+		return true
+	}
+	return false
+}
+
+// fatalByDefault reports whether sig terminates a SIP that installed no
+// handler.
+func fatalByDefault(sig int) bool {
+	switch sig {
+	case SIGKILL, SIGTERM, SIGSEGV, SIGILL, SIGFPE, SIGUSR1:
+		return true
+	}
+	return false
 }
 
 // Procs returns a snapshot of live process IDs (for /proc and tests).

@@ -60,16 +60,19 @@ func (pf *procFS) render(p string) ([]byte, error) {
 		o := pf.os
 		o.mu.Lock()
 		proc, ok := o.procs[pid]
-		o.mu.Unlock()
 		if !ok {
+			o.mu.Unlock()
 			return nil, fs.ErrNotExist
 		}
+		// Render under the lock: exited and ppid mutate on teardown.
 		state := "R (running)"
 		if proc.exited {
 			state = "Z (zombie)"
 		}
-		return []byte(fmt.Sprintf("Name:\t%s\nPid:\t%d\nPPid:\t%d\nState:\t%s\nDomain:\t%d\nCycles:\t%d\n",
-			proc.name, proc.pid, proc.ppid, state, proc.dom.ID, proc.cycles)), nil
+		out := fmt.Sprintf("Name:\t%s\nPid:\t%d\nPPid:\t%d\nState:\t%s\nDomain:\t%d\nCycles:\t%d\n",
+			proc.name, proc.pid, proc.ppid, state, proc.dom.ID, proc.cycles.Load())
+		o.mu.Unlock()
+		return []byte(out), nil
 	}
 	return nil, fs.ErrNotExist
 }

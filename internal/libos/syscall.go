@@ -3,121 +3,73 @@ package libos
 import (
 	"errors"
 	"io"
-	"runtime"
-	"time"
 
 	"repro/internal/fs"
+	"repro/internal/sysdispatch"
 )
 
-// dispatch executes one LibOS system call — just a function call within
-// the enclave, never an enclave transition (the core performance argument
-// of SIPs). Returns the value for R0 and whether the process exited.
-func (p *Proc) dispatch(no, a1, a2, a3, a4, a5 uint64) (int64, bool) {
-	switch no {
-	case SysExit:
-		p.teardown(int(int64(a1)) & 0xFF)
-		return 0, true
+// sysTable is the LibOS's registration into the shared syscall spine
+// (internal/sysdispatch): marshalling and the fd table come from the
+// spine; the handlers below supply SIP semantics — domain-checked user
+// memory, the encrypted VFS, signals, and the parking protocol that
+// releases a hart instead of blocking it.
+var sysTable = newSysTable()
 
-	case SysWrite, SysSend:
-		return p.sysWrite(int(int64(a1)), a2, a3), false
-	case SysRead, SysRecv:
-		return p.sysRead(int(int64(a1)), a2, a3), false
-	case SysOpen:
-		return p.sysOpen(a1, a2, fs.OpenFlag(a3)), false
-	case SysClose:
-		return p.sysClose(int(int64(a1))), false
-	case SysSpawn:
-		return p.sysSpawn(a1, a2, a3, a4), false
-	case SysWait4:
-		pid, status, errno := p.wait4(int(int64(a1)))
-		if errno != 0 {
-			return -int64(errno), false
-		}
-		if a2 != 0 {
-			if err := p.writeUserU64(a2, uint64(status)); err != nil {
-				return -EFAULT, false
-			}
-		}
-		return int64(pid), false
-	case SysPipe2:
+func newSysTable() *sysdispatch.Table {
+	t := sysdispatch.NewTable()
+	t.Register(SysExit, sysdispatch.ExitHandler(func(k sysdispatch.Kernel, status int) {
+		k.(*Proc).teardown(status)
+	}))
+	t.Register(SysWrite, sysWrite)
+	t.Register(SysSend, sysWrite)
+	t.Register(SysRead, sysRead)
+	t.Register(SysRecv, sysRead)
+	t.Register(SysOpen, sysdispatch.OpenHandler(sysOpen))
+	t.Register(SysClose, sysdispatch.CloseFD)
+	t.Register(SysSpawn, sysdispatch.SpawnHandler(sysSpawn))
+	t.Register(SysWait4, sysdispatch.Wait4Handler(func(k sysdispatch.Kernel, pid int) (int, int, int64, bool) {
+		return k.(*Proc).sysWait4(pid)
+	}))
+	t.Register(SysPipe2, sysdispatch.Pipe2Handler(func(sysdispatch.Kernel) (sysdispatch.File, sysdispatch.File) {
 		r, w := NewPipe()
-		rfd, wfd := p.installFD(r), p.installFD(w)
-		if err := p.writeUserU64(a1, uint64(rfd)); err != nil {
-			return -EFAULT, false
-		}
-		if err := p.writeUserU64(a1+8, uint64(wfd)); err != nil {
-			return -EFAULT, false
-		}
-		return 0, false
-	case SysDup2:
-		return p.sysDup2(int(int64(a1)), int(int64(a2))), false
-	case SysGetpid:
-		return int64(p.pid), false
-	case SysGetppid:
-		return int64(p.ppid), false
-	case SysMmap:
-		return p.sysMmap(a1), false
-	case SysMunmap:
-		return 0, false // bump allocator: munmap is a no-op
-	case SysFutex:
-		return p.sysFutex(a1, a2, a3), false
-	case SysKill:
-		if err := p.os.Kill(int(int64(a1)), int(int64(a2))); err != nil {
-			return -ESRCH, false
-		}
-		return 0, false
-	case SysSigact:
-		return p.sysSigaction(int(int64(a1)), a2), false
-	case SysSigret:
-		return p.sysSigreturn()
-	case SysLseek:
-		of, ok := p.getFD(int(int64(a1)))
-		if !ok {
-			return -EBADF, false
-		}
-		off, err := of.Seek(int64(a2), int(int64(a3)))
-		if err != nil {
-			return -ESPIPE, false
-		}
-		return off, false
-	case SysStat:
-		return p.sysStat(a1, a2, a3), false
-	case SysMkdir:
-		path, err := p.readUserBytes(a1, a2)
-		if err != nil {
-			return -EFAULT, false
-		}
-		return errno(p.os.vfs.Mkdir(string(path))), false
-	case SysUnlink:
-		path, err := p.readUserBytes(a1, a2)
-		if err != nil {
-			return -EFAULT, false
-		}
-		return errno(p.os.vfs.Unlink(string(path))), false
-	case SysReaddir:
-		return p.sysReaddir(a1, a2, a3, a4), false
-	case SysSocket:
-		of := &OpenFile{refs: 1, kind: kindSock}
-		return int64(p.installFD(of)), false
-	case SysBind:
-		return p.sysBind(int(int64(a1)), uint16(a2)), false
-	case SysListen:
-		return 0, false // binding already created the host listener
-	case SysAccept:
-		return p.sysAccept(int(int64(a1))), false
-	case SysConnect:
-		return p.sysConnect(int(int64(a1)), uint16(a2)), false
-	case SysClock:
-		return time.Now().UnixNano(), false
-	case SysYield:
-		runtime.Gosched()
-		return 0, false
-	case SysFsync:
-		return errno(p.os.encfs.Sync()), false
-	case SysSpawnCPU:
-		return int64(p.cpu.Cycles), false
-	}
-	return -ENOSYS, false
+		return r, w
+	}))
+	t.Register(SysDup2, sysdispatch.Dup2FD)
+	t.Register(SysGetpid, sysdispatch.Getpid)
+	t.Register(SysGetppid, sysdispatch.Getppid)
+	t.Register(SysMmap, sysMmap)
+	t.Register(SysMunmap, sysdispatch.Munmap)
+	t.Register(SysFutex, sysFutex)
+	t.Register(SysKill, sysKill)
+	t.Register(SysSigact, sysSigaction)
+	t.Register(SysSigret, sysSigreturn)
+	t.Register(SysLseek, sysdispatch.Lseek)
+	t.Register(SysStat, sysStat)
+	t.Register(SysMkdir, pathHandler(func(p *Proc, path string) int64 {
+		return errno(p.os.vfs.Mkdir(path))
+	}))
+	t.Register(SysUnlink, pathHandler(func(p *Proc, path string) int64 {
+		return errno(p.os.vfs.Unlink(path))
+	}))
+	t.Register(SysReaddir, sysReaddir)
+	t.Register(SysSocket, sysdispatch.SocketHandler(func(sysdispatch.Kernel) sysdispatch.File {
+		return NewSocketFile()
+	}))
+	t.Register(SysBind, sysBind)
+	t.Register(SysListen, sysdispatch.Listen)
+	t.Register(SysAccept, sysAccept)
+	t.Register(SysConnect, sysConnect)
+	t.Register(SysClock, sysdispatch.Clock)
+	t.Register(SysYield, func(sysdispatch.Kernel, *[5]uint64) sysdispatch.Result {
+		return sysdispatch.Result{Yielded: true}
+	})
+	t.Register(SysFsync, func(k sysdispatch.Kernel, _ *[5]uint64) sysdispatch.Result {
+		return sysdispatch.Ok(errno(k.(*Proc).os.encfs.Sync()))
+	})
+	t.Register(SysSpawnCPU, func(k sysdispatch.Kernel, _ *[5]uint64) sysdispatch.Result {
+		return sysdispatch.Ok(int64(k.(*Proc).cpu.Cycles))
+	})
+	return t
 }
 
 func errno(err error) int64 {
@@ -143,109 +95,122 @@ func errno(err error) int64 {
 	}
 }
 
-func (p *Proc) sysWrite(fd int, buf, n uint64) int64 {
+// pathHandler adapts a path-only operation (mkdir, unlink).
+func pathHandler(f func(p *Proc, path string) int64) sysdispatch.Handler {
+	return func(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+		path, ok := sysdispatch.ReadPath(k, a[0], a[1])
+		if !ok {
+			return sysdispatch.Errno(EFAULT)
+		}
+		return sysdispatch.Ok(f(k.(*Proc), path))
+	}
+}
+
+func (p *Proc) getFD(fd int) (*OpenFile, bool) {
+	f, ok := p.fds.Get(fd)
+	if !ok {
+		return nil, false
+	}
+	of, ok := f.(*OpenFile)
+	return of, ok
+}
+
+// sysWrite is the SIP write(2): pipes park when the ring is full,
+// resuming where they left off (cursys.prog) so no byte is sent twice;
+// other descriptions complete or fail immediately (socket writes
+// delegate to the host and may briefly occupy the hart — network I/O is
+// host-delegated and not under the parking protocol yet).
+func sysWrite(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	fd, buf, n := int(int64(a[0])), a[1], a[2]
 	of, ok := p.getFD(fd)
 	if !ok {
-		return -EBADF
+		return sysdispatch.Errno(EBADF)
+	}
+	if of.kind == kindPipeW {
+		// Copy only the unsent remainder out of the user buffer: a
+		// partially drained write re-dispatches once per ring-full of
+		// progress, and re-copying the whole buffer each retry would
+		// be O(n²/cap).
+		cur := p.cursys
+		rem, err := p.readUserBytes(buf+uint64(cur.prog), n-uint64(cur.prog))
+		if err != nil {
+			return sysdispatch.Errno(EFAULT)
+		}
+		wn, closed := of.pipe.tryWrite(rem, p.unpark)
+		cur.prog += int64(wn)
+		if closed {
+			if cur.prog == 0 {
+				return sysdispatch.Errno(EPIPE)
+			}
+			return sysdispatch.Ok(cur.prog)
+		}
+		if cur.prog < int64(n) {
+			return sysdispatch.ParkedResult
+		}
+		return sysdispatch.Ok(cur.prog)
 	}
 	data, err := p.readUserBytes(buf, n)
 	if err != nil {
-		return -EFAULT
+		return sysdispatch.Errno(EFAULT)
 	}
 	wn, werr := of.Write(data)
 	if werr != nil && wn == 0 {
-		return -EPIPE
+		return sysdispatch.Errno(EPIPE)
 	}
-	return int64(wn)
+	return sysdispatch.Ok(int64(wn))
 }
 
-func (p *Proc) sysRead(fd int, buf, n uint64) int64 {
+// sysRead is the SIP read(2): pipe reads park until data or writer
+// close; nodes and sockets use the immediate/blocking path.
+func sysRead(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	fd, buf, n := int(int64(a[0])), a[1], a[2]
 	of, ok := p.getFD(fd)
 	if !ok {
-		return -EBADF
+		return sysdispatch.Errno(EBADF)
 	}
-	if !p.inData(buf, n) {
-		return -EFAULT
+	if n > sysdispatch.MaxUserBuf || !p.inData(buf, n) {
+		return sysdispatch.Errno(EFAULT)
 	}
 	tmp := make([]byte, n)
-	rn, err := of.Read(tmp)
-	if err != nil && err != io.EOF && rn == 0 {
-		return -EIO
+	var rn int
+	if of.kind == kindPipeR {
+		var eof, parked bool
+		rn, eof, parked = of.pipe.tryRead(tmp, p.unpark)
+		if parked {
+			return sysdispatch.ParkedResult
+		}
+		if eof {
+			return sysdispatch.Ok(0)
+		}
+	} else {
+		var err error
+		rn, err = of.Read(tmp)
+		if err != nil && err != io.EOF && rn == 0 {
+			return sysdispatch.Errno(EIO)
+		}
 	}
 	if rn > 0 {
 		if werr := p.writeUserBytes(buf, tmp[:rn]); werr != nil {
-			return -EFAULT
+			return sysdispatch.Errno(EFAULT)
 		}
 	}
-	return int64(rn)
+	return sysdispatch.Ok(int64(rn))
 }
 
-func (p *Proc) sysOpen(pathPtr, pathLen uint64, flags fs.OpenFlag) int64 {
-	path, err := p.readUserBytes(pathPtr, pathLen)
+func sysOpen(k sysdispatch.Kernel, path string, flags uint64) (sysdispatch.File, int64) {
+	p := k.(*Proc)
+	n, err := p.os.vfs.Open(path, fs.OpenFlag(flags))
 	if err != nil {
-		return -EFAULT
+		return nil, -errno(err)
 	}
-	n, oerr := p.os.vfs.Open(string(path), flags)
-	if oerr != nil {
-		return errno(oerr)
-	}
-	return int64(p.installFD(newNodeFile(n, flags)))
+	return newNodeFile(n, fs.OpenFlag(flags)), 0
 }
 
-func (p *Proc) sysClose(fd int) int64 {
-	p.fdmu.Lock()
-	of, ok := p.fds[fd]
-	if ok {
-		delete(p.fds, fd)
-	}
-	p.fdmu.Unlock()
-	if !ok {
-		return -EBADF
-	}
-	of.unref()
-	return 0
-}
-
-func (p *Proc) sysDup2(oldfd, newfd int) int64 {
-	p.fdmu.Lock()
-	of, ok := p.fds[oldfd]
-	if !ok {
-		p.fdmu.Unlock()
-		return -EBADF
-	}
-	if oldfd == newfd {
-		p.fdmu.Unlock()
-		return int64(newfd)
-	}
-	if old, exists := p.fds[newfd]; exists {
-		old.unref()
-	}
-	of.ref()
-	p.fds[newfd] = of
-	p.fdmu.Unlock()
-	return int64(newfd)
-}
-
-func (p *Proc) sysSpawn(pathPtr, pathLen, argvPtr, argvLen uint64) int64 {
-	path, err := p.readUserBytes(pathPtr, pathLen)
-	if err != nil {
-		return -EFAULT
-	}
-	var argv []string
-	if argvLen > 0 {
-		block, err := p.readUserBytes(argvPtr, argvLen)
-		if err != nil {
-			return -EFAULT
-		}
-		start := 0
-		for i, b := range block {
-			if b == 0 {
-				argv = append(argv, string(block[start:i]))
-				start = i + 1
-			}
-		}
-	}
-	child, err := p.os.Spawn(string(path), argv, SpawnOpt{Parent: p})
+func sysSpawn(k sysdispatch.Kernel, path string, argv []string) int64 {
+	p := k.(*Proc)
+	child, err := p.os.Spawn(path, argv, SpawnOpt{Parent: p})
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrNoDomains), errors.Is(err, ErrNoThreads):
@@ -259,15 +224,16 @@ func (p *Proc) sysSpawn(pathPtr, pathLen, argvPtr, argvLen uint64) int64 {
 	return int64(child.pid)
 }
 
-func (p *Proc) sysMmap(length uint64) int64 {
+func sysMmap(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
 	// Anonymous RW mapping from the domain's heap. The pages were
 	// zeroed when the domain was recycled, and the bump pointer only
 	// hands out fresh memory, so the zero-fill guarantee of §6 holds.
-	length = (length + 4095) &^ 4095
+	length := (a[0] + 4095) &^ 4095
 	p.os.mu.Lock()
 	defer p.os.mu.Unlock()
 	if p.heapPtr+length > p.heapEnd {
-		return -ENOMEM
+		return sysdispatch.Errno(ENOMEM)
 	}
 	addr := p.heapPtr
 	p.heapPtr += length
@@ -275,39 +241,66 @@ func (p *Proc) sysMmap(length uint64) int64 {
 	// heap range dirtied them within this process lifetime.
 	zero := make([]byte, length)
 	if f := p.os.enclave.WriteAt(addr, zero); f != nil {
-		return -ENOMEM
+		return sysdispatch.Errno(ENOMEM)
 	}
-	return int64(addr)
+	return sysdispatch.Ok(int64(addr))
 }
 
-func (p *Proc) sysFutex(op, addr, val uint64) int64 {
+// sysFutex: the value check happens inside the LibOS (semantic
+// correctness); only the sleep is delegated to the host. Waiting parks
+// the SIP: the wake callback latches cursys.woken and unparks, and the
+// retry returns 0 without re-checking the futex word (the waker usually
+// changed it). Registrations not consumed by a wake are cancelled by
+// dispatch/teardown, so no wake is ever wasted on a dead waiter.
+func sysFutex(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	op, addr, val := a[0], a[1], a[2]
 	switch op {
 	case FutexWait:
-		// The value check happens inside the LibOS (semantic
-		// correctness), only the sleep is delegated to the host.
-		cur, err := p.readUserU64(addr)
-		if err != nil {
-			return -EFAULT
+		cur := p.cursys
+		if cur.woken.Load() {
+			return sysdispatch.Ok(0)
 		}
-		if cur != val {
-			return -EAGAIN
+		if cur.cancel == nil {
+			v, err := p.readUserU64(addr)
+			if err != nil {
+				return sysdispatch.Errno(EFAULT)
+			}
+			if v != val {
+				return sysdispatch.Errno(EAGAIN)
+			}
+			reg := p.os.host.FutexSubscribe(addr, func() {
+				cur.woken.Store(true)
+				p.unpark()
+			})
+			cur.cancel = reg.Cancel
 		}
-		p.os.host.FutexWait(addr)
-		return 0
+		// Still registered (a spurious wake re-parks here).
+		return sysdispatch.ParkedResult
 	case FutexWake:
-		return int64(p.os.host.FutexWake(addr, int(val)))
+		return sysdispatch.Ok(int64(p.os.host.FutexWake(addr, int(val))))
 	}
-	return -EINVAL
+	return sysdispatch.Errno(EINVAL)
 }
 
-func (p *Proc) sysSigaction(sig int, handler uint64) int64 {
+func sysKill(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	if err := p.os.Kill(int(int64(a[0])), int(int64(a[1]))); err != nil {
+		return sysdispatch.Errno(ESRCH)
+	}
+	return sysdispatch.Ok(0)
+}
+
+func sysSigaction(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	sig, handler := int(int64(a[0])), a[1]
 	if sig == SIGKILL {
-		return -EINVAL
+		return sysdispatch.Errno(EINVAL)
 	}
 	if handler != 0 && !p.os.isDomainLabel(p.dom, handler) {
 		// A handler must be a cfi_label of this domain, otherwise
 		// signal delivery would be an arbitrary-jump primitive.
-		return -EINVAL
+		return sysdispatch.Errno(EINVAL)
 	}
 	p.os.mu.Lock()
 	if handler == 0 {
@@ -316,114 +309,122 @@ func (p *Proc) sysSigaction(sig int, handler uint64) int64 {
 		p.handlers[sig] = handler
 	}
 	p.os.mu.Unlock()
-	return 0
+	return sysdispatch.Ok(0)
 }
 
-func (p *Proc) sysSigreturn() (int64, bool) {
+func sysSigreturn(k sysdispatch.Kernel, _ *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
 	p.os.mu.Lock()
 	if !p.inHandler {
 		p.os.mu.Unlock()
-		return -EINVAL, false
+		return sysdispatch.Errno(EINVAL)
 	}
 	p.inHandler = false
 	p.os.mu.Unlock()
+	// Restore the full pre-signal context; the normal syscall return
+	// path must not clobber it.
 	p.cpu.PC = p.savedPC
 	p.cpu.Regs = p.savedRegs
-	// Resume at the saved context rather than the syscall return path:
-	// report "exited=true" semantics are wrong here, so instead we
-	// return a sentinel telling syscallEntry not to clobber PC.
-	return sigreturnSentinel, false
+	return sysdispatch.Result{NoWriteback: true}
 }
 
-// sigreturnSentinel makes syscallEntry skip the normal PC/R0 update.
-const sigreturnSentinel = int64(-1) << 62
-
-func (p *Proc) sysStat(pathPtr, pathLen, statPtr uint64) int64 {
-	path, err := p.readUserBytes(pathPtr, pathLen)
-	if err != nil {
-		return -EFAULT
+func sysStat(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	path, ok := sysdispatch.ReadPath(p, a[0], a[1])
+	if !ok {
+		return sysdispatch.Errno(EFAULT)
 	}
-	fi, serr := p.os.vfs.Stat(string(path))
+	fi, serr := p.os.vfs.Stat(path)
 	if serr != nil {
-		return errno(serr)
+		return sysdispatch.Ok(errno(serr))
 	}
-	if err := p.writeUserU64(statPtr, uint64(fi.Size)); err != nil {
-		return -EFAULT
+	if err := p.writeUserU64(a[2], uint64(fi.Size)); err != nil {
+		return sysdispatch.Errno(EFAULT)
 	}
 	var d uint64
 	if fi.IsDir {
 		d = 1
 	}
-	if err := p.writeUserU64(statPtr+8, d); err != nil {
-		return -EFAULT
+	if err := p.writeUserU64(a[2]+8, d); err != nil {
+		return sysdispatch.Errno(EFAULT)
 	}
-	return 0
+	return sysdispatch.Ok(0)
 }
 
-func (p *Proc) sysReaddir(pathPtr, pathLen, bufPtr, bufLen uint64) int64 {
-	path, err := p.readUserBytes(pathPtr, pathLen)
-	if err != nil {
-		return -EFAULT
+func sysReaddir(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	path, ok := sysdispatch.ReadPath(p, a[0], a[1])
+	if !ok {
+		return sysdispatch.Errno(EFAULT)
 	}
-	ents, derr := p.os.vfs.ReadDir(string(path))
+	ents, derr := p.os.vfs.ReadDir(path)
 	if derr != nil {
-		return errno(derr)
+		return sysdispatch.Ok(errno(derr))
 	}
 	var out []byte
 	for _, e := range ents {
 		out = append(out, e.Name...)
 		out = append(out, 0)
 	}
-	if uint64(len(out)) > bufLen {
-		out = out[:bufLen]
+	if uint64(len(out)) > a[3] {
+		out = out[:a[3]]
 	}
-	if err := p.writeUserBytes(bufPtr, out); err != nil {
-		return -EFAULT
+	if err := p.writeUserBytes(a[2], out); err != nil {
+		return sysdispatch.Errno(EFAULT)
 	}
-	return int64(len(out))
+	return sysdispatch.Ok(int64(len(out)))
 }
 
-func (p *Proc) sysBind(fd int, port uint16) int64 {
-	of, ok := p.getFD(fd)
+func sysBind(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	of, ok := p.getFD(int(int64(a[0])))
 	if !ok || of.kind != kindSock {
-		return -EBADF
+		return sysdispatch.Errno(EBADF)
 	}
-	lis, err := p.os.host.Listen(port)
+	lis, err := p.os.host.Listen(uint16(a[1]))
 	if err != nil {
-		return -EACCES
+		return sysdispatch.Errno(EACCES)
 	}
 	of.mu.Lock()
 	of.kind = kindListener
 	of.lis = lis
-	of.port = port
+	of.port = uint16(a[1])
 	of.mu.Unlock()
-	return 0
+	return sysdispatch.Ok(0)
 }
 
-func (p *Proc) sysAccept(fd int) int64 {
-	of, ok := p.getFD(fd)
+// sysAccept parks the SIP until a connection is queued or the listener
+// closes — the paper's Lighttpd configuration runs more workers than
+// TCS entries only because a worker waiting in accept costs no hart.
+func sysAccept(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	of, ok := p.getFD(int(int64(a[0])))
 	if !ok || of.kind != kindListener {
-		return -EBADF
+		return sysdispatch.Errno(EBADF)
 	}
-	conn, err := of.lis.Accept()
-	if err != nil {
-		return -EIO
+	conn, got, closed := of.lis.TryAccept(p.unpark)
+	if closed {
+		return sysdispatch.Errno(EIO)
+	}
+	if !got {
+		return sysdispatch.ParkedResult
 	}
 	nf := &OpenFile{refs: 1, kind: kindSock, conn: conn}
-	return int64(p.installFD(nf))
+	return sysdispatch.Ok(int64(p.fds.Install(nf)))
 }
 
-func (p *Proc) sysConnect(fd int, port uint16) int64 {
-	of, ok := p.getFD(fd)
+func sysConnect(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	of, ok := p.getFD(int(int64(a[0])))
 	if !ok || of.kind != kindSock {
-		return -EBADF
+		return sysdispatch.Errno(EBADF)
 	}
-	conn, err := p.os.host.Dial(port)
+	conn, err := p.os.host.Dial(uint16(a[1]))
 	if err != nil {
-		return -ECONNREFUSED
+		return sysdispatch.Errno(ECONNREFUSED)
 	}
 	of.mu.Lock()
 	of.conn = conn
 	of.mu.Unlock()
-	return 0
+	return sysdispatch.Ok(0)
 }

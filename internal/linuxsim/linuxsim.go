@@ -16,6 +16,7 @@ import (
 	"repro/internal/libos"
 	"repro/internal/mem"
 	"repro/internal/oelf"
+	"repro/internal/sysdispatch"
 	"repro/internal/vm"
 )
 
@@ -86,9 +87,7 @@ type Proc struct {
 	ppid int
 	cpu  *vm.CPU
 
-	fdmu   sync.Mutex
-	fds    map[int]*libos.OpenFile
-	nextFD int
+	fds *sysdispatch.FDTable
 
 	heapBase, heapEnd, heapPtr uint64
 	dataBase, dataSize         uint64
@@ -102,8 +101,32 @@ type Proc struct {
 // PID returns the process ID.
 func (p *Proc) PID() int { return p.pid }
 
+// PPID returns the parent process ID.
+func (p *Proc) PPID() int { return p.ppid }
+
 // Cycles returns retired instructions.
 func (p *Proc) Cycles() uint64 { return p.cycles }
+
+// ReadUser implements sysdispatch.Kernel: native processes have no
+// domain bounds, only page permissions.
+func (p *Proc) ReadUser(addr, n uint64) ([]byte, error) {
+	b, err := p.cpu.Mem.ReadDirect(addr, int(n))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// WriteUser implements sysdispatch.Kernel.
+func (p *Proc) WriteUser(addr uint64, b []byte) error {
+	if f := p.cpu.Mem.WriteAt(addr, b); f != nil {
+		return errors.New("linuxsim: fault")
+	}
+	return nil
+}
+
+// FDs implements sysdispatch.Kernel.
+func (p *Proc) FDs() *sysdispatch.FDTable { return p.fds }
 
 // Wait blocks for exit and returns the status.
 func (p *Proc) Wait() int {
@@ -174,7 +197,7 @@ func (l *Linux) Spawn(path string, argv []string, opt SpawnOpt) (*Proc, error) {
 	l.nextPID++
 	p := &Proc{
 		l: l, pid: pid, cpu: vm.New(as),
-		fds: make(map[int]*libos.OpenFile), nextFD: 3,
+		fds:      sysdispatch.NewFDTable(),
 		dataBase: dataBase, dataSize: dataSize,
 		done: make(chan struct{}),
 	}
@@ -185,15 +208,7 @@ func (l *Linux) Spawn(path string, argv []string, opt SpawnOpt) (*Proc, error) {
 	l.mu.Unlock()
 
 	if opt.Parent != nil {
-		opt.Parent.fdmu.Lock()
-		for fd, of := range opt.Parent.fds {
-			of.Ref()
-			p.fds[fd] = of
-			if fd >= p.nextFD {
-				p.nextFD = fd + 1
-			}
-		}
-		opt.Parent.fdmu.Unlock()
+		p.fds.InheritFrom(opt.Parent.fds)
 	} else {
 		for i, of := range []*libos.OpenFile{opt.Stdin, opt.Stdout, opt.Stderr} {
 			if of == nil {
@@ -201,7 +216,7 @@ func (l *Linux) Spawn(path string, argv []string, opt SpawnOpt) (*Proc, error) {
 			} else {
 				of.Ref()
 			}
-			p.fds[i] = of
+			p.fds.Set(i, of)
 		}
 	}
 
@@ -222,7 +237,7 @@ func (p *Proc) run() {
 		stop := p.cpu.Run(p.l.slice)
 		p.cycles = p.cpu.Cycles
 		switch stop.Reason {
-		case vm.StopCycles:
+		case vm.StopCycles, vm.StopPreempt:
 			continue
 		case vm.StopTrap:
 			if p.syscall() {
@@ -236,12 +251,7 @@ func (p *Proc) run() {
 }
 
 func (p *Proc) exit(status int) {
-	p.fdmu.Lock()
-	for fd, of := range p.fds {
-		of.Unref()
-		delete(p.fds, fd)
-	}
-	p.fdmu.Unlock()
+	p.fds.CloseAll()
 	l := p.l
 	l.mu.Lock()
 	p.exited = true

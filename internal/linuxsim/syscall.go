@@ -1,18 +1,15 @@
 package linuxsim
 
 import (
-	"encoding/binary"
 	"errors"
-	"io"
 	"runtime"
-	"time"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/libos"
 	"repro/internal/mem"
-	"repro/internal/oelf"
-	"repro/internal/vm"
+	"repro/internal/sysdispatch"
 )
 
 // loadTrampoline writes the syscall gate page at the base of the address
@@ -33,7 +30,130 @@ func setupStack(p *Proc, as *mem.Paged, base uint64, img *asm.Image, argv []stri
 	return nil
 }
 
-// syscall dispatches one trap. Returns true when the process exited.
+// sysTable is the native baseline's registration into the shared syscall
+// spine. Where the LibOS parks, the baseline blocks: each native process
+// owns a goroutine (kernel threads are cheap outside an enclave), so the
+// spine's blocking read/write/wait handlers apply directly. Signals are
+// not modeled, so SysKill/SysSigact/SysSigret stay unregistered and
+// answer -ENOSYS from the table. Built lazily: the handlers close over
+// Spawn, whose process loop dispatches through the table, and a package
+// initializer would make that reference cycle ill-formed.
+var (
+	sysTableOnce sync.Once
+	sysTableVal  *sysdispatch.Table
+)
+
+func sysTable() *sysdispatch.Table {
+	sysTableOnce.Do(func() { sysTableVal = newSysTable() })
+	return sysTableVal
+}
+
+var errNoFile = errors.New("linuxsim: no such file")
+
+func newSysTable() *sysdispatch.Table {
+	t := sysdispatch.NewTable()
+	t.Register(libos.SysExit, sysdispatch.ExitHandler(func(k sysdispatch.Kernel, status int) {
+		k.(*Proc).exit(status)
+	}))
+	t.Register(libos.SysWrite, sysdispatch.BlockingWrite)
+	t.Register(libos.SysSend, sysdispatch.BlockingWrite)
+	t.Register(libos.SysRead, sysdispatch.BlockingRead)
+	t.Register(libos.SysRecv, sysdispatch.BlockingRead)
+	t.Register(libos.SysOpen, sysdispatch.OpenHandler(func(k sysdispatch.Kernel, path string, flags uint64) (sysdispatch.File, int64) {
+		of, err := k.(*Proc).l.openPlain(path, int(flags))
+		if err != nil {
+			return nil, libos.ENOENT
+		}
+		return of, 0
+	}))
+	t.Register(libos.SysClose, sysdispatch.CloseFD)
+	t.Register(libos.SysSpawn, sysdispatch.SpawnHandler(func(k sysdispatch.Kernel, path string, argv []string) int64 {
+		p := k.(*Proc)
+		child, err := p.l.Spawn(path, argv, SpawnOpt{Parent: p})
+		if err != nil {
+			return -libos.ENOENT
+		}
+		return int64(child.pid)
+	}))
+	t.Register(libos.SysWait4, sysdispatch.Wait4Handler(func(k sysdispatch.Kernel, pid int) (int, int, int64, bool) {
+		cpid, status, errno := k.(*Proc).wait4(pid)
+		return cpid, status, int64(errno), false
+	}))
+	t.Register(libos.SysPipe2, sysdispatch.Pipe2Handler(func(sysdispatch.Kernel) (sysdispatch.File, sysdispatch.File) {
+		r, w := libos.NewPipe()
+		return r, w
+	}))
+	t.Register(libos.SysDup2, sysdispatch.Dup2FD)
+	t.Register(libos.SysGetpid, sysdispatch.Getpid)
+	t.Register(libos.SysGetppid, sysdispatch.Getppid)
+	t.Register(libos.SysMmap, func(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+		p := k.(*Proc)
+		length := (a[0] + 4095) &^ 4095
+		if p.heapPtr+length > p.heapEnd {
+			return sysdispatch.Errno(libos.ENOMEM)
+		}
+		addr := p.heapPtr
+		p.heapPtr += length
+		return sysdispatch.Ok(int64(addr))
+	})
+	t.Register(libos.SysMunmap, sysdispatch.Munmap)
+	t.Register(libos.SysFutex, func(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+		return sysdispatch.Ok(k.(*Proc).sysFutex(a[0], a[1], a[2]))
+	})
+	t.Register(libos.SysSocket, sysdispatch.SocketHandler(func(sysdispatch.Kernel) sysdispatch.File {
+		return libos.NewSocketFile()
+	}))
+	t.Register(libos.SysBind, withOF(func(p *Proc, of *libos.OpenFile, a *[5]uint64) int64 {
+		if err := of.BindHost(p.l.host, uint16(a[1])); err != nil {
+			return -libos.EACCES
+		}
+		return 0
+	}))
+	t.Register(libos.SysListen, sysdispatch.Listen)
+	t.Register(libos.SysAccept, withOF(func(p *Proc, of *libos.OpenFile, _ *[5]uint64) int64 {
+		nf, err := of.AcceptHost()
+		if err != nil {
+			return -libos.EIO
+		}
+		return int64(p.fds.Install(nf))
+	}))
+	t.Register(libos.SysConnect, withOF(func(p *Proc, of *libos.OpenFile, a *[5]uint64) int64 {
+		if err := of.ConnectHost(p.l.host, uint16(a[1])); err != nil {
+			return -libos.ECONNREFUSED
+		}
+		return 0
+	}))
+	t.Register(libos.SysLseek, sysdispatch.Lseek)
+	t.Register(libos.SysClock, sysdispatch.Clock)
+	t.Register(libos.SysYield, func(sysdispatch.Kernel, *[5]uint64) sysdispatch.Result {
+		runtime.Gosched()
+		return sysdispatch.Ok(0)
+	})
+	t.Register(libos.SysFsync, func(sysdispatch.Kernel, *[5]uint64) sysdispatch.Result {
+		return sysdispatch.Ok(0) // plaintext FS: no deferred integrity state
+	})
+	return t
+}
+
+// withOF adapts a handler over the baseline's socket descriptions
+// (which are libos.OpenFile, shared with the LibOS fd layer).
+func withOF(f func(p *Proc, of *libos.OpenFile, a *[5]uint64) int64) sysdispatch.Handler {
+	return func(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+		p := k.(*Proc)
+		file, ok := p.fds.Get(int(int64(a[0])))
+		if !ok {
+			return sysdispatch.Errno(libos.EBADF)
+		}
+		of, ok := file.(*libos.OpenFile)
+		if !ok {
+			return sysdispatch.Errno(libos.EBADF)
+		}
+		return sysdispatch.Ok(f(p, of, a))
+	}
+}
+
+// syscall dispatches one trap through the shared table. Returns true
+// when the process exited.
 func (p *Proc) syscall() bool {
 	// Pop the return address (no cfi_label requirement on native Linux).
 	sp := p.cpu.Regs[isa.SP]
@@ -44,183 +164,61 @@ func (p *Proc) syscall() bool {
 	}
 	p.cpu.Regs[isa.SP] = sp + 8
 
-	no := p.cpu.Regs[isa.R0]
-	a1, a2, a3 := p.cpu.Regs[isa.R1], p.cpu.Regs[isa.R2], p.cpu.Regs[isa.R3]
-	a4 := p.cpu.Regs[isa.R4]
-
-	var ret int64
-	switch no {
-	case libos.SysExit:
-		p.exit(int(int64(a1)) & 0xFF)
-		return true
-	case libos.SysWrite, libos.SysSend:
-		ret = p.rw(int(int64(a1)), a2, a3, true)
-	case libos.SysRead, libos.SysRecv:
-		ret = p.rw(int(int64(a1)), a2, a3, false)
-	case libos.SysOpen:
-		ret = p.sysOpen(a1, a2, int(a3))
-	case libos.SysClose:
-		ret = p.sysClose(int(int64(a1)))
-	case libos.SysSpawn:
-		ret = p.sysSpawn(a1, a2, a3, a4)
-	case libos.SysWait4:
-		pid, status, errno := p.wait4(int(int64(a1)))
-		if errno != 0 {
-			ret = -int64(errno)
-		} else {
-			if a2 != 0 {
-				var b [8]byte
-				binary.LittleEndian.PutUint64(b[:], uint64(status))
-				_ = p.cpu.Mem.WriteAt(a2, b[:])
-			}
-			ret = int64(pid)
-		}
-	case libos.SysPipe2:
-		r, w := libos.NewPipe()
-		rfd, wfd := p.installFD(r), p.installFD(w)
-		var b [16]byte
-		binary.LittleEndian.PutUint64(b[0:], uint64(rfd))
-		binary.LittleEndian.PutUint64(b[8:], uint64(wfd))
-		if f := p.cpu.Mem.WriteAt(a1, b[:]); f != nil {
-			ret = -libos.EFAULT
-		}
-	case libos.SysDup2:
-		ret = p.sysDup2(int(int64(a1)), int(int64(a2)))
-	case libos.SysGetpid:
-		ret = int64(p.pid)
-	case libos.SysGetppid:
-		ret = int64(p.ppid)
-	case libos.SysMmap:
-		length := (a1 + 4095) &^ 4095
-		if p.heapPtr+length > p.heapEnd {
-			ret = -libos.ENOMEM
-		} else {
-			addr := p.heapPtr
-			p.heapPtr += length
-			ret = int64(addr)
-		}
-	case libos.SysMunmap:
-		ret = 0
-	case libos.SysFutex:
-		ret = p.sysFutex(a1, a2, a3)
-	case libos.SysSocket:
-		ret = int64(p.installFD(libos.NewSocketFile()))
-	case libos.SysBind:
-		ret = p.withFD(int(int64(a1)), func(of *libos.OpenFile) int64 {
-			if err := of.BindHost(p.l.host, uint16(a2)); err != nil {
-				return -libos.EACCES
-			}
-			return 0
-		})
-	case libos.SysListen:
-		ret = 0
-	case libos.SysAccept:
-		ret = p.withFD(int(int64(a1)), func(of *libos.OpenFile) int64 {
-			nf, err := of.AcceptHost()
-			if err != nil {
-				return -libos.EIO
-			}
-			return int64(p.installFD(nf))
-		})
-	case libos.SysConnect:
-		ret = p.withFD(int(int64(a1)), func(of *libos.OpenFile) int64 {
-			if err := of.ConnectHost(p.l.host, uint16(a2)); err != nil {
-				return -libos.ECONNREFUSED
-			}
-			return 0
-		})
-	case libos.SysLseek:
-		ret = p.withFD(int(int64(a1)), func(of *libos.OpenFile) int64 {
-			off, err := of.Seek(int64(a2), int(int64(a3)))
-			if err != nil {
-				return -libos.ESPIPE
-			}
-			return off
-		})
-	case libos.SysClock:
-		ret = time.Now().UnixNano()
-	case libos.SysYield:
-		runtime.Gosched()
-	case libos.SysFsync:
-		ret = 0
-	case libos.SysKill:
-		ret = -libos.ENOSYS // the baseline does not model signals
-	default:
-		ret = -libos.ENOSYS
+	a := [5]uint64{
+		p.cpu.Regs[isa.R1], p.cpu.Regs[isa.R2], p.cpu.Regs[isa.R3],
+		p.cpu.Regs[isa.R4], p.cpu.Regs[isa.R5],
 	}
-	p.cpu.Regs[isa.R0] = uint64(ret)
+	res := sysTable().Dispatch(p, p.cpu.Regs[isa.R0], &a)
+	if res.Exited {
+		return true
+	}
+	p.cpu.Regs[isa.R0] = uint64(res.Ret)
 	p.cpu.PC = retAddr
 	return false
 }
 
-func (p *Proc) withFD(fd int, f func(*libos.OpenFile) int64) int64 {
-	p.fdmu.Lock()
-	of, ok := p.fds[fd]
-	p.fdmu.Unlock()
-	if !ok {
-		return -libos.EBADF
-	}
-	return f(of)
-}
-
-func (p *Proc) installFD(of *libos.OpenFile) int {
-	p.fdmu.Lock()
-	defer p.fdmu.Unlock()
-	fd := 3
+func (p *Proc) wait4(pid int) (int, int, int) {
+	l := p.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for {
-		if _, used := p.fds[fd]; !used {
-			break
+		found := false
+		for cpid, c := range l.procs {
+			if c.ppid != p.pid {
+				continue
+			}
+			if pid >= 0 && cpid != pid {
+				continue
+			}
+			found = true
+			if c.exited {
+				delete(l.procs, cpid)
+				return cpid, c.status, 0
+			}
 		}
-		fd++
+		if !found {
+			return 0, 0, libos.ECHILD
+		}
+		l.procCond.Wait()
 	}
-	p.fds[fd] = of
-	return fd
 }
 
-func (p *Proc) rw(fd int, buf, n uint64, write bool) int64 {
-	if n > 1<<20 {
-		return -libos.EINVAL
-	}
-	p.fdmu.Lock()
-	of, ok := p.fds[fd]
-	p.fdmu.Unlock()
-	if !ok {
-		return -libos.EBADF
-	}
-	if write {
-		data, err := p.cpu.Mem.ReadDirect(buf, int(n))
-		if err != nil {
+func (p *Proc) sysFutex(op, addr, val uint64) int64 {
+	switch op {
+	case libos.FutexWait:
+		cur, f := p.cpu.Mem.Load(addr, 8)
+		if f != nil {
 			return -libos.EFAULT
 		}
-		wn, werr := of.Write(append([]byte(nil), data...))
-		if werr != nil && wn == 0 {
-			return -libos.EPIPE
+		if cur != val {
+			return -libos.EAGAIN
 		}
-		return int64(wn)
+		p.l.host.FutexWait(addr)
+		return 0
+	case libos.FutexWake:
+		return int64(p.l.host.FutexWake(addr, int(val)))
 	}
-	tmp := make([]byte, n)
-	rn, err := of.Read(tmp)
-	if err != nil && err != io.EOF && rn == 0 {
-		return -libos.EIO
-	}
-	if rn > 0 {
-		if f := p.cpu.Mem.WriteAt(buf, tmp[:rn]); f != nil {
-			return -libos.EFAULT
-		}
-	}
-	return int64(rn)
-}
-
-func (p *Proc) sysOpen(pathPtr, pathLen uint64, flags int) int64 {
-	path, err := p.cpu.Mem.ReadDirect(pathPtr, int(pathLen))
-	if err != nil {
-		return -libos.EFAULT
-	}
-	of, oerr := p.l.openPlain(string(path), flags)
-	if oerr != nil {
-		return -libos.ENOENT
-	}
-	return int64(p.installFD(of))
+	return -libos.EINVAL
 }
 
 // openPlain opens a plaintext file (the "ext4" of the baseline).
@@ -230,7 +228,7 @@ func (l *Linux) openPlain(path string, flags int) (*libos.OpenFile, error) {
 	_, ok := l.files[path]
 	if !ok {
 		if flags&libos.OCreate == 0 {
-			return nil, errors.New("no such file")
+			return nil, errNoFile
 		}
 		l.files[path] = nil
 	}
@@ -282,108 +280,3 @@ func (n *plainNode) Size() int64 {
 }
 
 func (n *plainNode) Close() error { return nil }
-
-func (p *Proc) sysClose(fd int) int64 {
-	p.fdmu.Lock()
-	of, ok := p.fds[fd]
-	if ok {
-		delete(p.fds, fd)
-	}
-	p.fdmu.Unlock()
-	if !ok {
-		return -libos.EBADF
-	}
-	of.Unref()
-	return 0
-}
-
-func (p *Proc) sysDup2(oldfd, newfd int) int64 {
-	p.fdmu.Lock()
-	defer p.fdmu.Unlock()
-	of, ok := p.fds[oldfd]
-	if !ok {
-		return -libos.EBADF
-	}
-	if oldfd == newfd {
-		return int64(newfd)
-	}
-	if old, exists := p.fds[newfd]; exists {
-		old.Unref()
-	}
-	of.Ref()
-	p.fds[newfd] = of
-	return int64(newfd)
-}
-
-func (p *Proc) sysSpawn(pathPtr, pathLen, argvPtr, argvLen uint64) int64 {
-	path, err := p.cpu.Mem.ReadDirect(pathPtr, int(pathLen))
-	if err != nil {
-		return -libos.EFAULT
-	}
-	var argv []string
-	if argvLen > 0 {
-		block, err := p.cpu.Mem.ReadDirect(argvPtr, int(argvLen))
-		if err != nil {
-			return -libos.EFAULT
-		}
-		start := 0
-		for i, b := range block {
-			if b == 0 {
-				argv = append(argv, string(block[start:i]))
-				start = i + 1
-			}
-		}
-	}
-	child, serr := p.l.Spawn(string(path), argv, SpawnOpt{Parent: p})
-	if serr != nil {
-		return -libos.ENOENT
-	}
-	return int64(child.pid)
-}
-
-func (p *Proc) wait4(pid int) (int, int, int) {
-	l := p.l
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for {
-		found := false
-		for cpid, c := range l.procs {
-			if c.ppid != p.pid {
-				continue
-			}
-			if pid >= 0 && cpid != pid {
-				continue
-			}
-			found = true
-			if c.exited {
-				delete(l.procs, cpid)
-				return cpid, c.status, 0
-			}
-		}
-		if !found {
-			return 0, 0, libos.ECHILD
-		}
-		l.procCond.Wait()
-	}
-}
-
-func (p *Proc) sysFutex(op, addr, val uint64) int64 {
-	switch op {
-	case libos.FutexWait:
-		cur, f := p.cpu.Mem.Load(addr, 8)
-		if f != nil {
-			return -libos.EFAULT
-		}
-		if cur != val {
-			return -libos.EAGAIN
-		}
-		p.l.host.FutexWait(addr)
-		return 0
-	case libos.FutexWake:
-		return int64(p.l.host.FutexWake(addr, int(val)))
-	}
-	return -libos.EINVAL
-}
-
-var _ = vm.StopTrap
-var _ = oelf.Magic

@@ -172,6 +172,15 @@ func (m *Paged) Limit() uint64 { return m.base + uint64(len(m.data)) }
 // page — every event after which previously decoded code may be stale.
 func (m *Paged) Generation() uint64 { return m.gen.Load() }
 
+// BumpGeneration advances the global mutation counter without stamping
+// any page — to every translation-cache memo, an "unrelated mutation"
+// that forces one re-validation (which succeeds, since no page moved).
+// The interpreter's preemption request uses it to knock chained
+// execution off its fast path, whose per-block Generation() load then
+// doubles as the preempt poll: asynchronous preemption costs the hot
+// path nothing.
+func (m *Paged) BumpGeneration() { m.gen.Add(1) }
+
 // GenerationOf returns the mutation generation of the span
 // [addr, addr+n): the largest per-page generation over the pages the
 // span overlaps. Translated-code caches snapshot this value when

@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countTask yields n times, then finishes.
+type countTask struct {
+	n    int
+	done chan struct{}
+}
+
+func (t *countTask) Step() Status {
+	if t.n <= 0 {
+		close(t.done)
+		return Done
+	}
+	t.n--
+	return Yield
+}
+
+func TestManyTasksFewHarts(t *testing.T) {
+	s := New(2)
+	defer s.Stop()
+	const tasks = 100
+	dones := make([]chan struct{}, tasks)
+	for i := range dones {
+		dones[i] = make(chan struct{})
+		s.Go(&countTask{n: 10, done: dones[i]})
+	}
+	for i, d := range dones {
+		select {
+		case <-d:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("task %d never finished", i)
+		}
+	}
+	if got := s.Snapshot().Tasks; got != tasks {
+		t.Fatalf("Tasks = %d, want %d", got, tasks)
+	}
+}
+
+// parkTask parks on every step until woken `wakes` times, then finishes.
+type parkTask struct {
+	g      atomic.Pointer[G]
+	remain atomic.Int64
+	parked chan struct{} // signaled once on first park decision
+	once   sync.Once
+	done   chan struct{}
+}
+
+func (t *parkTask) Step() Status {
+	if t.remain.Load() <= 0 {
+		close(t.done)
+		return Done
+	}
+	t.once.Do(func() { close(t.parked) })
+	return Park
+}
+
+func (t *parkTask) wake() {
+	t.remain.Add(-1)
+	if g := t.g.Load(); g != nil {
+		g.Unpark()
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	s := New(1)
+	defer s.Stop()
+	pt := &parkTask{parked: make(chan struct{}), done: make(chan struct{})}
+	pt.remain.Store(3)
+	pt.g.Store(s.Go(pt))
+	<-pt.parked
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond)
+		pt.wake()
+	}
+	select {
+	case <-pt.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked task never finished")
+	}
+	if parks := s.Snapshot().Parks; parks == 0 {
+		t.Fatal("no parks recorded")
+	}
+}
+
+// TestUnparkStorm hammers Unpark from many goroutines against a task
+// that parks between wakes — the lost-wakeup race under load. The task
+// finishes only if every final wake is delivered.
+func TestUnparkStorm(t *testing.T) {
+	s := New(4)
+	defer s.Stop()
+	const rounds = 200
+	pt := &parkTask{parked: make(chan struct{}), done: make(chan struct{})}
+	pt.remain.Store(rounds)
+	pt.g.Store(s.Go(pt))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds/8; i++ {
+				pt.wake()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-pt.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("task lost a wakeup")
+	}
+}
+
+// spinTask runs until told to stop, yielding each quantum — used to
+// occupy harts so stealing has something to balance.
+type spinTask struct {
+	stop atomic.Bool
+	done chan struct{}
+}
+
+func (t *spinTask) Step() Status {
+	if t.stop.Load() {
+		close(t.done)
+		return Done
+	}
+	return Yield
+}
+
+func TestWorkStealingBalancesLoad(t *testing.T) {
+	s := New(4)
+	defer s.Stop()
+	// All tasks start with the same affinity by submitting from one
+	// goroutine; stealing must spread them.
+	var tasks []*spinTask
+	for i := 0; i < 32; i++ {
+		st := &spinTask{done: make(chan struct{})}
+		tasks = append(tasks, st)
+		s.Go(st)
+	}
+	time.Sleep(50 * time.Millisecond)
+	for _, st := range tasks {
+		st.stop.Store(true)
+	}
+	for _, st := range tasks {
+		<-st.done
+	}
+	if s.Snapshot().Steals == 0 {
+		t.Fatal("no steals recorded with 32 spinning tasks on 4 harts")
+	}
+}
+
+// slowTask occupies a hart with long quanta and records preemption
+// requests.
+type slowTask struct {
+	stop     atomic.Bool
+	done     chan struct{}
+	preempts atomic.Int64
+}
+
+func (t *slowTask) Step() Status {
+	if t.stop.Load() {
+		close(t.done)
+		return Done
+	}
+	time.Sleep(2 * time.Millisecond)
+	return Yield
+}
+
+func (t *slowTask) RequestPreempt() { t.preempts.Add(1) }
+
+func TestEnqueuePreemptsSaturatedHarts(t *testing.T) {
+	s := New(1)
+	defer s.Stop()
+	running := &slowTask{done: make(chan struct{})}
+	s.Go(running)
+
+	// With the only hart saturated, enqueues must ask the running task
+	// to yield early.
+	deadline := time.Now().Add(5 * time.Second)
+	for running.preempts.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no preemption requested on a saturated pool")
+		}
+		s.Go(&countTask{n: 0, done: make(chan struct{})})
+		time.Sleep(time.Millisecond)
+	}
+	running.stop.Store(true)
+	<-running.done
+}
+
+func TestUnparkBeforeParkCommitIsAbsorbed(t *testing.T) {
+	// A task whose waiter fires immediately (wake-before-park): it must
+	// keep running, not deadlock.
+	s := New(1)
+	defer s.Stop()
+	pt := &parkTask{parked: make(chan struct{}), done: make(chan struct{})}
+	pt.remain.Store(1)
+	g := s.Go(pt)
+	pt.g.Store(g)
+	// Fire the wake the instant the task decides to park.
+	go func() {
+		<-pt.parked
+		pt.wake()
+	}()
+	select {
+	case <-pt.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("immediate wake was lost")
+	}
+}

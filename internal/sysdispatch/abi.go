@@ -1,0 +1,111 @@
+// Package sysdispatch is the syscall spine shared by every simulated
+// kernel: the user-visible syscall ABI (numbers, errnos, flag values), a
+// table-driven dispatcher, a shared file-descriptor table, and the
+// argument-marshalling halves of the handlers that are common across
+// kernels.
+//
+// Before this package existed, internal/libos and internal/linuxsim each
+// carried a ~400-line switch over the same syscall numbers, duplicating
+// the marshalling (path strings, argv blocks, status write-backs, fd
+// bookkeeping) and drifting on every new syscall. Now each kernel builds
+// one Table at init, registering either a spine-provided handler (where
+// only the semantics primitive differs, injected as a closure) or its own
+// handler (where the whole operation is kernel-specific, e.g. signals in
+// the LibOS), and its trap path shrinks to one Dispatch call.
+package sysdispatch
+
+// Syscall numbers. The calling convention (trampoline call with the
+// number in R0 and arguments in R1..R5, result in R0) is documented in
+// internal/libos/abi.go, which re-exports these constants to user-program
+// builders.
+const (
+	SysExit     = 1  // exit(status)
+	SysWrite    = 2  // write(fd, buf, len) → n
+	SysRead     = 3  // read(fd, buf, len) → n
+	SysOpen     = 4  // open(path, pathLen, flags) → fd
+	SysClose    = 5  // close(fd)
+	SysSpawn    = 6  // spawn(path, pathLen, argvBlock, argvLen) → pid
+	SysWait4    = 7  // wait4(pid, statusPtr) → pid
+	SysPipe2    = 8  // pipe2(fds[2]ptr)
+	SysDup2     = 9  // dup2(oldfd, newfd)
+	SysGetpid   = 10 // getpid() → pid
+	SysMmap     = 11 // mmap(len) → addr (anonymous RW only)
+	SysMunmap   = 12 // munmap(addr, len)
+	SysFutex    = 13 // futex(op, addr, val)
+	SysKill     = 14 // kill(pid, sig)
+	SysSigact   = 15 // sigaction(sig, handler)
+	SysSigret   = 16 // sigreturn()
+	SysLseek    = 17 // lseek(fd, off, whence) → off
+	SysStat     = 18 // stat(path, pathLen, statPtr{size,isdir})
+	SysMkdir    = 19 // mkdir(path, pathLen)
+	SysUnlink   = 20 // unlink(path, pathLen)
+	SysReaddir  = 21 // readdir(path, pathLen, buf, bufLen) → n
+	SysSocket   = 22 // socket() → fd
+	SysBind     = 23 // bind(fd, port)
+	SysListen   = 24 // listen(fd)
+	SysAccept   = 25 // accept(fd) → connfd
+	SysConnect  = 26 // connect(fd, port)
+	SysSend     = 27 // send(fd, buf, len) → n
+	SysRecv     = 28 // recv(fd, buf, len) → n
+	SysClock    = 29 // clock_gettime() → ns
+	SysYield    = 30 // sched_yield()
+	SysGetppid  = 31 // getppid() → pid
+	SysFsync    = 32 // fsync(fd)
+	SysSpawnCPU = 33 // internal: report consumed cycles (diagnostics)
+
+	// SysMax bounds the dispatch table; numbers must stay below it.
+	SysMax = 64
+)
+
+// Errno values (returned as -errno in R0).
+const (
+	EPERM        = 1
+	ENOENT       = 2
+	ESRCH        = 3
+	EINTR        = 4
+	EIO          = 5
+	EBADF        = 9
+	ECHILD       = 10
+	EAGAIN       = 11
+	ENOMEM       = 12
+	EACCES       = 13
+	EFAULT       = 14
+	EEXIST       = 17
+	ENOTDIR      = 20
+	EISDIR       = 21
+	EINVAL       = 22
+	EMFILE       = 24
+	ENOSPC       = 28
+	ESPIPE       = 29
+	EPIPE        = 32
+	ENOSYS       = 38
+	ENOTEMPTY    = 39
+	ECONNREFUSED = 111
+)
+
+// Open flags in the user ABI (mirroring fs.OpenFlag values).
+const (
+	ORdOnly = 0
+	OWrOnly = 1
+	ORdWr   = 2
+	OCreate = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Futex operations.
+const (
+	FutexWait = 0
+	FutexWake = 1
+)
+
+// Lseek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// MaxUserBuf caps a single read/write/path buffer, as the seed kernels
+// did ad hoc.
+const MaxUserBuf = 1 << 20

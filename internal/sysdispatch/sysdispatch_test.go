@@ -1,0 +1,192 @@
+package sysdispatch
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// fakeKernel backs handlers with a flat memory buffer and an fd table.
+type fakeKernel struct {
+	mem  []byte
+	fds  *FDTable
+	pid  int
+	ppid int
+}
+
+func newFakeKernel() *fakeKernel {
+	return &fakeKernel{mem: make([]byte, 4096), fds: NewFDTable(), pid: 7, ppid: 3}
+}
+
+func (k *fakeKernel) ReadUser(addr, n uint64) ([]byte, error) {
+	if addr+n > uint64(len(k.mem)) {
+		return nil, errors.New("fault")
+	}
+	return append([]byte(nil), k.mem[addr:addr+n]...), nil
+}
+
+func (k *fakeKernel) WriteUser(addr uint64, b []byte) error {
+	if addr+uint64(len(b)) > uint64(len(k.mem)) {
+		return errors.New("fault")
+	}
+	copy(k.mem[addr:], b)
+	return nil
+}
+
+func (k *fakeKernel) FDs() *FDTable { return k.fds }
+func (k *fakeKernel) PID() int      { return k.pid }
+func (k *fakeKernel) PPID() int     { return k.ppid }
+
+// fakeFile counts refs and records data.
+type fakeFile struct {
+	refs int
+	data []byte
+	off  int
+}
+
+func (f *fakeFile) Read(p []byte) (int, error) {
+	n := copy(p, f.data[f.off:])
+	f.off += n
+	return n, nil
+}
+func (f *fakeFile) Write(p []byte) (int, error) { f.data = append(f.data, p...); return len(p), nil }
+func (f *fakeFile) Seek(off int64, whence int) (int64, error) {
+	f.off = int(off)
+	return off, nil
+}
+func (f *fakeFile) Ref()   { f.refs++ }
+func (f *fakeFile) Unref() { f.refs-- }
+
+func TestDispatchUnknownIsENOSYS(t *testing.T) {
+	tab := NewTable()
+	k := newFakeKernel()
+	var a [5]uint64
+	if r := tab.Dispatch(k, 999, &a); r.Ret != -ENOSYS {
+		t.Fatalf("Ret = %d, want -ENOSYS", r.Ret)
+	}
+	if r := tab.Dispatch(k, SysOpen, &a); r.Ret != -ENOSYS {
+		t.Fatalf("unregistered slot: Ret = %d, want -ENOSYS", r.Ret)
+	}
+}
+
+func TestDoubleRegistrationPanics(t *testing.T) {
+	tab := NewTable()
+	tab.Register(SysGetpid, Getpid)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double registration did not panic")
+		}
+	}()
+	tab.Register(SysGetpid, Getpid)
+}
+
+func TestFDTableLowestFree(t *testing.T) {
+	tab := NewFDTable()
+	a, b := &fakeFile{refs: 1}, &fakeFile{refs: 1}
+	if fd := tab.Install(a); fd != 3 {
+		t.Fatalf("first install = %d, want 3", fd)
+	}
+	if fd := tab.Install(b); fd != 4 {
+		t.Fatalf("second install = %d, want 4", fd)
+	}
+	tab.Remove(3)
+	if fd := tab.Install(&fakeFile{refs: 1}); fd != 3 {
+		t.Fatalf("reuse install = %d, want 3", fd)
+	}
+}
+
+func TestDup2RefCounts(t *testing.T) {
+	tab := NewFDTable()
+	a, b := &fakeFile{refs: 1}, &fakeFile{refs: 1}
+	afd, bfd := tab.Install(a), tab.Install(b)
+	if ret := tab.Dup2(afd, bfd); ret != int64(bfd) {
+		t.Fatalf("dup2 = %d", ret)
+	}
+	if a.refs != 2 || b.refs != 0 {
+		t.Fatalf("refs after dup2: a=%d b=%d, want 2, 0", a.refs, b.refs)
+	}
+	if ret := tab.Dup2(afd, afd); ret != int64(afd) || a.refs != 2 {
+		t.Fatalf("self-dup2 changed refs: %d (ret %d)", a.refs, ret)
+	}
+	if ret := tab.Dup2(99, 5); ret != -EBADF {
+		t.Fatalf("dup2 of bad fd = %d, want -EBADF", ret)
+	}
+}
+
+func TestInheritAndCloseAll(t *testing.T) {
+	parent := NewFDTable()
+	f := &fakeFile{refs: 1}
+	parent.Install(f)
+	child := NewFDTable()
+	child.InheritFrom(parent)
+	if f.refs != 2 {
+		t.Fatalf("refs after inherit = %d, want 2", f.refs)
+	}
+	child.CloseAll()
+	parent.CloseAll()
+	if f.refs != 0 {
+		t.Fatalf("refs after close = %d, want 0", f.refs)
+	}
+}
+
+func TestSpawnHandlerMarshalling(t *testing.T) {
+	k := newFakeKernel()
+	copy(k.mem[100:], "/bin/x")
+	copy(k.mem[200:], "a\x00bc\x00")
+	var gotPath string
+	var gotArgv []string
+	h := SpawnHandler(func(_ Kernel, path string, argv []string) int64 {
+		gotPath, gotArgv = path, argv
+		return 42
+	})
+	a := [5]uint64{100, 6, 200, 5}
+	if r := h(k, &a); r.Ret != 42 {
+		t.Fatalf("Ret = %d", r.Ret)
+	}
+	if gotPath != "/bin/x" || len(gotArgv) != 2 || gotArgv[0] != "a" || gotArgv[1] != "bc" {
+		t.Fatalf("parsed %q %v", gotPath, gotArgv)
+	}
+	// Unreadable path faults.
+	a = [5]uint64{4000, 500}
+	if r := h(k, &a); r.Ret != -EFAULT {
+		t.Fatalf("fault Ret = %d, want -EFAULT", r.Ret)
+	}
+}
+
+func TestWait4HandlerWritesStatus(t *testing.T) {
+	k := newFakeKernel()
+	h := Wait4Handler(func(_ Kernel, pid int) (int, int, int64, bool) {
+		return 5, 17, 0, false
+	})
+	a := [5]uint64{^uint64(0), 64}
+	if r := h(k, &a); r.Ret != 5 {
+		t.Fatalf("Ret = %d, want 5", r.Ret)
+	}
+	if got := binary.LittleEndian.Uint64(k.mem[64:]); got != 17 {
+		t.Fatalf("status = %d, want 17", got)
+	}
+	parked := Wait4Handler(func(_ Kernel, pid int) (int, int, int64, bool) {
+		return 0, 0, 0, true
+	})
+	if r := parked(k, &a); !r.Parked {
+		t.Fatal("parked wait4 not reported")
+	}
+}
+
+func TestBlockingReadWrite(t *testing.T) {
+	k := newFakeKernel()
+	f := &fakeFile{refs: 1}
+	fd := k.fds.Install(f)
+	copy(k.mem[10:], "hello")
+	a := [5]uint64{uint64(fd), 10, 5}
+	if r := BlockingWrite(k, &a); r.Ret != 5 {
+		t.Fatalf("write Ret = %d", r.Ret)
+	}
+	a = [5]uint64{uint64(fd), 300, 5}
+	if r := BlockingRead(k, &a); r.Ret != 5 {
+		t.Fatalf("read Ret = %d", r.Ret)
+	}
+	if string(k.mem[300:305]) != "hello" {
+		t.Fatalf("read back %q", k.mem[300:305])
+	}
+}

@@ -1,0 +1,436 @@
+package sysdispatch
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Result is the outcome of one syscall dispatch.
+type Result struct {
+	// Ret is the value for R0 (negative errno on failure).
+	Ret int64
+	// Exited: the process tore itself down; nothing is written back.
+	Exited bool
+	// Parked: the calling task registered a waiter and must be parked;
+	// the kernel re-dispatches the same syscall when it is unparked.
+	// Only kernels whose tasks are resumable coroutines (the LibOS
+	// under the M:N scheduler) ever return this; goroutine-per-process
+	// kernels block inside the handler instead.
+	Parked bool
+	// NoWriteback: the handler managed PC/R0 itself (sigreturn restores
+	// a full pre-signal context); skip the normal return path.
+	NoWriteback bool
+	// Yielded: the process asked to give up its quantum (sched_yield);
+	// write back normally, then end the scheduling quantum.
+	Yielded bool
+}
+
+// Ok returns a plain successful result.
+func Ok(v int64) Result { return Result{Ret: v} }
+
+// Errno returns a failed result carrying -e.
+func Errno(e int64) Result { return Result{Ret: -e} }
+
+// ParkedResult is returned by a handler that parked the calling task.
+var ParkedResult = Result{Parked: true}
+
+// Kernel is what a handler may assume about the calling process,
+// implemented by each simulated kernel's process type. User-memory
+// access is validated by the implementation (domain bounds for SIPs,
+// page permissions for the native baseline).
+type Kernel interface {
+	// ReadUser copies n bytes of user memory at addr.
+	ReadUser(addr, n uint64) ([]byte, error)
+	// WriteUser copies b into user memory at addr.
+	WriteUser(addr uint64, b []byte) error
+	// FDs returns the process's file-descriptor table.
+	FDs() *FDTable
+	// PID and PPID identify the process.
+	PID() int
+	PPID() int
+}
+
+// Handler executes one syscall for the calling process. a holds the five
+// argument registers R1..R5.
+type Handler func(k Kernel, a *[5]uint64) Result
+
+// Table maps syscall numbers to handlers. Build one per kernel type at
+// init and treat it as immutable afterwards.
+type Table struct {
+	h [SysMax]Handler
+}
+
+// NewTable returns an empty table (every slot answers -ENOSYS).
+func NewTable() *Table { return &Table{} }
+
+// Register installs h for syscall number no, panicking on out-of-range
+// numbers or double registration — both are build bugs, not runtime
+// conditions.
+func (t *Table) Register(no int, h Handler) {
+	if no < 0 || no >= SysMax {
+		panic("sysdispatch: syscall number out of range")
+	}
+	if t.h[no] != nil {
+		panic("sysdispatch: double registration")
+	}
+	t.h[no] = h
+}
+
+// Dispatch runs the handler for no, or fails with -ENOSYS.
+func (t *Table) Dispatch(k Kernel, no uint64, a *[5]uint64) Result {
+	if no >= SysMax || t.h[no] == nil {
+		return Errno(ENOSYS)
+	}
+	return t.h[no](k, a)
+}
+
+// --- Marshalling helpers -------------------------------------------------
+
+// ReadPath copies a path argument (pointer, length pair).
+func ReadPath(k Kernel, ptr, n uint64) (string, bool) {
+	if n > MaxUserBuf {
+		return "", false
+	}
+	b, err := k.ReadUser(ptr, n)
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
+// ParseArgv splits a NUL-separated argv block.
+func ParseArgv(block []byte) []string {
+	var argv []string
+	start := 0
+	for i, b := range block {
+		if b == 0 {
+			argv = append(argv, string(block[start:i]))
+			start = i + 1
+		}
+	}
+	return argv
+}
+
+// WriteU64 stores a little-endian u64 to user memory.
+func WriteU64(k Kernel, addr, v uint64) bool {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return k.WriteUser(addr, b[:]) == nil
+}
+
+// --- Shared handlers -----------------------------------------------------
+//
+// Fully-shared handlers close over nothing; where one primitive differs
+// per kernel (open, spawn, ...), the spine provides the marshalling half
+// as a constructor taking the primitive.
+
+// ExitHandler builds the exit handler around the kernel's teardown
+// primitive.
+func ExitHandler(exit func(k Kernel, status int)) Handler {
+	return func(k Kernel, a *[5]uint64) Result {
+		exit(k, int(int64(a[0]))&0xFF)
+		return Result{Exited: true}
+	}
+}
+
+// CloseFD is the shared close(2).
+func CloseFD(k Kernel, a *[5]uint64) Result {
+	f, ok := k.FDs().Remove(int(int64(a[0])))
+	if !ok {
+		return Errno(EBADF)
+	}
+	f.Unref()
+	return Ok(0)
+}
+
+// Dup2FD is the shared dup2(2).
+func Dup2FD(k Kernel, a *[5]uint64) Result {
+	return Ok(k.FDs().Dup2(int(int64(a[0])), int(int64(a[1]))))
+}
+
+// Getpid is the shared getpid(2).
+func Getpid(k Kernel, a *[5]uint64) Result { return Ok(int64(k.PID())) }
+
+// Getppid is the shared getppid(2).
+func Getppid(k Kernel, a *[5]uint64) Result { return Ok(int64(k.PPID())) }
+
+// Clock is the shared clock_gettime(2) (host wall clock, as in the
+// paper: time is delegated to the untrusted host).
+func Clock(k Kernel, a *[5]uint64) Result { return Ok(time.Now().UnixNano()) }
+
+// Munmap is the shared munmap(2): every kernel uses a bump allocator, so
+// unmapping is a no-op.
+func Munmap(k Kernel, a *[5]uint64) Result { return Ok(0) }
+
+// Listen is the shared listen(2): binding already created the host
+// listener.
+func Listen(k Kernel, a *[5]uint64) Result { return Ok(0) }
+
+// Lseek is the shared lseek(2) over the fd table.
+func Lseek(k Kernel, a *[5]uint64) Result {
+	f, ok := k.FDs().Get(int(int64(a[0])))
+	if !ok {
+		return Errno(EBADF)
+	}
+	off, err := f.Seek(int64(a[1]), int(int64(a[2])))
+	if err != nil {
+		return Errno(ESPIPE)
+	}
+	return Ok(off)
+}
+
+// OpenHandler builds open(2) around the kernel's path-open primitive
+// (VFS lookup for the LibOS, plaintext map for the native baseline).
+// open returns the new file or a negative errno.
+func OpenHandler(open func(k Kernel, path string, flags uint64) (File, int64)) Handler {
+	return func(k Kernel, a *[5]uint64) Result {
+		path, ok := ReadPath(k, a[0], a[1])
+		if !ok {
+			return Errno(EFAULT)
+		}
+		f, errno := open(k, path, a[2])
+		if errno != 0 {
+			return Errno(errno)
+		}
+		return Ok(int64(k.FDs().Install(f)))
+	}
+}
+
+// SpawnHandler builds spawn(2) around the kernel's process-creation
+// primitive. spawn returns the child pid or a negative errno.
+func SpawnHandler(spawn func(k Kernel, path string, argv []string) int64) Handler {
+	return func(k Kernel, a *[5]uint64) Result {
+		path, ok := ReadPath(k, a[0], a[1])
+		if !ok {
+			return Errno(EFAULT)
+		}
+		var argv []string
+		if a[3] > 0 {
+			if a[3] > MaxUserBuf {
+				return Errno(EFAULT)
+			}
+			block, err := k.ReadUser(a[2], a[3])
+			if err != nil {
+				return Errno(EFAULT)
+			}
+			argv = ParseArgv(block)
+		}
+		return Ok(spawn(k, path, argv))
+	}
+}
+
+// Wait4Handler builds wait4(2) around the kernel's child-reaping
+// primitive, which returns (pid, status, errno, parked). A parking
+// kernel returns parked=true after registering a child-exit waiter.
+func Wait4Handler(wait func(k Kernel, pid int) (cpid, status int, errno int64, parked bool)) Handler {
+	return func(k Kernel, a *[5]uint64) Result {
+		cpid, status, errno, parked := wait(k, int(int64(a[0])))
+		if parked {
+			return ParkedResult
+		}
+		if errno != 0 {
+			return Errno(errno)
+		}
+		if a[1] != 0 && !WriteU64(k, a[1], uint64(status)) {
+			return Errno(EFAULT)
+		}
+		return Ok(int64(cpid))
+	}
+}
+
+// Pipe2Handler builds pipe2(2) around the kernel's pipe constructor.
+func Pipe2Handler(newPipe func(k Kernel) (r, w File)) Handler {
+	return func(k Kernel, a *[5]uint64) Result {
+		r, w := newPipe(k)
+		rfd := k.FDs().Install(r)
+		wfd := k.FDs().Install(w)
+		if !WriteU64(k, a[0], uint64(rfd)) || !WriteU64(k, a[0]+8, uint64(wfd)) {
+			return Errno(EFAULT)
+		}
+		return Ok(0)
+	}
+}
+
+// SocketHandler builds socket(2) around the kernel's socket constructor.
+func SocketHandler(newSock func(k Kernel) File) Handler {
+	return func(k Kernel, a *[5]uint64) Result {
+		return Ok(int64(k.FDs().Install(newSock(k))))
+	}
+}
+
+// BlockingRead is the shared read(2)/recv(2) for kernels whose processes
+// own a goroutine and may block inside the handler. Parking kernels
+// register their own read handler instead.
+func BlockingRead(k Kernel, a *[5]uint64) Result {
+	fd, buf, n := int(int64(a[0])), a[1], a[2]
+	if n > MaxUserBuf {
+		return Errno(EINVAL)
+	}
+	f, ok := k.FDs().Get(fd)
+	if !ok {
+		return Errno(EBADF)
+	}
+	tmp := make([]byte, n)
+	rn, err := f.Read(tmp)
+	if err != nil && err != io.EOF && rn == 0 {
+		return Errno(EIO)
+	}
+	if rn > 0 {
+		if k.WriteUser(buf, tmp[:rn]) != nil {
+			return Errno(EFAULT)
+		}
+	}
+	return Ok(int64(rn))
+}
+
+// BlockingWrite is the shared write(2)/send(2) counterpart of
+// BlockingRead.
+func BlockingWrite(k Kernel, a *[5]uint64) Result {
+	fd, buf, n := int(int64(a[0])), a[1], a[2]
+	if n > MaxUserBuf {
+		return Errno(EINVAL)
+	}
+	f, ok := k.FDs().Get(fd)
+	if !ok {
+		return Errno(EBADF)
+	}
+	data, err := k.ReadUser(buf, n)
+	if err != nil {
+		return Errno(EFAULT)
+	}
+	wn, werr := f.Write(data)
+	if werr != nil && wn == 0 {
+		return Errno(EPIPE)
+	}
+	return Ok(int64(wn))
+}
+
+// --- File-descriptor table -----------------------------------------------
+
+// File is an open file description as the fd table sees it. The LibOS's
+// OpenFile is the canonical implementation, shared by the baselines.
+type File interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Seek(off int64, whence int) (int64, error)
+	Ref()
+	Unref()
+}
+
+// FDTable is the per-process descriptor table: fd → open file
+// description, with POSIX lowest-free allocation at or above 3 (so dup2
+// targets never collide with fresh fds).
+type FDTable struct {
+	mu    sync.Mutex
+	files map[int]File
+}
+
+// NewFDTable returns an empty table.
+func NewFDTable() *FDTable {
+	return &FDTable{files: make(map[int]File)}
+}
+
+// Get looks up fd.
+func (t *FDTable) Get(fd int) (File, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.files[fd]
+	return f, ok
+}
+
+// Set installs f at an explicit slot (stdio setup), dropping any
+// previous occupant's reference.
+func (t *FDTable) Set(fd int, f File) {
+	t.mu.Lock()
+	old := t.files[fd]
+	t.files[fd] = f
+	t.mu.Unlock()
+	if old != nil {
+		old.Unref()
+	}
+}
+
+// Install places f in the lowest free slot at or above 3.
+func (t *FDTable) Install(f File) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fd := 3
+	for {
+		if _, used := t.files[fd]; !used {
+			break
+		}
+		fd++
+	}
+	t.files[fd] = f
+	return fd
+}
+
+// Remove deletes fd, returning its file (caller unrefs).
+func (t *FDTable) Remove(fd int) (File, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.files[fd]
+	if ok {
+		delete(t.files, fd)
+	}
+	return f, ok
+}
+
+// Dup2 implements dup2(2): newfd refers to oldfd's description.
+func (t *FDTable) Dup2(oldfd, newfd int) int64 {
+	t.mu.Lock()
+	f, ok := t.files[oldfd]
+	if !ok {
+		t.mu.Unlock()
+		return -EBADF
+	}
+	if oldfd == newfd {
+		t.mu.Unlock()
+		return int64(newfd)
+	}
+	old := t.files[newfd]
+	f.Ref()
+	t.files[newfd] = f
+	t.mu.Unlock()
+	if old != nil {
+		old.Unref()
+	}
+	return int64(newfd)
+}
+
+// InheritFrom fills the table with references to every entry of the
+// parent's — the cheap fd inheritance of spawn (§6).
+func (t *FDTable) InheritFrom(parent *FDTable) {
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for fd, f := range parent.files {
+		f.Ref()
+		t.files[fd] = f
+	}
+}
+
+// CloseAll unrefs and drops every entry (process teardown).
+func (t *FDTable) CloseAll() {
+	t.mu.Lock()
+	files := t.files
+	t.files = make(map[int]File)
+	t.mu.Unlock()
+	for _, f := range files {
+		f.Unref()
+	}
+}
+
+// Range calls f for each (fd, file) pair; the table lock is held, so f
+// must not call back into the table.
+func (t *FDTable) Range(f func(fd int, file File)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for fd, file := range t.files {
+		f(fd, file)
+	}
+}

@@ -98,6 +98,7 @@ const (
 	StopHalt                        // executed halt
 	StopEExit                       // executed eexit (left the enclave)
 	StopCycles                      // reached the cycle budget
+	StopPreempt                     // honored an asynchronous preemption request
 )
 
 func (r StopReason) String() string {
@@ -112,6 +113,8 @@ func (r StopReason) String() string {
 		return "eexit"
 	case StopCycles:
 		return "cycle-budget"
+	case StopPreempt:
+		return "preempt"
 	}
 	return "stop?"
 }
@@ -299,6 +302,19 @@ type CPU struct {
 	// Cycles counts retired instructions.
 	Cycles uint64
 
+	// preempt is the asynchronous interrupt request line: the only CPU
+	// field another goroutine may touch while the hart runs. The run
+	// loops poll it at block boundaries (where architectural state is
+	// consistent), so a preemption lands within one basic block instead
+	// of waiting out the full cycle budget — the hook the LibOS uses
+	// for prompt signal delivery and the M:N scheduler for early
+	// yields. Polling is free on the hot path: RequestPreempt also
+	// bumps the global memory generation, so the chained fast check
+	// (one Generation() load per block, already there) fails once and
+	// execution falls into the slow transition branches, which are
+	// where the poll lives.
+	preempt atomic.Bool
+
 	blocks    map[uint64]*block
 	stats     CacheStats
 	published CacheStats // portion of stats already added to the globals
@@ -321,6 +337,31 @@ func (c *CPU) Reset() {
 
 // CacheStats returns this CPU's cumulative translation-cache counters.
 func (c *CPU) CacheStats() CacheStats { return c.stats }
+
+// RequestPreempt asks the hart to stop at the next block boundary with
+// StopPreempt. Safe to call from any goroutine; the request is latched
+// until the next Run consumes it. The generation bump is what makes the
+// request visible to a hart flying along chained blocks: its next
+// fast-path check (Generation() == okGen) fails, it drops into the slow
+// transition branch, and the poll there takes the latch. Ordering: the
+// latch is stored before the bump, and Go atomics are sequentially
+// consistent, so any hart that observes the bump also observes the
+// latch.
+func (c *CPU) RequestPreempt() {
+	c.preempt.Store(true)
+	c.Mem.BumpGeneration()
+}
+
+// takePreempt consumes a pending preemption request. Called on the slow
+// transition paths only (lookup and failed chain checks) — which a
+// pending request forces within one block, via the generation bump.
+func (c *CPU) takePreempt() bool {
+	if c.preempt.Load() {
+		c.preempt.Store(false)
+		return true
+	}
+	return false
+}
 
 // publishStats adds the counter deltas since the last publish to the
 // process-wide totals. Called once per Run return, so the atomics stay
@@ -526,8 +567,14 @@ func (c *CPU) Run(maxCycles uint64) Stop {
 // drive both (random budgets there, Run(0) here) against Step.
 func (c *CPU) runNoBudget() Stop {
 	var b *block
+	if c.takePreempt() {
+		return Stop{Reason: StopPreempt, PC: c.PC}
+	}
 	for {
 		if b == nil {
+			if c.takePreempt() {
+				return Stop{Reason: StopPreempt, PC: c.PC}
+			}
 			b = c.lookup(c.PC)
 			if b == nil {
 				if stop, done := c.Step(); done {
@@ -553,7 +600,9 @@ func (c *CPU) runNoBudget() Stop {
 		// Block chaining: the inline check covers the hot case (linked
 		// successor, no mutation anywhere since its last validation —
 		// one atomic load); chainVia holds the shared validate-or-
-		// relink slow path. Indirect targets take the map.
+		// relink slow path. Indirect targets take the map. A pending
+		// preemption bumps the generation, so it lands in these slow
+		// branches — the poll costs the chained fast path nothing.
 		pc := c.PC
 		switch {
 		case b.hasTaken && pc == b.takenPC:
@@ -562,6 +611,9 @@ func (c *CPU) runNoBudget() Stop {
 				b = nb
 				continue
 			}
+			if c.takePreempt() {
+				return Stop{Reason: StopPreempt, PC: pc}
+			}
 			b = c.chainVia(&b.takenNext, pc)
 		case b.hasFall && pc == b.fallPC:
 			if nb := b.fallNext; nb != nil && c.Mem.Generation() == nb.okGen {
@@ -569,8 +621,14 @@ func (c *CPU) runNoBudget() Stop {
 				b = nb
 				continue
 			}
+			if c.takePreempt() {
+				return Stop{Reason: StopPreempt, PC: pc}
+			}
 			b = c.chainVia(&b.fallNext, pc)
 		default:
+			if c.takePreempt() {
+				return Stop{Reason: StopPreempt, PC: pc}
+			}
 			b = c.lookup(pc)
 		}
 		if b == nil {
@@ -595,8 +653,14 @@ func (c *CPU) runNoBudget() Stop {
 func (c *CPU) run(maxCycles uint64) Stop {
 	budget := maxCycles // Run routes maxCycles == 0 to runNoBudget
 	var b *block
+	if c.takePreempt() {
+		return Stop{Reason: StopPreempt, PC: c.PC}
+	}
 	for budget > 0 {
 		if b == nil {
+			if c.takePreempt() {
+				return Stop{Reason: StopPreempt, PC: c.PC}
+			}
 			b = c.lookup(c.PC)
 			if b == nil {
 				budget--
@@ -647,7 +711,8 @@ func (c *CPU) run(maxCycles uint64) Stop {
 			// translate, or count a transition that will not execute.
 			break
 		}
-		// Block chaining, as in runNoBudget.
+		// Block chaining, as in runNoBudget — including the preempt
+		// poll on the slow transition branches.
 		pc := c.PC
 		switch {
 		case b.hasTaken && pc == b.takenPC:
@@ -656,6 +721,9 @@ func (c *CPU) run(maxCycles uint64) Stop {
 				b = nb
 				continue
 			}
+			if c.takePreempt() {
+				return Stop{Reason: StopPreempt, PC: pc}
+			}
 			b = c.chainVia(&b.takenNext, pc)
 		case b.hasFall && pc == b.fallPC:
 			if nb := b.fallNext; nb != nil && c.Mem.Generation() == nb.okGen {
@@ -663,8 +731,14 @@ func (c *CPU) run(maxCycles uint64) Stop {
 				b = nb
 				continue
 			}
+			if c.takePreempt() {
+				return Stop{Reason: StopPreempt, PC: pc}
+			}
 			b = c.chainVia(&b.fallNext, pc)
 		default:
+			if c.takePreempt() {
+				return Stop{Reason: StopPreempt, PC: pc}
+			}
 			b = c.lookup(pc)
 		}
 		if b == nil && budget > 0 {

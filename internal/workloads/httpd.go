@@ -1,7 +1,6 @@
 package workloads
 
 import (
-	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -17,10 +16,17 @@ import (
 // (10 KB pages, as in §9.1).
 const PageSize10K = 10 * 1024
 
-// BuildHTTPWorker builds a lighttpd worker: it accepts connections on the
-// inherited listening socket (fd 6), reads a request, writes the 10 KB
-// page, and exits after reqs requests.
-func BuildHTTPWorker(reqs int) (*asm.Program, error) {
+// QuitRequest is the in-band shutdown request understood by HTTPD
+// workers: a request whose first byte is 'Q' makes the accepting worker
+// exit instead of serving the page. StopHTTPD sends one per worker.
+const QuitRequest = "QUIT\r\n\r\n"
+
+// BuildHTTPWorker builds a lighttpd worker: it accepts connections on
+// the inherited listening socket (fd 62) and serves the 10 KB page until
+// explicitly stopped — by a QuitRequest or by the listener closing.
+// Workers no longer exit after a request quota, so one server instance
+// survives any number of benchmark rounds.
+func BuildHTTPWorker() (*asm.Program, error) {
 	page := make([]byte, PageSize10K)
 	copy(page, "<html>occlum</html>")
 	b := asm.NewBuilder()
@@ -28,11 +34,9 @@ func BuildHTTPWorker(reqs int) (*asm.Program, error) {
 	b.Zero("req", 128)
 	b.Entry("_start")
 	ulib.Prologue(b)
-	b.MovRI(isa.R9, int64(reqs))
 	b.Label("serve")
-	b.CmpI(isa.R9, 0)
-	b.Jle("done")
-	// cfd = accept(ListenFD)
+	// cfd = accept(ListenFD); a failed accept means the listener is
+	// gone — stop serving.
 	b.MovRI(isa.R1, ListenFD)
 	ulib.Syscall(b, libos.SysAccept)
 	b.MovRR(isa.R6, isa.R0)
@@ -43,14 +47,21 @@ func BuildHTTPWorker(reqs int) (*asm.Program, error) {
 	b.LeaData(isa.R2, "req")
 	b.MovRI(isa.R3, 128)
 	ulib.Syscall(b, libos.SysRead)
+	// A 'Q' request is the stop order.
+	b.LeaData(isa.R8, "req")
+	b.LoadB(isa.R7, isa.Mem(isa.R8, 0))
+	b.CmpI(isa.R7, int32(QuitRequest[0]))
+	b.Je("quit")
 	// write(cfd, page, PageSize10K)
 	b.MovRR(isa.R1, isa.R6)
 	b.LeaData(isa.R2, "page")
 	b.MovRI(isa.R3, PageSize10K)
 	ulib.Syscall(b, libos.SysWrite)
 	ulib.Close(b, isa.R6)
-	b.SubI(isa.R9, 1)
 	b.Jmp("serve")
+	b.Label("quit")
+	b.Nop()
+	ulib.Close(b, isa.R6)
 	b.Label("done")
 	b.Nop()
 	ulib.Exit(b, 0)
@@ -106,15 +117,10 @@ func (r HTTPBenchResult) Throughput() float64 {
 	return float64(r.Requests-r.Failed) / r.Elapsed.Seconds()
 }
 
-// InstallHTTPD installs master and worker binaries configured for the
-// given total request count split across workers, returning the master
-// path.
-func InstallHTTPD(k Kernel, port uint16, workers, totalRequests int) (string, error) {
-	per := totalRequests / workers
-	if per*workers != totalRequests {
-		return "", fmt.Errorf("workloads: requests %d not divisible by %d workers", totalRequests, workers)
-	}
-	w, err := BuildHTTPWorker(per)
+// InstallHTTPD installs master and worker binaries, returning the master
+// path. The server runs until StopHTTPD; there is no request quota.
+func InstallHTTPD(k Kernel, port uint16, workers int) (string, error) {
+	w, err := BuildHTTPWorker()
 	if err != nil {
 		return "", err
 	}
@@ -129,6 +135,25 @@ func InstallHTTPD(k Kernel, port uint16, workers, totalRequests int) (string, er
 		return "", err
 	}
 	return "/bin/httpd", nil
+}
+
+// StopHTTPD shuts a running HTTPD down in-band: it sends one QuitRequest
+// per worker. Each live worker consumes exactly one (it exits right
+// after), the master reaps them and exits, and the listener closes with
+// the last fd reference. Works identically on all three kernels — no
+// signal support required.
+func StopHTTPD(k Kernel, port uint16, workers int) {
+	for i := 0; i < workers; i++ {
+		conn, err := k.Host().Dial(port)
+		if err != nil {
+			return // listener already gone: server is down
+		}
+		// Write and close without waiting for a reply; the bytes stay
+		// readable in the stream buffer after close, so the worker
+		// still sees the request.
+		_, _ = conn.Write([]byte(QuitRequest))
+		conn.Close()
+	}
 }
 
 // RunHTTPBench is the ApacheBench analog: it drives exactly totalRequests

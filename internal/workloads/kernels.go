@@ -20,6 +20,10 @@ type KernelSpec struct {
 	// EIPEnclaveSize is the per-process enclave size of the
 	// Graphene-SGX baseline ("minimal size able to run the benchmark").
 	EIPEnclaveSize uint64
+	// Harts overrides the Occlum hart-pool size (SGX TCS count); 0
+	// keeps the default of twice the domain count. SIP concurrency is
+	// bounded by Domains either way — the M:N scheduler multiplexes.
+	Harts int
 	// Stdout receives console output.
 	Stdout io.Writer
 }
@@ -42,6 +46,9 @@ func NewOcclumKernel(spec KernelSpec) (*OcclumKernel, error) {
 	lc.DomainCodeSize = spec.DomainCode
 	lc.DomainDataSize = spec.DomainData
 	lc.MaxThreads = spec.Domains * 2
+	if spec.Harts > 0 {
+		lc.MaxThreads = spec.Harts
+	}
 	lc.VerifierKey = tc.Key()
 	sys, err := core.BootSystem(core.SystemConfig{
 		LibOS:    lc,

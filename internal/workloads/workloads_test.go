@@ -97,7 +97,7 @@ func TestHTTPDAllSystems(t *testing.T) {
 	for _, k := range testKernels(t) {
 		k := k
 		t.Run(k.Name(), func(t *testing.T) {
-			master, err := InstallHTTPD(k, port, workers, requests)
+			master, err := InstallHTTPD(k, port, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -106,6 +106,7 @@ func TestHTTPDAllSystems(t *testing.T) {
 				t.Fatal(err)
 			}
 			res := RunHTTPBench(k, port, 4, requests)
+			StopHTTPD(k, port, workers)
 			if status := p.Wait(); status != 0 {
 				t.Fatalf("master status = %d", status)
 			}
@@ -118,4 +119,54 @@ func TestHTTPDAllSystems(t *testing.T) {
 			t.Logf("%s: %.0f req/s", k.Name(), res.Throughput())
 		})
 	}
+}
+
+// TestHTTPDOversubscribed is the CI smoke for the M:N scheduler: the
+// webserver workload with 4x more SIPs than harts (16 workers + master
+// on a 4-hart pool). Every worker parked in accept must cost no hart,
+// or the run deadlocks; the whole test runs under -race in CI.
+func TestHTTPDOversubscribed(t *testing.T) {
+	const (
+		port     = 8090
+		workers  = 16
+		harts    = 4
+		requests = 64
+	)
+	spec := DefaultSpec()
+	spec.Domains = workers + 2 // master + margin
+	spec.Harts = harts
+	k, err := NewOcclumKernel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Sys.OS.Shutdown()
+	if got := k.Sys.OS.Sched().NumHarts(); got != harts {
+		t.Fatalf("hart pool = %d, want %d", got, harts)
+	}
+
+	master, err := InstallHTTPD(k, port, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(master, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunHTTPBench(k, port, 8, requests)
+	StopHTTPD(k, port, workers)
+	if status := p.Wait(); status != 0 {
+		t.Fatalf("master status = %d", status)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed requests: %d/%d", res.Failed, res.Requests)
+	}
+	if res.Bytes != int64(requests*PageSize10K) {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, requests*PageSize10K)
+	}
+	snap := k.Sys.OS.Sched().Snapshot()
+	if snap.Parks == 0 {
+		t.Fatal("no parks: workers blocked in accept are holding harts")
+	}
+	t.Logf("%d SIPs / %d harts: %.0f req/s, %d parks, %d steals",
+		workers+1, harts, res.Throughput(), snap.Parks, snap.Steals)
 }
