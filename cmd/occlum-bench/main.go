@@ -3,16 +3,18 @@
 //
 // Usage:
 //
-//	occlum-bench [-scale quick|full] [-vmstats] [-schedstats] [-cpuprofile f] [-memprofile f] [experiment ...]
+//	occlum-bench [-scale quick|full] [-vmstats] [-schedstats] [-netstats] [-cpuprofile f] [-memprofile f] [experiment ...]
 //
 // With no arguments, all experiments run. Experiments: fig5a fig5b fig5c
-// fig6a fig6b fig6c fig6d fig7a fig7b ripe table1. With -vmstats, each
-// experiment also reports the OVM translation-cache counters
+// fig6a fig6b fig6c fig6d fig7a fig7b ripe table1 c10k. With -vmstats,
+// each experiment also reports the OVM translation-cache counters
 // (blocks decoded, hits, misses, flushes, chained transitions,
 // threaded-dispatch instructions) aggregated over every simulated hart.
 // With -schedstats, each experiment reports the M:N scheduler counters
 // (parks, unparks, steals, preemptions, yields and hart utilization)
-// aggregated over every Occlum hart pool.
+// aggregated over every Occlum hart pool. With -netstats, each
+// experiment reports the readiness-path counters (recv/send/accept
+// parks, poll/epoll_wait calls and parks, EAGAIN returns).
 // -cpuprofile and -memprofile write pprof profiles covering the
 // selected experiments, so interpreter-perf work can profile the hot
 // path without editing code (the memory profile is written at exit,
@@ -41,11 +43,13 @@ func realMain() int {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	vmStats := flag.Bool("vmstats", false, "report OVM translation-cache counters per experiment")
 	schedStats := flag.Bool("schedstats", false, "report M:N scheduler counters per experiment")
+	netStats := flag.Bool("netstats", false, "report readiness/network counters per experiment")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
 	flag.Parse()
 	bench.VMStats = *vmStats
 	bench.SchedStats = *schedStats
+	bench.NetStats = *netStats
 
 	var scale bench.Scale
 	switch *scaleName {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/libos"
 	"repro/internal/sched"
 	"repro/internal/vm"
 )
@@ -13,7 +14,7 @@ var Experiments = []string{
 	"fig5a", "fig5b", "fig5c",
 	"fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7a", "fig7b",
-	"ripe", "table1",
+	"ripe", "table1", "c10k",
 }
 
 // VMStats, when true, makes Run report the OVM translation-cache
@@ -29,6 +30,12 @@ var VMStats bool
 // experiments contribute zeros.
 var SchedStats bool
 
+// NetStats, when true, makes Run report the readiness-path counters
+// (recv/send/accept parks, poll and epoll_wait calls and parks, EAGAIN
+// returns) accumulated across every LibOS instance during each
+// experiment. Enabled by occlum-bench -netstats.
+var NetStats bool
+
 // Run executes one named experiment at the given scale, printing its
 // table to w.
 func Run(name string, s Scale, w io.Writer) error {
@@ -36,6 +43,7 @@ func Run(name string, s Scale, w io.Writer) error {
 		vm.ResetGlobalCacheStats()
 	}
 	before := sched.GlobalSnapshot()
+	netBefore := libos.NetStats()
 	err := run(name, s, w)
 	if err == nil && VMStats {
 		fmt.Fprintf(w, "  [vm cache: %v]\n", vm.GlobalCacheStats())
@@ -44,6 +52,11 @@ func Run(name string, s Scale, w io.Writer) error {
 		d := sched.GlobalSnapshot().Sub(before)
 		fmt.Fprintf(w, "  [sched: tasks=%d slices=%d parks=%d unparks=%d steals=%d preempts=%d (%d requested) yields=%d hart-util=%.1f%%]\n",
 			d.Tasks, d.Slices, d.Parks, d.Unparks, d.Steals, d.Preempts, d.PreemptReqs, d.Yields, 100*d.Utilization())
+	}
+	if err == nil && NetStats {
+		d := libos.NetStats().Sub(netBefore)
+		fmt.Fprintf(w, "  [net: recv-parks=%d send-parks=%d accept-parks=%d polls=%d (%d parked) epwaits=%d (%d parked) eagains=%d]\n",
+			d.RecvParks, d.SendParks, d.AcceptParks, d.Polls, d.PollParks, d.EpWaits, d.EpWaitParks, d.EAgains)
 	}
 	return err
 }
@@ -74,6 +87,8 @@ func run(name string, s Scale, w io.Writer) error {
 		t, err = Fig7bBreakdown(s)
 	case "ripe":
 		t, err = RIPETable()
+	case "c10k":
+		t, err = C10KTable(s)
 	case "table1":
 		return Table1(s, w)
 	default:

@@ -40,6 +40,11 @@ type Scale struct {
 	FileBufs  []int
 	// SpecIters is the per-kernel iteration count of Figure 7.
 	SpecIters int
+	// C10KConns lists the concurrent-connection points of the C10K
+	// table; C10KRequests is the total request budget per point (split
+	// across connections, at least one round each).
+	C10KConns    []int
+	C10KRequests int
 	// EIPEnclave is the Graphene-SGX per-process enclave size.
 	EIPEnclave uint64
 	// OcclumDomains/DomainData size the Occlum enclave.
@@ -70,6 +75,8 @@ func Quick() Scale {
 		FileTotal:     1 << 20,
 		FileBufs:      []int{64, 1024, 16384},
 		SpecIters:     300,
+		C10KConns:     []int{64, 1024, 10240},
+		C10KRequests:  4096,
 		EIPEnclave:    32 << 20,
 		OcclumDomains: 8,
 		DomainData:    16 << 20,
@@ -93,6 +100,8 @@ func Full() Scale {
 		FileTotal:     4 << 20,
 		FileBufs:      []int{4, 16, 64, 256, 1024, 4096, 16384},
 		SpecIters:     2000,
+		C10KConns:     []int{64, 1024, 10240},
+		C10KRequests:  20480,
 		EIPEnclave:    64 << 20,
 		OcclumDomains: 8,
 		DomainData:    32 << 20,

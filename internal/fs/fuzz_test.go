@@ -1,0 +1,110 @@
+package fs_test
+
+import (
+	"io"
+	"path"
+	"sync"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/hostos"
+)
+
+// fuzzVFS builds one VFS over a real encrypted filesystem plus devfs —
+// the same mount shape the LibOS boots — shared by every fuzz
+// execution in the process (the resolver is mutex-protected and the
+// fuzz only needs reachable state, not a pristine image per input).
+var (
+	fuzzOnce sync.Once
+	fuzzV    *fs.VFS
+)
+
+func fuzzVFS(tb testing.TB) *fs.VFS {
+	fuzzOnce.Do(func() {
+		store, err := fs.CreateStore(hostos.New(), "fuzz.img", fs.KeyFromString("fuzz"), 512)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := fs.Mkfs(store); err != nil {
+			tb.Fatal(err)
+		}
+		enc, err := fs.Mount(store)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		v := fs.NewVFS()
+		v.Mount("/", enc)
+		v.Mount("/dev", fs.NewDevFS(io.Discard))
+		if err := v.Mkdir("/etc"); err != nil {
+			tb.Fatal(err)
+		}
+		// The mutating half of the fuzz creates under /fuzzdir; without
+		// the parent every create would fail and that half would be
+		// dead code.
+		if err := v.Mkdir("/fuzzdir"); err != nil {
+			tb.Fatal(err)
+		}
+		if n, err := v.Open("/etc/hosts", fs.OCreate|fs.ORdWr); err != nil {
+			tb.Fatal(err)
+		} else {
+			n.Close()
+		}
+		fuzzV = v
+	})
+	return fuzzV
+}
+
+// FuzzVFSPath fuzzes path resolution across the mount table and the
+// encrypted filesystem's directory walk: no input may panic the
+// resolver, resolution must be invariant under path.Clean (the routing
+// normalizes before matching mounts), and a successful create must be
+// observable through the same path.
+func FuzzVFSPath(f *testing.F) {
+	for _, seed := range []string{
+		"", "/", ".", "..", "/.", "/..", "/../..",
+		"/etc/hosts", "etc/hosts", "/etc//hosts", "/etc/./hosts",
+		"/etc/../etc/hosts", "//etc///hosts/",
+		"/dev/null", "/dev/console", "dev/null",
+		"/nonexistent", "/etc/hosts/impossible-child",
+		"/a/b/c/d/e/f/g", "a//b/../../c", "....//....",
+		"/etc/\x00/x", "/\xff\xfe", "/etc/hosts ", " /etc/hosts",
+		"/dev", "/dev/", "/dev/..", "/dev/../etc/hosts",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, p string) {
+		v := fuzzVFS(t)
+		clean := path.Clean("/" + p)
+
+		// Read-only resolution: must not panic, and must agree with the
+		// cleaned form of the same path.
+		fi1, err1 := v.Stat(p)
+		fi2, err2 := v.Stat(clean)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Stat(%q) err=%v but Stat(clean %q) err=%v", p, err1, clean, err2)
+		}
+		if err1 == nil && fi1 != fi2 {
+			t.Fatalf("Stat(%q) = %+v but Stat(clean %q) = %+v", p, fi1, clean, fi2)
+		}
+		if n, err := v.Open(p, fs.ORdOnly); err == nil {
+			n.Close()
+		} else if err1 == nil && !fi1.IsDir {
+			t.Fatalf("Stat(%q) succeeded on a file but Open failed: %v", p, err)
+		}
+		_, _ = v.ReadDir(p)
+
+		// Mutating resolution under a dedicated subtree so the fuzz
+		// cannot eat the fixture files: a successful create must be
+		// visible via Stat, and unlink must remove it again.
+		sub := "/fuzzdir" + clean
+		if n, err := v.Open(sub, fs.OCreate|fs.ORdWr); err == nil {
+			n.Close()
+			if _, serr := v.Stat(sub); serr != nil {
+				t.Fatalf("created %q but Stat fails: %v", sub, serr)
+			}
+			if uerr := v.Unlink(sub); uerr != nil {
+				t.Fatalf("created %q but Unlink fails: %v", sub, uerr)
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Host is one untrusted host OS instance.
@@ -203,6 +204,19 @@ func (h *Host) FutexWake(key uint64, n int) int {
 		r.wake()
 	}
 	return len(woken)
+}
+
+// --- Timers ----------------------------------------------------------------
+
+// Timer schedules fn on the untrusted host clock after d, returning a
+// cancel function. Like futex sleeps, timeouts are delegated to the host
+// (§6): a malicious host can delay or drop the callback, which can stall
+// a poll timeout but never corrupt LibOS state. Cancel after firing is a
+// harmless no-op; fn may race a concurrent cancel, so callers must make
+// fn idempotent (the parking protocol's latched wakes already are).
+func (h *Host) Timer(d time.Duration, fn func()) (cancel func()) {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
 }
 
 // --- Untrusted shared memory ----------------------------------------------

@@ -5,12 +5,68 @@ import (
 	"sync"
 )
 
+// Ready is a readiness bitmask for a stream endpoint, the host-side truth
+// that poll/epoll answers are computed from. Bits are level-triggered:
+// they describe current state, not edges, so a consumer that re-scans
+// after a partial read sees ReadyIn again as long as data remains.
+type Ready uint32
+
+// Readiness bits.
+const (
+	// ReadyIn: a read would not block (buffered data, or EOF/shutdown
+	// pending — EOF is readable, as in poll(2)).
+	ReadyIn Ready = 1 << iota
+	// ReadyOut: a write of at least one byte would not block (buffer
+	// space, or a closed direction where the write fails immediately —
+	// failing fast is "ready" in poll terms).
+	ReadyOut
+	// ReadyHup: the peer closed its write direction; reads drain
+	// whatever is buffered and then return EOF.
+	ReadyHup
+	// ReadyErr: the peer closed its read direction; writes fail with
+	// ErrClosedPipe (EPIPE).
+	ReadyErr
+)
+
 // Conn is one end of an in-memory duplex byte stream, the host-delegated
 // TCP connection of the paper's networking model (§6: network I/O is
 // redirected to the host and is not secret by default).
 type Conn struct {
 	rd *stream
 	wr *stream
+}
+
+// watchSet is the persistent readiness-subscription registry shared by
+// streams and listeners: id-keyed callbacks that survive wakes until
+// cancelled. The owner guards every method with its own lock; snapshot
+// results are invoked only after that lock is released (callbacks take
+// foreign locks — an epoll set's, the scheduler's).
+type watchSet struct {
+	m      map[int]func()
+	nextID int
+}
+
+func (w *watchSet) add(fn func()) (id int) {
+	if w.m == nil {
+		w.m = make(map[int]func())
+	}
+	id = w.nextID
+	w.nextID++
+	w.m[id] = fn
+	return id
+}
+
+func (w *watchSet) remove(id int) { delete(w.m, id) }
+
+func (w *watchSet) snapshot() []func() {
+	if len(w.m) == 0 {
+		return nil
+	}
+	out := make([]func(), 0, len(w.m))
+	for _, fn := range w.m {
+		out = append(out, fn)
+	}
+	return out
 }
 
 // Listener accepts loopback connections on a port.
@@ -27,7 +83,11 @@ type Listener struct {
 	// re-register if they lose the race, so broadcast semantics are
 	// correct, if occasionally a thundering herd.
 	waiters []func()
-	closed  bool
+	// watch holds persistent readiness subscriptions (epoll interest):
+	// unlike waiters, these survive wakes and fire on every arrival and
+	// on close, until cancelled.
+	watch  watchSet
+	closed bool
 }
 
 // backlogMax bounds queued-but-unaccepted connections, like listen(2)'s
@@ -65,8 +125,12 @@ func (h *Host) Dial(port uint16) (*Conn, error) {
 	l.cond.Broadcast()
 	waiters := l.waiters
 	l.waiters = nil
+	watch := l.watch.snapshot()
 	l.mu.Unlock()
 	for _, w := range waiters {
+		w()
+	}
+	for _, w := range watch {
 		w()
 	}
 	return a, nil
@@ -92,7 +156,8 @@ func (l *Listener) Accept() (*Conn, error) {
 // queued connection if one is ready; otherwise, when the listener is
 // still open, it registers wait (called on the next arrival or close)
 // and reports ok=false. Registration and the emptiness check happen
-// under one lock, so a wake cannot slip between them.
+// under one lock, so a wake cannot slip between them. A nil wait makes
+// the call purely non-blocking (the O_NONBLOCK accept path).
 func (l *Listener) TryAccept(wait func()) (c *Conn, ok, closed bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -104,8 +169,38 @@ func (l *Listener) TryAccept(wait func()) (c *Conn, ok, closed bool) {
 	if l.closed {
 		return nil, false, true
 	}
-	l.waiters = append(l.waiters, wait)
+	if wait != nil {
+		l.waiters = append(l.waiters, wait)
+	}
 	return nil, false, false
+}
+
+// Readiness reports the listener's poll state: ReadyIn when an accept
+// would not block (pending connection, or closed — accept fails fast).
+func (l *Listener) Readiness() Ready {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.backlog) > 0 {
+		return ReadyIn
+	}
+	if l.closed {
+		return ReadyIn | ReadyHup
+	}
+	return 0
+}
+
+// Subscribe registers a persistent readiness callback, fired on every
+// connection arrival and on close. The callback must not call back into
+// the listener; it is expected to only flip scheduler state (Unpark).
+func (l *Listener) Subscribe(fn func()) (cancel func()) {
+	l.mu.Lock()
+	id := l.watch.add(fn)
+	l.mu.Unlock()
+	return func() {
+		l.mu.Lock()
+		l.watch.remove(id)
+		l.mu.Unlock()
+	}
 }
 
 // Close unbinds the port and wakes pending Accepts.
@@ -119,11 +214,15 @@ func (l *Listener) Close() {
 	l.cond.Broadcast()
 	waiters := l.waiters
 	l.waiters = nil
+	watch := l.watch.snapshot()
 	l.mu.Unlock()
 	l.host.mu.Lock()
 	delete(l.host.listeners, l.port)
 	l.host.mu.Unlock()
 	for _, w := range waiters {
+		w()
+	}
+	for _, w := range watch {
 		w()
 	}
 }
@@ -133,24 +232,127 @@ func connPair() (*Conn, *Conn) {
 	return &Conn{rd: s1, wr: s2}, &Conn{rd: s2, wr: s1}
 }
 
-// Read reads from the connection, blocking until data or EOF.
+// Read reads from the connection, blocking until data, EOF, or a local
+// shutdown of the read direction.
 func (c *Conn) Read(p []byte) (int, error) { return c.rd.read(p) }
 
-// Write writes to the connection.
+// Write writes to the connection, blocking while the peer's receive
+// buffer is full.
 func (c *Conn) Write(p []byte) (int, error) { return c.wr.write(p) }
 
-// Close closes both directions.
+// TryRead is the non-blocking read for parking callers: it drains
+// buffered data if any, reports eof when the direction is finished, and
+// otherwise registers wait (nil for a pure O_NONBLOCK probe) and reports
+// wouldBlock.
+func (c *Conn) TryRead(p []byte, wait func()) (n int, eof, wouldBlock bool) {
+	return c.rd.tryRead(p, wait)
+}
+
+// TryWrite appends as much of p as fits in the peer's receive buffer.
+// closed reports a dead direction (EPIPE); wouldBlock reports that not
+// all of p fit, with wait registered for the next drain (when non-nil).
+func (c *Conn) TryWrite(p []byte, wait func()) (n int, closed, wouldBlock bool) {
+	return c.wr.tryWrite(p, wait)
+}
+
+// CloseRead shuts down the read direction (shutdown(SHUT_RD)): buffered
+// data is discarded, future local reads return EOF, and peer writes fail
+// with ErrClosedPipe.
+func (c *Conn) CloseRead() { c.rd.closeRead() }
+
+// CloseWrite shuts down the write direction (shutdown(SHUT_WR)): the
+// peer drains whatever is buffered and then reads EOF; the peer's own
+// write direction is untouched — the classic TCP half-close.
+func (c *Conn) CloseWrite() { c.wr.closeWrite() }
+
+// Close closes both directions. Data already written remains readable by
+// the peer (closeWrite semantics on the outgoing stream); only the
+// incoming stream's undelivered data is dropped.
 func (c *Conn) Close() {
 	c.rd.closeRead()
 	c.wr.closeWrite()
 }
 
-// stream is a bounded in-memory byte queue.
+// Readiness reports the connection's poll state.
+func (c *Conn) Readiness() Ready {
+	var r Ready
+	c.rd.mu.Lock()
+	if len(c.rd.buf) > 0 || c.rd.wClosed || c.rd.rClosed {
+		r |= ReadyIn
+	}
+	if c.rd.wClosed {
+		r |= ReadyHup
+	}
+	c.rd.mu.Unlock()
+	c.wr.mu.Lock()
+	if len(c.wr.buf) < streamCap || c.wr.rClosed || c.wr.wClosed {
+		r |= ReadyOut
+	}
+	if c.wr.rClosed {
+		r |= ReadyErr
+	}
+	c.wr.mu.Unlock()
+	return r
+}
+
+// Subscribe registers a persistent callback fired on every readiness
+// edge in either direction (empty→nonempty for reads, full→space for
+// writes, and every close). The callback must not call back into the
+// connection.
+func (c *Conn) Subscribe(fn func()) (cancel func()) {
+	return c.SubscribeDir(true, true, fn)
+}
+
+// SubscribeDir is Subscribe restricted to the read and/or write
+// direction — an epoll set interested only in EPOLLIN skips every
+// write-side drain edge, which is most of the traffic on a busy server.
+// Shutdown edges are never filtered: poll/epoll report ERR and HUP
+// regardless of the requested mask, and those conditions live on the
+// "other" stream (the peer's shutdown(RD) surfaces as ReadyErr on the
+// write stream), so the unsubscribed direction still delivers its
+// close edges — just not its data edges.
+func (c *Conn) SubscribeDir(read, write bool, fn func()) (cancel func()) {
+	var cancels []func()
+	if read {
+		cancels = append(cancels, c.rd.subscribe(fn))
+	} else {
+		cancels = append(cancels, c.rd.subscribeClose(fn))
+	}
+	if write {
+		cancels = append(cancels, c.wr.subscribe(fn))
+	} else {
+		cancels = append(cancels, c.wr.subscribeClose(fn))
+	}
+	return func() {
+		for _, cf := range cancels {
+			cf()
+		}
+	}
+}
+
+// stream is a bounded in-memory byte queue with independent read-side and
+// write-side shutdown, one-shot waiter lists for parked SIPs, and
+// persistent watchers for readiness subscriptions (poll/epoll interest).
 type stream struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []byte
-	closed bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+	// rClosed: the consuming end shut down (shutdown(RD) or close);
+	// buffered data is discarded and writers fail with ErrClosedPipe.
+	rClosed bool
+	// wClosed: the producing end shut down (shutdown(WR) or close);
+	// readers drain the buffer and then see EOF.
+	wClosed bool
+	// rWait/wWait are one-shot wake callbacks from parked readers and
+	// writers; every relevant state change drains and invokes the whole
+	// list (broadcast; retriers re-register if still blocked).
+	rWait []func()
+	wWait []func()
+	// watch holds persistent readiness subscriptions; closeWatch holds
+	// watchers interested only in this direction's shutdown edges (the
+	// cross-direction half of a filtered subscription).
+	watch      watchSet
+	closeWatch watchSet
 }
 
 const streamCap = 256 << 10
@@ -161,48 +363,187 @@ func newStream() *stream {
 	return s
 }
 
+func (s *stream) subscribe(fn func()) (cancel func()) {
+	s.mu.Lock()
+	id := s.watch.add(fn)
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.watch.remove(id)
+		s.mu.Unlock()
+	}
+}
+
+// subscribeClose registers a watcher fired only by closeRead/closeWrite
+// on this stream, never by data edges.
+func (s *stream) subscribeClose(fn func()) (cancel func()) {
+	s.mu.Lock()
+	id := s.closeWatch.add(fn)
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.closeWatch.remove(id)
+		s.mu.Unlock()
+	}
+}
+
+// wakeReadersLocked drains the one-shot reader waiters; the caller runs
+// the returned callbacks (one-shot and persistent) outside s.mu —
+// watcher callbacks take foreign locks (an epoll set's, the
+// scheduler's), and the reverse order (epoll scan → Readiness → s.mu)
+// would deadlock.
+func (s *stream) wakeReadersLocked() []func() {
+	s.cond.Broadcast()
+	ws := s.rWait
+	s.rWait = nil
+	return append(ws, s.watch.snapshot()...)
+}
+
+func (s *stream) wakeWritersLocked() []func() {
+	s.cond.Broadcast()
+	ws := s.wWait
+	s.wWait = nil
+	return append(ws, s.watch.snapshot()...)
+}
+
+func runAll(fns []func()) {
+	for _, f := range fns {
+		f()
+	}
+}
+
 func (s *stream) read(p []byte) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(s.buf) == 0 && !s.closed {
+	for len(s.buf) == 0 && !s.wClosed && !s.rClosed {
 		s.cond.Wait()
 	}
 	if len(s.buf) == 0 {
+		s.mu.Unlock()
 		return 0, io.EOF
 	}
+	wasFull := len(s.buf) >= streamCap
 	n := copy(p, s.buf)
 	s.buf = s.buf[n:]
-	s.cond.Broadcast()
+	var wake []func()
+	if wasFull {
+		wake = s.wakeWritersLocked()
+	}
+	s.mu.Unlock()
+	runAll(wake)
 	return n, nil
+}
+
+// tryRead is the non-blocking read. With a non-nil wait it registers a
+// one-shot waiter under the same critical section as the emptiness
+// check, so no write can slip between them unseen.
+func (s *stream) tryRead(p []byte, wait func()) (n int, eof, wouldBlock bool) {
+	s.mu.Lock()
+	if s.rClosed {
+		s.mu.Unlock()
+		return 0, true, false
+	}
+	if len(s.buf) == 0 {
+		if s.wClosed {
+			s.mu.Unlock()
+			return 0, true, false
+		}
+		if wait != nil {
+			s.rWait = append(s.rWait, wait)
+		}
+		s.mu.Unlock()
+		return 0, false, true
+	}
+	wasFull := len(s.buf) >= streamCap
+	n = copy(p, s.buf)
+	s.buf = s.buf[n:]
+	var wake []func()
+	if wasFull {
+		wake = s.wakeWritersLocked()
+	}
+	s.mu.Unlock()
+	runAll(wake)
+	return n, false, false
 }
 
 func (s *stream) write(p []byte) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	total := 0
 	for len(p) > 0 {
-		for len(s.buf) >= streamCap && !s.closed {
+		for len(s.buf) >= streamCap && !s.rClosed && !s.wClosed {
 			s.cond.Wait()
 		}
-		if s.closed {
+		if s.rClosed || s.wClosed {
+			s.mu.Unlock()
 			return total, io.ErrClosedPipe
 		}
 		room := streamCap - len(s.buf)
 		n := min(room, len(p))
+		wasEmpty := len(s.buf) == 0
 		s.buf = append(s.buf, p[:n]...)
 		p = p[n:]
 		total += n
-		s.cond.Broadcast()
+		var wake []func()
+		if wasEmpty {
+			wake = s.wakeReadersLocked()
+		}
+		s.mu.Unlock()
+		runAll(wake)
+		s.mu.Lock()
 	}
+	s.mu.Unlock()
 	return total, nil
 }
 
-func (s *stream) closeRead()  { s.close() }
-func (s *stream) closeWrite() { s.close() }
-
-func (s *stream) close() {
+// tryWrite appends what fits. If anything is left over it registers wait
+// (when non-nil) and reports wouldBlock; the parked caller resumes from
+// its recorded progress, so no byte is sent twice.
+func (s *stream) tryWrite(p []byte, wait func()) (n int, closed, wouldBlock bool) {
 	s.mu.Lock()
-	s.closed = true
-	s.cond.Broadcast()
+	if s.rClosed || s.wClosed {
+		s.mu.Unlock()
+		return 0, true, false
+	}
+	room := streamCap - len(s.buf)
+	n = min(room, len(p))
+	var wake []func()
+	if n > 0 {
+		wasEmpty := len(s.buf) == 0
+		s.buf = append(s.buf, p[:n]...)
+		if wasEmpty {
+			wake = s.wakeReadersLocked()
+		}
+	}
+	if n < len(p) {
+		if wait != nil {
+			s.wWait = append(s.wWait, wait)
+		}
+		wouldBlock = true
+	}
 	s.mu.Unlock()
+	runAll(wake)
+	return n, false, wouldBlock
+}
+
+// closeRead is the consuming end's shutdown: pending data can never be
+// delivered, so it is dropped, and both sides are woken (readers to see
+// EOF, writers to fail with ErrClosedPipe).
+func (s *stream) closeRead() {
+	s.mu.Lock()
+	s.rClosed = true
+	s.buf = nil
+	wake := append(s.wakeReadersLocked(), s.wakeWritersLocked()...)
+	wake = append(wake, s.closeWatch.snapshot()...)
+	s.mu.Unlock()
+	runAll(wake)
+}
+
+// closeWrite is the producing end's shutdown: buffered data stays
+// readable; once drained, readers see EOF.
+func (s *stream) closeWrite() {
+	s.mu.Lock()
+	s.wClosed = true
+	wake := append(s.wakeReadersLocked(), s.wakeWritersLocked()...)
+	wake = append(wake, s.closeWatch.snapshot()...)
+	s.mu.Unlock()
+	runAll(wake)
 }

@@ -56,6 +56,12 @@ const (
 	SysGetppid  = sysdispatch.SysGetppid
 	SysFsync    = sysdispatch.SysFsync
 	SysSpawnCPU = sysdispatch.SysSpawnCPU
+	SysFcntl    = sysdispatch.SysFcntl
+	SysPoll     = sysdispatch.SysPoll
+	SysEpCreate = sysdispatch.SysEpCreate
+	SysEpCtl    = sysdispatch.SysEpCtl
+	SysEpWait   = sysdispatch.SysEpWait
+	SysShutdown = sysdispatch.SysShutdown
 )
 
 // Errno values (returned as -errno in R0).
@@ -82,6 +88,7 @@ const (
 	ENOSYS       = sysdispatch.ENOSYS
 	ENOTDIRE     = ENOTDIR
 	ENOTEMPTY    = sysdispatch.ENOTEMPTY
+	ENOTCONN     = sysdispatch.ENOTCONN
 	ECONNREFUSED = sysdispatch.ECONNREFUSED
 )
 
@@ -99,6 +106,30 @@ const (
 const (
 	FutexWait = sysdispatch.FutexWait
 	FutexWake = sysdispatch.FutexWake
+)
+
+// fcntl commands and status flags.
+const (
+	FGetFl    = sysdispatch.FGetFl
+	FSetFl    = sysdispatch.FSetFl
+	ONonblock = sysdispatch.ONonblock
+)
+
+// poll/epoll event bits and epoll_ctl operations.
+const (
+	PollIn   = sysdispatch.PollIn
+	PollOut  = sysdispatch.PollOut
+	PollErr  = sysdispatch.PollErr
+	PollHup  = sysdispatch.PollHup
+	PollNval = sysdispatch.PollNval
+
+	EpCtlAdd = sysdispatch.EpCtlAdd
+	EpCtlDel = sysdispatch.EpCtlDel
+	EpCtlMod = sysdispatch.EpCtlMod
+
+	ShutRd   = sysdispatch.ShutRd
+	ShutWr   = sysdispatch.ShutWr
+	ShutRdWr = sysdispatch.ShutRdWr
 )
 
 // Signals.

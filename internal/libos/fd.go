@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fs"
 	"repro/internal/hostos"
@@ -18,6 +19,7 @@ const (
 	kindPipeW
 	kindSock     // connected socket (host Conn)
 	kindListener // listening socket
+	kindEpoll    // epoll interest set (readiness multiplexer)
 )
 
 // OpenFile is an open file description, shared between fds (dup) and
@@ -34,6 +36,11 @@ type OpenFile struct {
 	conn   *hostos.Conn
 	lis    *hostos.Listener
 	port   uint16
+	ep     *epollSet
+	// nonblock is the O_NONBLOCK status flag (fcntl F_SETFL). Like the
+	// rest of the description it is shared across dup and spawn
+	// inheritance.
+	nonblock atomic.Bool
 }
 
 func newNodeFile(n fs.Node, flags fs.OpenFlag) *OpenFile {
@@ -85,12 +92,91 @@ func (of *OpenFile) unref() {
 	case kindPipeW:
 		of.pipe.closeWrite()
 	case kindSock:
-		of.conn.Close()
+		if of.conn != nil {
+			of.conn.Close()
+		}
 	case kindListener:
 		if of.lis != nil {
 			of.lis.Close()
 		}
+	case kindEpoll:
+		of.ep.close()
 	}
+}
+
+// Readiness reports the description's current level-triggered poll
+// state, mapped to the user-visible Poll* bits.
+func (of *OpenFile) Readiness() uint32 {
+	switch of.kind {
+	case kindNode:
+		// Regular files and devices never block.
+		return PollIn | PollOut
+	case kindPipeR, kindPipeW:
+		return of.pipe.readiness(of.kind == kindPipeR)
+	case kindSock:
+		of.mu.Lock()
+		conn := of.conn
+		of.mu.Unlock()
+		if conn == nil {
+			return PollNval
+		}
+		return mapReady(conn.Readiness())
+	case kindListener:
+		return mapReady(of.lis.Readiness())
+	case kindEpoll:
+		// Nested epoll is not supported; report NVAL so a poll over an
+		// epoll fd fails fast instead of parking unwakeably.
+		return PollNval
+	}
+	return 0
+}
+
+// SubscribeReady registers a persistent callback fired whenever the
+// description's readiness may have changed for the requested events,
+// returning a cancel function. Sockets subscribe per direction: an
+// EPOLLIN-only watcher is not woken by the peer draining its send
+// buffer. ok=false reports a description that cannot be waited on
+// (regular files, which are always ready, epoll sets — nesting is not
+// supported — and unconnected sockets).
+func (of *OpenFile) SubscribeReady(fn func(), events uint32) (cancel func(), ok bool) {
+	switch of.kind {
+	case kindPipeR, kindPipeW:
+		return of.pipe.subscribe(fn), true
+	case kindSock:
+		of.mu.Lock()
+		conn := of.conn
+		of.mu.Unlock()
+		if conn == nil {
+			return nil, false
+		}
+		read := events&(PollIn|PollHup) != 0
+		write := events&(PollOut|PollErr) != 0
+		if !read && !write {
+			read, write = true, true
+		}
+		return conn.SubscribeDir(read, write, fn), true
+	case kindListener:
+		return of.lis.Subscribe(fn), true
+	}
+	return nil, false
+}
+
+// mapReady translates host-level readiness into the user ABI's bits.
+func mapReady(r hostos.Ready) uint32 {
+	var out uint32
+	if r&hostos.ReadyIn != 0 {
+		out |= PollIn
+	}
+	if r&hostos.ReadyOut != 0 {
+		out |= PollOut
+	}
+	if r&hostos.ReadyHup != 0 {
+		out |= PollHup
+	}
+	if r&hostos.ReadyErr != 0 {
+		out |= PollErr
+	}
+	return out
 }
 
 // Read reads from the description, advancing the offset for seekable
@@ -270,6 +356,11 @@ type pipeBuf struct {
 	wClosed  bool
 	rWaiters []func() // parked readers, woken by writes and closes
 	wWaiters []func() // parked writers, woken by reads and closes
+	// watch holds persistent readiness subscriptions (poll/epoll
+	// interest); unlike the waiter lists they survive wakes and fire on
+	// every state change until cancelled.
+	watch   map[int]func()
+	watchID int
 }
 
 func newPipeBuf(capacity int) *pipeBuf {
@@ -279,13 +370,21 @@ func newPipeBuf(capacity int) *pipeBuf {
 }
 
 // wakeReaders/wakeWriters run under pb.mu; the callbacks only flip
-// scheduler state (Unpark), which never re-enters the pipe.
+// scheduler or epoll-set state (Unpark, epollSet.markReady), neither of
+// which re-enters the pipe. The lock order pb.mu → ep.mu is safe for
+// the same reason hostos documents for streams: epoll scans query
+// readiness only AFTER dropping ep.mu (epollSet.popCandidates), so
+// nothing ever takes pb.mu while holding ep.mu. Any future epoll-side
+// change that calls into a pipe under ep.mu inverts this and deadlocks.
 func (pb *pipeBuf) wakeReaders() {
 	pb.cond.Broadcast()
 	for _, w := range pb.rWaiters {
 		w()
 	}
 	pb.rWaiters = nil
+	for _, w := range pb.watch {
+		w()
+	}
 }
 
 func (pb *pipeBuf) wakeWriters() {
@@ -294,6 +393,49 @@ func (pb *pipeBuf) wakeWriters() {
 		w()
 	}
 	pb.wWaiters = nil
+	for _, w := range pb.watch {
+		w()
+	}
+}
+
+// subscribe registers a persistent readiness watcher.
+func (pb *pipeBuf) subscribe(fn func()) (cancel func()) {
+	pb.mu.Lock()
+	if pb.watch == nil {
+		pb.watch = make(map[int]func())
+	}
+	id := pb.watchID
+	pb.watchID++
+	pb.watch[id] = fn
+	pb.mu.Unlock()
+	return func() {
+		pb.mu.Lock()
+		delete(pb.watch, id)
+		pb.mu.Unlock()
+	}
+}
+
+// readiness computes the poll state of one pipe end.
+func (pb *pipeBuf) readiness(readEnd bool) uint32 {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	var r uint32
+	if readEnd {
+		if len(pb.buf) > 0 || pb.wClosed {
+			r |= PollIn
+		}
+		if pb.wClosed {
+			r |= PollHup
+		}
+		return r
+	}
+	if len(pb.buf) < pb.cap || pb.rClosed {
+		r |= PollOut
+	}
+	if pb.rClosed {
+		r |= PollErr
+	}
+	return r
 }
 
 func (pb *pipeBuf) read(p []byte) (int, error) {

@@ -1,0 +1,535 @@
+package libos
+
+// Readiness multiplexing: the LibOS halves of poll(2), epoll(7), fcntl
+// O_NONBLOCK and shutdown(2).
+//
+// The design mirrors the PR 3 parking protocol: a blocking wait never
+// holds a hart. A SIP calling poll/epoll_wait first registers readiness
+// subscriptions (and, for finite timeouts, a host timer) under the same
+// syscall record that futex waits use, then returns Parked; any
+// readiness edge or the timer unparks it, and the retry re-scans the
+// level-triggered state from scratch. Because every scan recomputes
+// readiness, spurious wakeups and lost edges are both harmless — the
+// subscriptions only need at-least-once delivery of the *last* edge,
+// which the latched-wake protocol guarantees.
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sysdispatch"
+)
+
+// --- Network/readiness statistics ---------------------------------------
+
+// netStats counts readiness-path events across every LibOS instance in
+// the process (the net analog of sched.GlobalSnapshot), reported by
+// occlum-bench -netstats and asserted by the C10K smoke test.
+var netStats struct {
+	recvParks, sendParks, acceptParks atomic.Uint64
+	polls, pollParks                  atomic.Uint64
+	epWaits, epWaitParks              atomic.Uint64
+	eagains                           atomic.Uint64
+}
+
+// NetSnapshot is a plain-value copy of the readiness-path counters.
+type NetSnapshot struct {
+	// RecvParks/SendParks/AcceptParks count socket operations that
+	// parked the SIP instead of blocking a hart.
+	RecvParks, SendParks, AcceptParks uint64
+	// Polls/EpWaits count poll and epoll_wait syscalls; PollParks and
+	// EpWaitParks count park events — a long wait re-parks once per
+	// spurious wakeup, so parks can exceed calls.
+	Polls, PollParks, EpWaits, EpWaitParks uint64
+	// EAgains counts O_NONBLOCK operations that returned EAGAIN.
+	EAgains uint64
+}
+
+// NetStats returns the current counter values.
+func NetStats() NetSnapshot {
+	return NetSnapshot{
+		RecvParks:   netStats.recvParks.Load(),
+		SendParks:   netStats.sendParks.Load(),
+		AcceptParks: netStats.acceptParks.Load(),
+		Polls:       netStats.polls.Load(),
+		PollParks:   netStats.pollParks.Load(),
+		EpWaits:     netStats.epWaits.Load(),
+		EpWaitParks: netStats.epWaitParks.Load(),
+		EAgains:     netStats.eagains.Load(),
+	}
+}
+
+// Sub returns the event delta s - o.
+func (s NetSnapshot) Sub(o NetSnapshot) NetSnapshot {
+	return NetSnapshot{
+		RecvParks: s.RecvParks - o.RecvParks, SendParks: s.SendParks - o.SendParks,
+		AcceptParks: s.AcceptParks - o.AcceptParks,
+		Polls:       s.Polls - o.Polls, PollParks: s.PollParks - o.PollParks,
+		EpWaits: s.EpWaits - o.EpWaits, EpWaitParks: s.EpWaitParks - o.EpWaitParks,
+		EAgains: s.EAgains - o.EAgains,
+	}
+}
+
+// --- Epoll interest sets -------------------------------------------------
+
+// epollSet is the object behind an epoll fd: a level-triggered interest
+// list, the ready-candidate set that keeps epoll_wait O(ready) rather
+// than O(interest) — the property that makes epoll the C10K syscall —
+// and the waiter list of SIPs parked in epoll_wait.
+//
+// Readiness edges call markReady(fd), adding the fd to the candidate
+// set; epoll_wait drains the candidates, verifies each against the real
+// level-triggered state, and re-adds the ones still ready (so a
+// partially-read fd keeps being reported without any new edge). A
+// 10k-connection interest list with 64 active connections costs 64
+// checks per wait, not 10k.
+//
+// Lock ordering: readiness callbacks run while the watched resource's
+// lock is held (a stream's, a pipe's, a listener's) and take ep.mu, so
+// nothing here may call back into a watched description while holding
+// ep.mu — scans pop the candidate list first and query readiness
+// unlocked.
+type epollSet struct {
+	mu      sync.Mutex
+	items   map[int]*epItem
+	ready   map[int]struct{}
+	waiters map[int]func()
+	nextID  int
+	closed  bool
+}
+
+// epItem is one interest-list entry. It pins the open file description
+// (not the fd): like Linux, the kernel watches descriptions, and — as
+// close(2) does not remove an entry there either — callers must EpCtlDel
+// an fd before closing it, or a recycled fd number will keep reporting
+// the old description's readiness.
+type epItem struct {
+	events uint32
+	file   *OpenFile
+	cancel func()
+}
+
+func newEpollSet() *epollSet {
+	return &epollSet{
+		items:   make(map[int]*epItem),
+		ready:   make(map[int]struct{}),
+		waiters: make(map[int]func()),
+	}
+}
+
+// markReady records a readiness edge for fd and wakes parked waiters.
+// The candidate set is conservative (a superset of the truly ready):
+// epoll_wait re-verifies against the level-triggered state.
+func (ep *epollSet) markReady(fd int) {
+	ep.mu.Lock()
+	if _, ok := ep.items[fd]; ok {
+		ep.ready[fd] = struct{}{}
+	}
+	ep.mu.Unlock()
+	ep.wake()
+}
+
+// popCandidates drains the candidate set, returning each candidate with
+// its interest mask and file. Candidates the caller finds still ready
+// must be pushed back with readd; a concurrent edge during the scan
+// simply re-adds the fd to the fresh set, so no readiness is ever lost.
+func (ep *epollSet) popCandidates() []epCandidate {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if len(ep.ready) == 0 {
+		return nil
+	}
+	out := make([]epCandidate, 0, len(ep.ready))
+	for fd := range ep.ready {
+		if it, ok := ep.items[fd]; ok {
+			out = append(out, epCandidate{fd: fd, ev: it.events, file: it.file})
+		}
+	}
+	ep.ready = make(map[int]struct{})
+	return out
+}
+
+// readd pushes still-ready (or unverified) candidates back.
+func (ep *epollSet) readd(fds []int) {
+	if len(fds) == 0 {
+		return
+	}
+	ep.mu.Lock()
+	for _, fd := range fds {
+		if _, ok := ep.items[fd]; ok {
+			ep.ready[fd] = struct{}{}
+		}
+	}
+	ep.mu.Unlock()
+}
+
+type epCandidate struct {
+	fd   int
+	ev   uint32
+	file *OpenFile
+}
+
+// wake unparks every parked epoll_wait caller; they re-scan and park
+// again if their events have not arrived. Registrations are NOT
+// consumed by a wake (unlike the listener's one-shot accept waiters): a
+// parked epoll_wait re-dispatches without re-registering, so its waiter
+// must stay live until the syscall completes and its cancel runs —
+// clearing here would lose the second wake and hang the retry.
+func (ep *epollSet) wake() {
+	ep.mu.Lock()
+	if len(ep.waiters) == 0 {
+		ep.mu.Unlock()
+		return
+	}
+	ws := make([]func(), 0, len(ep.waiters))
+	for _, w := range ep.waiters {
+		ws = append(ws, w)
+	}
+	ep.mu.Unlock()
+	for _, w := range ws {
+		w()
+	}
+}
+
+// addWaiter registers a persistent wake callback for a parking
+// epoll_wait, returning its cancel (run by the dispatch loop when the
+// syscall completes and by teardown when the SIP dies, so no stale
+// waiter outlives its syscall).
+func (ep *epollSet) addWaiter(fn func()) (cancel func()) {
+	ep.mu.Lock()
+	id := ep.nextID
+	ep.nextID++
+	ep.waiters[id] = fn
+	ep.mu.Unlock()
+	return func() {
+		ep.mu.Lock()
+		delete(ep.waiters, id)
+		ep.mu.Unlock()
+	}
+}
+
+// close tears the set down when the last fd referencing it goes away:
+// every readiness subscription is cancelled and parked waiters are woken
+// (their retry fails with EBADF instead of sleeping forever).
+func (ep *epollSet) close() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.closed = true
+	items := ep.items
+	ep.items = make(map[int]*epItem)
+	ep.ready = make(map[int]struct{})
+	ep.mu.Unlock()
+	for _, it := range items {
+		it.cancel()
+	}
+	ep.wake()
+}
+
+// --- Syscall handlers ----------------------------------------------------
+
+// sysFcntl implements F_GETFL/F_SETFL; the only status flag is
+// O_NONBLOCK, which converts parking socket operations into immediate
+// EAGAIN returns.
+func sysFcntl(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	of, ok := p.getFD(int(int64(a[0])))
+	if !ok {
+		return sysdispatch.Errno(EBADF)
+	}
+	switch a[1] {
+	case FGetFl:
+		fl := int64(of.flags)
+		if of.nonblock.Load() {
+			fl |= ONonblock
+		}
+		return sysdispatch.Ok(fl)
+	case FSetFl:
+		of.nonblock.Store(a[2]&ONonblock != 0)
+		return sysdispatch.Ok(0)
+	}
+	return sysdispatch.Errno(EINVAL)
+}
+
+// sysShutdown implements shutdown(2) over host connections — the real
+// half-close the HTTPD uses to flush a response while still reading.
+func sysShutdown(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	of, ok := p.getFD(int(int64(a[0])))
+	if !ok || of.kind != kindSock {
+		return sysdispatch.Errno(EBADF)
+	}
+	of.mu.Lock()
+	conn := of.conn
+	of.mu.Unlock()
+	if conn == nil {
+		return sysdispatch.Errno(ENOTCONN)
+	}
+	switch a[1] {
+	case ShutRd:
+		conn.CloseRead()
+	case ShutWr:
+		conn.CloseWrite()
+	case ShutRdWr:
+		conn.CloseRead()
+		conn.CloseWrite()
+	default:
+		return sysdispatch.Errno(EINVAL)
+	}
+	return sysdispatch.Ok(0)
+}
+
+// armTimeout installs the parking-side bookkeeping for a blocking
+// readiness wait: the given registration cancels plus, for finite
+// timeouts, a host timer whose firing latches cur.woken and unparks the
+// SIP. The combined cancel lands in cur.cancel, which the dispatch loop
+// runs on completion and teardown runs on death — so neither
+// subscriptions nor timers outlive the syscall.
+func (p *Proc) armTimeout(cur *blockedSys, cancels []func(), tmoMS int64) {
+	if tmoMS > 0 {
+		cancels = append(cancels, p.os.host.Timer(time.Duration(tmoMS)*time.Millisecond, func() {
+			cur.woken.Store(true)
+			p.unpark()
+		}))
+	}
+	cur.cancel = func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+}
+
+// sysPoll implements poll(2): a[0] points at an array of a[1] 24-byte
+// entries {fd, events, revents}; a[2] is the timeout in milliseconds
+// (negative: infinite; zero: pure readiness probe, never parks).
+// Returns the number of entries with non-zero revents.
+func sysPoll(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	cur := p.cursys
+	ptr, nfds, tmo := a[0], a[1], int64(a[2])
+	if nfds > sysdispatch.PollMaxFDs {
+		return sysdispatch.Errno(EINVAL)
+	}
+	raw, err := p.readUserBytes(ptr, nfds*sysdispatch.PollEntrySize)
+	if err != nil {
+		return sysdispatch.Errno(EFAULT)
+	}
+	first := cur.cancel == nil && !cur.woken.Load()
+	if first {
+		netStats.polls.Add(1)
+	}
+	// Subscribe before scanning (first blocking pass only): an edge
+	// landing between the scan and the registration must not be lost.
+	if tmo != 0 && first {
+		var cancels []func()
+		for i := uint64(0); i < nfds; i++ {
+			ent := raw[i*sysdispatch.PollEntrySize:]
+			fd := int(int64(binary.LittleEndian.Uint64(ent)))
+			if fd < 0 {
+				continue
+			}
+			if of, ok := p.getFD(fd); ok {
+				if c, subbed := of.SubscribeReady(p.unpark, uint32(binary.LittleEndian.Uint64(ent[8:]))); subbed {
+					cancels = append(cancels, c)
+				}
+			}
+		}
+		p.armTimeout(cur, cancels, tmo)
+	}
+	n := 0
+	for i := uint64(0); i < nfds; i++ {
+		ent := raw[i*sysdispatch.PollEntrySize:]
+		fd := int(int64(binary.LittleEndian.Uint64(ent)))
+		events := uint32(binary.LittleEndian.Uint64(ent[8:]))
+		var revents uint32
+		if fd >= 0 {
+			if of, ok := p.getFD(fd); ok {
+				revents = of.Readiness() & (events | PollErr | PollHup | PollNval)
+			} else {
+				revents = PollNval
+			}
+		}
+		if revents != 0 {
+			n++
+		}
+		if !sysdispatch.WriteU64(p, ptr+i*sysdispatch.PollEntrySize+16, uint64(revents)) {
+			return sysdispatch.Errno(EFAULT)
+		}
+	}
+	if n > 0 {
+		return sysdispatch.Ok(int64(n))
+	}
+	if tmo == 0 || cur.woken.Load() {
+		return sysdispatch.Ok(0) // probe, or timeout expired
+	}
+	netStats.pollParks.Add(1)
+	return sysdispatch.ParkedResult
+}
+
+// sysEpCreate creates an epoll interest set behind a fresh fd.
+func sysEpCreate(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	of := &OpenFile{refs: 1, kind: kindEpoll, ep: newEpollSet()}
+	return sysdispatch.Ok(int64(p.fds.Install(of)))
+}
+
+// sysEpCtl adds, modifies or removes interest-list entries:
+// epoll_ctl(epfd, op, fd, events).
+func sysEpCtl(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	epof, ok := p.getFD(int(int64(a[0])))
+	if !ok || epof.kind != kindEpoll {
+		return sysdispatch.Errno(EBADF)
+	}
+	ep := epof.ep
+	op, fd, events := a[1], int(int64(a[2])), uint32(a[3])
+	switch op {
+	case EpCtlAdd:
+		tf, ok := p.getFD(fd)
+		if !ok {
+			return sysdispatch.Errno(EBADF)
+		}
+		// Subscribe outside ep.mu (lock order: resource lock → ep.mu).
+		cancel, subbed := tf.SubscribeReady(func() { ep.markReady(fd) }, events)
+		if !subbed {
+			return sysdispatch.Errno(EPERM) // not pollable (regular file, epoll)
+		}
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			cancel()
+			return sysdispatch.Errno(EBADF)
+		}
+		if _, dup := ep.items[fd]; dup {
+			ep.mu.Unlock()
+			cancel()
+			return sysdispatch.Errno(EEXIST)
+		}
+		ep.items[fd] = &epItem{events: events, file: tf, cancel: cancel}
+		ep.mu.Unlock()
+		// The fd may already be ready — a level no future edge will
+		// announce; seed it as a candidate.
+		ep.markReady(fd)
+		return sysdispatch.Ok(0)
+	case EpCtlDel:
+		ep.mu.Lock()
+		it, ok := ep.items[fd]
+		if ok {
+			delete(ep.items, fd)
+			delete(ep.ready, fd)
+		}
+		ep.mu.Unlock()
+		if !ok {
+			return sysdispatch.Errno(ENOENT)
+		}
+		it.cancel()
+		return sysdispatch.Ok(0)
+	case EpCtlMod:
+		ep.mu.Lock()
+		it, ok := ep.items[fd]
+		var tf *OpenFile
+		if ok {
+			tf = it.file
+		}
+		ep.mu.Unlock()
+		if !ok {
+			return sysdispatch.Errno(ENOENT)
+		}
+		// The subscription is direction-filtered by the interest mask
+		// (an EPOLLIN item never hears write-side edges), so changing
+		// the mask must re-subscribe — keeping the old registration
+		// would lose every wakeup for the newly requested direction.
+		cancel, subbed := tf.SubscribeReady(func() { ep.markReady(fd) }, events)
+		if !subbed {
+			return sysdispatch.Errno(EPERM)
+		}
+		var old func()
+		ep.mu.Lock()
+		it, ok = ep.items[fd]
+		if ok {
+			old = it.cancel
+			it.events = events
+			it.cancel = cancel
+		}
+		ep.mu.Unlock()
+		if !ok {
+			cancel() // item removed concurrently
+			return sysdispatch.Errno(ENOENT)
+		}
+		old()
+		ep.markReady(fd) // the new mask may match a standing level
+		return sysdispatch.Ok(0)
+	}
+	return sysdispatch.Errno(EINVAL)
+}
+
+// sysEpWait waits for interest-list readiness:
+// epoll_wait(epfd, eventsPtr, maxEvents, timeoutMs) → n. The result
+// array holds 16-byte entries {fd, revents}. Level-triggered: an entry
+// stays reported as long as its readiness persists, so a partial read
+// re-arms by simply leaving data buffered.
+func sysEpWait(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	cur := p.cursys
+	epof, ok := p.getFD(int(int64(a[0])))
+	if !ok || epof.kind != kindEpoll {
+		return sysdispatch.Errno(EBADF)
+	}
+	ep := epof.ep
+	evPtr, maxEv, tmo := a[1], int64(a[2]), int64(a[3])
+	if maxEv <= 0 {
+		return sysdispatch.Errno(EINVAL)
+	}
+	if maxEv > sysdispatch.EpMaxEvents {
+		maxEv = sysdispatch.EpMaxEvents
+	}
+	first := cur.cancel == nil && !cur.woken.Load()
+	if first {
+		netStats.epWaits.Add(1)
+	}
+	if tmo != 0 && first {
+		p.armTimeout(cur, []func(){ep.addWaiter(p.unpark)}, tmo)
+	}
+	// Drain the candidate set and verify each fd against the real
+	// level-triggered state: still-ready fds are reported AND pushed
+	// back (a partial read keeps them reported on the next wait);
+	// candidates past the batch budget go back unverified.
+	cands := ep.popCandidates()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].fd < cands[j].fd })
+	var out []byte
+	var readd []int
+	n := int64(0)
+	for _, c := range cands {
+		if n >= maxEv {
+			readd = append(readd, c.fd)
+			continue
+		}
+		r := c.file.Readiness() & (c.ev | PollErr | PollHup)
+		if r == 0 {
+			continue
+		}
+		var ent [sysdispatch.EpEntrySize]byte
+		binary.LittleEndian.PutUint64(ent[:], uint64(int64(c.fd)))
+		binary.LittleEndian.PutUint64(ent[8:], uint64(r))
+		out = append(out, ent[:]...)
+		readd = append(readd, c.fd)
+		n++
+	}
+	ep.readd(readd)
+	if n > 0 {
+		if p.writeUserBytes(evPtr, out) != nil {
+			return sysdispatch.Errno(EFAULT)
+		}
+		return sysdispatch.Ok(n)
+	}
+	if tmo == 0 || cur.woken.Load() {
+		return sysdispatch.Ok(0)
+	}
+	netStats.epWaitParks.Add(1)
+	return sysdispatch.ParkedResult
+}

@@ -60,6 +60,12 @@ func newSysTable() *sysdispatch.Table {
 	t.Register(SysAccept, sysAccept)
 	t.Register(SysConnect, sysConnect)
 	t.Register(SysClock, sysdispatch.Clock)
+	t.Register(SysFcntl, sysFcntl)
+	t.Register(SysPoll, sysPoll)
+	t.Register(SysEpCreate, sysEpCreate)
+	t.Register(SysEpCtl, sysEpCtl)
+	t.Register(SysEpWait, sysEpWait)
+	t.Register(SysShutdown, sysShutdown)
 	t.Register(SysYield, func(sysdispatch.Kernel, *[5]uint64) sysdispatch.Result {
 		return sysdispatch.Result{Yielded: true}
 	})
@@ -115,17 +121,19 @@ func (p *Proc) getFD(fd int) (*OpenFile, bool) {
 	return of, ok
 }
 
-// sysWrite is the SIP write(2): pipes park when the ring is full,
-// resuming where they left off (cursys.prog) so no byte is sent twice;
-// other descriptions complete or fail immediately (socket writes
-// delegate to the host and may briefly occupy the hart — network I/O is
-// host-delegated and not under the parking protocol yet).
+// sysWrite is the SIP write(2)/send(2): pipes and sockets park when the
+// ring is full, resuming where they left off (cursys.prog) so no byte is
+// sent twice; O_NONBLOCK sockets return the partial count or EAGAIN
+// instead of parking. Other descriptions complete or fail immediately.
 func sysWrite(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 	p := k.(*Proc)
 	fd, buf, n := int(int64(a[0])), a[1], a[2]
 	of, ok := p.getFD(fd)
 	if !ok {
 		return sysdispatch.Errno(EBADF)
+	}
+	if of.kind == kindSock {
+		return p.sockSend(of, buf, n)
 	}
 	if of.kind == kindPipeW {
 		// Copy only the unsent remainder out of the user buffer: a
@@ -161,8 +169,9 @@ func sysWrite(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 	return sysdispatch.Ok(int64(wn))
 }
 
-// sysRead is the SIP read(2): pipe reads park until data or writer
-// close; nodes and sockets use the immediate/blocking path.
+// sysRead is the SIP read(2)/recv(2): pipe and socket reads park until
+// data or close (O_NONBLOCK sockets return EAGAIN instead); nodes use
+// the immediate path.
 func sysRead(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 	p := k.(*Proc)
 	fd, buf, n := int(int64(a[0])), a[1], a[2]
@@ -175,7 +184,8 @@ func sysRead(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 	}
 	tmp := make([]byte, n)
 	var rn int
-	if of.kind == kindPipeR {
+	switch of.kind {
+	case kindPipeR:
 		var eof, parked bool
 		rn, eof, parked = of.pipe.tryRead(tmp, p.unpark)
 		if parked {
@@ -184,7 +194,31 @@ func sysRead(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 		if eof {
 			return sysdispatch.Ok(0)
 		}
-	} else {
+	case kindSock:
+		of.mu.Lock()
+		conn := of.conn
+		of.mu.Unlock()
+		if conn == nil {
+			return sysdispatch.Errno(ENOTCONN)
+		}
+		wait := p.unpark
+		if of.nonblock.Load() {
+			wait = nil
+		}
+		var eof, wouldBlock bool
+		rn, eof, wouldBlock = conn.TryRead(tmp, wait)
+		if wouldBlock {
+			if wait == nil {
+				netStats.eagains.Add(1)
+				return sysdispatch.Errno(EAGAIN)
+			}
+			netStats.recvParks.Add(1)
+			return sysdispatch.ParkedResult
+		}
+		if eof {
+			return sysdispatch.Ok(0)
+		}
+	default:
 		var err error
 		rn, err = of.Read(tmp)
 		if err != nil && err != io.EOF && rn == 0 {
@@ -197,6 +231,48 @@ func sysRead(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 		}
 	}
 	return sysdispatch.Ok(int64(rn))
+}
+
+// sockSend is the socket half of sysWrite: like pipe writes it copies
+// only the unsent remainder each retry (cursys.prog) and parks when the
+// peer's receive buffer is full; O_NONBLOCK returns the partial count,
+// or EAGAIN when nothing fit.
+func (p *Proc) sockSend(of *OpenFile, buf, n uint64) sysdispatch.Result {
+	of.mu.Lock()
+	conn := of.conn
+	of.mu.Unlock()
+	if conn == nil {
+		return sysdispatch.Errno(ENOTCONN)
+	}
+	cur := p.cursys
+	rem, err := p.readUserBytes(buf+uint64(cur.prog), n-uint64(cur.prog))
+	if err != nil {
+		return sysdispatch.Errno(EFAULT)
+	}
+	wait := p.unpark
+	if of.nonblock.Load() {
+		wait = nil
+	}
+	wn, closed, wouldBlock := conn.TryWrite(rem, wait)
+	cur.prog += int64(wn)
+	if closed {
+		if cur.prog == 0 {
+			return sysdispatch.Errno(EPIPE)
+		}
+		return sysdispatch.Ok(cur.prog)
+	}
+	if wouldBlock {
+		if wait == nil {
+			if cur.prog > 0 {
+				return sysdispatch.Ok(cur.prog)
+			}
+			netStats.eagains.Add(1)
+			return sysdispatch.Errno(EAGAIN)
+		}
+		netStats.sendParks.Add(1)
+		return sysdispatch.ParkedResult
+	}
+	return sysdispatch.Ok(cur.prog)
 }
 
 func sysOpen(k sysdispatch.Kernel, path string, flags uint64) (sysdispatch.File, int64) {
@@ -395,18 +471,29 @@ func sysBind(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 
 // sysAccept parks the SIP until a connection is queued or the listener
 // closes — the paper's Lighttpd configuration runs more workers than
-// TCS entries only because a worker waiting in accept costs no hart.
+// TCS entries only because a worker waiting in accept costs no hart. On
+// an O_NONBLOCK listener an empty backlog returns EAGAIN instead (the
+// event-driven acceptor's drain loop).
 func sysAccept(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 	p := k.(*Proc)
 	of, ok := p.getFD(int(int64(a[0])))
 	if !ok || of.kind != kindListener {
 		return sysdispatch.Errno(EBADF)
 	}
-	conn, got, closed := of.lis.TryAccept(p.unpark)
+	wait := p.unpark
+	if of.nonblock.Load() {
+		wait = nil
+	}
+	conn, got, closed := of.lis.TryAccept(wait)
 	if closed {
 		return sysdispatch.Errno(EIO)
 	}
 	if !got {
+		if wait == nil {
+			netStats.eagains.Add(1)
+			return sysdispatch.Errno(EAGAIN)
+		}
+		netStats.acceptParks.Add(1)
 		return sysdispatch.ParkedResult
 	}
 	nf := &OpenFile{refs: 1, kind: kindSock, conn: conn}

@@ -52,6 +52,12 @@ const (
 	SysGetppid  = 31 // getppid() → pid
 	SysFsync    = 32 // fsync(fd)
 	SysSpawnCPU = 33 // internal: report consumed cycles (diagnostics)
+	SysFcntl    = 34 // fcntl(fd, cmd, arg) → flags (F_GETFL/F_SETFL)
+	SysPoll     = 35 // poll(fdsPtr, nfds, timeoutMs) → ready count
+	SysEpCreate = 36 // epoll_create() → epfd
+	SysEpCtl    = 37 // epoll_ctl(epfd, op, fd, events)
+	SysEpWait   = 38 // epoll_wait(epfd, eventsPtr, maxEvents, timeoutMs) → n
+	SysShutdown = 39 // shutdown(fd, how)
 
 	// SysMax bounds the dispatch table; numbers must stay below it.
 	SysMax = 64
@@ -80,6 +86,7 @@ const (
 	EPIPE        = 32
 	ENOSYS       = 38
 	ENOTEMPTY    = 39
+	ENOTCONN     = 107
 	ECONNREFUSED = 111
 )
 
@@ -97,6 +104,60 @@ const (
 const (
 	FutexWait = 0
 	FutexWake = 1
+)
+
+// Status flags set with fcntl(F_SETFL). O_NONBLOCK is a property of the
+// open file description, so — as on Linux — processes sharing a
+// description via dup2 or spawn inheritance share the flag.
+const (
+	ONonblock = 0x800
+)
+
+// Fcntl commands.
+const (
+	FGetFl = 3
+	FSetFl = 4
+)
+
+// poll/epoll event bits (pollfd.events / epoll interest masks).
+// PollErr, PollHup and PollNval are always reported regardless of the
+// requested mask, as in poll(2).
+const (
+	PollIn   = 0x1
+	PollOut  = 0x4
+	PollErr  = 0x8
+	PollHup  = 0x10
+	PollNval = 0x20
+)
+
+// epoll_ctl operations.
+const (
+	EpCtlAdd = 1
+	EpCtlDel = 2
+	EpCtlMod = 3
+)
+
+// shutdown(2) directions.
+const (
+	ShutRd   = 0
+	ShutWr   = 1
+	ShutRdWr = 2
+)
+
+// PollMaxFDs bounds one poll set; EpMaxEvents bounds one epoll_wait
+// result batch. Both keep a single syscall's user-memory traffic small.
+const (
+	PollMaxFDs  = 128
+	EpMaxEvents = 256
+)
+
+// User-memory layouts: poll takes an array of 24-byte entries
+// {fd i64, events u64, revents u64}; epoll_wait fills an array of
+// 16-byte entries {fd u64, revents u64}. All fields are little-endian
+// 64-bit words, matching the OVM's natural load/store width.
+const (
+	PollEntrySize = 24
+	EpEntrySize   = 16
 )
 
 // Lseek whence values.

@@ -147,6 +147,147 @@ func Dup2(b *asm.Builder, oldfd, newfd isa.Reg) {
 	Syscall(b, libos.SysDup2)
 }
 
+// --- Network and readiness wrappers --------------------------------------
+
+// Socket emits socket(); the fd lands in R0.
+func Socket(b *asm.Builder) {
+	Syscall(b, libos.SysSocket)
+}
+
+// Bind emits bind(fdReg, port).
+func Bind(b *asm.Builder, fd isa.Reg, port int64) {
+	if fd != isa.R1 {
+		b.MovRR(isa.R1, fd)
+	}
+	b.MovRI(isa.R2, port)
+	Syscall(b, libos.SysBind)
+}
+
+// ListenSock emits listen(fdReg).
+func ListenSock(b *asm.Builder, fd isa.Reg) {
+	if fd != isa.R1 {
+		b.MovRR(isa.R1, fd)
+	}
+	Syscall(b, libos.SysListen)
+}
+
+// Connect emits connect(fdReg, port).
+func Connect(b *asm.Builder, fd isa.Reg, port int64) {
+	if fd != isa.R1 {
+		b.MovRR(isa.R1, fd)
+	}
+	b.MovRI(isa.R2, port)
+	Syscall(b, libos.SysConnect)
+}
+
+// Accept emits accept(fd) for an immediate listener fd; the connection
+// fd (or -EAGAIN on a drained O_NONBLOCK listener) lands in R0.
+func Accept(b *asm.Builder, fd int64) {
+	b.MovRI(isa.R1, fd)
+	Syscall(b, libos.SysAccept)
+}
+
+// SendSym emits send(fdReg, sym, n) from a data symbol.
+func SendSym(b *asm.Builder, fd isa.Reg, sym string, n int64) {
+	if fd != isa.R1 {
+		b.MovRR(isa.R1, fd)
+	}
+	b.LeaData(isa.R2, sym)
+	b.MovRI(isa.R3, n)
+	Syscall(b, libos.SysSend)
+}
+
+// RecvSym emits recv(fdReg, sym, n) into a data symbol.
+func RecvSym(b *asm.Builder, fd isa.Reg, sym string, n int64) {
+	if fd != isa.R1 {
+		b.MovRR(isa.R1, fd)
+	}
+	b.LeaData(isa.R2, sym)
+	b.MovRI(isa.R3, n)
+	Syscall(b, libos.SysRecv)
+}
+
+// Fcntl emits fcntl(fd, cmd, arg) with an immediate fd.
+func Fcntl(b *asm.Builder, fd, cmd, arg int64) {
+	b.MovRI(isa.R1, fd)
+	b.MovRI(isa.R2, cmd)
+	b.MovRI(isa.R3, arg)
+	Syscall(b, libos.SysFcntl)
+}
+
+// FcntlR emits fcntl(fdReg, cmd, arg).
+func FcntlR(b *asm.Builder, fd isa.Reg, cmd, arg int64) {
+	if fd != isa.R1 {
+		b.MovRR(isa.R1, fd)
+	}
+	b.MovRI(isa.R2, cmd)
+	b.MovRI(isa.R3, arg)
+	Syscall(b, libos.SysFcntl)
+}
+
+// Shutdown emits shutdown(fdReg, how).
+func Shutdown(b *asm.Builder, fd isa.Reg, how int64) {
+	if fd != isa.R1 {
+		b.MovRR(isa.R1, fd)
+	}
+	b.MovRI(isa.R2, how)
+	Syscall(b, libos.SysShutdown)
+}
+
+// Poll emits poll(fdsSym, nfds, timeoutMs) over an array of 24-byte
+// {fd, events, revents} entries at a data symbol; the ready count lands
+// in R0.
+func Poll(b *asm.Builder, fdsSym string, nfds, timeoutMs int64) {
+	b.LeaData(isa.R1, fdsSym)
+	b.MovRI(isa.R2, nfds)
+	b.MovRI(isa.R3, timeoutMs)
+	Syscall(b, libos.SysPoll)
+}
+
+// EpCreate emits epoll_create(); the epoll fd lands in R0.
+func EpCreate(b *asm.Builder) {
+	Syscall(b, libos.SysEpCreate)
+}
+
+// EpCtl emits epoll_ctl(epReg, op, fdReg, events). fdReg must not be R1
+// or R2 and epReg must not be R3 (the wrapper marshals into R1..R4 in
+// that order).
+func EpCtl(b *asm.Builder, ep isa.Reg, op int64, fd isa.Reg, events int64) {
+	if fd != isa.R3 {
+		b.MovRR(isa.R3, fd)
+	}
+	if ep != isa.R1 {
+		b.MovRR(isa.R1, ep)
+	}
+	b.MovRI(isa.R2, op)
+	b.MovRI(isa.R4, events)
+	Syscall(b, libos.SysEpCtl)
+}
+
+// EpCtlI emits epoll_ctl(epReg, op, fd, events) with an immediate fd.
+func EpCtlI(b *asm.Builder, ep isa.Reg, op, fd, events int64) {
+	if ep != isa.R1 {
+		b.MovRR(isa.R1, ep)
+	}
+	b.MovRI(isa.R2, op)
+	b.MovRI(isa.R3, fd)
+	b.MovRI(isa.R4, events)
+	Syscall(b, libos.SysEpCtl)
+}
+
+// EpWait emits epoll_wait(epReg, evSym, maxEvents, timeoutMs) into an
+// array of 16-byte {fd, revents} entries at a data symbol; the ready
+// count lands in R0.
+func EpWait(b *asm.Builder, ep isa.Reg, evSym string, maxEvents, timeoutMs int64) {
+	if ep != isa.R1 {
+		b.MovRR(isa.R1, ep)
+	}
+	b.LeaData(isa.R2, evSym)
+	b.MovRI(isa.R3, maxEvents)
+	b.MovRI(isa.R4, timeoutMs)
+	Syscall(b, libos.SysEpWait)
+}
+
 // Memcpy emits an inline word-wise copy loop: copies lenReg bytes
 // (multiple of 8) from srcReg to dstReg. Clobbers R8, R9 and the three
 // argument registers.

@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/libos"
+)
+
+// TestEventHTTPDServes: the epoll-based server answers the same protocol
+// as the thread-per-connection one and stops cleanly via the propagating
+// quit chain.
+func TestEventHTTPDServes(t *testing.T) {
+	const (
+		port     = 8085
+		workers  = 2
+		requests = 32
+	)
+	k, err := NewOcclumKernel(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Sys.OS.Shutdown()
+
+	master, err := InstallEventHTTPD(k, port, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(master, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunHTTPBench(k, port, 4, requests)
+	StopHTTPD(k, port, workers)
+	if status := p.Wait(); status != 0 {
+		t.Fatalf("master status = %d", status)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed requests: %d/%d", res.Failed, res.Requests)
+	}
+	if res.Bytes != int64(requests*PageSize10K) {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, requests*PageSize10K)
+	}
+	t.Logf("event httpd: %.0f req/s", res.Throughput())
+}
+
+// TestC10KSmoke is the CI acceptance smoke for readiness-driven I/O:
+// 1000 concurrent connections against 8 event-loop workers on a 4-hart
+// pool. The thread-per-connection server cannot exceed the hart count in
+// concurrent service; the epoll server must hold every connection open
+// at once and serve them all, with the blocking waits parking instead of
+// pinning harts (asserted through the sched and netstat counters).
+// CI runs this under -race.
+func TestC10KSmoke(t *testing.T) {
+	const (
+		port    = 8095
+		workers = 8
+		harts   = 4
+		conns   = 1000
+		rounds  = 1
+	)
+	spec := DefaultSpec()
+	spec.Domains = workers + 2
+	spec.Harts = harts
+	k, err := NewOcclumKernel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Sys.OS.Shutdown()
+
+	master, err := InstallEventHTTPD(k, port, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(master, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net0 := libos.NetStats()
+	res := RunC10K(k, port, conns, rounds)
+	StopHTTPD(k, port, workers)
+	if status := p.Wait(); status != 0 {
+		t.Fatalf("master status = %d", status)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed requests: %d/%d", res.Failed, res.Requests)
+	}
+	if res.Bytes != int64(res.Requests*PageSize10K) {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, res.Requests*PageSize10K)
+	}
+
+	snap := k.Sys.OS.Sched().Snapshot()
+	if snap.Parks == 0 {
+		t.Fatal("no parks recorded: blocking network waits are holding harts")
+	}
+	net := libos.NetStats().Sub(net0)
+	if net.EpWaitParks == 0 {
+		t.Fatal("epoll_wait never parked: the event loop is spinning on a hart")
+	}
+	if net.EAgains == 0 {
+		t.Fatal("no EAGAINs: the nonblocking accept drain never ran dry")
+	}
+	t.Logf("c10k smoke: %d conns / %d harts: %.0f req/s, p50=%v p99=%v, parks=%d epwait-parks=%d accept-eagains=%d",
+		conns, harts, res.Throughput(), res.P50, res.P99, snap.Parks, net.EpWaitParks, net.EAgains)
+}
