@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	occlum-bench [-scale quick|full] [-vmstats] [-schedstats] [-netstats] [-cpuprofile f] [-memprofile f] [experiment ...]
+//	occlum-bench [-scale quick|full] [-vmstats] [-schedstats] [-netstats] [-fsstats] [-cpuprofile f] [-memprofile f] [experiment ...]
 //
 // With no arguments, all experiments run. Experiments: fig5a fig5b fig5c
-// fig6a fig6b fig6c fig6d fig7a fig7b ripe table1 c10k. With -vmstats,
+// fig6a fig6b fig6c fig6d fig7a fig7b ripe table1 c10k fsbench. With -vmstats,
 // each experiment also reports the OVM translation-cache counters
 // (blocks decoded, hits, misses, flushes, chained transitions,
 // threaded-dispatch instructions) aggregated over every simulated hart.
@@ -14,7 +14,10 @@
 // (parks, unparks, steals, preemptions, yields and hart utilization)
 // aggregated over every Occlum hart pool. With -netstats, each
 // experiment reports the readiness-path counters (recv/send/accept
-// parks, poll/epoll_wait calls and parks, EAGAIN returns).
+// parks, poll/epoll_wait calls and parks, EAGAIN returns). With
+// -fsstats, each experiment reports the filesystem counters (image
+// blocks Merkle-verified, verified-cache hits, read-aheads, copy-ups,
+// whiteouts).
 // -cpuprofile and -memprofile write pprof profiles covering the
 // selected experiments, so interpreter-perf work can profile the hot
 // path without editing code (the memory profile is written at exit,
@@ -44,12 +47,14 @@ func realMain() int {
 	vmStats := flag.Bool("vmstats", false, "report OVM translation-cache counters per experiment")
 	schedStats := flag.Bool("schedstats", false, "report M:N scheduler counters per experiment")
 	netStats := flag.Bool("netstats", false, "report readiness/network counters per experiment")
+	fsStats := flag.Bool("fsstats", false, "report filesystem counters (verify/copy-up/read-ahead) per experiment")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
 	flag.Parse()
 	bench.VMStats = *vmStats
 	bench.SchedStats = *schedStats
 	bench.NetStats = *netStats
+	bench.FSStats = *fsStats
 
 	var scale bench.Scale
 	switch *scaleName {

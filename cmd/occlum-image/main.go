@@ -1,0 +1,184 @@
+// Command occlum-image packs a host directory into Occlum's read-only
+// image format: a single blob holding superblock, inode table, data
+// extents and a Merkle tree whose root hash is the blob's only trust
+// anchor. The LibOS mounts the blob as the lower layer of its union
+// root (libos.Config.BaseImage), pinning the printed root hash — in a
+// real deployment the hash would be part of the enclave measurement, so
+// the untrusted host can store and ship the blob but not alter a bit of
+// it.
+//
+// Usage:
+//
+//	occlum-image pack -dir DIR -out IMAGE     pack DIR, print the root hash
+//	occlum-image root -in IMAGE               recompute and print the root hash
+//	occlum-image ls -in IMAGE                 list the image's file tree
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	ofs "repro/internal/fs"
+	"repro/internal/hostos"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	if len(os.Args) < 2 {
+		usage()
+		return 2
+	}
+	switch os.Args[1] {
+	case "pack":
+		return cmdPack(os.Args[2:])
+	case "root":
+		return cmdRoot(os.Args[2:])
+	case "ls":
+		return cmdLs(os.Args[2:])
+	default:
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  occlum-image pack -dir DIR -out IMAGE
+  occlum-image root -in IMAGE
+  occlum-image ls -in IMAGE`)
+}
+
+func cmdPack(args []string) int {
+	fl := flag.NewFlagSet("pack", flag.ExitOnError)
+	dir := fl.String("dir", "", "host directory to pack")
+	out := fl.String("out", "", "output image file")
+	fl.Parse(args)
+	if *dir == "" || *out == "" {
+		usage()
+		return 2
+	}
+	b := ofs.NewImageBuilder()
+	err := filepath.WalkDir(*dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(*dir, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return nil
+		}
+		img := "/" + filepath.ToSlash(rel)
+		if d.IsDir() {
+			return b.AddDir(img)
+		}
+		if !d.Type().IsRegular() {
+			fmt.Fprintf(os.Stderr, "occlum-image: skipping non-regular file %s\n", p)
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return b.AddFile(img, data)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occlum-image: %v\n", err)
+		return 1
+	}
+	blob, root, err := b.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occlum-image: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "occlum-image: %v\n", err)
+		return 1
+	}
+	fmt.Printf("packed %s: %d bytes\nroot %s\n", *out, len(blob), hex.EncodeToString(root[:]))
+	return 0
+}
+
+func loadBlob(args []string, name string) ([]byte, int) {
+	fl := flag.NewFlagSet(name, flag.ExitOnError)
+	in := fl.String("in", "", "image file")
+	fl.Parse(args)
+	if *in == "" {
+		usage()
+		return nil, 2
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occlum-image: %v\n", err)
+		return nil, 1
+	}
+	return blob, 0
+}
+
+func cmdRoot(args []string) int {
+	blob, rc := loadBlob(args, "root")
+	if blob == nil {
+		return rc
+	}
+	root, err := ofs.ImageRoot(blob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occlum-image: %v\n", err)
+		return 1
+	}
+	fmt.Printf("root %s\n", hex.EncodeToString(root[:]))
+	return 0
+}
+
+func cmdLs(args []string) int {
+	blob, rc := loadBlob(args, "ls")
+	if blob == nil {
+		return rc
+	}
+	root, err := ofs.ImageRoot(blob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occlum-image: %v\n", err)
+		return 1
+	}
+	h := hostos.New()
+	h.WriteFile("img", blob)
+	m, err := ofs.MountImage(h, "img", root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occlum-image: %v\n", err)
+		return 1
+	}
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		ents, err := m.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+		for _, e := range ents {
+			p := strings.TrimSuffix(dir, "/") + "/" + e.Name
+			if e.IsDir {
+				fmt.Printf("%-40s dir\n", p+"/")
+				if err := walk(p); err != nil {
+					return err
+				}
+			} else {
+				fmt.Printf("%-40s %d bytes\n", p, e.Size)
+			}
+		}
+		return nil
+	}
+	if err := walk("/"); err != nil {
+		fmt.Fprintf(os.Stderr, "occlum-image: %v\n", err)
+		return 1
+	}
+	return 0
+}

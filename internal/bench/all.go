@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/fs"
 	"repro/internal/libos"
 	"repro/internal/sched"
 	"repro/internal/vm"
@@ -14,7 +15,7 @@ var Experiments = []string{
 	"fig5a", "fig5b", "fig5c",
 	"fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7a", "fig7b",
-	"ripe", "table1", "c10k",
+	"ripe", "table1", "c10k", "fsbench",
 }
 
 // VMStats, when true, makes Run report the OVM translation-cache
@@ -36,6 +37,12 @@ var SchedStats bool
 // experiment. Enabled by occlum-bench -netstats.
 var NetStats bool
 
+// FSStats, when true, makes Run report the filesystem counters (image
+// blocks Merkle-verified, verified-cache hits, read-aheads, copy-ups,
+// whiteouts) accumulated across every mounted filesystem during each
+// experiment. Enabled by occlum-bench -fsstats.
+var FSStats bool
+
 // Run executes one named experiment at the given scale, printing its
 // table to w.
 func Run(name string, s Scale, w io.Writer) error {
@@ -44,6 +51,7 @@ func Run(name string, s Scale, w io.Writer) error {
 	}
 	before := sched.GlobalSnapshot()
 	netBefore := libos.NetStats()
+	fsBefore := fs.Stats()
 	err := run(name, s, w)
 	if err == nil && VMStats {
 		fmt.Fprintf(w, "  [vm cache: %v]\n", vm.GlobalCacheStats())
@@ -57,6 +65,11 @@ func Run(name string, s Scale, w io.Writer) error {
 		d := libos.NetStats().Sub(netBefore)
 		fmt.Fprintf(w, "  [net: recv-parks=%d send-parks=%d accept-parks=%d polls=%d (%d parked) epwaits=%d (%d parked) eagains=%d]\n",
 			d.RecvParks, d.SendParks, d.AcceptParks, d.Polls, d.PollParks, d.EpWaits, d.EpWaitParks, d.EAgains)
+	}
+	if err == nil && FSStats {
+		d := fs.Stats().Sub(fsBefore)
+		fmt.Fprintf(w, "  [fs: verified=%d verify-hits=%d read-aheads=%d copy-ups=%d whiteouts=%d]\n",
+			d.VerifiedBlocks, d.VerifyHits, d.ReadAheads, d.CopyUps, d.Whiteouts)
 	}
 	return err
 }
@@ -89,6 +102,8 @@ func run(name string, s Scale, w io.Writer) error {
 		t, err = RIPETable()
 	case "c10k":
 		t, err = C10KTable(s)
+	case "fsbench":
+		t, err = FSBench(s)
 	case "table1":
 		return Table1(s, w)
 	default:

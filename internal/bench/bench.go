@@ -45,6 +45,14 @@ type Scale struct {
 	// across connections, at least one round each).
 	C10KConns    []int
 	C10KRequests int
+	// FSBenchTotal bytes move per fsbench sequential measurement in
+	// FSBenchBuf chunks (total/buf must be a power of two for the
+	// random-access rows); FSRandOps random-chunk operations;
+	// FSMetaRounds rounds of the open/stat metadata storm.
+	FSBenchTotal int
+	FSBenchBuf   int
+	FSRandOps    int
+	FSMetaRounds int
 	// EIPEnclave is the Graphene-SGX per-process enclave size.
 	EIPEnclave uint64
 	// OcclumDomains/DomainData size the Occlum enclave.
@@ -77,6 +85,10 @@ func Quick() Scale {
 		SpecIters:     300,
 		C10KConns:     []int{64, 1024, 10240},
 		C10KRequests:  4096,
+		FSBenchTotal:  1 << 20,
+		FSBenchBuf:    4096,
+		FSRandOps:     256,
+		FSMetaRounds:  150,
 		EIPEnclave:    32 << 20,
 		OcclumDomains: 8,
 		DomainData:    16 << 20,
@@ -102,6 +114,10 @@ func Full() Scale {
 		SpecIters:     2000,
 		C10KConns:     []int{64, 1024, 10240},
 		C10KRequests:  20480,
+		FSBenchTotal:  8 << 20,
+		FSBenchBuf:    4096,
+		FSRandOps:     2048,
+		FSMetaRounds:  1000,
 		EIPEnclave:    64 << 20,
 		OcclumDomains: 8,
 		DomainData:    32 << 20,

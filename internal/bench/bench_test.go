@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"repro/internal/fs"
+
 	"bytes"
 	"strings"
 	"testing"
@@ -135,4 +137,40 @@ func TestRunAllQuickSmoke(t *testing.T) {
 		}
 	}
 	t.Logf("\n%s", out.String())
+}
+
+// TestShapeFSBench checks fsbench's structural claims rather than raw
+// wall-clock: every row produces a positive number, the cold image pass
+// pays Merkle verification with read-ahead while the warm pass verifies
+// nothing, and the upper layer sees the sequential write.
+func TestShapeFSBench(t *testing.T) {
+	before := fs.Stats()
+	tab, err := FSBench(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fs.Stats().Sub(before)
+	for _, r := range tab.Rows {
+		pos := false
+		for _, v := range r.Values {
+			if v > 0 {
+				pos = true
+			}
+		}
+		if !pos {
+			t.Errorf("row %q has no positive measurement: %v", r.Label, r.Values)
+		}
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("fsbench rows = %d, want 7", len(tab.Rows))
+	}
+	quick := Quick()
+	wantBlocks := uint64(quick.FSBenchTotal / 4096)
+	if d.VerifiedBlocks < wantBlocks {
+		t.Errorf("verified %d blocks, want ≥ %d (the whole image file, cold)", d.VerifiedBlocks, wantBlocks)
+	}
+	if d.ReadAheads == 0 {
+		t.Error("sequential image read triggered no read-ahead")
+	}
+	t.Logf("fsbench stats: %+v", d)
 }

@@ -89,6 +89,9 @@ type SystemConfig struct {
 	EPCBytes uint64
 	// Stdout receives /dev/console output.
 	Stdout io.Writer
+	// HostFiles pre-populates untrusted host storage before boot — how
+	// a packed occlum-image blob reaches LibOS.Config.BaseImage.
+	HostFiles map[string][]byte
 }
 
 // System is a booted platform + host + LibOS.
@@ -113,6 +116,9 @@ func BootSystem(cfg SystemConfig) (*System, error) {
 	}
 	platform := sgx.NewPlatform(cfg.EPCBytes)
 	host := hostos.New()
+	for name, data := range cfg.HostFiles {
+		host.WriteFile(name, data)
+	}
 	os, err := libos.Boot(platform, host, lc)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,222 @@
+package fs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hostos"
+)
+
+// TestCrashMidSyncConsistency cuts the host-write sequence of a Sync at
+// every possible point (the fault-injecting host store drops all writes
+// after the Nth) and remounts from host storage alone. Whatever the cut
+// point, the remounted filesystem must:
+//
+//   - open and mount cleanly (the atomic header+table commit means the
+//     host always holds a fully-consistent committed state);
+//   - pass fsck (no leaked or double-allocated blocks, tree intact);
+//   - equal exactly the tree at the last completed Sync, or — when the
+//     cut spared the commit write — the tree at the interrupted Sync.
+//
+// The A/B block slots are what makes this hold: data writes of the
+// interrupted epoch land on shadow slots, leaving every ciphertext the
+// committed MAC table references untouched.
+func TestCrashMidSyncConsistency(t *testing.T) {
+	for _, seed := range []int64{5, 99} {
+		maxCut := 1 << 30
+		for cut := 0; cut <= maxCut; cut++ {
+			h := hostos.New()
+			key := KeyFromString("crash")
+			store, err := CreateStore(h, "img", key, 2048)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Mkfs(store); err != nil {
+				t.Fatal(err)
+			}
+			efs, err := Mount(store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := &diffState{t: t, rng: rand.New(rand.NewSource(seed)), fs: efs, model: newModel()}
+			d.applyOps(120)
+			if err := efs.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			committed := d.model.clone()
+			epochA := store.Epoch()
+			d.applyOps(80)
+			interrupted := d.model.clone()
+
+			h.CrashWrites("img", cut)
+			if err := efs.Sync(); err != nil {
+				t.Fatal(err) // drops are silent; the enclave can't see them
+			}
+			tripped := h.HealWrites("img")
+
+			// Remount purely from (possibly cut) host storage.
+			store2, err := OpenStore(h, "img", key)
+			if err != nil {
+				t.Fatalf("seed %d cut %d: remount failed: %v", seed, cut, err)
+			}
+			efs2, err := Mount(store2)
+			if err != nil {
+				t.Fatalf("seed %d cut %d: %v", seed, cut, err)
+			}
+			if err := efs2.Fsck(); err != nil {
+				t.Fatalf("seed %d cut %d: %v", seed, cut, err)
+			}
+			want := committed
+			if store2.Epoch() != epochA {
+				want = interrupted // the commit write made it through
+			}
+			chk := &diffState{t: t, fs: efs2, model: want, ops: cut}
+			chk.compareTree()
+
+			if !tripped {
+				// The whole sync fit under the budget: larger cuts are
+				// identical. Done with this seed.
+				if store2.Epoch() == epochA {
+					t.Fatalf("seed %d: full sync did not advance the epoch", seed)
+				}
+				t.Logf("seed %d: %d cut points all consistent", seed, cut)
+				maxCut = -1
+			}
+		}
+	}
+}
+
+// TestCrashRecoveredFSRemainsUsable goes one step further: after a
+// mid-sync crash and remount, the filesystem must keep working — more
+// random ops, another (complete) sync, another remount, still
+// fsck-clean.
+func TestCrashRecoveredFSRemainsUsable(t *testing.T) {
+	h := hostos.New()
+	key := KeyFromString("crash2")
+	store, err := CreateStore(h, "img", key, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mkfs(store); err != nil {
+		t.Fatal(err)
+	}
+	efs, _ := Mount(store)
+	d := &diffState{t: t, rng: rand.New(rand.NewSource(17)), fs: efs, model: newModel()}
+	d.applyOps(150)
+	if err := efs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	committed := d.model.clone()
+	d.applyOps(60)
+	h.CrashWrites("img", 2)
+	_ = efs.Sync()
+	if !h.HealWrites("img") {
+		t.Fatal("crash plan never tripped — cut too late to mean anything")
+	}
+
+	store2, err := OpenStore(h, "img", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	efs2, err := Mount(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := &diffState{t: t, rng: rand.New(rand.NewSource(18)), fs: efs2, model: committed}
+	d2.compareTree()
+	d2.applyOps(150)
+	if err := efs2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	store3, err := OpenStore(h, "img", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	efs3, err := Mount(store3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := efs3.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+	d3 := &diffState{t: t, fs: efs3, model: d2.model}
+	d3.compareTree()
+}
+
+// TestCrashMidSyncNeverServesCorruptData asserts the fail-closed side:
+// across all cut points, no file read after remount may ever return
+// bytes that differ from one of the two legitimate states — compareTree
+// in TestCrashMidSyncConsistency proves equality, and this test spells
+// out the integrity-error path by also exercising reads under a cut
+// where shadow-slot data was partially written.
+func TestCrashMidSyncNeverServesCorruptData(t *testing.T) {
+	h := hostos.New()
+	key := KeyFromString("crash3")
+	store, _ := CreateStore(h, "img", key, 512)
+	if err := Mkfs(store); err != nil {
+		t.Fatal(err)
+	}
+	efs, _ := Mount(store)
+	f, err := efs.Open("/x", ORdWr|OCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 5*BlockSize)
+	for i := range payload {
+		payload[i] = 0xA1
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := efs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second pattern, crash after 3 block writes.
+	for i := range payload {
+		payload[i] = 0xB2
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	h.CrashWrites("img", 3)
+	_ = efs.Sync()
+	h.HealWrites("img")
+
+	store2, err := OpenStore(h, "img", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	efs2, err := Mount(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := efs2.Open("/x", ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := g.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0xA1 {
+			t.Fatalf("byte %d = %#x: interrupted sync leaked half-new data", i, b)
+		}
+	}
+}
+
+// errAny asserts err wraps one of the given sentinels (helper for the
+// tamper battery).
+func errAny(t *testing.T, err error, sentinels ...error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a verification error, got success")
+	}
+	for _, s := range sentinels {
+		if errors.Is(err, s) {
+			return
+		}
+	}
+	t.Fatalf("unexpected error class: %v", err)
+}

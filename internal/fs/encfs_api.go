@@ -2,8 +2,10 @@ package fs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"path"
+	"strings"
 )
 
 // Regular is an open file on the encrypted filesystem. Offsets live in the
@@ -149,6 +151,88 @@ func (fs *EncFS) Unlink(p string) error {
 	}
 	return fs.writeInode(ino, &inode{})
 }
+
+// Rename moves oldp to newp, atomically replacing an existing target
+// (file over file, directory over empty directory), as rename(2).
+func (fs *EncFS) Rename(oldp, newp string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	oc, nc := path.Clean("/"+oldp), path.Clean("/"+newp)
+	ino, err := fs.resolve(oc)
+	if err != nil {
+		return err
+	}
+	if oc == nc {
+		return nil
+	}
+	if oc == "/" || nc == "/" {
+		return fmt.Errorf("%w: rename of root", ErrInvalid)
+	}
+	// Directory cycle: EncFS paths are canonical (no hard links to
+	// directories), so a prefix check suffices.
+	if strings.HasPrefix(nc, oc+"/") {
+		return fmt.Errorf("%w: rename into own subtree", ErrInvalid)
+	}
+	odir, oname, err := fs.resolveParent(oc)
+	if err != nil {
+		return err
+	}
+	ndir, nname, err := fs.resolveParent(nc)
+	if err != nil {
+		return err
+	}
+	if len(nname) > maxNameLen {
+		return ErrNameTooLong
+	}
+	in, err := fs.readInode(ino)
+	if err != nil {
+		return err
+	}
+	tIno, terr := fs.lookup(ndir, nname)
+	if terr != nil && !errors.Is(terr, ErrNotExist) {
+		// A corrupt dirent block must not be mistaken for "no target":
+		// proceeding could install a duplicate name in the directory.
+		return terr
+	}
+	if terr == nil {
+		tin, err := fs.readInode(tIno)
+		if err != nil {
+			return err
+		}
+		if in.mode == modeDir {
+			if tin.mode != modeDir {
+				return ErrNotDir
+			}
+			empty, err := fs.dirEmpty(tIno)
+			if err != nil {
+				return err
+			}
+			if !empty {
+				return ErrNotEmpty
+			}
+		} else if tin.mode == modeDir {
+			return ErrIsDir
+		}
+		if err := fs.removeEntry(ndir, nname); err != nil {
+			return err
+		}
+		if err := fs.truncateLocked(tIno); err != nil {
+			return err
+		}
+		if err := fs.writeInode(tIno, &inode{}); err != nil {
+			return err
+		}
+	}
+	// Link under the new name before unlinking the old one: a failure
+	// (e.g. ErrFull growing the target directory) leaves the file
+	// reachable at its old path rather than lost.
+	if err := fs.addEntry(ndir, nname, ino); err != nil {
+		return err
+	}
+	return fs.removeEntry(odir, oname)
+}
+
+var _ Renamer = (*EncFS)(nil)
 
 // ReadDir lists a directory.
 func (fs *EncFS) ReadDir(p string) ([]FileInfo, error) {

@@ -26,6 +26,11 @@ var (
 	// ErrReadOnly reports a write through a read-only handle or
 	// filesystem.
 	ErrReadOnly = errors.New("fs: read-only")
+	// ErrCrossDevice reports a rename across mounts (EXDEV).
+	ErrCrossDevice = errors.New("fs: cross-device rename")
+	// ErrInvalid reports a structurally invalid operation, e.g. renaming
+	// a directory into its own subtree (EINVAL).
+	ErrInvalid = errors.New("fs: invalid operation")
 )
 
 const (
@@ -524,7 +529,11 @@ func (fs *EncFS) resolve(p string) (int, error) {
 }
 
 // resolveParent returns the inode of the parent directory and the final
-// path component.
+// path component. The parent must actually be a directory: without the
+// final mode check, creating "/f/child" under a regular file /f would
+// hand the file's inode to addEntry, which would then append a dirent
+// into the file's data (silent corruption, caught by the differential
+// test).
 func (fs *EncFS) resolveParent(p string) (int, string, error) {
 	comps := splitPath(p)
 	if len(comps) == 0 {
@@ -537,6 +546,13 @@ func (fs *EncFS) resolveParent(p string) (int, string, error) {
 			return 0, "", err
 		}
 		dir = next
+	}
+	din, err := fs.readInode(dir)
+	if err != nil {
+		return 0, "", err
+	}
+	if din.mode != modeDir {
+		return 0, "", ErrNotDir
 	}
 	return dir, comps[len(comps)-1], nil
 }

@@ -81,8 +81,8 @@ func TestBlockStoreTamperDetected(t *testing.T) {
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	// Host flips a bit inside block 1's ciphertext.
-	off := headerSize + 4*macEntrySize + BlockSize + 100
+	// Host flips a bit inside block 1's live ciphertext slot.
+	off := s.blockOffset(1, s.slots[1]) + 100
 	if err := h.TamperFile("dev", off); err != nil {
 		t.Fatal(err)
 	}

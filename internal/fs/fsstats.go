@@ -1,0 +1,54 @@
+package fs
+
+import "sync/atomic"
+
+// fsStats holds the package-global filesystem counters reported by
+// occlum-bench -fsstats. They are cumulative across every mounted
+// filesystem in the process (like the scheduler and net counters), so
+// benchmarks snapshot before/after and subtract.
+var fsStats struct {
+	verifiedBlocks atomic.Uint64
+	verifyHits     atomic.Uint64
+	readAheads     atomic.Uint64
+	copyUps        atomic.Uint64
+	whiteouts      atomic.Uint64
+}
+
+// StatCounters is a snapshot of the filesystem counters.
+type StatCounters struct {
+	// VerifiedBlocks counts image blocks Merkle-verified on first read.
+	VerifiedBlocks uint64
+	// VerifyHits counts image reads served from already-verified cache
+	// pages (no hashing).
+	VerifyHits uint64
+	// ReadAheads counts image blocks fetched speculatively by the
+	// sequential read-ahead.
+	ReadAheads uint64
+	// CopyUps counts files copied from the image layer to the writable
+	// layer on first write.
+	CopyUps uint64
+	// Whiteouts counts whiteout markers created by union unlinks.
+	Whiteouts uint64
+}
+
+// Stats returns the current global filesystem counters.
+func Stats() StatCounters {
+	return StatCounters{
+		VerifiedBlocks: fsStats.verifiedBlocks.Load(),
+		VerifyHits:     fsStats.verifyHits.Load(),
+		ReadAheads:     fsStats.readAheads.Load(),
+		CopyUps:        fsStats.copyUps.Load(),
+		Whiteouts:      fsStats.whiteouts.Load(),
+	}
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s StatCounters) Sub(prev StatCounters) StatCounters {
+	return StatCounters{
+		VerifiedBlocks: s.VerifiedBlocks - prev.VerifiedBlocks,
+		VerifyHits:     s.VerifyHits - prev.VerifyHits,
+		ReadAheads:     s.ReadAheads - prev.ReadAheads,
+		CopyUps:        s.CopyUps - prev.CopyUps,
+		Whiteouts:      s.Whiteouts - prev.Whiteouts,
+	}
+}

@@ -10,10 +10,13 @@ import (
 	"repro/internal/hostos"
 )
 
-// fuzzVFS builds one VFS over a real encrypted filesystem plus devfs —
-// the same mount shape the LibOS boots — shared by every fuzz
-// execution in the process (the resolver is mutex-protected and the
-// fuzz only needs reachable state, not a pristine image per input).
+// fuzzVFS builds one VFS over the full LibOS root-mount shape — a union
+// of a packed read-only image (lower) and a real encrypted filesystem
+// (upper), plus devfs — shared by every fuzz execution in the process
+// (the resolver is mutex-protected and the fuzz only needs reachable
+// state, not a pristine image per input). The mutating half of the fuzz
+// therefore exercises copy-up creates and whiteout unlinks on every
+// iteration.
 var (
 	fuzzOnce sync.Once
 	fuzzV    *fs.VFS
@@ -21,7 +24,28 @@ var (
 
 func fuzzVFS(tb testing.TB) *fs.VFS {
 	fuzzOnce.Do(func() {
-		store, err := fs.CreateStore(hostos.New(), "fuzz.img", fs.KeyFromString("fuzz"), 512)
+		host := hostos.New()
+		// Lower layer: /etc/hosts and /fuzzdir/seed baked into the image
+		// so path resolution crosses into the image layer, and creates
+		// under /fuzzdir land next to image content.
+		ib := fs.NewImageBuilder()
+		if err := ib.AddFile("/etc/hosts", []byte("127.0.0.1 localhost\n")); err != nil {
+			tb.Fatal(err)
+		}
+		if err := ib.AddFile("/fuzzdir/seed", []byte("image seed")); err != nil {
+			tb.Fatal(err)
+		}
+		blob, root, err := ib.Build()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		host.WriteFile("base.img", blob)
+		lower, err := fs.MountImage(host, "base.img", root)
+		if err != nil {
+			tb.Fatal(err)
+		}
+
+		store, err := fs.CreateStore(host, "fuzz.img", fs.KeyFromString("fuzz"), 512)
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -33,32 +57,19 @@ func fuzzVFS(tb testing.TB) *fs.VFS {
 			tb.Fatal(err)
 		}
 		v := fs.NewVFS()
-		v.Mount("/", enc)
+		v.Mount("/", fs.NewUnionFS(enc, lower))
 		v.Mount("/dev", fs.NewDevFS(io.Discard))
-		if err := v.Mkdir("/etc"); err != nil {
-			tb.Fatal(err)
-		}
-		// The mutating half of the fuzz creates under /fuzzdir; without
-		// the parent every create would fail and that half would be
-		// dead code.
-		if err := v.Mkdir("/fuzzdir"); err != nil {
-			tb.Fatal(err)
-		}
-		if n, err := v.Open("/etc/hosts", fs.OCreate|fs.ORdWr); err != nil {
-			tb.Fatal(err)
-		} else {
-			n.Close()
-		}
 		fuzzV = v
 	})
 	return fuzzV
 }
 
-// FuzzVFSPath fuzzes path resolution across the mount table and the
-// encrypted filesystem's directory walk: no input may panic the
-// resolver, resolution must be invariant under path.Clean (the routing
-// normalizes before matching mounts), and a successful create must be
-// observable through the same path.
+// FuzzVFSPath fuzzes path resolution across the mount table, the union
+// walk (copy-up and whiteout paths) and the image layer's directory
+// walk: no input may panic the resolver, resolution must be invariant
+// under path.Clean (the routing normalizes before matching mounts), and
+// a successful create must be observable — and removable — through the
+// same path.
 func FuzzVFSPath(f *testing.F) {
 	for _, seed := range []string{
 		"", "/", ".", "..", "/.", "/..", "/../..",
@@ -69,6 +80,7 @@ func FuzzVFSPath(f *testing.F) {
 		"/a/b/c/d/e/f/g", "a//b/../../c", "....//....",
 		"/etc/\x00/x", "/\xff\xfe", "/etc/hosts ", " /etc/hosts",
 		"/dev", "/dev/", "/dev/..", "/dev/../etc/hosts",
+		"/fuzzdir/seed", "/.wh.x", "/fuzzdir/.wh.seed", "/.wh..wh..opq",
 	} {
 		f.Add(seed)
 	}
@@ -94,8 +106,11 @@ func FuzzVFSPath(f *testing.F) {
 		_, _ = v.ReadDir(p)
 
 		// Mutating resolution under a dedicated subtree so the fuzz
-		// cannot eat the fixture files: a successful create must be
-		// visible via Stat, and unlink must remove it again.
+		// cannot eat the fixture files. /fuzzdir lives in the read-only
+		// image, so every create here is a copy-up-style create into
+		// the upper layer and every unlink a real union unlink; a
+		// successful create must be visible via Stat, and unlink must
+		// remove it again (whiteout correctness).
 		sub := "/fuzzdir" + clean
 		if n, err := v.Open(sub, fs.OCreate|fs.ORdWr); err == nil {
 			n.Close()
@@ -105,6 +120,84 @@ func FuzzVFSPath(f *testing.F) {
 			if uerr := v.Unlink(sub); uerr != nil {
 				t.Fatalf("created %q but Unlink fails: %v", sub, uerr)
 			}
+			if _, serr := v.Stat(sub); serr == nil {
+				t.Fatalf("unlinked %q but Stat still succeeds", sub)
+			}
 		}
+	})
+}
+
+// FuzzImageFS mounts attacker-controlled image bytes. Two trust models
+// are exercised per input: a pinned root that cannot match (mount must
+// fail closed) and a self-consistent root recomputed from the blob
+// itself (parsing must then survive arbitrary structure: no panics, no
+// out-of-bounds, reads bounded by the reported sizes).
+func FuzzImageFS(f *testing.F) {
+	ib := fs.NewImageBuilder()
+	_ = ib.AddFile("/etc/hosts", []byte("seed content"))
+	_ = ib.AddFile("/bin/tool", make([]byte, 3*4096))
+	_ = ib.AddDir("/empty")
+	blob, _, err := ib.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:4096])
+	f.Add([]byte("OCIMG\x00\x00\x01garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		host := hostos.New()
+		host.WriteFile("img", data)
+
+		// A root the attacker cannot know: mount must always fail.
+		if _, err := fs.MountImage(host, "img", [32]byte{1, 2, 3}); err == nil {
+			t.Fatal("mount with unmatchable root succeeded")
+		}
+
+		// Self-consistent root: the attacker controls all content, so
+		// mounts may succeed — everything after that must stay memory-safe
+		// and bounded.
+		root, err := fs.ImageRoot(data)
+		if err != nil {
+			return
+		}
+		ifs, err := fs.MountImage(host, "img", root)
+		if err != nil {
+			return
+		}
+		var walk func(dir string, depth int)
+		visited := 0
+		walk = func(dir string, depth int) {
+			if depth > 3 || visited > 200 {
+				return
+			}
+			ents, err := ifs.ReadDir(dir)
+			if err != nil {
+				return
+			}
+			for _, e := range ents {
+				if visited++; visited > 200 {
+					return
+				}
+				p := dir + "/" + e.Name
+				if e.IsDir {
+					walk(p, depth+1)
+					continue
+				}
+				n, err := ifs.Open(p, fs.ORdOnly)
+				if err != nil {
+					continue
+				}
+				buf := make([]byte, 4096)
+				if rn, err := n.ReadAt(buf, 0); err == nil && rn > len(buf) {
+					t.Fatalf("read of %q returned %d > buffer", p, rn)
+				}
+				n.Close()
+			}
+		}
+		walk("", 0)
+		_, _ = ifs.Stat("/etc/hosts")
+		_, _ = ifs.Open("/does/not/exist", fs.ORdOnly)
 	})
 }

@@ -1,19 +1,25 @@
-// Package fs implements Occlum's writable encrypted filesystem (§6) and
-// the special in-enclave filesystems (/dev, and /proc via internal/libos).
+// Package fs implements Occlum's filesystem stack (§6) and the special
+// in-enclave filesystems (/dev, and /proc via internal/libos).
 //
-// The stack has three layers, mirroring the paper:
+// The stack mirrors the paper:
 //
 //   - BlockStore (this file): the analog of Intel SGX Protected FS — an
 //     encrypted, integrity-protected block device kept in untrusted host
 //     storage. Every block is AES-CTR encrypted and HMAC-authenticated
 //     with a per-write version (anti-replay); a root MAC over the version
-//     table authenticates the whole device.
+//     table authenticates the whole device. A/B block slots plus a
+//     single-write header+table commit make Sync crash-consistent.
 //   - EncFS (fs.go): a full Unix-like filesystem (superblock, inodes,
 //     directories, a shared page cache) built on the block store. Because
 //     a single LibOS instance owns it, it is writable and consistent
 //     across all SIPs — the capability EIP-based LibOSes lack (Table 1).
-//   - VFS (vfs.go): mount table dispatching paths to EncFS, devfs, or
-//     procfs.
+//   - ImageFS (imagefs.go): the read-only integrity-verified image layer
+//     holding the trusted base image, lazily Merkle-verified against a
+//     root hash pinned at mount (packed by cmd/occlum-image).
+//   - UnionFS (unionfs.go): EncFS over ImageFS with copy-up on first
+//     write and whiteout-based unlink — the union root a SIP boots from.
+//   - VFS (vfs.go): mount table dispatching paths to the union root,
+//     devfs, or procfs.
 package fs
 
 import (
@@ -32,13 +38,13 @@ import (
 const BlockSize = 4096
 
 // macEntrySize is the on-disk size of one version-table entry:
-// version(8) + MAC(32).
-const macEntrySize = 40
+// version(8) + slot(8) + MAC(32).
+const macEntrySize = 48
 
 // pfs header: magic(8) + maxBlocks(8) + epoch(8) + rootMAC(32).
 const headerSize = 56
 
-var pfsMagic = [8]byte{'O', 'C', 'P', 'F', 'S', 0, 0, 1}
+var pfsMagic = [8]byte{'O', 'C', 'P', 'F', 'S', 0, 0, 2}
 
 // Integrity errors.
 var (
@@ -65,6 +71,15 @@ func KeyFromString(s string) Key {
 
 // BlockStore is an encrypted, integrity-protected block device stored in
 // an untrusted host file.
+//
+// Crash consistency: every block owns two on-disk slots (A/B). The first
+// write to a block after a Flush flips its slot, so the ciphertext the
+// last-committed MAC table references is never overwritten mid-epoch;
+// rewrites within the same epoch land on the same (uncommitted) slot.
+// Flush commits header and MAC table in a single host write, so a crash
+// that cuts the write sequence at any point leaves either the old or the
+// new state fully intact — never a table that references half-written
+// data.
 type BlockStore struct {
 	host      *hostos.Host
 	name      string
@@ -73,8 +88,12 @@ type BlockStore struct {
 	maxBlocks int
 	epoch     uint64
 	versions  []uint64
+	slots     []uint8
 	macs      [][32]byte
-	dirtyHdr  bool
+	// epochWritten marks blocks already flipped to their shadow slot
+	// this epoch; cleared by Flush.
+	epochWritten []bool
+	dirtyHdr     bool
 }
 
 func deriveKeys(k Key) (aesKey, macKey []byte) {
@@ -92,10 +111,12 @@ func CreateStore(h *hostos.Host, name string, key Key, maxBlocks int) (*BlockSto
 	aesKey, macKey := deriveKeys(key)
 	s := &BlockStore{
 		host: h, name: name, aesKey: aesKey, macKey: macKey,
-		maxBlocks: maxBlocks,
-		versions:  make([]uint64, maxBlocks),
-		macs:      make([][32]byte, maxBlocks),
-		epoch:     1,
+		maxBlocks:    maxBlocks,
+		versions:     make([]uint64, maxBlocks),
+		slots:        make([]uint8, maxBlocks),
+		macs:         make([][32]byte, maxBlocks),
+		epochWritten: make([]bool, maxBlocks),
+		epoch:        1,
 	}
 	h.RemoveFile(name)
 	h.WriteFile(name, make([]byte, headerSize+maxBlocks*macEntrySize))
@@ -123,8 +144,10 @@ func OpenStore(h *hostos.Host, name string, key Key) (*BlockStore, error) {
 	s := &BlockStore{
 		host: h, name: name, aesKey: aesKey, macKey: macKey,
 		maxBlocks: maxBlocks, epoch: epoch,
-		versions: make([]uint64, maxBlocks),
-		macs:     make([][32]byte, maxBlocks),
+		versions:     make([]uint64, maxBlocks),
+		slots:        make([]uint8, maxBlocks),
+		macs:         make([][32]byte, maxBlocks),
+		epochWritten: make([]bool, maxBlocks),
 	}
 	table := make([]byte, maxBlocks*macEntrySize)
 	if n, err := h.ReadFileAt(name, headerSize, table); err != nil || n < len(table) {
@@ -133,7 +156,8 @@ func OpenStore(h *hostos.Host, name string, key Key) (*BlockStore, error) {
 	for i := 0; i < maxBlocks; i++ {
 		e := table[i*macEntrySize:]
 		s.versions[i] = binary.LittleEndian.Uint64(e)
-		copy(s.macs[i][:], e[8:40])
+		s.slots[i] = uint8(binary.LittleEndian.Uint64(e[8:]) & 1)
+		copy(s.macs[i][:], e[16:48])
 	}
 	// Verify the root MAC over epoch + table.
 	want := s.rootMAC()
@@ -143,6 +167,29 @@ func OpenStore(h *hostos.Host, name string, key Key) (*BlockStore, error) {
 	return s, nil
 }
 
+// OpenStoreAt opens an existing protected image and additionally checks
+// the committed epoch against a trusted witness (an SGX monotonic
+// counter in the paper's deployment; the caller's in-enclave memory
+// here). Without the witness, a host that rolls header, MAC table and
+// data back to an older fully-consistent snapshot is undetectable; with
+// it, any stale epoch fails closed.
+func OpenStoreAt(h *hostos.Host, name string, key Key, wantEpoch uint64) (*BlockStore, error) {
+	s, err := OpenStore(h, name, key)
+	if err != nil {
+		return nil, err
+	}
+	if s.epoch != wantEpoch {
+		return nil, fmt.Errorf("%w: epoch %d, trusted witness says %d (rollback?)",
+			ErrCorrupt, s.epoch, wantEpoch)
+	}
+	return s, nil
+}
+
+// Epoch returns the current commit epoch (bumped by every Flush). A
+// caller that persists it in trusted storage can detect full-image
+// rollback via OpenStoreAt.
+func (s *BlockStore) Epoch() uint64 { return s.epoch }
+
 func (s *BlockStore) rootMAC() [32]byte {
 	mac := hmac.New(sha256.New, s.macKey)
 	var e [8]byte
@@ -151,6 +198,7 @@ func (s *BlockStore) rootMAC() [32]byte {
 	for i := range s.versions {
 		binary.LittleEndian.PutUint64(e[:], s.versions[i])
 		mac.Write(e[:])
+		mac.Write([]byte{s.slots[i]})
 		mac.Write(s.macs[i][:])
 	}
 	var out [32]byte
@@ -161,8 +209,8 @@ func (s *BlockStore) rootMAC() [32]byte {
 // MaxBlocks returns the device capacity in blocks.
 func (s *BlockStore) MaxBlocks() int { return s.maxBlocks }
 
-func (s *BlockStore) blockOffset(i int) int {
-	return headerSize + s.maxBlocks*macEntrySize + i*BlockSize
+func (s *BlockStore) blockOffset(i int, slot uint8) int {
+	return headerSize + s.maxBlocks*macEntrySize + (2*i+int(slot&1))*BlockSize
 }
 
 func (s *BlockStore) keystream(i int, version uint64, dst, src []byte) {
@@ -190,17 +238,26 @@ func (s *BlockStore) blockMAC(i int, version uint64, ct []byte) [32]byte {
 
 // WriteBlock encrypts and stores one block (padded/truncated to
 // BlockSize). The version table is updated in memory; Flush persists it.
+// The first write of a block after a Flush lands on its shadow slot, so
+// the last-committed ciphertext survives until the next commit.
 func (s *BlockStore) WriteBlock(i int, data []byte) error {
 	if i < 0 || i >= s.maxBlocks {
 		return fmt.Errorf("fs: block %d out of range", i)
 	}
 	pt := make([]byte, BlockSize)
 	copy(pt, data)
+	if !s.epochWritten[i] {
+		s.slots[i] ^= 1
+		s.epochWritten[i] = true
+	}
+	// The version still bumps on every write (not once per epoch): it is
+	// the CTR IV, and rewriting a slot under a reused IV would be a
+	// two-time pad.
 	s.versions[i]++
 	ct := make([]byte, BlockSize)
 	s.keystream(i, s.versions[i], ct, pt)
 	s.macs[i] = s.blockMAC(i, s.versions[i], ct)
-	s.host.WriteFileAt(s.name, s.blockOffset(i), ct)
+	s.host.WriteFileAt(s.name, s.blockOffset(i, s.slots[i]), ct)
 	s.dirtyHdr = true
 	return nil
 }
@@ -215,7 +272,7 @@ func (s *BlockStore) ReadBlock(i int) ([]byte, error) {
 		return make([]byte, BlockSize), nil
 	}
 	ct := make([]byte, BlockSize)
-	if n, err := s.host.ReadFileAt(s.name, s.blockOffset(i), ct); err != nil || n < BlockSize {
+	if n, err := s.host.ReadFileAt(s.name, s.blockOffset(i, s.slots[i]), ct); err != nil || n < BlockSize {
 		return nil, fmt.Errorf("%w: block %d missing", ErrCorrupt, i)
 	}
 	want := s.blockMAC(i, s.versions[i], ct)
@@ -227,23 +284,29 @@ func (s *BlockStore) ReadBlock(i int) ([]byte, error) {
 	return pt, nil
 }
 
-// Flush persists the version table and root MAC. Data blocks are written
-// through on WriteBlock; only the authentication state is deferred.
+// Flush commits the version table and root MAC. Data blocks are written
+// through on WriteBlock (to shadow slots); the commit is a single host
+// write covering header + table, so a crash cannot leave a header that
+// authenticates a half-written table: the host file holds either the
+// previous committed state or this one.
 func (s *BlockStore) Flush() error {
-	hdr := make([]byte, headerSize)
-	copy(hdr, pfsMagic[:])
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.maxBlocks))
-	binary.LittleEndian.PutUint64(hdr[16:], s.epoch)
+	s.epoch++
+	buf := make([]byte, headerSize+s.maxBlocks*macEntrySize)
+	copy(buf, pfsMagic[:])
+	binary.LittleEndian.PutUint64(buf[8:], uint64(s.maxBlocks))
+	binary.LittleEndian.PutUint64(buf[16:], s.epoch)
 	root := s.rootMAC()
-	copy(hdr[24:], root[:])
-	s.host.WriteFileAt(s.name, 0, hdr)
-	table := make([]byte, s.maxBlocks*macEntrySize)
+	copy(buf[24:], root[:])
 	for i := 0; i < s.maxBlocks; i++ {
-		e := table[i*macEntrySize:]
+		e := buf[headerSize+i*macEntrySize:]
 		binary.LittleEndian.PutUint64(e, s.versions[i])
-		copy(e[8:], s.macs[i][:])
+		binary.LittleEndian.PutUint64(e[8:], uint64(s.slots[i]))
+		copy(e[16:], s.macs[i][:])
 	}
-	s.host.WriteFileAt(s.name, headerSize, table)
+	s.host.WriteFileAt(s.name, 0, buf)
+	for i := range s.epochWritten {
+		s.epochWritten[i] = false
+	}
 	s.dirtyHdr = false
 	return nil
 }

@@ -1,0 +1,145 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/hostos"
+)
+
+// This file is the BlockStore half of the tamper battery the image
+// layer's TestImageTamperAnyBit mirrors: single bit-flips in any live
+// data slot, MAC-table rollback to a stale epoch, and truncated backing
+// files must all fail closed with a verification error.
+
+func newTamperStore(t *testing.T) (*hostos.Host, *BlockStore, Key) {
+	t.Helper()
+	h := hostos.New()
+	key := KeyFromString("tamper")
+	s, err := CreateStore(h, "dev", key, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.WriteBlock(i, []byte{byte(i), 0xEE, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return h, s, key
+}
+
+// TestBlockStoreBitFlipAnyDataBlock flips one bit in every byte-offset
+// sample of every block's live ciphertext slot: each read must fail
+// with ErrCorrupt, and a fresh open must never yield the corrupt bytes
+// either.
+func TestBlockStoreBitFlipAnyDataBlock(t *testing.T) {
+	h, s, key := newTamperStore(t)
+	pristine, _ := h.ReadFile("dev")
+	for blk := 0; blk < 8; blk++ {
+		for _, within := range []int{0, 1, BlockSize / 2, BlockSize - 1} {
+			h.WriteFile("dev", pristine)
+			off := s.blockOffset(blk, s.slots[blk]) + within
+			if err := h.TamperFile("dev", off); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.ReadBlock(blk); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("block %d offset %d: err = %v, want ErrCorrupt", blk, within, err)
+			}
+			// Same through a fresh mount of the tampered image.
+			s2, err := OpenStore(h, "dev", key)
+			if err == nil {
+				_, err = s2.ReadBlock(blk)
+			}
+			errAny(t, err, ErrCorrupt, ErrBadKey)
+		}
+	}
+}
+
+// TestBlockStoreStaleEpochRollback rolls the header + MAC table back to
+// an earlier epoch. Because the A/B slots deliberately preserve the
+// previous epoch's ciphertext (that is what makes crashes recoverable),
+// the rolled-back image is fully self-consistent — indistinguishable
+// from a real old disk. Catching it therefore requires the trusted
+// epoch witness: OpenStoreAt must fail closed, and the plain OpenStore
+// must at worst yield the stale-but-authentic old contents, never a
+// mix.
+func TestBlockStoreStaleEpochRollback(t *testing.T) {
+	h, s, key := newTamperStore(t)
+	oldImage, _ := h.ReadFile("dev")
+	oldEpoch := s.Epoch()
+
+	if err := s.WriteBlock(3, []byte("new generation")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trustedEpoch := s.Epoch()
+	if trustedEpoch == oldEpoch {
+		t.Fatal("flush did not advance the epoch")
+	}
+
+	// Host rolls header+table (and data) back wholesale.
+	h.WriteFile("dev", oldImage)
+	if _, err := OpenStoreAt(h, "dev", key, trustedEpoch); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("stale epoch with witness: err = %v, want ErrCorrupt", err)
+	}
+	// Without the witness the old image opens, but serves only the old
+	// authentic content.
+	s2, err := OpenStore(h, "dev", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.ReadBlock(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:3], []byte{3, 0xEE, 3}) {
+		t.Fatal("rollback served mixed-generation data")
+	}
+
+	// Partial rollback — a stale header+table over data that no longer
+	// matches it — is detectable even without a witness: the stale
+	// table's MACs bind the old versions. Corrupt both slots of block 3
+	// so neither generation's ciphertext survives.
+	h.WriteFile("dev", oldImage)
+	if err := h.TamperFile("dev", s.blockOffset(3, 0)+10); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.TamperFile("dev", s.blockOffset(3, 1)+10); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenStore(h, "dev", key)
+	if err == nil {
+		_, err = s3.ReadBlock(3)
+	}
+	errAny(t, err, ErrCorrupt, ErrBadKey)
+}
+
+// TestBlockStoreTruncated cuts the backing file at several lengths:
+// every cut must surface as ErrBadKey/ErrCorrupt at open or as
+// ErrCorrupt on the first read of a block whose slot fell off the end.
+func TestBlockStoreTruncated(t *testing.T) {
+	h, s, key := newTamperStore(t)
+	pristine, _ := h.ReadFile("dev")
+	tableEnd := headerSize + 8*macEntrySize
+	for _, cut := range []int{0, headerSize - 1, headerSize + 3, tableEnd - 1,
+		tableEnd + BlockSize, len(pristine) / 2, len(pristine) - 1} {
+		h.WriteFile("dev", pristine[:cut])
+		s2, err := OpenStore(h, "dev", key)
+		if err == nil {
+			for blk := 0; blk < 8 && err == nil; blk++ {
+				_, err = s2.ReadBlock(blk)
+			}
+		}
+		if err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", cut)
+		}
+		errAny(t, err, ErrCorrupt, ErrBadKey)
+	}
+	_ = s
+}

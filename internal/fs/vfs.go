@@ -54,6 +54,13 @@ type FileSystem interface {
 	Stat(path string) (FileInfo, error)
 }
 
+// Renamer is the optional rename capability of a FileSystem. Read-only
+// and special filesystems (devfs, procfs, the image layer) simply do not
+// implement it.
+type Renamer interface {
+	Rename(oldpath, newpath string) error
+}
+
 // VFS dispatches paths across mounted filesystems by longest prefix, as
 // the Occlum LibOS does for /, /dev and /proc.
 type VFS struct {
@@ -135,4 +142,26 @@ func (v *VFS) Stat(p string) (FileInfo, error) {
 		return FileInfo{}, err
 	}
 	return fs.Stat(rel)
+}
+
+// Rename moves oldp to newp. Both paths must resolve to the same mount
+// (no cross-filesystem moves, as rename(2)'s EXDEV), and the mount must
+// implement Renamer.
+func (v *VFS) Rename(oldp, newp string) error {
+	ofs, orel, err := v.route(oldp)
+	if err != nil {
+		return err
+	}
+	nfs, nrel, err := v.route(newp)
+	if err != nil {
+		return err
+	}
+	if ofs != nfs {
+		return fmt.Errorf("%w: %s -> %s", ErrCrossDevice, oldp, newp)
+	}
+	r, ok := ofs.(Renamer)
+	if !ok {
+		return ErrReadOnly
+	}
+	return r.Rename(orel, nrel)
 }

@@ -20,15 +20,25 @@ import (
 type Host struct {
 	mu        sync.Mutex
 	files     map[string][]byte
+	crash     map[string]*crashPlan
 	futexes   map[uint64]*futexQueue
 	listeners map[uint16]*Listener
 	shm       map[string][]byte
+}
+
+// crashPlan models a host crash during a write sequence: the next
+// `remaining` writes to the file land, every write after that is
+// silently dropped until HealWrites (the reboot).
+type crashPlan struct {
+	remaining int
+	tripped   bool
 }
 
 // New creates an empty host.
 func New() *Host {
 	return &Host{
 		files:     make(map[string][]byte),
+		crash:     make(map[string]*crashPlan),
 		futexes:   make(map[uint64]*futexQueue),
 		listeners: make(map[uint16]*Listener),
 		shm:       make(map[string][]byte),
@@ -74,12 +84,39 @@ func (h *Host) RemoveFile(name string) {
 	delete(h.files, name)
 }
 
+// CrashWrites arms crash-fault injection on a host file: the next n
+// WriteFileAt calls still land, then every later write is silently
+// dropped — the storage view of a host that loses power partway through
+// a sync sequence. HealWrites models the reboot.
+func (h *Host) CrashWrites(name string, n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crash[name] = &crashPlan{remaining: n}
+}
+
+// HealWrites disarms crash-fault injection, reporting whether any write
+// was actually dropped.
+func (h *Host) HealWrites(name string) (tripped bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.crash[name]
+	delete(h.crash, name)
+	return p != nil && p.tripped
+}
+
 // WriteFileAt overwrites the range [off, off+len(p)) of a host file,
 // growing it as needed. This is the block-device write the encrypted
 // filesystem uses.
 func (h *Host) WriteFileAt(name string, off int, p []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if plan, ok := h.crash[name]; ok {
+		if plan.remaining <= 0 {
+			plan.tripped = true
+			return
+		}
+		plan.remaining--
+	}
 	f := h.files[name]
 	if need := off + len(p); need > len(f) {
 		nf := make([]byte, need)

@@ -62,6 +62,7 @@ const (
 	SysEpCtl    = sysdispatch.SysEpCtl
 	SysEpWait   = sysdispatch.SysEpWait
 	SysShutdown = sysdispatch.SysShutdown
+	SysRename   = sysdispatch.SysRename
 )
 
 // Errno values (returned as -errno in R0).
@@ -78,6 +79,7 @@ const (
 	EACCES       = sysdispatch.EACCES
 	EFAULT       = sysdispatch.EFAULT
 	EEXIST       = sysdispatch.EEXIST
+	EXDEV        = sysdispatch.EXDEV
 	ENOTDIR      = sysdispatch.ENOTDIR
 	EISDIR       = sysdispatch.EISDIR
 	EINVAL       = sysdispatch.EINVAL

@@ -60,6 +60,15 @@ type Config struct {
 	FSKey fs.Key
 	// FSBlocks sizes a newly created filesystem image.
 	FSBlocks int
+	// BaseImage optionally names the host file holding a packed
+	// read-only image (cmd/occlum-image). When set, the root mount
+	// becomes a union: the integrity-verified image below, the writable
+	// encrypted filesystem above (copy-up on first write).
+	BaseImage string
+	// BaseImageRoot is the pinned Merkle root hash of BaseImage — the
+	// only trusted input of the image layer (in a real deployment it
+	// would be part of the enclave measurement).
+	BaseImageRoot [32]byte
 	// Stdout receives /dev/console output (nil discards).
 	Stdout io.Writer
 	// VerifierKey is the signing key the loader trusts.
@@ -243,8 +252,16 @@ func (o *Occlum) mountFilesystems() error {
 	if err != nil {
 		return err
 	}
+	root := fs.FileSystem(o.encfs)
+	if o.cfg.BaseImage != "" {
+		img, err := fs.MountImage(o.host, o.cfg.BaseImage, o.cfg.BaseImageRoot)
+		if err != nil {
+			return err
+		}
+		root = fs.NewUnionFS(o.encfs, img)
+	}
 	o.vfs = fs.NewVFS()
-	o.vfs.Mount("/", o.encfs)
+	o.vfs.Mount("/", root)
 	o.vfs.Mount("/dev", fs.NewDevFS(o.cfg.Stdout))
 	o.vfs.Mount("/proc", newProcFS(o))
 	return nil

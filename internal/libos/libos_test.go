@@ -505,3 +505,87 @@ func TestSpawnPropagatesStdout(t *testing.T) {
 		t.Fatalf("global = %q", global.String())
 	}
 }
+
+// TestRenameSyscall drives SysRename end to end from a SIP: same-dir
+// rename, cross-dir rename, overwrite of an existing target, and the
+// error paths (missing source → ENOENT, cross-mount → EXDEV).
+func TestRenameSyscall(t *testing.T) {
+	var out bytes.Buffer
+	sys, tc := bootSys(t, &out)
+	defer sys.OS.Shutdown()
+
+	if err := sys.WriteFile("/w/orig", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteFile("/w/victim", []byte("to be replaced")); err != nil {
+		t.Fatal(err)
+	}
+	sys.MkdirAll("/w2")
+
+	prog := buildProg(t, func(b *asm.Builder) {
+		b.String("orig", "/w/orig")
+		b.String("mid", "/w/renamed")
+		b.String("victim", "/w/victim")
+		b.String("far", "/w2/final")
+		b.String("missing", "/w/missing")
+		b.String("dev", "/dev/null")
+		b.Entry("_start")
+		ulib.Prologue(b)
+		// Same-dir rename must succeed (R0 == 0).
+		ulib.RenamePath(b, "orig", 7, "mid", 10)
+		b.CmpI(isa.R0, 0)
+		b.Jne("fail1")
+		// Overwrite an existing file.
+		ulib.RenamePath(b, "mid", 10, "victim", 9)
+		b.CmpI(isa.R0, 0)
+		b.Jne("fail2")
+		// Cross-dir rename.
+		ulib.RenamePath(b, "victim", 9, "far", 9)
+		b.CmpI(isa.R0, 0)
+		b.Jne("fail3")
+		// Missing source → -ENOENT.
+		ulib.RenamePath(b, "missing", 8, "mid", 10)
+		b.CmpI(isa.R0, -libos.ENOENT)
+		b.Jne("fail4")
+		// Cross-mount → -EXDEV.
+		ulib.RenamePath(b, "far", 9, "dev", 9)
+		b.CmpI(isa.R0, -libos.EXDEV)
+		b.Jne("fail5")
+		ulib.Exit(b, 0)
+		b.Label("fail1")
+		b.Nop()
+		ulib.Exit(b, 1)
+		b.Label("fail2")
+		b.Nop()
+		ulib.Exit(b, 2)
+		b.Label("fail3")
+		b.Nop()
+		ulib.Exit(b, 3)
+		b.Label("fail4")
+		b.Nop()
+		ulib.Exit(b, 4)
+		b.Label("fail5")
+		b.Nop()
+		ulib.Exit(b, 5)
+	})
+	if err := sys.Install(tc, "/bin/mv", "mv", prog); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.OS.Spawn("/bin/mv", nil, libos.SpawnOpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := p.Wait(); status != 0 {
+		t.Fatalf("status = %d", status)
+	}
+	// The moves are visible through the shared FS view.
+	if data, err := sys.ReadFile("/w2/final"); err != nil || string(data) != "payload" {
+		t.Fatalf("final = %q, %v", data, err)
+	}
+	if _, err := sys.OS.VFS().Stat("/w/orig"); err == nil {
+		t.Fatal("/w/orig survived its rename")
+	}
+	if _, err := sys.OS.VFS().Stat("/w/victim"); err == nil {
+		t.Fatal("/w/victim survived being overwritten")
+	}
+}

@@ -51,6 +51,7 @@ func newSysTable() *sysdispatch.Table {
 	t.Register(SysUnlink, pathHandler(func(p *Proc, path string) int64 {
 		return errno(p.os.vfs.Unlink(path))
 	}))
+	t.Register(SysRename, sysRename)
 	t.Register(SysReaddir, sysReaddir)
 	t.Register(SysSocket, sysdispatch.SocketHandler(func(sysdispatch.Kernel) sysdispatch.File {
 		return NewSocketFile()
@@ -96,6 +97,12 @@ func errno(err error) int64 {
 		return -EACCES
 	case errors.Is(err, fs.ErrFull):
 		return -ENOSPC
+	case errors.Is(err, fs.ErrCrossDevice):
+		return -EXDEV
+	case errors.Is(err, fs.ErrInvalid):
+		return -EINVAL
+	case errors.Is(err, fs.ErrReservedName):
+		return -EACCES
 	default:
 		return -EIO
 	}
@@ -402,6 +409,20 @@ func sysSigreturn(k sysdispatch.Kernel, _ *[5]uint64) sysdispatch.Result {
 	p.cpu.PC = p.savedPC
 	p.cpu.Regs = p.savedRegs
 	return sysdispatch.Result{NoWriteback: true}
+}
+
+// sysRename is rename(oldPath, oldLen, newPath, newLen).
+func sysRename(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	oldp, ok := sysdispatch.ReadPath(p, a[0], a[1])
+	if !ok {
+		return sysdispatch.Errno(EFAULT)
+	}
+	newp, ok := sysdispatch.ReadPath(p, a[2], a[3])
+	if !ok {
+		return sysdispatch.Errno(EFAULT)
+	}
+	return sysdispatch.Ok(errno(p.os.vfs.Rename(oldp, newp)))
 }
 
 func sysStat(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {

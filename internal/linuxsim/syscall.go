@@ -132,6 +132,20 @@ func newSysTable() *sysdispatch.Table {
 	t.Register(libos.SysFsync, func(sysdispatch.Kernel, *[5]uint64) sysdispatch.Result {
 		return sysdispatch.Ok(0) // plaintext FS: no deferred integrity state
 	})
+	t.Register(libos.SysRename, func(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+		oldp, ok := sysdispatch.ReadPath(k, a[0], a[1])
+		if !ok {
+			return sysdispatch.Errno(libos.EFAULT)
+		}
+		newp, ok := sysdispatch.ReadPath(k, a[2], a[3])
+		if !ok {
+			return sysdispatch.Errno(libos.EFAULT)
+		}
+		if err := k.(*Proc).l.renamePlain(oldp, newp); err != nil {
+			return sysdispatch.Errno(libos.ENOENT)
+		}
+		return sysdispatch.Ok(0)
+	})
 	return t
 }
 
@@ -219,6 +233,25 @@ func (p *Proc) sysFutex(op, addr, val uint64) int64 {
 		return int64(p.l.host.FutexWake(addr, int(val)))
 	}
 	return -libos.EINVAL
+}
+
+// renamePlain moves a plaintext file (the flat-namespace rename of the
+// baseline's map-backed "ext4").
+func (l *Linux) renamePlain(oldp, newp string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, ok := l.files[oldp]
+	if !ok {
+		return errNoFile
+	}
+	if oldp == newp {
+		return nil // rename to self is a legal no-op, not a delete
+	}
+	l.files[newp] = f
+	delete(l.files, oldp)
+	delete(l.binCache, oldp)
+	delete(l.binCache, newp)
+	return nil
 }
 
 // openPlain opens a plaintext file (the "ext4" of the baseline).

@@ -58,6 +58,7 @@ const (
 	SysEpCtl    = 37 // epoll_ctl(epfd, op, fd, events)
 	SysEpWait   = 38 // epoll_wait(epfd, eventsPtr, maxEvents, timeoutMs) → n
 	SysShutdown = 39 // shutdown(fd, how)
+	SysRename   = 40 // rename(oldPath, oldLen, newPath, newLen)
 
 	// SysMax bounds the dispatch table; numbers must stay below it.
 	SysMax = 64
@@ -77,6 +78,7 @@ const (
 	EACCES       = 13
 	EFAULT       = 14
 	EEXIST       = 17
+	EXDEV        = 18
 	ENOTDIR      = 20
 	EISDIR       = 21
 	EINVAL       = 22

@@ -147,6 +147,25 @@ func Dup2(b *asm.Builder, oldfd, newfd isa.Reg) {
 	Syscall(b, libos.SysDup2)
 }
 
+// RenamePath emits rename(oldSym, newSym) for two path string symbols;
+// 0 or -errno lands in R0.
+func RenamePath(b *asm.Builder, oldSym string, oldLen int64, newSym string, newLen int64) {
+	b.LeaData(isa.R1, oldSym)
+	b.MovRI(isa.R2, oldLen)
+	b.LeaData(isa.R3, newSym)
+	b.MovRI(isa.R4, newLen)
+	Syscall(b, libos.SysRename)
+}
+
+// StatPath emits stat(pathSym, bufSym) for a path symbol; the 16-byte
+// {size, isdir} result lands at bufSym, 0 or -errno in R0.
+func StatPath(b *asm.Builder, pathSym string, pathLen int64, bufSym string) {
+	b.LeaData(isa.R1, pathSym)
+	b.MovRI(isa.R2, pathLen)
+	b.LeaData(isa.R3, bufSym)
+	Syscall(b, libos.SysStat)
+}
+
 // --- Network and readiness wrappers --------------------------------------
 
 // Socket emits socket(); the fd lands in R0.

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/libos"
+	"repro/internal/ulib"
+)
+
+// FS benchmark program builders (the fsbench experiment): sequential
+// and random file I/O and an open/stat metadata storm, all running as
+// real SIPs so the measurements include the syscall spine and (for
+// image-backed paths) the union/copy-up/Merkle-verify machinery.
+
+// BuildSeqFileIO builds a sequential reader (write=false) or writer
+// (write=true) over total bytes in chunks of buf. Every transfer must
+// move the full buffer; anything short exits 1.
+func BuildSeqFileIO(path string, total, buf int, write bool) (*asm.Program, error) {
+	if total%buf != 0 {
+		return nil, fmt.Errorf("workloads: total %d not a multiple of buf %d", total, buf)
+	}
+	b := asm.NewBuilder()
+	b.String("path", path)
+	b.Zero("iobuf", buf)
+	b.Entry("_start")
+	ulib.Prologue(b)
+	flags := int64(libos.ORdOnly)
+	if write {
+		flags = libos.ORdWr | libos.OCreate | libos.OTrunc
+	}
+	ulib.OpenPath(b, "path", int64(len(path)), flags)
+	b.MovRR(isa.R7, isa.R0)
+	b.CmpI(isa.R7, 0)
+	b.Jl("fail")
+	b.MovRI(isa.R8, int64(total/buf))
+	b.Label("loop")
+	b.MovRR(isa.R1, isa.R7)
+	b.LeaData(isa.R2, "iobuf")
+	b.MovRI(isa.R3, int64(buf))
+	if write {
+		ulib.Syscall(b, libos.SysWrite)
+	} else {
+		ulib.Syscall(b, libos.SysRead)
+	}
+	b.CmpI(isa.R0, int32(buf))
+	b.Jne("fail")
+	b.SubI(isa.R8, 1)
+	b.CmpI(isa.R8, 0)
+	b.Jg("loop")
+	ulib.Close(b, isa.R7)
+	ulib.Exit(b, 0)
+	b.Label("fail")
+	b.Nop()
+	ulib.Exit(b, 1)
+	return b.Finish()
+}
+
+// BuildRandFileIO builds a random-access reader (write=false) or writer
+// over a file of chunks×buf bytes: iters operations at LCG-derived
+// chunk offsets via lseek. chunks must be a power of two.
+func BuildRandFileIO(path string, chunks, buf, iters int, write bool) (*asm.Program, error) {
+	if chunks&(chunks-1) != 0 || chunks == 0 {
+		return nil, fmt.Errorf("workloads: chunks %d not a power of two", chunks)
+	}
+	b := asm.NewBuilder()
+	b.String("path", path)
+	b.Zero("iobuf", buf)
+	b.Entry("_start")
+	ulib.Prologue(b)
+	flags := int64(libos.ORdOnly)
+	if write {
+		flags = libos.ORdWr
+	}
+	ulib.OpenPath(b, "path", int64(len(path)), flags)
+	b.MovRR(isa.R7, isa.R0)
+	b.CmpI(isa.R7, 0)
+	b.Jl("fail")
+	b.MovRI(isa.R8, int64(iters))
+	b.MovRI(isa.R9, 88172645463325252) // LCG state
+	b.Label("loop")
+	// r9 = r9*1103515245 + 12345; chunk = (r9 >> 8) & (chunks-1)
+	b.MulI(isa.R9, 1103515245)
+	b.AddI(isa.R9, 12345)
+	b.MovRR(isa.R6, isa.R9)
+	b.ShrI(isa.R6, 8)
+	b.AndI(isa.R6, int32(chunks-1))
+	b.MulI(isa.R6, int32(buf))
+	// lseek(fd, off, SET)
+	b.MovRR(isa.R1, isa.R7)
+	b.MovRR(isa.R2, isa.R6)
+	b.MovRI(isa.R3, libos.SeekSet)
+	ulib.Syscall(b, libos.SysLseek)
+	// read/write(fd, iobuf, buf)
+	b.MovRR(isa.R1, isa.R7)
+	b.LeaData(isa.R2, "iobuf")
+	b.MovRI(isa.R3, int64(buf))
+	if write {
+		ulib.Syscall(b, libos.SysWrite)
+	} else {
+		ulib.Syscall(b, libos.SysRead)
+	}
+	b.CmpI(isa.R0, int32(buf))
+	b.Jne("fail")
+	b.SubI(isa.R8, 1)
+	b.CmpI(isa.R8, 0)
+	b.Jg("loop")
+	ulib.Close(b, isa.R7)
+	ulib.Exit(b, 0)
+	b.Label("fail")
+	b.Nop()
+	ulib.Exit(b, 1)
+	return b.Finish()
+}
+
+// BuildMetaStorm builds the open/stat metadata storm: iters rounds, each
+// opening+closing and statting every path. Any failure exits 1. Total
+// metadata ops = iters × len(paths) × 2.
+func BuildMetaStorm(paths []string, iters int) (*asm.Program, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("workloads: no paths")
+	}
+	b := asm.NewBuilder()
+	for i, p := range paths {
+		b.String(fmt.Sprintf("p%d", i), p)
+	}
+	b.Zero("statbuf", 16)
+	b.Entry("_start")
+	ulib.Prologue(b)
+	b.MovRI(isa.R9, int64(iters))
+	b.Label("round")
+	for i, p := range paths {
+		sym := fmt.Sprintf("p%d", i)
+		ulib.OpenPath(b, sym, int64(len(p)), libos.ORdOnly)
+		b.MovRR(isa.R7, isa.R0)
+		b.CmpI(isa.R7, 0)
+		b.Jl("fail")
+		ulib.Close(b, isa.R7)
+		ulib.StatPath(b, sym, int64(len(p)), "statbuf")
+		b.CmpI(isa.R0, 0)
+		b.Jne("fail")
+	}
+	b.SubI(isa.R9, 1)
+	b.CmpI(isa.R9, 0)
+	b.Jg("round")
+	ulib.Exit(b, 0)
+	b.Label("fail")
+	b.Nop()
+	ulib.Exit(b, 1)
+	return b.Finish()
+}

@@ -24,6 +24,11 @@ type KernelSpec struct {
 	// keeps the default of twice the domain count. SIP concurrency is
 	// bounded by Domains either way — the M:N scheduler multiplexes.
 	Harts int
+	// BaseImageBlob, when non-empty, is a packed occlum-image blob the
+	// Occlum kernel mounts read-only under the writable layer (union
+	// root), pinned to BaseImageRoot.
+	BaseImageBlob []byte
+	BaseImageRoot [32]byte
 	// Stdout receives console output.
 	Stdout io.Writer
 }
@@ -50,11 +55,17 @@ func NewOcclumKernel(spec KernelSpec) (*OcclumKernel, error) {
 		lc.MaxThreads = spec.Harts
 	}
 	lc.VerifierKey = tc.Key()
-	sys, err := core.BootSystem(core.SystemConfig{
+	cfg := core.SystemConfig{
 		LibOS:    lc,
 		EPCBytes: 4 << 30,
 		Stdout:   spec.Stdout,
-	})
+	}
+	if len(spec.BaseImageBlob) > 0 {
+		cfg.LibOS.BaseImage = "base.img"
+		cfg.LibOS.BaseImageRoot = spec.BaseImageRoot
+		cfg.HostFiles = map[string][]byte{"base.img": spec.BaseImageBlob}
+	}
+	sys, err := core.BootSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
