@@ -9,7 +9,10 @@
 // fig6a fig6b fig6c fig6d fig7a fig7b ripe table1 c10k fsbench. With -vmstats,
 // each experiment also reports the OVM translation-cache counters
 // (blocks decoded, hits, misses, flushes, chained transitions,
-// threaded-dispatch instructions) aggregated over every simulated hart.
+// threaded-dispatch instructions, superblocks formed, trace
+// hits/exits, instructions retired inside traces, return-address-stack
+// hits, and indirect-jump inline-cache hits/misses) aggregated over
+// every simulated hart, with trace hits distinguished from block hits.
 // With -schedstats, each experiment reports the M:N scheduler counters
 // (parks, unparks, steals, preemptions, yields and hart utilization)
 // aggregated over every Occlum hart pool. With -netstats, each

@@ -19,9 +19,13 @@ var Experiments = []string{
 }
 
 // VMStats, when true, makes Run report the OVM translation-cache
-// counters (blocks decoded, hits, misses, flushes) accumulated across
-// every simulated hart during each experiment. Enabled by
-// occlum-bench -vmstats.
+// counters (blocks decoded, hits, misses, flushes, chained
+// transitions, threaded-dispatch instructions, superblocks formed,
+// trace hits/exits and instructions retired inside traces, RAS hits,
+// and indirect-jump inline-cache hits/misses) accumulated across
+// every simulated hart during each experiment. Trace hits are counted
+// separately from block hits, so the split between the two dispatch
+// tiers is visible per experiment. Enabled by occlum-bench -vmstats.
 var VMStats bool
 
 // SchedStats, when true, makes Run report the M:N scheduler counters

@@ -1,0 +1,72 @@
+package isa
+
+import "testing"
+
+// TestFlagMetadata pins the flag-liveness contract (flags.go) to the
+// opcode space: the writer and reader sets are exactly the documented
+// ones, and CanStop covers every op whose interpreter case can raise or
+// stop (cross-checked structurally against the other op metadata).
+func TestFlagMetadata(t *testing.T) {
+	writers := map[Op]bool{OpCmpRR: true, OpTestRR: true, OpCmpRI: true}
+	for op := Op(1); op < opMax; op++ {
+		if got, want := op.WritesFlags(), writers[op]; got != want {
+			t.Errorf("%v.WritesFlags() = %v, want %v", op, got, want)
+		}
+	}
+
+	for op := Op(1); op < opMax; op++ {
+		// The readers are exactly the flag-based conditional branches:
+		// every cond branch except the register-based loop.
+		want := op.IsCondBranch() && op != OpLoop
+		if got := op.ReadsFlags(); got != want {
+			t.Errorf("%v.ReadsFlags() = %v, want %v", op, got, want)
+		}
+		// A reader's condition must be non-trivial under EvalCond (and a
+		// non-reader must be constant-false over every flag triple).
+		varies := false
+		for mask := 0; mask < 8; mask++ {
+			if op.EvalCond(mask&1 != 0, mask&2 != 0, mask&4 != 0) {
+				varies = true
+			}
+		}
+		if varies != op.ReadsFlags() {
+			t.Errorf("%v: EvalCond varies=%v but ReadsFlags=%v", op, varies, op.ReadsFlags())
+		}
+	}
+
+	// CanStop: structural cross-check. Memory users (explicit, scatter,
+	// or implicit stack) can #PF; div/mod can #DE; bound checks can #BR;
+	// the stop/undefined instructions end the hart. Everything else must
+	// report false — the dead-flag optimizer elides flag stores across
+	// those ops.
+	for op := Op(1); op < opMax; op++ {
+		want := false
+		if k, _ := op.MemUse(); k == MemLoad || k == MemStore || k == MemScatter {
+			want = true
+		}
+		if _, ok := op.HasImplicitStackAccess(); ok {
+			want = true
+		}
+		switch op {
+		case OpDivRR, OpModRR, OpBndCL, OpBndCU, OpBndCLM, OpBndCUM,
+			OpHalt, OpTrap, OpEExit, OpEAccept, OpEModPE:
+			want = true
+		}
+		if got := op.CanStop(); got != want {
+			t.Errorf("%v.CanStop() = %v, want %v", op, got, want)
+		}
+	}
+
+	// Spot-check the ops the optimizer leans on hardest.
+	for _, op := range []Op{OpMovRI, OpMovRR, OpAddRR, OpAddRI, OpCmpRI, OpCmpRR,
+		OpTestRR, OpNeg, OpNot, OpLea, OpNop, OpCFILabel, OpJmp, OpJle, OpLoop} {
+		if op.CanStop() {
+			t.Errorf("%v.CanStop() = true, want false", op)
+		}
+	}
+	for _, op := range []Op{OpLoad, OpStore, OpPush, OpPop, OpCall, OpRet, OpDivRR, OpBndCL, OpTrap} {
+		if !op.CanStop() {
+			t.Errorf("%v.CanStop() = false, want true", op)
+		}
+	}
+}

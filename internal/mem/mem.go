@@ -206,6 +206,33 @@ func (m *Paged) GenerationOf(addr uint64, n int) uint64 {
 	return g
 }
 
+// Span is a byte range of translated code together with the generation
+// snapshot under which its bytes were decoded. Multi-block translation
+// units (the vm's superblocks) record one Span per component block and
+// revalidate them all with SpansCurrent — the same write-then-stamp
+// protocol as single blocks, span by span.
+type Span struct {
+	Addr uint64
+	N    int
+	Gen  uint64
+}
+
+// SpansCurrent reports whether every span is still current: no page a
+// span overlaps carries a stamp above that span's Gen snapshot. Under
+// the write-then-stamp protocol this means no mutation the spans' decode
+// could have missed has touched them, so a translation unit built from
+// them all may keep executing. Like GenerationOf, a concurrent in-flight
+// stamp may be transiently missed; callers memoizing a true result
+// against Generation() must sample Quiescent() before calling.
+func (m *Paged) SpansCurrent(spans []Span) bool {
+	for i := range spans {
+		if m.GenerationOf(spans[i].Addr, spans[i].N) > spans[i].Gen {
+			return false
+		}
+	}
+	return true
+}
+
 // stamp records one mutation touching pages [first, last]. The
 // stamping window opens before the counter bump and closes after the
 // last page stamp lands, so Quiescent() can tell validators when no

@@ -369,3 +369,48 @@ func TestLoadStoreQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSpansCurrent(t *testing.T) {
+	m := newTest(t) // pages 0-3 RW (data), pages 8-9 RX (code)
+	code := m.Base() + 8*PageSize
+	data := m.Base()
+
+	spans := []Span{
+		{Addr: code, N: 20, Gen: m.GenerationOf(code, 20)},
+		{Addr: code + PageSize, N: 40, Gen: m.GenerationOf(code+PageSize, 40)},
+	}
+	if !m.SpansCurrent(spans) {
+		t.Fatal("fresh spans not current")
+	}
+
+	// Mutations outside every span leave them current.
+	if err := m.WriteDirect(data, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	m.BumpGeneration()
+	if !m.SpansCurrent(spans) {
+		t.Fatal("unrelated mutation invalidated spans")
+	}
+
+	// A mutation under ANY span invalidates the whole set — the unit of
+	// validity for a multi-block translation.
+	if err := m.WriteDirect(code+PageSize, []byte{0x90}); err != nil {
+		t.Fatal(err)
+	}
+	if m.SpansCurrent(spans) {
+		t.Fatal("stale span reported current")
+	}
+	// Re-snapshotting the stale span restores currency.
+	spans[1].Gen = m.GenerationOf(spans[1].Addr, spans[1].N)
+	if !m.SpansCurrent(spans) {
+		t.Fatal("re-snapshotted spans not current")
+	}
+
+	// A remap (even permission-identical) under a span invalidates it.
+	if err := m.Map(code, PageSize, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if m.SpansCurrent(spans) {
+		t.Fatal("remapped span reported current")
+	}
+}

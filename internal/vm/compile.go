@@ -626,11 +626,15 @@ func init() {
 	}
 	compilers[isa.OpCall] = func(in *isa.Inst, pc, next uint64) handler {
 		target := next + uint64(in.Imm)
+		// Each compiled call site carries its own RAS cache slot for the
+		// return-target translation (trace.go).
+		site := &retSite{}
 		return func(c *CPU) bool {
 			if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
 				return c.pageFaultPC(f, pc)
 			}
 			c.Regs[isa.SP] -= 8
+			c.rasPush(next, site)
 			c.PC = target
 			return false
 		}
@@ -641,11 +645,13 @@ func init() {
 	}
 	compilers[isa.OpCallR] = func(in *isa.Inst, pc, next uint64) handler {
 		r1 := in.R1 & 15
+		site := &retSite{}
 		return func(c *CPU) bool {
 			if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
 				return c.pageFaultPC(f, pc)
 			}
 			c.Regs[isa.SP] -= 8
+			c.rasPush(next, site)
 			c.PC = c.Regs[r1]
 			return false
 		}
@@ -653,6 +659,7 @@ func init() {
 	jmpCallM := func(call bool) compilerFunc {
 		return func(in *isa.Inst, pc, next uint64) handler {
 			ea := compileEA(in.Mem, next)
+			site := &retSite{}
 			return func(c *CPU) bool {
 				target, f := c.Mem.Load(ea(c), 8)
 				if f != nil {
@@ -663,6 +670,7 @@ func init() {
 						return c.pageFaultPC(f, pc)
 					}
 					c.Regs[isa.SP] -= 8
+					c.rasPush(next, site)
 				}
 				c.PC = target
 				return false

@@ -8,9 +8,13 @@ package vm
 // budgets (exercising the budget-clipped, non-fused dispatch path).
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/mpx"
@@ -84,6 +88,14 @@ func diffProgram(t *testing.T, seed int64) func() *CPU {
 // full data region).
 func diffCompare(t *testing.T, seed int64, fast, slow *CPU) {
 	t.Helper()
+	diffCompareAt(t, seed, fast, slow, diffDataBase, diffDataSize)
+}
+
+// diffCompareAt is diffCompare over an arbitrary data region, for
+// programs not laid out at the diffBase constants (the asm-built trace
+// battery below).
+func diffCompareAt(t *testing.T, seed int64, fast, slow *CPU, dataBase uint64, dataSize int) {
+	t.Helper()
 	if fast.Regs != slow.Regs || fast.PC != slow.PC || fast.Cycles != slow.Cycles {
 		t.Fatalf("seed %d: state differs:\nrun:  pc=%#x cycles=%d regs=%v\nstep: pc=%#x cycles=%d regs=%v",
 			seed, fast.PC, fast.Cycles, fast.Regs, slow.PC, slow.Cycles, slow.Regs)
@@ -94,8 +106,8 @@ func diffCompare(t *testing.T, seed int64, fast, slow *CPU) {
 	if fast.Bnd != slow.Bnd {
 		t.Fatalf("seed %d: bound registers differ: %v vs %v", seed, fast.Bnd, slow.Bnd)
 	}
-	fd, _ := fast.Mem.ReadDirect(diffDataBase, diffDataSize)
-	sd, _ := slow.Mem.ReadDirect(diffDataBase, diffDataSize)
+	fd, _ := fast.Mem.ReadDirect(dataBase, dataSize)
+	sd, _ := slow.Mem.ReadDirect(dataBase, dataSize)
 	for i := range fd {
 		if fd[i] != sd[i] {
 			t.Fatalf("seed %d: data memory differs at +%#x: %#x vs %#x", seed, i, fd[i], sd[i])
@@ -209,4 +221,608 @@ func TestRandomizedRunToCompletion(t *testing.T) {
 		diffStops(t, seed, stFast, stSlow)
 		diffCompare(t, seed, fast, slow)
 	}
+}
+
+// ---------------------------------------------------------------------
+// Trace-aware battery: structured random programs shaped so the trace
+// tier actually engages (hot loops well past traceHotThreshold, jump
+// tables behind indirect jumps, call/ret towers deeper than the RAS,
+// self-modifying stores into promoted traces), all held bit-exact —
+// registers, flags, memory, and cycle counts — against the Step
+// reference, under both budget slices and free runs, and across
+// mid-run preemption.
+// ---------------------------------------------------------------------
+
+// diffImage builds a random program with gen and returns a constructor
+// for identically-initialized CPUs plus the data region to compare.
+// rwx remaps the code writable (the loader-pool shape the SMC programs
+// need).
+func diffImage(t *testing.T, seed int64, rwx bool, gen func(r *rand.Rand, b *asm.Builder)) (mk func() *CPU, dataBase uint64, dataSize int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	img := build(t, func(b *asm.Builder) { gen(r, b) })
+	const base, stack = 0x100000, 4096
+	ds := (img.MinDataSize() + stack + mem.PageSize - 1) / mem.PageSize * mem.PageSize
+	mk = func() *CPU {
+		c := loadImage(t, img, stack)
+		if rwx {
+			if err := c.Mem.Map(c.Mem.Base(), img.CodeSpan(), mem.PermRWX); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c
+	}
+	return mk, base + img.DataStart(), int(ds)
+}
+
+const diffTraceMaxCycles = 200000
+
+// diffDriveSliced drives fast under random budget slices and the Step
+// reference to every slice boundary, holding the boundary states equal
+// along the way (a final-state-only comparison would let compensating
+// mid-run errors cancel), then compares stops and the full state.
+func diffDriveSliced(t *testing.T, seed int64, mk func() *CPU, dataBase uint64, dataSize int) {
+	t.Helper()
+	fast, slow := mk(), mk()
+	r := rand.New(rand.NewSource(^seed))
+	var stFast, stSlow Stop
+	done, sdone := false, false
+	for !done && fast.Cycles < diffTraceMaxCycles {
+		st := fast.Run(uint64(1 + r.Intn(197)))
+		if st.Reason != StopCycles {
+			stFast, done = st, true
+		}
+		for !sdone && slow.Cycles < fast.Cycles {
+			if st, d := slow.Step(); d {
+				stSlow, sdone = st, true
+			}
+		}
+		if !done && !sdone {
+			if fast.Cycles != slow.Cycles || fast.Regs != slow.Regs || fast.PC != slow.PC ||
+				fast.ZF != slow.ZF || fast.LTS != slow.LTS || fast.LTU != slow.LTU {
+				t.Fatalf("seed %d: boundary state diverged at cycle %d (step at %d)",
+					seed, fast.Cycles, slow.Cycles)
+			}
+		}
+	}
+	if !done {
+		t.Fatalf("seed %d: program exceeded %d cycles", seed, diffTraceMaxCycles)
+	}
+	if !sdone {
+		// The fast stop did not retire an instruction: the very next
+		// Step must raise the same stop.
+		st, d := slow.Step()
+		if !d {
+			t.Fatalf("seed %d: Run stopped (%v) but Step continues", seed, stFast)
+		}
+		stSlow = st
+	}
+	diffStops(t, seed, stFast, stSlow)
+	diffCompareAt(t, seed, fast, slow, dataBase, dataSize)
+}
+
+// diffDriveFull drives fast with no budget (the fused runNoBudget loop,
+// where traces chain freely) against a bounded Step loop.
+func diffDriveFull(t *testing.T, seed int64, mk func() *CPU, dataBase uint64, dataSize int) {
+	t.Helper()
+	fast, slow := mk(), mk()
+	stFast := fast.Run(0)
+	var stSlow Stop
+	sdone := false
+	for !sdone && slow.Cycles <= diffTraceMaxCycles {
+		if st, d := slow.Step(); d {
+			stSlow, sdone = st, true
+		}
+	}
+	if !sdone {
+		t.Fatalf("seed %d: Run(0) stopped (%v) but Step exceeded %d cycles", seed, stFast, diffTraceMaxCycles)
+	}
+	diffStops(t, seed, stFast, stSlow)
+	diffCompareAt(t, seed, fast, slow, dataBase, dataSize)
+}
+
+// traceProgram is the workhorse generator: a hot loop (trip count well
+// above traceHotThreshold) whose body mixes straight-line ALU work,
+// data-dependent forward branches (side exits in both directions),
+// bounded memory traffic, and calls into a small helper tower.
+// Construction guarantees termination: body registers never include
+// the loop counter, intra-body branches only go forward, and helper i
+// calls only helper i+1.
+func traceProgram(r *rand.Rand, b *asm.Builder) {
+	bodyRegs := [...]isa.Reg{isa.R0, isa.R2, isa.R3, isa.R4, isa.R5}
+	reg := func() isa.Reg { return bodyRegs[r.Intn(len(bodyRegs))] }
+	rr := []isa.Op{isa.OpAddRR, isa.OpSubRR, isa.OpXorRR, isa.OpAndRR, isa.OpOrRR, isa.OpMulRR}
+	alu := func() {
+		switch r.Intn(8) {
+		case 0:
+			b.MovRI(reg(), int64(r.Uint32()))
+		case 1:
+			b.Alu(rr[r.Intn(len(rr))], reg(), reg())
+		case 2:
+			b.AddI(reg(), int32(r.Intn(1<<12)))
+		case 3:
+			b.SubI(reg(), int32(r.Intn(1<<12)))
+		case 4:
+			b.XorI(reg(), int32(r.Intn(1<<16)))
+		case 5:
+			b.ShlI(reg(), int32(r.Intn(8)))
+		case 6:
+			b.ShrI(reg(), int32(r.Intn(8)))
+		default:
+			b.MovRR(reg(), reg())
+		}
+	}
+	memOp := func() {
+		off := int32(8 * r.Intn(63))
+		if r.Intn(2) == 0 {
+			b.Store(isa.Mem(isa.R9, off), reg())
+		} else {
+			b.Load(reg(), isa.Mem(isa.R9, off))
+		}
+	}
+	conds := []isa.Op{isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge, isa.OpJb, isa.OpJae}
+
+	nhelp := r.Intn(3)
+	trips := 80 + r.Intn(140)
+	loopStyle := r.Intn(2) // cmp+jl counter vs the register loop op
+
+	b.Entry("_start")
+	for _, rg := range bodyRegs {
+		b.MovRI(rg, int64(r.Uint32()))
+	}
+	b.LeaData(isa.R9, "arr")
+	if loopStyle == 0 {
+		b.MovRI(isa.R8, 0)
+	} else {
+		b.MovRI(isa.R1, int64(trips))
+	}
+	b.Label("loop")
+	nseg := 2 + r.Intn(3)
+	for s := 0; s < nseg; s++ {
+		b.Label(fmt.Sprintf("seg%d", s))
+		for k := 1 + r.Intn(4); k > 0; k-- {
+			switch r.Intn(5) {
+			case 0:
+				memOp()
+			case 1:
+				if nhelp > 0 {
+					b.Call(fmt.Sprintf("h%d", r.Intn(nhelp)))
+				} else {
+					alu()
+				}
+			default:
+				alu()
+			}
+		}
+		if s+1 < nseg && r.Intn(2) == 0 {
+			if r.Intn(2) == 0 {
+				b.CmpI(reg(), int32(r.Intn(1<<12)))
+			} else {
+				b.Cmp(reg(), reg())
+			}
+			b.Jcc(conds[r.Intn(len(conds))], fmt.Sprintf("seg%d", s+1+r.Intn(nseg-s-1)))
+		}
+	}
+	if loopStyle == 0 {
+		b.AddI(isa.R8, 1)
+		b.CmpI(isa.R8, int32(trips))
+		b.Jl("loop")
+	} else {
+		b.Jcc(isa.OpLoop, "loop")
+	}
+	b.Trap()
+	for h := 0; h < nhelp; h++ {
+		b.Func(fmt.Sprintf("h%d", h))
+		for k := 1 + r.Intn(4); k > 0; k-- {
+			alu()
+		}
+		if h+1 < nhelp && r.Intn(2) == 0 {
+			b.Call(fmt.Sprintf("h%d", h+1))
+		}
+		b.Ret()
+	}
+	b.Zero("arr", 512)
+}
+
+func TestTraceDifferentialHotLoops(t *testing.T) {
+	const numSeeds = 50
+	for seed := int64(0); seed < numSeeds; seed++ {
+		mk, db, ds := diffImage(t, seed, false, traceProgram)
+		diffDriveSliced(t, seed, mk, db, ds)
+		diffDriveFull(t, seed, mk, db, ds)
+	}
+}
+
+// jumpTableProgram dispatches a hot loop through a jump table built at
+// runtime (the getpc idiom), exercising the indirect-exit inline cache:
+// a single target stays monomorphic (hits), alternating targets thrash
+// it (misses) — both must be invisible architecturally.
+func jumpTableProgram(r *rand.Rand, b *asm.Builder) {
+	ntargets := 1 << r.Intn(3) // 1, 2, or 4
+	trips := 80 + r.Intn(140)
+	b.Entry("_start")
+	b.LeaData(isa.R9, "table")
+	for i := 0; i < ntargets; i++ {
+		ti, si := fmt.Sprintf("t%d", i), fmt.Sprintf("s%d", i)
+		b.Call("getpc")    // r6 = address of the addi below
+		b.AddI(isa.R6, 11) // skip the addi (6 bytes) and the jmp (5): r6 = ti
+		b.Jmp(si)
+		b.Label(ti)
+		for k := 1 + r.Intn(3); k > 0; k-- {
+			b.AddI([]isa.Reg{isa.R2, isa.R3, isa.R4, isa.R5}[r.Intn(4)], int32(1+r.Intn(100)))
+		}
+		b.Jmp("back")
+		b.Label(si)
+		b.Store(isa.Mem(isa.R9, int32(8*i)), isa.R6)
+	}
+	b.MovRI(isa.R8, 0)
+	b.Label("loop")
+	b.MovRR(isa.R7, isa.R8)
+	b.AndI(isa.R7, int32(ntargets-1))
+	b.ShlI(isa.R7, 3)
+	b.Add(isa.R7, isa.R9)
+	b.Load(isa.R7, isa.Mem(isa.R7, 0))
+	b.JmpR(isa.R7)
+	b.Label("back")
+	b.AddI(isa.R8, 1)
+	b.CmpI(isa.R8, int32(trips))
+	b.Jl("loop")
+	b.Trap()
+	b.Func("getpc")
+	b.Load(isa.R6, isa.Mem(isa.SP, 0))
+	b.Ret()
+	b.Zero("table", 8*4)
+}
+
+func TestTraceDifferentialJumpTables(t *testing.T) {
+	const numSeeds = 30
+	for seed := int64(0); seed < numSeeds; seed++ {
+		mk, db, ds := diffImage(t, seed, false, jumpTableProgram)
+		diffDriveSliced(t, seed, mk, db, ds)
+		diffDriveFull(t, seed, mk, db, ds)
+	}
+}
+
+// callTowerProgram recurses deeper than the return-address stack from
+// inside a hot loop: the RAS wraps every descent, so ret transitions
+// mix hits, cold misses, and overwritten entries.
+func callTowerProgram(r *rand.Rand, b *asm.Builder) {
+	depth := rasSize + 8 + r.Intn(60)
+	trips := 70 + r.Intn(40)
+	b.Entry("_start")
+	b.MovRI(isa.R0, 0)
+	b.MovRI(isa.R8, 0)
+	b.Label("loop")
+	b.MovRI(isa.R7, int64(depth))
+	b.Call("f")
+	b.AddI(isa.R8, 1)
+	b.CmpI(isa.R8, int32(trips))
+	b.Jl("loop")
+	b.Trap()
+	b.Func("f")
+	b.CmpI(isa.R7, 0)
+	b.Je("out")
+	b.SubI(isa.R7, 1)
+	b.AddI(isa.R0, int32(1+r.Intn(16)))
+	b.Call("f")
+	b.AddI(isa.R0, int32(1+r.Intn(16))) // unwind-side work
+	b.Label("out")
+	b.Ret()
+}
+
+func TestTraceDifferentialCallTowers(t *testing.T) {
+	const numSeeds = 20
+	for seed := int64(0); seed < numSeeds; seed++ {
+		mk, db, ds := diffImage(t, seed, false, callTowerProgram)
+		diffDriveSliced(t, seed, mk, db, ds)
+		diffDriveFull(t, seed, mk, db, ds)
+	}
+}
+
+// retMispredictProgram hijacks every fourth return by overwriting the
+// return address on the stack (longjmp-shaped control flow): the RAS
+// prediction and any in-trace ret guard must side-exit to where the
+// return really went, with SP and flags exactly architectural.
+func retMispredictProgram(r *rand.Rand, b *asm.Builder) {
+	trips := 100 + r.Intn(100)
+	b.Entry("_start")
+	b.Call("getpc")
+	b.AddI(isa.R6, 11) // r6 = "alt", the hijacked return target
+	b.Jmp("begin")
+	b.AddI(isa.R2, 7) // alt
+	b.Jmp("cont")
+	b.Label("begin")
+	b.MovRI(isa.R8, 0)
+	b.Label("loop")
+	b.Call("g")
+	b.AddI(isa.R3, 1) // architectural return site
+	b.Label("cont")
+	b.AddI(isa.R8, 1)
+	b.CmpI(isa.R8, int32(trips))
+	b.Jl("loop")
+	b.Trap()
+	b.Func("g")
+	b.MovRR(isa.R7, isa.R8)
+	b.AndI(isa.R7, 3)
+	b.CmpI(isa.R7, 0)
+	b.Jne("gout")
+	b.Store(isa.Mem(isa.SP, 0), isa.R6) // redirect this return to alt
+	b.Label("gout")
+	b.AddI(isa.R4, 1)
+	b.Ret()
+	b.Func("getpc")
+	b.Load(isa.R6, isa.Mem(isa.SP, 0))
+	b.Ret()
+}
+
+func TestTraceDifferentialRetMispredict(t *testing.T) {
+	const numSeeds = 20
+	for seed := int64(0); seed < numSeeds; seed++ {
+		mk, db, ds := diffImage(t, seed, false, retMispredictProgram)
+		diffDriveSliced(t, seed, mk, db, ds)
+		diffDriveFull(t, seed, mk, db, ds)
+	}
+}
+
+// smcCalleeProgram stores into code under a promoted trace: a hot loop
+// (which promotes — its own pages are never written) patches the
+// immediate of a function on a different code page every iteration and
+// calls it register-indirectly. Both tiers observe the patch at the
+// callee's next entry, so the run stays bit-exact against Step while
+// the invalidation machinery (page stamps, sever, retranslate) grinds
+// underneath.
+func smcCalleeProgram(r *rand.Rand, b *asm.Builder) {
+	trips := 150 + r.Intn(100)
+	b.Entry("_start")
+	b.Jmp("computef")
+	b.Label("main")
+	b.MovRI(isa.R8, 0)
+	b.MovRI(isa.R4, 0)
+	b.Label("loop")
+	b.MovRR(isa.R3, isa.R8)
+	b.AndI(isa.R3, 0xff)
+	b.StoreB(isa.Mem(isa.R6, 2), isa.R3) // patch f's movri imm low byte
+	b.MovRR(isa.R7, isa.R6)
+	b.CallR(isa.R7)
+	b.Add(isa.R4, isa.R0)
+	b.AddI(isa.R8, 1)
+	b.CmpI(isa.R8, int32(trips))
+	b.Jl("loop")
+	b.Trap()
+	// Pad the patched function onto its own page so the patch stores
+	// never stamp the hot loop's page (which must stay promoted).
+	for i := 0; i < 4200; i++ {
+		b.Nop()
+	}
+	b.Label("computef")
+	b.Call("getpc")
+	b.AddI(isa.R6, 11) // r6 = "f"
+	b.Jmp("main")
+	b.Func("f")
+	b.MovRI(isa.R0, 1)
+	b.Ret()
+	b.Func("getpc")
+	b.Load(isa.R6, isa.Mem(isa.SP, 0))
+	b.Ret()
+}
+
+func TestTraceDifferentialSMCCallee(t *testing.T) {
+	const numSeeds = 8
+	for seed := int64(0); seed < numSeeds; seed++ {
+		mk, db, ds := diffImage(t, seed, true, smcCalleeProgram)
+		diffDriveSliced(t, seed, mk, db, ds)
+		diffDriveFull(t, seed, mk, db, ds)
+	}
+	// The program must actually have exercised the trace tier and its
+	// invalidation path, or the battery proves nothing.
+	if !TracesEnabled {
+		return
+	}
+	mk, _, _ := diffImage(t, 0, true, smcCalleeProgram)
+	c := mk()
+	if st := c.Run(0); st.Reason != StopTrap {
+		t.Fatalf("stop = %v", st)
+	}
+	if s := c.CacheStats(); s.Traces == 0 || s.Flushes == 0 {
+		t.Fatalf("stats = %v: want promoted traces and SMC flushes", s)
+	}
+}
+
+// TestTraceDifferentialHostPatch patches the body of a promoted trace
+// through the trusted WriteDirect interface at a run boundary — both
+// memories identically — and requires the resumed runs to stay
+// bit-exact: the fast CPU must sever the stale superblock, never
+// executing patched-over code.
+func TestTraceDifferentialHostPatch(t *testing.T) {
+	gen := func(r *rand.Rand, b *asm.Builder) {
+		b.Entry("_start")
+		b.Call("getpc")
+		b.AddI(isa.R6, 11) // r6 = "loop"
+		b.Jmp("loop")
+		b.Label("loop")
+		b.MovRI(isa.R3, 5) // imm low byte at r6+2: the patch site
+		b.Add(isa.R0, isa.R3)
+		b.AddI(isa.R8, 1)
+		b.CmpI(isa.R8, 300)
+		b.Jl("loop")
+		b.Trap()
+		b.Func("getpc")
+		b.Load(isa.R6, isa.Mem(isa.SP, 0))
+		b.Ret()
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		mk, db, ds := diffImage(t, seed, false, gen)
+		fast, slow := mk(), mk()
+		r := rand.New(rand.NewSource(seed))
+		patchAt := uint64(800 + r.Intn(600)) // after promotion at threshold 64
+		patched := false
+		var stFast, stSlow Stop
+		done, sdone := false, false
+		for !done && fast.Cycles < diffTraceMaxCycles {
+			st := fast.Run(uint64(1 + r.Intn(97)))
+			if st.Reason != StopCycles {
+				stFast, done = st, true
+			}
+			for !sdone && slow.Cycles < fast.Cycles {
+				if st, d := slow.Step(); d {
+					stSlow, sdone = st, true
+				}
+			}
+			if !patched && fast.Cycles >= patchAt && !done && !sdone {
+				// Both CPUs are parked at the same boundary: rewrite the
+				// movri immediate in both memories.
+				if fast.Regs != slow.Regs {
+					t.Fatalf("seed %d: boundary diverged before patch", seed)
+				}
+				site := fast.Regs[isa.R6] + 2
+				for _, c := range []*CPU{fast, slow} {
+					if err := c.Mem.WriteDirect(site, []byte{9}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				patched = true
+			}
+		}
+		if !done {
+			t.Fatalf("seed %d: program exceeded %d cycles", seed, diffTraceMaxCycles)
+		}
+		if !sdone {
+			st, d := slow.Step()
+			if !d {
+				t.Fatalf("seed %d: Run stopped (%v) but Step continues", seed, stFast)
+			}
+			stSlow = st
+		}
+		if !patched {
+			t.Fatalf("seed %d: patch point %d never reached", seed, patchAt)
+		}
+		diffStops(t, seed, stFast, stSlow)
+		diffCompareAt(t, seed, fast, slow, db, ds)
+		if TracesEnabled {
+			if s := fast.CacheStats(); s.Traces == 0 {
+				t.Fatalf("seed %d: stats = %v: loop never promoted", seed, s)
+			}
+		}
+	}
+}
+
+// TestTraceDifferentialPreempt latches a preemption request against a
+// warmed-up trace loop and requires delivery at the next trace exit —
+// promptly, with the stop state bit-exact against a Step reference
+// driven to the same retired-instruction count — then resumes both to
+// completion.
+func TestTraceDifferentialPreempt(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		mk, db, ds := diffImage(t, seed, false, traceProgram)
+		fast, slow := mk(), mk()
+		syncSlow := func() (Stop, bool) {
+			for slow.Cycles < fast.Cycles {
+				if st, d := slow.Step(); d {
+					return st, true
+				}
+			}
+			return Stop{}, false
+		}
+		// Warm up far enough that the hot path is promoted.
+		warm := fast.Run(2000)
+		if warm.Reason != StopCycles {
+			continue // program finished cold; nothing to preempt
+		}
+		preempts := 0
+		var stFast Stop
+		finished := false
+		for !finished {
+			fast.RequestPreempt()
+			st := fast.Run(0)
+			if st.Reason != StopPreempt {
+				stFast, finished = st, true
+				break
+			}
+			preempts++
+			if st.PC != fast.PC {
+				t.Fatalf("seed %d: preempt stop PC %#x != cpu PC %#x", seed, st.PC, fast.PC)
+			}
+			if _, d := syncSlow(); d {
+				t.Fatalf("seed %d: Step finished before preempted Run", seed)
+			}
+			diffCompareAt(t, seed, fast, slow, db, ds)
+			// Make forward progress between preemptions.
+			if st := fast.Run(256 + uint64(seed)*37); st.Reason != StopCycles {
+				stFast, finished = st, true
+			}
+			if preempts > 64 {
+				break
+			}
+		}
+		if !finished { // capped the preempt loop: run free to the end
+			stFast = fast.Run(0)
+		}
+		stSlow, d := syncSlow()
+		if !d {
+			if st, dd := slow.Step(); dd {
+				stSlow, d = st, true
+			}
+		}
+		if !d {
+			t.Fatalf("seed %d: Run stopped (%v) but Step continues", seed, stFast)
+		}
+		diffStops(t, seed, stFast, stSlow)
+		diffCompareAt(t, seed, fast, slow, db, ds)
+		if preempts == 0 {
+			t.Fatalf("seed %d: no preemption was ever delivered", seed)
+		}
+	}
+}
+
+// TestTraceDifferentialAsyncPreempt fires preemption requests from
+// another goroutine while the hart runs free — the shape the scheduler
+// uses — and checks every delivery point against the Step reference.
+// Under -race this also proves the preempt path is data-race-free
+// against trace execution.
+func TestTraceDifferentialAsyncPreempt(t *testing.T) {
+	mk, db, ds := diffImage(t, 3, false, traceProgram)
+	fast, slow := mk(), mk()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				fast.RequestPreempt()
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}()
+	var stFast Stop
+	preempts := 0
+	for {
+		st := fast.Run(0)
+		if st.Reason != StopPreempt {
+			stFast = st
+			break
+		}
+		preempts++
+		if preempts > 1_000_000 {
+			t.Fatal("preempt livelock: Run never completes")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	var stSlow Stop
+	sdone := false
+	for !sdone && slow.Cycles <= diffTraceMaxCycles {
+		if st, d := slow.Step(); d {
+			stSlow, sdone = st, true
+		}
+	}
+	if !sdone {
+		t.Fatalf("Run stopped (%v) but Step exceeded %d cycles", stFast, diffTraceMaxCycles)
+	}
+	diffStops(t, 3, stFast, stSlow)
+	diffCompareAt(t, 3, fast, slow, db, ds)
+	t.Logf("async preemptions delivered: %d", preempts)
 }

@@ -1,0 +1,11 @@
+//go:build race
+
+package vm
+
+// raceEnabled reports that this build is instrumented by the race
+// detector. Wall-clock assertions (the trace-speedup bench smoke)
+// consult it: instrumentation skews the trace-on/off ratio because the
+// two dispatch paths have different memory-access densities, so the
+// ratio loses meaning while every deterministic cycle-count test keeps
+// running under -race as usual.
+const raceEnabled = true

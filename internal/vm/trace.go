@@ -1,0 +1,1121 @@
+package vm
+
+// Trace-level superblocks: the top rung of the DBT optimization ladder
+// (ROADMAP item 1), above block chaining and threaded dispatch.
+//
+// Per-block profile counters (block.heat) promote hot chains into
+// superblocks — single translation units spanning multiple basic blocks.
+// The chain is discovered from the lazily materialized successor
+// pointers left by block chaining (a non-nil fallNext/takenNext is a
+// one-bit execution history of the warm-up), and loop back edges keep
+// appending components up to the instruction cap: natural unrolling.
+//
+// Inside a trace, every interior block seam is compiled into a guard:
+// the branch condition is evaluated, and execution either continues
+// (predicted direction — with no PC write, since PC materialization is
+// batched to trace exits) or side-exits back to the block cache with PC
+// and flags exactly architectural. Two cross-block optimizations run
+// over each trace, justified by the isa flag-liveness contract
+// (internal/isa/flags.go):
+//
+//   - macro-fusion of cmp + conditional-branch pairs at seams, with the
+//     comparison re-derived from the registers;
+//   - dead flag-computation elimination: a flag write whose value is
+//     overwritten before any reader, any stop-capable instruction, and
+//     any possible trace exit is elided (the slot stays — cycle
+//     accounting is by slot index — but does no work).
+//
+// Invalidation composes with the page-generation scheme of mem.Paged:
+// a trace records one mem.Span per component block and is valid while
+// mem.SpansCurrent holds, memoized against the global generation under
+// the same quiescence protocol as blockValid. Any flush that stamps a
+// page under the trace severs it at the next entry check, and
+// RequestPreempt's generation bump forces the entry check off its fast
+// path, so a preemption lands at the next trace exit.
+//
+// For indirect exits the trace tier adds two predictors: a return-
+// address stack (compiled calls push the return PC plus a per-call-site
+// block-cache slot; ret transitions pop it) and a per-block monomorphic
+// inline cache for register/memory-indirect targets. Both are pure
+// prediction — every hit is revalidated against the generation scheme
+// before it executes, so architectural state never depends on them.
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Trace-tier tuning.
+const (
+	// traceHotThreshold is the number of block-tier executions before a
+	// block is promoted to anchor a superblock. It must exceed the
+	// iteration counts of the directed SMC tests (which patch code and
+	// expect next-block-boundary visibility at the block tier) and be
+	// small enough that real hot loops promote almost immediately.
+	traceHotThreshold = 64
+	// maxTraceInsts caps the instructions compiled into one superblock —
+	// the same bound as maxBlockInsts, so a trace's worst-case preempt
+	// latency matches a worst-case basic block's.
+	maxTraceInsts = 64
+)
+
+// TracesEnabled gates hot-path superblock formation. It is read only on
+// the (cold) promotion path, so flipping it between runs gives an
+// in-process A/B of the trace tier over identical block-tier code — the
+// basis of the BENCH_PR6.json methodology and the CI regression smoke.
+// Existing traces are not torn down when it is cleared.
+var TracesEnabled = true
+
+// stopSideExit is the private stop sentinel a seam guard leaves in
+// c.stop when trace execution departs the predicted path: the trace
+// dispatch loop converts it into a resume at c.PC instead of returning
+// it. It never escapes Run.
+const stopSideExit StopReason = 0xFF
+
+// trace is one superblock: a single translation unit covering the hot
+// chain of basic blocks anchored at a promoted block.
+type trace struct {
+	// anchor is the PC of the head block — the only entry point.
+	anchor uint64
+	// ops are the compiled slots, in program order. A slot usually
+	// covers one instruction, but elided work — jmp seams, dead flag
+	// writes, the cmp half of a fused guard — is folded into the NEXT
+	// emitted slot instead of burning a dispatch, so a slot may cover
+	// several instructions.
+	ops []handler
+	// cum[j] is the total instruction count through slot j: when slot j
+	// stops or side-exits, exactly cum[j] instructions of the trace have
+	// retired (folded work precedes its covering slot in program order
+	// and is unobservable — that is what made it foldable), so the cycle
+	// accounting stays bit-exact at every stop.
+	cum []uint64
+	// ninsts is the total instruction count of the trace (== cum of the
+	// last slot): what a full completion retires, and the bound the
+	// budgeted loop checks before entering.
+	ninsts uint64
+	// spans are the component blocks' code ranges with their decode
+	// generations, deduplicated. The trace is valid while every span is
+	// current (mem.SpansCurrent): invalidation composes with the page-
+	// generation scheme exactly as for single blocks.
+	spans []mem.Span
+	// okGen memoizes the global generation at which the spans were last
+	// validated under quiescence, making revalidation one atomic load.
+	okGen uint64
+	// lastSetsPC / exitPC: as for block — the final slot either writes
+	// PC itself or the dispatch loop materializes exitPC when the whole
+	// trace retires.
+	lastSetsPC bool
+	exitPC     uint64
+	// tail is the final component block: its exit metadata (chain
+	// pointers, RAS, inline cache) steers the transition when the whole
+	// trace retires somewhere other than back to the anchor.
+	tail *block
+	// nblocks counts the component blocks, unroll repeats included.
+	nblocks int
+}
+
+// runTrace executes t to completion or a side exit. It returns
+// (stop, true) when the hart stopped; (Stop{}, false) when execution
+// continues at c.PC (trace completed or side-exited). The caller has
+// already validated the trace and counted the entry.
+func (c *CPU) runTrace(t *trace) (Stop, bool) {
+	for j, h := range t.ops {
+		if h(c) {
+			// The stopping slot retired, along with everything folded
+			// into it: cum gives the exact instruction count.
+			n := t.cum[j]
+			c.Cycles += n
+			c.stats.Threaded += n
+			c.stats.TraceInsts += n
+			if c.stop.Reason == stopSideExit {
+				c.stats.TraceExits++
+				return Stop{}, false
+			}
+			return c.stop, true
+		}
+	}
+	n := t.ninsts
+	c.Cycles += n
+	c.stats.Threaded += n
+	c.stats.TraceInsts += n
+	if !t.lastSetsPC {
+		c.PC = t.exitPC
+	}
+	return Stop{}, false
+}
+
+// traceValid reports whether t's component spans are all current,
+// advancing the okGen memo under the same quiescence protocol as
+// blockValid. A false result means a page under the trace was remapped
+// or rewritten: the caller severs the trace and the anchor re-heats at
+// the block tier.
+func (c *CPU) traceValid(t *trace) bool {
+	g := c.Mem.Generation()
+	if g == t.okGen {
+		return true
+	}
+	quiet := c.Mem.Quiescent()
+	if !c.Mem.SpansCurrent(t.spans) {
+		return false
+	}
+	if quiet {
+		t.okGen = g
+	}
+	return true
+}
+
+// severTrace drops b's superblock: the anchor re-enters the block tier
+// and re-heats, rebuilding a fresh trace over the re-translated blocks
+// once the path is hot again.
+func (c *CPU) severTrace(b *block) {
+	b.trace, b.heat = nil, 0
+	c.stats.Flushes++
+}
+
+// traceExit resolves the next block after a completed superblock whose
+// exit did not return to the anchor, using the tail component's exit
+// metadata: chained direct successors, the RAS for returns, the inline
+// cache for indirect transfers. Returns nil when pc has no translation
+// (the caller falls back to Step).
+func (c *CPU) traceExit(t *trace, pc uint64) *block {
+	tb := t.tail
+	switch {
+	case tb.hasTaken && pc == tb.takenPC:
+		return c.chainVia(&tb.takenNext, pc)
+	case tb.hasFall && pc == tb.fallPC:
+		return c.chainVia(&tb.fallNext, pc)
+	default:
+		return c.indirect(tb, pc)
+	}
+}
+
+// promote attempts to form a superblock anchored at b, reporting
+// whether one now exists. On failure the heat resets: chain pointers
+// may materialize a longer hot path later, and the next threshold
+// crossing retries.
+func (c *CPU) promote(b *block) bool {
+	if !TracesEnabled {
+		b.heat = 0
+		return false
+	}
+	t := c.buildTrace(b)
+	if t == nil {
+		b.heat = 0
+		return false
+	}
+	b.trace = t
+	c.stats.Traces++
+	return true
+}
+
+// traceSuccessor picks the block a trace extends through after b: the
+// materialized chain pointer of the predicted direction, revalidated.
+// Returns (nil, false) when the block exits indirectly, stops, or no
+// successor has materialized.
+func (c *CPU) traceSuccessor(b *block) (*block, bool) {
+	ft, tt := b.fallNext, b.takenNext
+	if ft != nil && !c.blockValid(ft) {
+		ft = nil
+	}
+	if tt != nil && !c.blockValid(tt) {
+		tt = nil
+	}
+	switch {
+	case tt != nil && ft == nil:
+		return tt, true
+	case ft != nil && tt == nil:
+		return ft, false
+	case tt != nil && ft != nil:
+		// Both directions have run. Prefer the loop-closing back edge —
+		// the shape trace formation exists for — else fall through.
+		if b.takenPC <= b.start {
+			return tt, true
+		}
+		return ft, false
+	}
+	return nil, false
+}
+
+// seamInfo describes the predicted edge out of a non-final component.
+type seamInfo struct {
+	taken bool   // for branches: the predicted direction is the taken edge
+	ret   bool   // the seam is a return followed through to its call site
+	retPC uint64 // for ret seams: the predicted return address
+}
+
+// tslot is one instruction slot during trace compilation.
+type tslot struct {
+	in       *isa.Inst
+	pc, next uint64
+	base     handler // the component block's own compiled handler
+	seam     bool    // terminator of a non-final component (transformed)
+	taken    bool    // for seam branches: predicted direction is the taken edge
+	ret      bool    // ret seam: continue into the predicted return site
+	retPC    uint64
+}
+
+// buildTrace compiles the superblock anchored at head, or returns nil
+// when there is no profitable chain (no materialized successor, or a
+// component went stale mid-build).
+func (c *CPU) buildTrace(head *block) *trace {
+	// Memo protocol, as in blockValid: generation before quiescence
+	// before the span checks, so okGen may be set to g only when no
+	// stamp was in flight.
+	g := c.Mem.Generation()
+	quiet := c.Mem.Quiescent()
+
+	// Phase 1: collect the hot chain. Back edges (to the anchor or any
+	// earlier component) keep appending — natural loop unrolling up to
+	// the instruction cap. Calls and returns thread through: a call seam
+	// pushes its return address on a static stack, and a ret whose
+	// matching call is in the trace continues into the return site (the
+	// compiled ret guard verifies the actual return address at runtime,
+	// so mismatched call stacks just side-exit).
+	var comps []*block
+	var seams []seamInfo
+	var callRets []uint64
+	n := 0
+	for cur := head; cur != nil && n+len(cur.insts) <= maxTraceInsts; {
+		if c.Mem.GenerationOf(cur.start, int(cur.size)) > cur.gen {
+			return nil // stale component: nothing to build on
+		}
+		comps = append(comps, cur)
+		n += len(cur.insts)
+		last := len(cur.insts) - 1
+		term := cur.insts[last].Op
+		var si seamInfo
+		var next *block
+		switch {
+		case term == isa.OpRet || term == isa.OpRetI:
+			if len(callRets) > 0 {
+				retPC := callRets[len(callRets)-1]
+				callRets = callRets[:len(callRets)-1]
+				if nb, ok := c.blocks[retPC]; ok && c.blockValid(nb) {
+					si, next = seamInfo{ret: true, retPC: retPC}, nb
+				}
+			}
+		default:
+			if term == isa.OpCall {
+				callRets = append(callRets, cur.nexts[last])
+			}
+			var taken bool
+			next, taken = c.traceSuccessor(cur)
+			if next != nil {
+				// Defensive: a chain pointer always starts at its
+				// edge's target PC; a mismatch means the metadata
+				// cannot be trusted.
+				want := cur.fallPC
+				if taken {
+					want = cur.takenPC
+				}
+				if next.start != want {
+					return nil
+				}
+			}
+			si.taken = taken
+		}
+		seams = append(seams, si)
+		cur = next
+	}
+	if len(comps) < 2 {
+		return nil // a superblock must span at least one seam
+	}
+
+	// Phase 2: flatten the components into per-instruction slots.
+	slots := make([]tslot, 0, n)
+	for ci, cb := range comps {
+		final := ci == len(comps)-1
+		ipc := cb.start
+		for k := range cb.insts {
+			s := tslot{in: &cb.insts[k], pc: ipc, next: cb.nexts[k], base: cb.ops[k]}
+			if !final && k == len(cb.insts)-1 && s.in.Op.EndsBlock() {
+				s.seam = true
+				s.taken, s.ret, s.retPC = seams[ci].taken, seams[ci].ret, seams[ci].retPC
+			}
+			slots = append(slots, s)
+			ipc = cb.nexts[k]
+		}
+	}
+	ns := len(slots)
+
+	// Phase 3a: macro-fusion marking. A cmp immediately before a
+	// flag-reading seam guard — or before the final terminator — fuses
+	// into the branch slot; the cmp slot becomes a counted no-op, so the
+	// slot count still equals the instruction count.
+	fused := make([]bool, ns)
+	var finalFused handler
+	for i := 1; i < ns; i++ {
+		br, cmp := slots[i].in, slots[i-1].in
+		if !br.Op.ReadsFlags() || slots[i-1].seam {
+			continue
+		}
+		if cmp.Op != isa.OpCmpRI && cmp.Op != isa.OpCmpRR {
+			continue
+		}
+		if slots[i].seam {
+			fused[i] = true
+		} else if i == ns-1 {
+			// Final pair: reuse the block tier's fused full branch (it
+			// sets flags and PC on both paths).
+			if f := fuseCmpBranch(cmp, br, slots[i].next); f != nil {
+				fused[i], finalFused = true, f
+			}
+		}
+	}
+
+	// Phase 3b: dead flag-computation elimination — backward liveness.
+	// "live" means the current flag values may be observed downstream:
+	// by a reader, by a stop-capable instruction exposing architectural
+	// state, by a possible side exit, or by the trace ending.
+	liveAfter := make([]bool, ns)
+	live := true // the trace end exposes state
+	for i := ns - 1; i >= 0; i-- {
+		liveAfter[i] = live
+		op := slots[i].in.Op
+		switch {
+		case fused[i]:
+			// A fused guard re-derives its comparison from the
+			// registers (reads no flags) and architecturally overwrites
+			// the flags — on a side exit it materializes its own — so
+			// prior flag values die here.
+			live = false
+		case op.ReadsFlags() || op.CanStop():
+			live = true
+		case slots[i].seam && op.IsCondBranch():
+			live = true // a loop guard's side exit exposes the flags
+		case op.WritesFlags():
+			live = false
+		}
+	}
+
+	// Phase 4: emit slots. Elided work — jmp seams, dead flag writes,
+	// the cmp half of a fused guard — is FOLDED into the next emitted
+	// slot (pending → cum) instead of occupying a dispatch of its own.
+	ops := make([]handler, 0, ns)
+	cum := make([]uint64, 0, ns)
+	total, pending := uint64(0), uint64(0)
+	emit := func(h handler) {
+		total += pending + 1
+		pending = 0
+		ops = append(ops, h)
+		cum = append(cum, total)
+	}
+	for i := range slots {
+		s := &slots[i]
+		switch {
+		case fused[i] && s.seam:
+			emit(fusedSeamGuard(slots[i-1].in, s.in, s.taken, liveAfter[i], s.next))
+		case fused[i]:
+			emit(finalFused)
+		case i+1 < ns && fused[i+1]:
+			pending++ // the fused branch does this cmp's work
+		case s.seam:
+			switch {
+			case s.in.Op == isa.OpJmp:
+				pending++ // PC materialization batched to exits
+			case s.in.Op == isa.OpCall:
+				emit(traceCall(s.in, s.pc, s.next))
+			case s.ret:
+				emit(traceRet(s.in, s.pc, s.retPC))
+			case s.in.Op.IsCondBranch():
+				emit(seamGuard(s.in, s.taken, s.next))
+			default:
+				return nil // unreachable: phase 1 chains direct exits and rets only
+			}
+		case s.in.Op.WritesFlags() && !liveAfter[i]:
+			pending++ // dead flag computation
+		default:
+			emit(s.base)
+		}
+	}
+	// The final instruction always emits (it is never a seam, never the
+	// cmp of a fused pair, and liveAfter is true at the trace end), so
+	// nothing stays pending.
+	if pending != 0 || total != uint64(ns) {
+		return nil
+	}
+
+	// Component spans, deduplicated (unrolled repeats share one span).
+	var spans []mem.Span
+	for _, cb := range comps {
+		dup := false
+		for _, sp := range spans {
+			if sp.Addr == cb.start && sp.N == int(cb.size) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			spans = append(spans, mem.Span{Addr: cb.start, N: int(cb.size), Gen: cb.gen})
+		}
+	}
+
+	tail := comps[len(comps)-1]
+	t := &trace{
+		anchor:     head.start,
+		ops:        ops,
+		cum:        cum,
+		ninsts:     total,
+		spans:      spans,
+		lastSetsPC: tail.lastSetsPC,
+		exitPC:     tail.nexts[len(tail.nexts)-1],
+		tail:       tail,
+		nblocks:    len(comps),
+	}
+	if quiet {
+		t.okGen = g
+	} else {
+		// A stamp was in flight: the memo may not be established yet.
+		// This sentinel can never equal a real generation, so the first
+		// entries revalidate until a quiescent check lands.
+		t.okGen = ^uint64(0)
+	}
+	return t
+}
+
+// sideExit leaves the trace at pc. The dispatch loop sees the private
+// sentinel and converts the "stop" into a resume through the block
+// cache. Flags must already be architectural — guards materialize their
+// comparison before exiting.
+func (c *CPU) sideExit(pc uint64) bool {
+	c.PC = pc
+	c.stop = Stop{Reason: stopSideExit, PC: pc}
+	return true
+}
+
+// guardPred is the canonical predicate a guard CONTINUES on. Each flag
+// branch maps to the predicate under which it is taken (branchPred),
+// and the set is closed under negation (negPred), so predicting the
+// not-taken direction just flips to the complement — every guard body
+// is a single positive comparison, fully inlined in its closure (a
+// nested predicate call per slot would cost as much as the dispatch the
+// guard exists to save).
+type guardPred uint8
+
+const (
+	pEQ  guardPred = iota // a == v      | ZF
+	pNE                   // a != v      | !ZF
+	pLTs                  // a <s v      | LTS
+	pLEs                  // a <=s v     | LTS || ZF
+	pGTs                  // a >s v      | !LTS && !ZF
+	pGEs                  // a >=s v     | !LTS
+	pLTu                  // a <u v      | LTU
+	pGEu                  // a >=u v     | !LTU
+)
+
+// branchPred maps a flag branch to the predicate under which it is
+// taken. Pinned to the reference isa.Op.EvalCond semantics by
+// TestGuardPredsMatchEvalCond.
+func branchPred(op isa.Op) guardPred {
+	switch op {
+	case isa.OpJe:
+		return pEQ
+	case isa.OpJne:
+		return pNE
+	case isa.OpJl:
+		return pLTs
+	case isa.OpJle:
+		return pLEs
+	case isa.OpJg:
+		return pGTs
+	case isa.OpJge:
+		return pGEs
+	case isa.OpJb:
+		return pLTu
+	case isa.OpJae:
+		return pGEu
+	}
+	panic("vm: not a flag branch: " + op.String())
+}
+
+func negPred(p guardPred) guardPred {
+	switch p {
+	case pEQ:
+		return pNE
+	case pNE:
+		return pEQ
+	case pLTs:
+		return pGEs
+	case pLEs:
+		return pGTs
+	case pGTs:
+		return pLEs
+	case pGEs:
+		return pLTs
+	case pLTu:
+		return pGEu
+	}
+	return pLTu // pGEu
+}
+
+// predHoldsCmp evaluates p over compare operands — the reference the
+// guard closures are tested against (and the slow path for nothing: it
+// is never called from compiled code).
+func predHoldsCmp(p guardPred, a, v uint64) bool {
+	switch p {
+	case pEQ:
+		return a == v
+	case pNE:
+		return a != v
+	case pLTs:
+		return int64(a) < int64(v)
+	case pLEs:
+		return int64(a) <= int64(v)
+	case pGTs:
+		return int64(a) > int64(v)
+	case pGEs:
+		return int64(a) >= int64(v)
+	case pLTu:
+		return a < v
+	}
+	return a >= v // pGEu
+}
+
+// seamGuard compiles a conditional branch at an interior block seam:
+// execution continues (no PC write — batched to the exit) on the
+// predicted direction and side-exits to the other target otherwise.
+// The flags were set earlier (a dead pair would have been fused), so
+// the guard branches on them directly.
+func seamGuard(in *isa.Inst, taken bool, next uint64) handler {
+	target := next + uint64(in.Imm)
+	if in.Op == isa.OpLoop {
+		if taken {
+			return func(c *CPU) bool {
+				c.Regs[isa.R1]--
+				if c.Regs[isa.R1] != 0 {
+					return false
+				}
+				return c.sideExit(next)
+			}
+		}
+		return func(c *CPU) bool {
+			c.Regs[isa.R1]--
+			if c.Regs[isa.R1] == 0 {
+				return false
+			}
+			return c.sideExit(target)
+		}
+	}
+	p, exitPC := branchPred(in.Op), next
+	if !taken {
+		p, exitPC = negPred(p), target
+	}
+	return flagGuard(p, exitPC)
+}
+
+// flagGuard returns the closure continuing iff p holds over the current
+// flags, side-exiting to exitPC otherwise.
+func flagGuard(p guardPred, exitPC uint64) handler {
+	switch p {
+	case pEQ:
+		return func(c *CPU) bool {
+			if c.ZF {
+				return false
+			}
+			return c.sideExit(exitPC)
+		}
+	case pNE:
+		return func(c *CPU) bool {
+			if !c.ZF {
+				return false
+			}
+			return c.sideExit(exitPC)
+		}
+	case pLTs:
+		return func(c *CPU) bool {
+			if c.LTS {
+				return false
+			}
+			return c.sideExit(exitPC)
+		}
+	case pLEs:
+		return func(c *CPU) bool {
+			if c.LTS || c.ZF {
+				return false
+			}
+			return c.sideExit(exitPC)
+		}
+	case pGTs:
+		return func(c *CPU) bool {
+			if !c.LTS && !c.ZF {
+				return false
+			}
+			return c.sideExit(exitPC)
+		}
+	case pGEs:
+		return func(c *CPU) bool {
+			if !c.LTS {
+				return false
+			}
+			return c.sideExit(exitPC)
+		}
+	case pLTu:
+		return func(c *CPU) bool {
+			if c.LTU {
+				return false
+			}
+			return c.sideExit(exitPC)
+		}
+	}
+	return func(c *CPU) bool { // pGEu
+		if !c.LTU {
+			return false
+		}
+		return c.sideExit(exitPC)
+	}
+}
+
+// fusedSeamGuard macro-fuses a cmp + conditional-branch pair at an
+// interior seam. On the predicted path it writes neither PC (batched)
+// nor — when the flags are dead — the flags; a side exit materializes
+// the comparison first, so the architectural state is exact the moment
+// the trace is left.
+func fusedSeamGuard(cmp, br *isa.Inst, taken, flagsLive bool, next uint64) handler {
+	p, exitPC := branchPred(br.Op), next
+	if !taken {
+		p, exitPC = negPred(p), next+uint64(br.Imm)
+	}
+	if cmp.Op == isa.OpCmpRI {
+		return fusedGuardRI(p, cmp.R1&15, uint64(cmp.Imm), flagsLive, exitPC)
+	}
+	return fusedGuardRR(p, cmp.R1&15, cmp.R2&15, flagsLive, exitPC)
+}
+
+// fusedGuardRI builds the cmp-immediate fused guard for predicate p.
+// One specialized closure per (predicate, liveness): the comparison is
+// inline, and a dead-flag guard touches the flags only on the exit
+// path. Held to predHoldsCmp (and through it to isa.Op.EvalCond) by
+// TestGuardPredsMatchEvalCond and the differential battery.
+func fusedGuardRI(p guardPred, r1 isa.Reg, v uint64, live bool, exitPC uint64) handler {
+	switch p {
+	case pEQ:
+		if live {
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if a == v {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a := c.Regs[r1]
+			if a == v {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pNE:
+		if live {
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if a != v {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a := c.Regs[r1]
+			if a != v {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pLTs:
+		if live {
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if int64(a) < int64(v) {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a := c.Regs[r1]
+			if int64(a) < int64(v) {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pLEs:
+		if live {
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if int64(a) <= int64(v) {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a := c.Regs[r1]
+			if int64(a) <= int64(v) {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pGTs:
+		if live {
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if int64(a) > int64(v) {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a := c.Regs[r1]
+			if int64(a) > int64(v) {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pGEs:
+		if live {
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if int64(a) >= int64(v) {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a := c.Regs[r1]
+			if int64(a) >= int64(v) {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pLTu:
+		if live {
+			return func(c *CPU) bool {
+				a := c.Regs[r1]
+				c.setCmp(a, v)
+				if a < v {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a := c.Regs[r1]
+			if a < v {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	}
+	if live { // pGEu
+		return func(c *CPU) bool {
+			a := c.Regs[r1]
+			c.setCmp(a, v)
+			if a >= v {
+				return false
+			}
+			return c.sideExit(exitPC)
+		}
+	}
+	return func(c *CPU) bool {
+		a := c.Regs[r1]
+		if a >= v {
+			return false
+		}
+		c.setCmp(a, v)
+		return c.sideExit(exitPC)
+	}
+}
+
+// fusedGuardRR is fusedGuardRI with the right operand read from a
+// register at each execution.
+func fusedGuardRR(p guardPred, r1, r2 isa.Reg, live bool, exitPC uint64) handler {
+	switch p {
+	case pEQ:
+		if live {
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if a == v {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a, v := c.Regs[r1], c.Regs[r2]
+			if a == v {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pNE:
+		if live {
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if a != v {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a, v := c.Regs[r1], c.Regs[r2]
+			if a != v {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pLTs:
+		if live {
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if int64(a) < int64(v) {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a, v := c.Regs[r1], c.Regs[r2]
+			if int64(a) < int64(v) {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pLEs:
+		if live {
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if int64(a) <= int64(v) {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a, v := c.Regs[r1], c.Regs[r2]
+			if int64(a) <= int64(v) {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pGTs:
+		if live {
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if int64(a) > int64(v) {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a, v := c.Regs[r1], c.Regs[r2]
+			if int64(a) > int64(v) {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pGEs:
+		if live {
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if int64(a) >= int64(v) {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a, v := c.Regs[r1], c.Regs[r2]
+			if int64(a) >= int64(v) {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	case pLTu:
+		if live {
+			return func(c *CPU) bool {
+				a, v := c.Regs[r1], c.Regs[r2]
+				c.setCmp(a, v)
+				if a < v {
+					return false
+				}
+				return c.sideExit(exitPC)
+			}
+		}
+		return func(c *CPU) bool {
+			a, v := c.Regs[r1], c.Regs[r2]
+			if a < v {
+				return false
+			}
+			c.setCmp(a, v)
+			return c.sideExit(exitPC)
+		}
+	}
+	if live { // pGEu
+		return func(c *CPU) bool {
+			a, v := c.Regs[r1], c.Regs[r2]
+			c.setCmp(a, v)
+			if a >= v {
+				return false
+			}
+			return c.sideExit(exitPC)
+		}
+	}
+	return func(c *CPU) bool {
+		a, v := c.Regs[r1], c.Regs[r2]
+		if a >= v {
+			return false
+		}
+		c.setCmp(a, v)
+		return c.sideExit(exitPC)
+	}
+}
+
+// traceCall compiles a direct call at an interior seam: the return
+// address is pushed (architectural) and the RAS primed, but PC is not
+// written — the trace continues straight into the callee.
+func traceCall(in *isa.Inst, pc, next uint64) handler {
+	site := &retSite{}
+	return func(c *CPU) bool {
+		if f := c.Mem.Store(c.Regs[isa.SP]-8, 8, next); f != nil {
+			return c.pageFaultPC(f, pc)
+		}
+		c.Regs[isa.SP] -= 8
+		c.rasPush(next, site)
+		return false
+	}
+}
+
+// traceRet compiles a return whose matching call is earlier in the same
+// trace: the return target is loaded (architecturally, faults and all)
+// and checked against the statically predicted return site; a matching
+// return continues straight into the return-site slots, anything else —
+// a mismatched call stack — side-exits to wherever the return really
+// went, with SP already popped (the ret retired either way).
+func traceRet(in *isa.Inst, pc, predicted uint64) handler {
+	pop := 8 + uint64(in.Imm)
+	return func(c *CPU) bool {
+		target, f := c.Mem.Load(c.Regs[isa.SP], 8)
+		if f != nil {
+			return c.pageFaultPC(f, pc)
+		}
+		c.Regs[isa.SP] += pop
+		if target == predicted {
+			return false
+		}
+		return c.sideExit(target)
+	}
+}
+
+// Return-address stack: a fixed-depth predictor for ret transitions.
+// Compiled call handlers push the return PC together with a per-call-
+// site cache slot (filled lazily at the first ret-side miss); the ret
+// transition pops and, when the prediction holds, skips the block-cache
+// map entirely. Pure prediction: every hit is revalidated (epoch +
+// generation) before use.
+const rasSize = 64
+
+// retSite is a call site's cached return-target translation, epoch-
+// guarded so an overflow flush cannot keep a discarded cluster alive
+// through RAS references.
+type retSite struct {
+	blk   *block
+	epoch uint64
+}
+
+type rasEntry struct {
+	retPC uint64
+	site  *retSite
+}
+
+func (c *CPU) rasPush(retPC uint64, site *retSite) {
+	c.ras[c.rasPos&(rasSize-1)] = rasEntry{retPC: retPC, site: site}
+	c.rasPos++
+	if c.rasDepth < rasSize {
+		c.rasDepth++
+	}
+}
+
+// rasConsult pops the RAS at a ret transition to pc. It returns the
+// predicted block when the prediction is current, else nil plus the
+// call site's cache slot for the caller to refill after its map lookup.
+// A mispredicted entry (longjmp-style control flow) is consumed.
+func (c *CPU) rasConsult(pc uint64) (*block, *retSite) {
+	if c.rasDepth == 0 {
+		return nil, nil
+	}
+	c.rasDepth--
+	c.rasPos--
+	e := c.ras[c.rasPos&(rasSize-1)]
+	if e.retPC != pc {
+		return nil, nil
+	}
+	s := e.site
+	if s.epoch == c.epoch {
+		if nb := s.blk; nb != nil && c.blockValid(nb) {
+			c.stats.RASHits++
+			return nb, s
+		}
+	}
+	return nil, s
+}
+
+// indirect resolves a transition with no chained successor — returns,
+// register/memory-indirect transfers, or a direct exit whose target
+// diverged — through the predictors before the cache map. Returns nil
+// when pc has no translation.
+func (c *CPU) indirect(b *block, pc uint64) *block {
+	if b.exitRet {
+		nb, site := c.rasConsult(pc)
+		if nb != nil {
+			return nb
+		}
+		nb = c.lookup(pc)
+		if nb != nil && site != nil {
+			*site = retSite{blk: nb, epoch: c.epoch}
+		}
+		return nb
+	}
+	if b.exitIndirect {
+		if nb := b.icNext; nb != nil && pc == b.icPC && b.icEpoch == c.epoch && c.blockValid(nb) {
+			c.stats.ICHits++
+			return nb
+		}
+		c.stats.ICMisses++
+		nb := c.lookup(pc)
+		if nb != nil {
+			b.icPC, b.icNext, b.icEpoch = pc, nb, c.epoch
+		}
+		return nb
+	}
+	return c.lookup(pc)
+}

@@ -206,6 +206,26 @@ type block struct {
 	fallPC, takenPC     uint64
 	hasFall, hasTaken   bool
 	fallNext, takenNext *block
+
+	// Trace tier (trace.go). heat counts block-tier executions; at
+	// traceHotThreshold the block tries to promote the hot chain through
+	// it into a superblock, stored in trace and entered whenever
+	// execution reaches this block. Severing the trace (invalidation)
+	// resets heat, so the anchor re-heats over fresh translations.
+	heat  uint32
+	trace *trace
+
+	// Exit classification for the indirect predictors: a ret exit
+	// consults the return-address stack, a register/memory-indirect exit
+	// the inline cache below.
+	exitRet, exitIndirect bool
+
+	// Monomorphic inline cache: the last indirect target taken from this
+	// block and its translation, epoch-guarded (CPU.epoch) so an
+	// overflow flush cannot keep a discarded cluster reachable.
+	icPC    uint64
+	icNext  *block
+	icEpoch uint64
 }
 
 // CacheStats counts translation-cache events. All counters are
@@ -227,9 +247,26 @@ type CacheStats struct {
 	// first visits still go through Hits/Misses.
 	Chains uint64
 	// Threaded counts instructions retired through compiled per-op
-	// handlers (the threaded-dispatch fast path). Instructions executed
+	// handlers (the threaded-dispatch fast path) — whether dispatched
+	// from a block or from inside a superblock. Instructions executed
 	// by the Step switch account for the rest of CPU.Cycles.
 	Threaded uint64
+
+	// Trace tier (trace.go). Traces counts superblocks formed; TraceHits
+	// counts entries into a valid superblock (distinct from Hits/Chains,
+	// which count block-tier transitions only); TraceExits counts side
+	// exits off a predicted path; TraceInsts counts instructions retired
+	// inside superblocks (a subset of Threaded).
+	Traces     uint64
+	TraceHits  uint64
+	TraceExits uint64
+	TraceInsts uint64
+	// RASHits counts ret transitions resolved by the return-address
+	// stack; ICHits/ICMisses count indirect transitions probed against
+	// the per-block inline cache.
+	RASHits  uint64
+	ICHits   uint64
+	ICMisses uint64
 }
 
 // String renders the counters in one line.
@@ -238,18 +275,27 @@ func (s CacheStats) String() string {
 	if n := s.Hits + s.Misses + s.Chains; n > 0 {
 		rate = 100 * float64(s.Hits+s.Chains) / float64(n)
 	}
-	return fmt.Sprintf("blocks=%d hits=%d misses=%d flushes=%d chains=%d threaded=%d hit-rate=%.2f%%",
-		s.Blocks, s.Hits, s.Misses, s.Flushes, s.Chains, s.Threaded, rate)
+	return fmt.Sprintf("blocks=%d hits=%d misses=%d flushes=%d chains=%d threaded=%d traces=%d trace-hits=%d trace-exits=%d trace-insts=%d ras-hits=%d ic-hits=%d ic-misses=%d hit-rate=%.2f%%",
+		s.Blocks, s.Hits, s.Misses, s.Flushes, s.Chains, s.Threaded,
+		s.Traces, s.TraceHits, s.TraceExits, s.TraceInsts,
+		s.RASHits, s.ICHits, s.ICMisses, rate)
 }
 
 func (s CacheStats) sub(o CacheStats) CacheStats {
 	return CacheStats{
-		Blocks:   s.Blocks - o.Blocks,
-		Hits:     s.Hits - o.Hits,
-		Misses:   s.Misses - o.Misses,
-		Flushes:  s.Flushes - o.Flushes,
-		Chains:   s.Chains - o.Chains,
-		Threaded: s.Threaded - o.Threaded,
+		Blocks:     s.Blocks - o.Blocks,
+		Hits:       s.Hits - o.Hits,
+		Misses:     s.Misses - o.Misses,
+		Flushes:    s.Flushes - o.Flushes,
+		Chains:     s.Chains - o.Chains,
+		Threaded:   s.Threaded - o.Threaded,
+		Traces:     s.Traces - o.Traces,
+		TraceHits:  s.TraceHits - o.TraceHits,
+		TraceExits: s.TraceExits - o.TraceExits,
+		TraceInsts: s.TraceInsts - o.TraceInsts,
+		RASHits:    s.RASHits - o.RASHits,
+		ICHits:     s.ICHits - o.ICHits,
+		ICMisses:   s.ICMisses - o.ICMisses,
 	}
 }
 
@@ -258,18 +304,27 @@ func (s CacheStats) sub(o CacheStats) CacheStats {
 // simulated kernel creates its own harts internally).
 var globalStats struct {
 	blocks, hits, misses, flushes, chains, threaded atomic.Uint64
+	traces, traceHits, traceExits, traceInsts       atomic.Uint64
+	rasHits, icHits, icMisses                       atomic.Uint64
 }
 
 // GlobalCacheStats returns the process-wide translation-cache totals,
 // accumulated from every CPU at each Run return.
 func GlobalCacheStats() CacheStats {
 	return CacheStats{
-		Blocks:   globalStats.blocks.Load(),
-		Hits:     globalStats.hits.Load(),
-		Misses:   globalStats.misses.Load(),
-		Flushes:  globalStats.flushes.Load(),
-		Chains:   globalStats.chains.Load(),
-		Threaded: globalStats.threaded.Load(),
+		Blocks:     globalStats.blocks.Load(),
+		Hits:       globalStats.hits.Load(),
+		Misses:     globalStats.misses.Load(),
+		Flushes:    globalStats.flushes.Load(),
+		Chains:     globalStats.chains.Load(),
+		Threaded:   globalStats.threaded.Load(),
+		Traces:     globalStats.traces.Load(),
+		TraceHits:  globalStats.traceHits.Load(),
+		TraceExits: globalStats.traceExits.Load(),
+		TraceInsts: globalStats.traceInsts.Load(),
+		RASHits:    globalStats.rasHits.Load(),
+		ICHits:     globalStats.icHits.Load(),
+		ICMisses:   globalStats.icMisses.Load(),
 	}
 }
 
@@ -282,6 +337,13 @@ func ResetGlobalCacheStats() {
 	globalStats.flushes.Store(0)
 	globalStats.chains.Store(0)
 	globalStats.threaded.Store(0)
+	globalStats.traces.Store(0)
+	globalStats.traceHits.Store(0)
+	globalStats.traceExits.Store(0)
+	globalStats.traceInsts.Store(0)
+	globalStats.rasHits.Store(0)
+	globalStats.icHits.Store(0)
+	globalStats.icMisses.Store(0)
 }
 
 // CPU is one OVM hart. It is not safe for concurrent use; each SGX thread
@@ -319,6 +381,17 @@ type CPU struct {
 	stats     CacheStats
 	published CacheStats // portion of stats already added to the globals
 	stop      Stop       // set by exec when it stops the hart
+
+	// Return-address stack (trace.go): a circular predictor stack pushed
+	// by compiled call handlers and popped at ret transitions. Pure
+	// prediction — never consulted without revalidation.
+	ras      [rasSize]rasEntry
+	rasPos   uint64
+	rasDepth int
+	// epoch invalidates every retSite and inline-cache entry wholesale
+	// when the overflow flush discards the block map: cached *block
+	// references from an older epoch are never followed.
+	epoch uint64
 }
 
 // New creates a CPU over m with zeroed state.
@@ -377,6 +450,13 @@ func (c *CPU) publishStats() {
 	globalStats.flushes.Add(d.Flushes)
 	globalStats.chains.Add(d.Chains)
 	globalStats.threaded.Add(d.Threaded)
+	globalStats.traces.Add(d.Traces)
+	globalStats.traceHits.Add(d.TraceHits)
+	globalStats.traceExits.Add(d.TraceExits)
+	globalStats.traceInsts.Add(d.TraceInsts)
+	globalStats.rasHits.Add(d.RASHits)
+	globalStats.icHits.Add(d.ICHits)
+	globalStats.icMisses.Add(d.ICMisses)
 	c.published = c.stats
 }
 
@@ -523,21 +603,31 @@ func (c *CPU) translate(pc uint64) *block {
 		if last.Op.IsCondBranch() {
 			b.hasFall, b.fallPC = true, addr
 		}
+	case last.Op == isa.OpRet || last.Op == isa.OpRetI:
+		b.exitRet = true
+	case last.Op == isa.OpJmpR || last.Op == isa.OpCallR ||
+		last.Op == isa.OpJmpM || last.Op == isa.OpCallM:
+		b.exitIndirect = true
 	}
-	// Indirect transfers, returns and stop instructions have no static
-	// successor: every exit goes through lookup (or stops the hart).
+	// Indirect transfers and returns go through the RAS / inline-cache
+	// predictors (trace.go) and then lookup; stop instructions have no
+	// successor at all.
 	if len(c.blocks) >= maxBlocks {
-		// Sever every chain pointer along with the map: a discarded
-		// cluster that stayed generation-valid could otherwise keep
-		// executing (and keep itself alive) through its own links,
+		// Sever every chain pointer and trace along with the map: a
+		// discarded cluster that stayed generation-valid could otherwise
+		// keep executing (and keep itself alive) through its own links,
 		// defeating the memory bound this flush exists to enforce. The
-		// block the run loop currently holds relinks through lookup on
-		// its next transition.
+		// epoch bump does the same for the RAS call-site slots and
+		// inline caches, which hold *block references outside the map.
+		// The block the run loop currently holds relinks through lookup
+		// on its next transition.
 		for _, ob := range c.blocks {
 			ob.fallNext, ob.takenNext = nil, nil
+			ob.trace, ob.icNext = nil, nil
 		}
 		c.stats.Flushes += uint64(len(c.blocks))
 		clear(c.blocks)
+		c.epoch++
 	}
 	c.blocks[pc] = b
 	c.stats.Blocks++
@@ -582,6 +672,48 @@ func (c *CPU) runNoBudget() Stop {
 				}
 				continue
 			}
+		}
+		// Trace tier: a promoted block enters its superblock. The fast
+		// check is one atomic load (the okGen memo); the slow path polls
+		// preemption BEFORE revalidating, because revalidation advances
+		// the memo and would otherwise absorb the generation bump that
+		// RequestPreempt relies on to get the hart off its fast paths.
+		if t := b.trace; t != nil {
+			if c.Mem.Generation() != t.okGen {
+				if c.takePreempt() {
+					return Stop{Reason: StopPreempt, PC: c.PC}
+				}
+				if !c.traceValid(t) {
+					// Some page under the trace moved; b itself may be
+					// stale too, so relink through the map.
+					c.severTrace(b)
+					b = nil
+					continue
+				}
+			}
+			c.stats.TraceHits++
+			if st, done := c.runTrace(t); done {
+				return st
+			}
+			pc := c.PC
+			if pc == t.anchor {
+				// Hot self-loop: re-enter through the fast check with no
+				// map traffic. A pending preemption bumped the
+				// generation, so it cannot spin here.
+				continue
+			}
+			if c.takePreempt() {
+				return Stop{Reason: StopPreempt, PC: pc}
+			}
+			b = c.traceExit(t, pc)
+			if b == nil {
+				if stop, done := c.Step(); done {
+					return stop
+				}
+			}
+			continue
+		} else if b.heat++; b.heat == traceHotThreshold && c.promote(b) {
+			continue
 		}
 		ops := b.fastOps
 		for i := 0; i < len(ops); i++ {
@@ -629,7 +761,9 @@ func (c *CPU) runNoBudget() Stop {
 			if c.takePreempt() {
 				return Stop{Reason: StopPreempt, PC: pc}
 			}
-			b = c.lookup(pc)
+			// Returns and indirect transfers probe the RAS / inline
+			// cache before the map (trace.go).
+			b = c.indirect(b, pc)
 		}
 		if b == nil {
 			if stop, done := c.Step(); done {
@@ -667,6 +801,51 @@ func (c *CPU) run(maxCycles uint64) Stop {
 				if stop, done := c.Step(); done {
 					return stop
 				}
+				continue
+			}
+		}
+		// Trace tier, as in runNoBudget — but a superblock is entered
+		// only when it fits the remaining budget whole, so a clipped
+		// prefix always runs at the block tier and Run(maxCycles)
+		// semantics stay exact. The retired count is taken as the Cycles
+		// delta (a side exit retires only a prefix of the slots).
+		if t := b.trace; t != nil && t.ninsts <= budget {
+			if c.Mem.Generation() != t.okGen {
+				if c.takePreempt() {
+					return Stop{Reason: StopPreempt, PC: c.PC}
+				}
+				if !c.traceValid(t) {
+					c.severTrace(b)
+					b = nil
+					continue
+				}
+			}
+			c.stats.TraceHits++
+			c0 := c.Cycles
+			if st, done := c.runTrace(t); done {
+				return st
+			}
+			budget -= c.Cycles - c0
+			pc := c.PC
+			if pc == t.anchor {
+				continue // the loop head re-checks the budget
+			}
+			if budget == 0 {
+				break
+			}
+			if c.takePreempt() {
+				return Stop{Reason: StopPreempt, PC: pc}
+			}
+			b = c.traceExit(t, pc)
+			if b == nil {
+				budget--
+				if stop, done := c.Step(); done {
+					return stop
+				}
+			}
+			continue
+		} else if b.trace == nil {
+			if b.heat++; b.heat == traceHotThreshold && c.promote(b) {
 				continue
 			}
 		}
@@ -739,7 +918,9 @@ func (c *CPU) run(maxCycles uint64) Stop {
 			if c.takePreempt() {
 				return Stop{Reason: StopPreempt, PC: pc}
 			}
-			b = c.lookup(pc)
+			// Returns and indirect transfers probe the RAS / inline
+			// cache before the map (trace.go).
+			b = c.indirect(b, pc)
 		}
 		if b == nil && budget > 0 {
 			budget--
