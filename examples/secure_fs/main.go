@@ -135,17 +135,24 @@ func main() {
 	st := fs.Stats()
 	fmt.Printf("SIP read trusted config %q and provisioned the secret (copy-ups so far: %d) ✓\n",
 		out.String(), st.CopyUps)
+	backing := osys.Store().BackingFiles()
 	if err := osys.Shutdown(); err != nil {
 		log.Fatal(err)
 	}
 
 	// The host sees the image blob (public) and the encrypted layer —
-	// but never the secret in plaintext.
-	enc, _ := host.ReadFile("occlum.img")
-	if bytes.Contains(enc, []byte(secret)) {
-		log.Fatal("PLAINTEXT LEAKED TO HOST")
+	// striped with parity across several backing files — but never the
+	// secret in plaintext, in any of them.
+	encBytes := 0
+	for _, name := range backing {
+		enc, _ := host.ReadFile(name)
+		if bytes.Contains(enc, []byte(secret)) {
+			log.Fatal("PLAINTEXT LEAKED TO HOST")
+		}
+		encBytes += len(enc)
 	}
-	fmt.Printf("host-side encrypted layer: %d bytes, secret not present in plaintext ✓\n", len(enc))
+	fmt.Printf("host-side encrypted layer: %d backing files, %d bytes, secret not present in plaintext ✓\n",
+		len(backing), encBytes)
 
 	// Restart the LibOS: the copy-up persisted in the encrypted layer,
 	// the image below is untouched.
@@ -168,9 +175,34 @@ func main() {
 	fmt.Println("after LibOS restart: provisioned secret served from the encrypted layer ✓")
 	osys2.Shutdown()
 
+	// The hostile host deletes one entire backing file. The store's
+	// Reed–Solomon parity covers the loss: the next boot reconstructs
+	// every read from the surviving shards, and an offline repair
+	// rebuilds the missing file in full.
+	host.RemoveFile(backing[2])
+	var outH bytes.Buffer
+	osysH, err := bootFromImage(host, tc, root, &outH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nh, err := osysH.VFS().Open("/app/secret-template", fs.ORdOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := nh.ReadAt(buf, 0); err != nil || string(buf) != secret {
+		log.Fatalf("after shard-file loss: %q, %v", buf, err)
+	}
+	rebuilt, err := osysH.Store().Repair()
+	if err != nil {
+		log.Fatal(err)
+	}
+	osysH.Shutdown()
+	fmt.Printf("host deleted %s: reads reconstructed from parity, repair rebuilt %d shards ✓\n",
+		backing[2], rebuilt)
+
 	// A hostile host flips ONE bit in the image blob's data region: the
 	// next read through a fresh boot fails closed at the Merkle check.
-	if err := host.TamperFile("base.img", fs.BlockSize+100); err != nil {
+	if err := host.FlipBit("base.img", fs.BlockSize+100); err != nil {
 		log.Fatal(err)
 	}
 	var out3 bytes.Buffer

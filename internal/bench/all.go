@@ -15,7 +15,7 @@ var Experiments = []string{
 	"fig5a", "fig5b", "fig5c",
 	"fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7a", "fig7b",
-	"ripe", "table1", "c10k", "fsbench",
+	"ripe", "table1", "c10k", "fsbench", "recovery",
 }
 
 // VMStats, when true, makes Run report the OVM translation-cache
@@ -43,8 +43,9 @@ var NetStats bool
 
 // FSStats, when true, makes Run report the filesystem counters (image
 // blocks Merkle-verified, verified-cache hits, read-aheads, copy-ups,
-// whiteouts) accumulated across every mounted filesystem during each
-// experiment. Enabled by occlum-bench -fsstats.
+// whiteouts, plus the self-healing store's scrubbed blocks and
+// repaired/rebuilt shards) accumulated across every mounted filesystem
+// during each experiment. Enabled by occlum-bench -fsstats.
 var FSStats bool
 
 // Run executes one named experiment at the given scale, printing its
@@ -72,8 +73,9 @@ func Run(name string, s Scale, w io.Writer) error {
 	}
 	if err == nil && FSStats {
 		d := fs.Stats().Sub(fsBefore)
-		fmt.Fprintf(w, "  [fs: verified=%d verify-hits=%d read-aheads=%d copy-ups=%d whiteouts=%d]\n",
-			d.VerifiedBlocks, d.VerifyHits, d.ReadAheads, d.CopyUps, d.Whiteouts)
+		fmt.Fprintf(w, "  [fs: verified=%d verify-hits=%d read-aheads=%d copy-ups=%d whiteouts=%d scrubbed=%d repaired=%d rebuilt=%d]\n",
+			d.VerifiedBlocks, d.VerifyHits, d.ReadAheads, d.CopyUps, d.Whiteouts,
+			d.ScrubbedBlocks, d.RepairedShards, d.RebuiltShards)
 	}
 	return err
 }
@@ -108,6 +110,8 @@ func run(name string, s Scale, w io.Writer) error {
 		t, err = C10KTable(s)
 	case "fsbench":
 		t, err = FSBench(s)
+	case "recovery":
+		t, err = Recovery(s)
 	case "table1":
 		return Table1(s, w)
 	default:

@@ -172,5 +172,57 @@ func TestShapeFSBench(t *testing.T) {
 	if d.ReadAheads == 0 {
 		t.Error("sequential image read triggered no read-ahead")
 	}
+	// The LibOS idle scrubber runs whenever the bench's harts have no SIP
+	// to step — at minimum it verifies the Mkfs blocks right after boot —
+	// and on an uncorrupted store it must repair nothing.
+	if d.ScrubbedBlocks == 0 {
+		t.Error("idle scrubber never ran during fsbench")
+	}
+	if d.RepairedShards != 0 || d.RebuiltShards != 0 {
+		t.Errorf("healthy store healed shards: repaired=%d rebuilt=%d", d.RepairedShards, d.RebuiltShards)
+	}
 	t.Logf("fsbench stats: %+v", d)
+}
+
+// TestShapeRecovery checks the recovery experiment's structural claims:
+// every row measures something, degraded reads and the rot scrub heal a
+// meaningful number of shards, and the offline rebuild restores a full
+// file's worth.
+func TestShapeRecovery(t *testing.T) {
+	before := fs.Stats()
+	tab, err := Recovery(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fs.Stats().Sub(before)
+	byLabel := map[string][]float64{}
+	for _, r := range tab.Rows {
+		if r.Values[0] <= 0 {
+			t.Errorf("row %q has no positive throughput: %v", r.Label, r.Values)
+		}
+		byLabel[r.Label] = r.Values
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("recovery rows = %d, want 6", len(tab.Rows))
+	}
+	blocks := Quick().FSBenchTotal / fs.BlockSize
+	// Degraded reads reconstruct (and heal) one lost shard per block.
+	if healed := byLabel["Degraded read + heal"][1]; healed < float64(blocks) {
+		t.Errorf("degraded read healed %v shards, want ≥ %d (one per block)", healed, blocks)
+	}
+	// The offline rebuild restores one whole backing file: a shard per
+	// block plus that file's slice of table, record and header.
+	if rebuilt := byLabel["Rebuild lost file"][1]; rebuilt < float64(blocks) {
+		t.Errorf("rebuild restored %v shards, want ≥ %d", rebuilt, blocks)
+	}
+	if byLabel["Scrub clean"][1] != 0 {
+		t.Errorf("clean scrub healed %v shards", byLabel["Scrub clean"][1])
+	}
+	if byLabel["Scrub + heal rot"][1] == 0 {
+		t.Error("rot scrub healed nothing")
+	}
+	if d.ScrubbedBlocks == 0 || d.RebuiltShards == 0 || d.RepairedShards == 0 {
+		t.Errorf("counters did not move: %+v", d)
+	}
+	t.Logf("recovery stats: %+v\nrows: %v", d, byLabel)
 }

@@ -2,6 +2,7 @@ package fs
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -49,11 +50,11 @@ func TestCrashMidSyncConsistency(t *testing.T) {
 			d.applyOps(80)
 			interrupted := d.model.clone()
 
-			h.CrashWrites("img", cut)
+			h.Inject("img*", hostos.CrashAfter(cut))
 			if err := efs.Sync(); err != nil {
 				t.Fatal(err) // drops are silent; the enclave can't see them
 			}
-			tripped := h.HealWrites("img")
+			tripped := h.Heal("img*")
 
 			// Remount purely from (possibly cut) host storage.
 			store2, err := OpenStore(h, "img", key)
@@ -109,9 +110,9 @@ func TestCrashRecoveredFSRemainsUsable(t *testing.T) {
 	}
 	committed := d.model.clone()
 	d.applyOps(60)
-	h.CrashWrites("img", 2)
+	h.Inject("img*", hostos.CrashAfter(2))
 	_ = efs.Sync()
-	if !h.HealWrites("img") {
+	if !h.Heal("img*") {
 		t.Fatal("crash plan never tripped — cut too late to mean anything")
 	}
 
@@ -179,9 +180,9 @@ func TestCrashMidSyncNeverServesCorruptData(t *testing.T) {
 	if _, err := f.WriteAt(payload, 0); err != nil {
 		t.Fatal(err)
 	}
-	h.CrashWrites("img", 3)
+	h.Inject("img*", hostos.CrashAfter(3))
 	_ = efs.Sync()
-	h.HealWrites("img")
+	h.Heal("img*")
 
 	store2, err := OpenStore(h, "img", key)
 	if err != nil {
@@ -202,6 +203,173 @@ func TestCrashMidSyncNeverServesCorruptData(t *testing.T) {
 	for i, b := range got {
 		if b != 0xA1 {
 			t.Fatalf("byte %d = %#x: interrupted sync leaked half-new data", i, b)
+		}
+	}
+}
+
+// seedBigFiles adds count multi-block files (model kept in sync) so the
+// repair/scrub crash batteries have a meaningful number of committed
+// stripes to cut through.
+func seedBigFiles(t *testing.T, d *diffState, efs *EncFS, count, blocksEach int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		p := fmt.Sprintf("/big%d", i)
+		data := make([]byte, blocksEach*BlockSize)
+		d.rng.Read(data)
+		n, err := efs.Open(p, ORdWr|OCreate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		n.Close()
+		if _, err := d.model.create(p, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.model.write(p, 0, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashDuringRepair cuts the host-write sequence of an offline
+// Repair at every possible point. Repair only ever rewrites shards to
+// the values the committed MAC table already authenticates, so a crash
+// mid-repair must never change logical content: whatever the cut, a
+// remount must fsck clean and equal the committed tree exactly — and a
+// completed repair must leave the lost backing file fully rebuilt.
+func TestCrashDuringRepair(t *testing.T) {
+	h := hostos.New()
+	key := KeyFromString("crash-repair")
+	store, err := CreateStore(h, "img", key, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mkfs(store); err != nil {
+		t.Fatal(err)
+	}
+	efs, _ := Mount(store)
+	d := &diffState{t: t, rng: rand.New(rand.NewSource(23)), fs: efs, model: newModel()}
+	d.applyOps(120)
+	seedBigFiles(t, d, efs, 5, 8)
+	if err := efs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	committed := d.model.clone()
+
+	// The host loses one backing file; snapshot the damaged state so
+	// every cut starts from it.
+	h.DropFiles("img.s2")
+	damaged := h.CopyFiles("img.s*")
+
+	maxCut := 1 << 30
+	for cut := 0; cut <= maxCut; cut++ {
+		h.DropFiles("img.s*")
+		h.PutFiles(damaged)
+		s2, err := OpenStore(h, "img", key)
+		if err != nil {
+			t.Fatalf("cut %d: open damaged image: %v", cut, err)
+		}
+		h.Inject("img.s*", hostos.CrashAfter(cut))
+		_, _ = s2.Repair() // errors are not the point; state after the cut is
+		tripped := h.Heal("img.s*")
+
+		s3, err := OpenStore(h, "img", key)
+		if err != nil {
+			t.Fatalf("cut %d: reopen after cut repair: %v", cut, err)
+		}
+		efs3, err := Mount(s3)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if err := efs3.Fsck(); err != nil {
+			t.Fatalf("cut %d: fsck: %v", cut, err)
+		}
+		chk := &diffState{t: t, fs: efs3, model: committed, ops: cut}
+		chk.compareTree()
+
+		if !tripped {
+			// The whole repair fit under the budget: the lost file must be
+			// back, and the store must survive losing a DIFFERENT file.
+			if h.FileSize("img.s2") == 0 {
+				t.Fatal("completed repair did not rebuild the lost file")
+			}
+			h.DropFiles("img.s4")
+			s4, err := OpenStore(h, "img", key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			efs4, err := Mount(s4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chk2 := &diffState{t: t, fs: efs4, model: committed}
+			chk2.compareTree()
+			t.Logf("%d repair cut points all consistent", cut)
+			maxCut = -1
+		}
+	}
+}
+
+// TestCrashDuringScrub is the same property for the background
+// scrubber: rot within the parity envelope, then cut the scrub's repair
+// writes at every point. Any cut must leave a remountable, fsck-clean
+// image equal to the committed tree.
+func TestCrashDuringScrub(t *testing.T) {
+	h := hostos.New()
+	key := KeyFromString("crash-scrub")
+	store, err := CreateStore(h, "img", key, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mkfs(store); err != nil {
+		t.Fatal(err)
+	}
+	efs, _ := Mount(store)
+	d := &diffState{t: t, rng: rand.New(rand.NewSource(29)), fs: efs, model: newModel()}
+	d.applyOps(120)
+	seedBigFiles(t, d, efs, 5, 8)
+	if err := efs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	committed := d.model.clone()
+
+	// Bit-rot across two backing files (= m, inside the envelope).
+	dataStart := store.cellOff(store.blockStripe(0, 0))
+	h.CorruptFiles("img.s1", dataStart, 0, 256, 31)
+	h.CorruptFiles("img.s3", dataStart, 0, 256, 37)
+	damaged := h.CopyFiles("img.s*")
+
+	maxCut := 1 << 30
+	for cut := 0; cut <= maxCut; cut++ {
+		h.DropFiles("img.s*")
+		h.PutFiles(damaged)
+		s2, err := OpenStore(h, "img", key)
+		if err != nil {
+			t.Fatalf("cut %d: open rotted image: %v", cut, err)
+		}
+		h.Inject("img.s*", hostos.CrashAfter(cut))
+		_, _ = s2.Scrub()
+		tripped := h.Heal("img.s*")
+
+		s3, err := OpenStore(h, "img", key)
+		if err != nil {
+			t.Fatalf("cut %d: reopen after cut scrub: %v", cut, err)
+		}
+		efs3, err := Mount(s3)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if err := efs3.Fsck(); err != nil {
+			t.Fatalf("cut %d: fsck: %v", cut, err)
+		}
+		chk := &diffState{t: t, fs: efs3, model: committed, ops: cut}
+		chk.compareTree()
+
+		if !tripped {
+			t.Logf("%d scrub cut points all consistent", cut)
+			maxCut = -1
 		}
 	}
 }

@@ -65,12 +65,20 @@ func TestBlockStoreCiphertextOnHost(t *testing.T) {
 	if err := s.WriteBlock(0, secret); err != nil {
 		t.Fatal(err)
 	}
-	raw, _ := h.ReadFile("dev")
-	if bytes.Contains(raw, secret) {
-		t.Fatal("plaintext visible to the untrusted host")
+	for _, name := range s.BackingFiles() {
+		raw, err := h.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(raw, secret) {
+			t.Fatalf("plaintext visible to the untrusted host in %s", name)
+		}
 	}
 }
 
+// TestBlockStoreTamperDetected: corruption beyond the parity's reach
+// (more than m shards of one stripe) must fail closed with ErrCorrupt —
+// single-shard damage is the repair path's job (tamper_test.go).
 func TestBlockStoreTamperDetected(t *testing.T) {
 	h := hostos.New()
 	key := KeyFromString("k")
@@ -81,10 +89,14 @@ func TestBlockStoreTamperDetected(t *testing.T) {
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	// Host flips a bit inside block 1's live ciphertext slot.
-	off := s.blockOffset(1, s.slots[1]) + 100
-	if err := h.TamperFile("dev", off); err != nil {
-		t.Fatal(err)
+	// Host flips a bit inside block 1's live stripe cell in m+1 backing
+	// files — one more than the erasure code can reconstruct.
+	_, m := s.Geometry()
+	off := s.cellOff(s.blockStripe(1, s.slots[1])) + 100
+	for f := 0; f <= m; f++ {
+		if err := h.FlipBit(s.BackingFiles()[f], off); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if _, err := s.ReadBlock(1); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("tampered read: err = %v, want ErrCorrupt", err)
@@ -97,19 +109,15 @@ func TestBlockStoreReplayDetected(t *testing.T) {
 	s, _ := CreateStore(h, "dev", key, 4)
 	_ = s.WriteBlock(1, []byte("version-one"))
 	_ = s.Flush()
-	old, _ := h.ReadFile("dev")
+	old := h.CopyFiles("dev.s*")
 	_ = s.WriteBlock(1, []byte("version-two"))
 	_ = s.Flush()
-	// Host rolls the whole image back to the old version.
-	h.WriteFile("dev", old)
-	if _, err := OpenStore(h, "dev", key); err == nil {
-		// Rolling back everything including the header yields a
+	// Host rolls every backing file back to the old version.
+	h.PutFiles(old)
+	if s2, err := OpenStore(h, "dev", key); err == nil {
+		// Rolling back everything including the commit records yields a
 		// consistent old image — full rollback needs monotonic
 		// counters. What must fail is a *partial* replay:
-		s2, err := OpenStore(h, "dev", key)
-		if err != nil {
-			t.Fatal(err)
-		}
 		got, err := s2.ReadBlock(1)
 		if err != nil {
 			t.Fatal(err)
@@ -118,12 +126,18 @@ func TestBlockStoreReplayDetected(t *testing.T) {
 			t.Fatal("consistent rollback should yield the old content")
 		}
 	}
-	// Partial replay: restore only the data area, keep the new header.
+	// Partial replay: restore only the block-data area of every backing
+	// file, keep the new commit records and MAC table.
 	_ = s.WriteBlock(1, []byte("version-three"))
 	_ = s.Flush()
-	cur, _ := h.ReadFile("dev")
-	copy(cur[headerSize+4*macEntrySize:], old[headerSize+4*macEntrySize:])
-	h.WriteFile("dev", cur)
+	dataStart := s.cellOff(s.blockStripe(0, 0))
+	cur := h.CopyFiles("dev.s*")
+	for name, curBytes := range cur {
+		if oldBytes, ok := old[name]; ok && len(oldBytes) > dataStart && len(curBytes) > dataStart {
+			copy(curBytes[dataStart:], oldBytes[dataStart:])
+		}
+	}
+	h.PutFiles(cur)
 	s3, err := OpenStore(h, "dev", key)
 	if err != nil {
 		t.Fatal(err)

@@ -12,6 +12,9 @@ var fsStats struct {
 	readAheads     atomic.Uint64
 	copyUps        atomic.Uint64
 	whiteouts      atomic.Uint64
+	scrubbedBlocks atomic.Uint64
+	repairedShards atomic.Uint64
+	rebuiltShards  atomic.Uint64
 }
 
 // StatCounters is a snapshot of the filesystem counters.
@@ -29,6 +32,15 @@ type StatCounters struct {
 	CopyUps uint64
 	// Whiteouts counts whiteout markers created by union unlinks.
 	Whiteouts uint64
+	// ScrubbedBlocks counts blocks MAC-verified by the background
+	// scrubber (ScrubStep/Scrub).
+	ScrubbedBlocks uint64
+	// RepairedShards counts erasure-coded shards rewritten from parity
+	// after failing their crc or going missing (repair-on-read + scrub).
+	RepairedShards uint64
+	// RebuiltShards counts shards recreated by offline Repair (the
+	// lost-backing-file recovery path); a subset of RepairedShards.
+	RebuiltShards uint64
 }
 
 // Stats returns the current global filesystem counters.
@@ -39,6 +51,9 @@ func Stats() StatCounters {
 		ReadAheads:     fsStats.readAheads.Load(),
 		CopyUps:        fsStats.copyUps.Load(),
 		Whiteouts:      fsStats.whiteouts.Load(),
+		ScrubbedBlocks: fsStats.scrubbedBlocks.Load(),
+		RepairedShards: fsStats.repairedShards.Load(),
+		RebuiltShards:  fsStats.rebuiltShards.Load(),
 	}
 }
 
@@ -50,5 +65,8 @@ func (s StatCounters) Sub(prev StatCounters) StatCounters {
 		ReadAheads:     s.ReadAheads - prev.ReadAheads,
 		CopyUps:        s.CopyUps - prev.CopyUps,
 		Whiteouts:      s.Whiteouts - prev.Whiteouts,
+		ScrubbedBlocks: s.ScrubbedBlocks - prev.ScrubbedBlocks,
+		RepairedShards: s.RepairedShards - prev.RepairedShards,
+		RebuiltShards:  s.RebuiltShards - prev.RebuiltShards,
 	}
 }

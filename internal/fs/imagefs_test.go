@@ -174,7 +174,7 @@ func TestImageTamperAnyBit(t *testing.T) {
 	for off := 0; off < len(blob); off += step {
 		h := hostos.New()
 		h.WriteFile("base.img", blob)
-		if err := h.TamperFile("base.img", off); err != nil {
+		if err := h.FlipBit("base.img", off); err != nil {
 			t.Fatal(err)
 		}
 		ifs, err := MountImage(h, "base.img", root)

@@ -7,8 +7,13 @@
 //     encrypted, integrity-protected block device kept in untrusted host
 //     storage. Every block is AES-CTR encrypted and HMAC-authenticated
 //     with a per-write version (anti-replay); a root MAC over the version
-//     table authenticates the whole device. A/B block slots plus a
-//     single-write header+table commit make Sync crash-consistent.
+//     table authenticates the whole device. A/B block slots plus an
+//     atomic commit-record protocol make Sync crash-consistent. Beneath
+//     the integrity layer, every block is striped across k+m host files
+//     with Reed–Solomon parity (rs.go), so the device self-heals from
+//     the loss or rot of up to m shards per stripe — including an entire
+//     deleted backing file — without ever serving a byte that has not
+//     re-passed MAC verification.
 //   - EncFS (fs.go): a full Unix-like filesystem (superblock, inodes,
 //     directories, a shared page cache) built on the block store. Because
 //     a single LibOS instance owns it, it is writable and consistent
@@ -30,6 +35,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"sync"
 
 	"repro/internal/hostos"
 )
@@ -41,15 +48,39 @@ const BlockSize = 4096
 // version(8) + slot(8) + MAC(32).
 const macEntrySize = 48
 
-// pfs header: magic(8) + maxBlocks(8) + epoch(8) + rootMAC(32).
-const headerSize = 56
+// Default erasure-code geometry: 4 data + 2 parity shards per stripe.
+// With shardSize = BlockSize/k, one block slot is exactly one stripe, so
+// parity never needs a read-modify-write cycle.
+const (
+	defaultDataShards   = 4
+	defaultParityShards = 2
+)
 
-var pfsMagic = [8]byte{'O', 'C', 'P', 'F', 'S', 0, 0, 2}
+// Per-backing-file layout:
+//
+//	[0,32)    file header: magic(8) k(2) m(2) fileIdx(2) pad(2) maxBlocks(8) pad(8)
+//	[32,224)  two 96-byte commit-record slots (A/B, indexed by epoch&1)
+//	[224,...) shard cells: shardSize payload + crc32(4) + pad(4) each
+//
+// The crc32 trailer is a *locator* for accidental corruption (bit-rot,
+// torn writes, truncation) — it decides which shards the decoder
+// excludes, nothing more. Authenticity always comes from the MAC table:
+// no assembled or reconstructed payload is served or written back until
+// it re-verifies against the per-block HMAC (or, for the table itself,
+// the root MAC in a commit record).
+const (
+	fileHeaderSize   = 32
+	commitRecordSize = 96
+	shardDataStart   = fileHeaderSize + 2*commitRecordSize // 224
+)
+
+var pfsMagic = [8]byte{'O', 'C', 'P', 'F', 'S', 0, 0, 3}
 
 // Integrity errors.
 var (
 	// ErrCorrupt reports failed decryption or integrity verification —
-	// the untrusted host tampered with the image.
+	// the untrusted host tampered with the image, or more shards are
+	// lost than the parity can reconstruct.
 	ErrCorrupt = errors.New("fs: integrity verification failed (image tampered?)")
 	// ErrBadKey reports opening an image with the wrong key.
 	ErrBadKey = errors.New("fs: wrong key or not a protected image")
@@ -69,23 +100,36 @@ func KeyFromString(s string) Key {
 	return k
 }
 
-// BlockStore is an encrypted, integrity-protected block device stored in
-// an untrusted host file.
+// BlockStore is an encrypted, integrity-protected block device striped
+// across k+m untrusted host files ("name.s0" … "name.s<k+m-1>").
 //
-// Crash consistency: every block owns two on-disk slots (A/B). The first
-// write to a block after a Flush flips its slot, so the ciphertext the
-// last-committed MAC table references is never overwritten mid-epoch;
-// rewrites within the same epoch land on the same (uncommitted) slot.
-// Flush commits header and MAC table in a single host write, so a crash
-// that cuts the write sequence at any point leaves either the old or the
-// new state fully intact — never a table that references half-written
-// data.
+// Crash consistency: every block owns two on-disk stripe slots (A/B).
+// The first write to a block after a Flush flips its slot, so the
+// ciphertext the last-committed MAC table references is never
+// overwritten mid-epoch; rewrites within the same epoch land on the same
+// (uncommitted) slot. Flush writes the MAC table into the A/B table
+// slot for the new epoch and then publishes it with per-file commit
+// records (epoch + root MAC, self-authenticated by an HMAC): a crash
+// cutting the write sequence at any point leaves the previous committed
+// state fully recoverable, because nothing it references was touched.
+//
+// Durability: each 4 KiB stripe (a block slot, or one table chunk) is
+// split into k data shards and m Reed–Solomon parity shards, one per
+// backing file, each with a crc32 locator trailer. Reads exclude
+// crc-bad/short/missing shards, reconstruct from any k survivors,
+// re-verify the result against the MAC table, and only then serve it —
+// rewriting the bad shards in place (repair-on-read). The scrubber
+// (ScrubStep) walks stripes incrementally doing the same in the
+// background, and Repair rebuilds whole lost backing files offline.
 type BlockStore struct {
+	mu        sync.Mutex
 	host      *hostos.Host
 	name      string
 	aesKey    []byte
 	macKey    []byte
 	maxBlocks int
+	k, m      int
+	rs        *rsCode
 	epoch     uint64
 	versions  []uint64
 	slots     []uint8
@@ -94,6 +138,13 @@ type BlockStore struct {
 	// this epoch; cleared by Flush.
 	epochWritten []bool
 	dirtyHdr     bool
+
+	// Scrub cursor state: gen counts mutations; a full pass over an
+	// unchanged store latches clean until the next mutation.
+	scrubCursor  int
+	scrubGen     uint64
+	scrubPassGen uint64
+	scrubClean   bool
 }
 
 func deriveKeys(k Key) (aesKey, macKey []byte) {
@@ -102,75 +153,266 @@ func deriveKeys(k Key) (aesKey, macKey []byte) {
 	return a[:16], m[:]
 }
 
-// CreateStore formats a new protected image with capacity maxBlocks in the
-// named host file, destroying any previous content.
+// --- Geometry -------------------------------------------------------------
+
+func (s *BlockStore) shardSize() int { return BlockSize / s.k }
+func (s *BlockStore) cellSize() int  { return s.shardSize() + 8 }
+func (s *BlockStore) nFiles() int    { return s.k + s.m }
+
+// fileName returns the host name of shard file f.
+func (s *BlockStore) fileName(f int) string { return fmt.Sprintf("%s.s%d", s.name, f) }
+
+// tableStripes is the stripe count of ONE table slot.
+func (s *BlockStore) tableStripes() int {
+	return (s.maxBlocks*macEntrySize + BlockSize - 1) / BlockSize
+}
+
+// blockStripe maps (block, A/B slot) to its stripe index: the two table
+// slots come first, then two stripes per block.
+func (s *BlockStore) blockStripe(i int, slot uint8) int {
+	return 2*s.tableStripes() + 2*i + int(slot&1)
+}
+
+// cellOff is the per-file byte offset of stripe st's shard cell.
+func (s *BlockStore) cellOff(st int) int {
+	return shardDataStart + st*s.cellSize()
+}
+
+// MaxBlocks returns the device capacity in blocks.
+func (s *BlockStore) MaxBlocks() int { return s.maxBlocks }
+
+// Geometry returns the erasure-code shape: k data + m parity shards.
+func (s *BlockStore) Geometry() (k, m int) { return s.k, s.m }
+
+// BackingFiles lists the host files the store stripes across.
+func (s *BlockStore) BackingFiles() []string {
+	out := make([]string, s.nFiles())
+	for f := range out {
+		out[f] = s.fileName(f)
+	}
+	return out
+}
+
+// StoreExists reports whether a striped image by this name is present on
+// the host (any shard file suffices — missing ones are repairable).
+func StoreExists(h *hostos.Host, name string) bool {
+	for f := 0; f < 64; f++ {
+		if h.FileSize(fmt.Sprintf("%s.s%d", name, f)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Create / open --------------------------------------------------------
+
+// CreateStore formats a new protected image with capacity maxBlocks and
+// the default 4+2 erasure-code geometry, destroying any previous content
+// under the same name.
 func CreateStore(h *hostos.Host, name string, key Key, maxBlocks int) (*BlockStore, error) {
+	return CreateStoreGeom(h, name, key, maxBlocks, defaultDataShards, defaultParityShards)
+}
+
+// CreateStoreGeom formats a new protected image striped as k data + m
+// parity shards per stripe. k must divide BlockSize.
+func CreateStoreGeom(h *hostos.Host, name string, key Key, maxBlocks, k, m int) (*BlockStore, error) {
 	if maxBlocks <= 0 {
 		return nil, fmt.Errorf("fs: maxBlocks must be positive")
+	}
+	if k < 1 || m < 1 || BlockSize%k != 0 {
+		return nil, fmt.Errorf("fs: bad stripe geometry k=%d m=%d", k, m)
+	}
+	rs, err := newRS(k, m)
+	if err != nil {
+		return nil, err
 	}
 	aesKey, macKey := deriveKeys(key)
 	s := &BlockStore{
 		host: h, name: name, aesKey: aesKey, macKey: macKey,
-		maxBlocks:    maxBlocks,
+		maxBlocks: maxBlocks, k: k, m: m, rs: rs,
 		versions:     make([]uint64, maxBlocks),
 		slots:        make([]uint8, maxBlocks),
 		macs:         make([][32]byte, maxBlocks),
 		epochWritten: make([]bool, maxBlocks),
 		epoch:        1,
 	}
-	h.RemoveFile(name)
-	h.WriteFile(name, make([]byte, headerSize+maxBlocks*macEntrySize))
+	h.DropFiles(name + ".s*")
+	for f := 0; f < s.nFiles(); f++ {
+		s.host.WriteFileAt(s.fileName(f), 0, s.fileHeader(f))
+	}
 	if err := s.Flush(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// OpenStore opens an existing protected image, verifying the root MAC.
+// fileHeader serializes shard file f's header.
+func (s *BlockStore) fileHeader(f int) []byte {
+	hdr := make([]byte, fileHeaderSize)
+	copy(hdr, pfsMagic[:])
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(s.k))
+	binary.LittleEndian.PutUint16(hdr[10:], uint16(s.m))
+	binary.LittleEndian.PutUint16(hdr[12:], uint16(f))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.maxBlocks))
+	return hdr
+}
+
+// commitRecord serializes the commit record publishing (epoch, rootMAC).
+// The record authenticates itself with an HMAC, so open can tell a valid
+// record from torn or rotted bytes without trusting anything else.
+func (s *BlockStore) commitRecord(epoch uint64, root [32]byte) []byte {
+	rec := make([]byte, commitRecordSize)
+	binary.LittleEndian.PutUint64(rec[0:], epoch)
+	binary.LittleEndian.PutUint64(rec[8:], uint64(s.maxBlocks))
+	copy(rec[16:48], root[:])
+	mac := s.recMAC(rec[:48])
+	copy(rec[48:80], mac[:])
+	return rec
+}
+
+func (s *BlockStore) recMAC(fields []byte) [32]byte {
+	mac := hmac.New(sha256.New, s.macKey)
+	mac.Write([]byte("commit:"))
+	mac.Write(fields)
+	var out [32]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+// openGeometry scans the shard files for one valid header to learn the
+// stripe geometry (any surviving file can supply it).
+func openGeometry(h *hostos.Host, name string) (k, m, maxBlocks int, err error) {
+	for f := 0; f < 64; f++ {
+		hdr := make([]byte, fileHeaderSize)
+		n, rerr := h.ReadFileAt(fmt.Sprintf("%s.s%d", name, f), 0, hdr)
+		if rerr != nil || n < fileHeaderSize {
+			continue
+		}
+		if string(hdr[:8]) != string(pfsMagic[:]) {
+			continue
+		}
+		k = int(binary.LittleEndian.Uint16(hdr[8:]))
+		m = int(binary.LittleEndian.Uint16(hdr[10:]))
+		maxBlocks = int(binary.LittleEndian.Uint64(hdr[16:]))
+		if k < 1 || m < 1 || BlockSize%k != 0 || maxBlocks <= 0 || maxBlocks > 1<<24 {
+			continue
+		}
+		return k, m, maxBlocks, nil
+	}
+	return 0, 0, 0, ErrBadKey
+}
+
+// OpenStore opens an existing protected image: it finds the
+// newest self-authenticated commit record across all shard files,
+// reads that epoch's MAC table (repairing rotted or missing table
+// shards from parity), and verifies the root MAC. Up to m lost or
+// corrupted shards per stripe — including whole missing backing
+// files — are tolerated and repaired in place.
 func OpenStore(h *hostos.Host, name string, key Key) (*BlockStore, error) {
-	hdr := make([]byte, headerSize)
-	if n, err := h.ReadFileAt(name, 0, hdr); err != nil || n < headerSize {
-		return nil, fmt.Errorf("%w: truncated header", ErrBadKey)
+	k, m, maxBlocks, err := openGeometry(h, name)
+	if err != nil {
+		return nil, err
 	}
-	if string(hdr[:8]) != string(pfsMagic[:]) {
-		return nil, ErrBadKey
-	}
-	maxBlocks := int(binary.LittleEndian.Uint64(hdr[8:]))
-	epoch := binary.LittleEndian.Uint64(hdr[16:])
-	if maxBlocks <= 0 || maxBlocks > 1<<24 {
+	rs, err := newRS(k, m)
+	if err != nil {
 		return nil, ErrBadKey
 	}
 	aesKey, macKey := deriveKeys(key)
 	s := &BlockStore{
 		host: h, name: name, aesKey: aesKey, macKey: macKey,
-		maxBlocks: maxBlocks, epoch: epoch,
+		maxBlocks: maxBlocks, k: k, m: m, rs: rs,
 		versions:     make([]uint64, maxBlocks),
 		slots:        make([]uint8, maxBlocks),
 		macs:         make([][32]byte, maxBlocks),
 		epochWritten: make([]bool, maxBlocks),
 	}
-	table := make([]byte, maxBlocks*macEntrySize)
-	if n, err := h.ReadFileAt(name, headerSize, table); err != nil || n < len(table) {
-		return nil, fmt.Errorf("%w: truncated table", ErrCorrupt)
+
+	// Collect every valid commit record, newest epoch first. Records are
+	// per-file replicas: any one survivor publishes the commit.
+	type candidate struct {
+		epoch uint64
+		root  [32]byte
 	}
-	for i := 0; i < maxBlocks; i++ {
+	var cands []candidate
+	seen := make(map[uint64]bool)
+	for f := 0; f < s.nFiles(); f++ {
+		for rslot := 0; rslot < 2; rslot++ {
+			rec := make([]byte, commitRecordSize)
+			n, rerr := h.ReadFileAt(s.fileName(f), fileHeaderSize+rslot*commitRecordSize, rec)
+			if rerr != nil || n < commitRecordSize {
+				continue
+			}
+			want := s.recMAC(rec[:48])
+			if !hmac.Equal(want[:], rec[48:80]) {
+				continue
+			}
+			epoch := binary.LittleEndian.Uint64(rec[0:])
+			if int(binary.LittleEndian.Uint64(rec[8:])) != maxBlocks {
+				continue
+			}
+			if epoch&1 != uint64(rslot&1) {
+				continue // a record can only live in its own A/B slot
+			}
+			if !seen[epoch] {
+				seen[epoch] = true
+				var c candidate
+				c.epoch = epoch
+				copy(c.root[:], rec[16:48])
+				cands = append(cands, c)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		// Headers were fine but no record authenticates under this key.
+		return nil, ErrBadKey
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].epoch > cands[j-1].epoch; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+
+	// Try candidates newest-first: load that epoch's table slot and
+	// check the root MAC. Torn later commits simply fall through to the
+	// previous fully-committed epoch.
+	for _, c := range cands {
+		if s.loadTable(c.epoch, c.root) {
+			s.epoch = c.epoch
+			return s, nil
+		}
+	}
+	return nil, ErrCorrupt
+}
+
+// loadTable reads the MAC table from epoch's A/B table slot (with shard
+// repair) and installs it if the root MAC matches. Caller holds no lock
+// (open path) — the store is not yet shared.
+func (s *BlockStore) loadTable(epoch uint64, wantRoot [32]byte) bool {
+	slot := int(epoch & 1)
+	T := s.tableStripes()
+	table := make([]byte, T*BlockSize)
+	for j := 0; j < T; j++ {
+		pay, err := s.readStripe(slot*T+j, nil)
+		if err != nil {
+			return false
+		}
+		copy(table[j*BlockSize:], pay)
+	}
+	for i := 0; i < s.maxBlocks; i++ {
 		e := table[i*macEntrySize:]
 		s.versions[i] = binary.LittleEndian.Uint64(e)
 		s.slots[i] = uint8(binary.LittleEndian.Uint64(e[8:]) & 1)
 		copy(s.macs[i][:], e[16:48])
 	}
-	// Verify the root MAC over epoch + table.
-	want := s.rootMAC()
-	if !hmac.Equal(want[:], hdr[24:56]) {
-		return nil, ErrCorrupt
-	}
-	return s, nil
+	s.epoch = epoch
+	got := s.rootMAC()
+	return hmac.Equal(got[:], wantRoot[:])
 }
 
 // OpenStoreAt opens an existing protected image and additionally checks
 // the committed epoch against a trusted witness (an SGX monotonic
 // counter in the paper's deployment; the caller's in-enclave memory
-// here). Without the witness, a host that rolls header, MAC table and
+// here). Without the witness, a host that rolls records, MAC table and
 // data back to an older fully-consistent snapshot is undetectable; with
 // it, any stale epoch fails closed.
 func OpenStoreAt(h *hostos.Host, name string, key Key, wantEpoch uint64) (*BlockStore, error) {
@@ -188,7 +430,11 @@ func OpenStoreAt(h *hostos.Host, name string, key Key, wantEpoch uint64) (*Block
 // Epoch returns the current commit epoch (bumped by every Flush). A
 // caller that persists it in trusted storage can detect full-image
 // rollback via OpenStoreAt.
-func (s *BlockStore) Epoch() uint64 { return s.epoch }
+func (s *BlockStore) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
 
 func (s *BlockStore) rootMAC() [32]byte {
 	mac := hmac.New(sha256.New, s.macKey)
@@ -206,12 +452,169 @@ func (s *BlockStore) rootMAC() [32]byte {
 	return out
 }
 
-// MaxBlocks returns the device capacity in blocks.
-func (s *BlockStore) MaxBlocks() int { return s.maxBlocks }
+// --- Stripe I/O -----------------------------------------------------------
 
-func (s *BlockStore) blockOffset(i int, slot uint8) int {
-	return headerSize + s.maxBlocks*macEntrySize + (2*i+int(slot&1))*BlockSize
+// writeStripe splits a BlockSize payload into k data shards, encodes m
+// parity shards, and writes one crc-trailed cell per backing file.
+func (s *BlockStore) writeStripe(st int, payload []byte) {
+	ss := s.shardSize()
+	shards := make([][]byte, s.nFiles())
+	for d := 0; d < s.k; d++ {
+		shards[d] = payload[d*ss : (d+1)*ss]
+	}
+	for p := 0; p < s.m; p++ {
+		shards[s.k+p] = make([]byte, ss)
+	}
+	s.rs.encode(shards)
+	for f := 0; f < s.nFiles(); f++ {
+		s.writeCell(f, st, shards[f])
+	}
 }
+
+// writeCell writes one shard cell (payload + crc trailer).
+func (s *BlockStore) writeCell(f, st int, shard []byte) {
+	cell := make([]byte, s.cellSize())
+	copy(cell, shard)
+	binary.LittleEndian.PutUint32(cell[s.shardSize():], crc32.ChecksumIEEE(shard))
+	s.host.WriteFileAt(s.fileName(f), s.cellOff(st), cell)
+}
+
+// readStripe reassembles stripe st's payload, repairing as it goes.
+//
+// Shards are classified by the crc32 locator: missing files, short
+// reads and crc mismatches are excluded, and the payload is
+// reconstructed from any k survivors. verify is the authenticity gate —
+// for block stripes it checks the per-block HMAC against the MAC table;
+// nil (table stripes during open) defers to the caller's root-MAC
+// check. A payload that fails verify is NEVER served: if the crc-guided
+// decode does not authenticate (a tamperer can forge crc trailers), a
+// bounded search over k-subsets of the readable shards looks for any
+// combination that does. Only after the payload authenticates are bad
+// shards rewritten in place (repair-on-read) — so repair can restore
+// accidental damage but can never launder adversarial bytes into the
+// device.
+func (s *BlockStore) readStripe(st int, verify func([]byte) bool) ([]byte, error) {
+	n := s.nFiles()
+	ss := s.shardSize()
+	raw := make([][]byte, n) // full-length shard payloads (nil: unreadable)
+	crcOK := make([]bool, n)
+	nCrcOK := 0
+	for f := 0; f < n; f++ {
+		cell := make([]byte, s.cellSize())
+		cnt, err := s.host.ReadFileAt(s.fileName(f), s.cellOff(st), cell)
+		if err != nil || cnt < s.cellSize() {
+			continue // missing file, truncated file, or short read
+		}
+		raw[f] = cell[:ss]
+		if binary.LittleEndian.Uint32(cell[ss:]) == crc32.ChecksumIEEE(raw[f]) {
+			crcOK[f] = true
+			nCrcOK++
+		}
+	}
+
+	// First attempt: trust the crc locators.
+	if nCrcOK >= s.k {
+		if pay, ok := s.tryDecode(raw, crcOK, verify); ok {
+			s.repairFrom(st, pay, crcOK)
+			return pay, nil
+		}
+	}
+	// The crc-guided decode failed authentication (or too few shards
+	// passed crc): search k-subsets of everything readable. This covers
+	// a tamperer who fixed up crc trailers over corrupted shards.
+	if verify != nil {
+		readable := make([]int, 0, n)
+		for f := 0; f < n; f++ {
+			if raw[f] != nil {
+				readable = append(readable, f)
+			}
+		}
+		if len(readable) >= s.k && n <= 16 {
+			for mask := 0; mask < 1<<uint(len(readable)); mask++ {
+				if popcount(mask) != s.k {
+					continue
+				}
+				sel := make([]bool, n)
+				for bi, f := range readable {
+					if mask&(1<<uint(bi)) != 0 {
+						sel[f] = true
+					}
+				}
+				if pay, ok := s.tryDecode(raw, sel, verify); ok {
+					s.repairFrom(st, pay, sel)
+					return pay, nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: stripe %d unrecoverable", ErrCorrupt, st)
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// tryDecode reconstructs the stripe payload from the shards selected by
+// use, then authenticates it with verify (nil accepts — the caller
+// authenticates the assembled whole separately).
+func (s *BlockStore) tryDecode(raw [][]byte, use []bool, verify func([]byte) bool) ([]byte, bool) {
+	shards := make([][]byte, s.nFiles())
+	present := make([]bool, s.nFiles())
+	for f, ok := range use {
+		if ok {
+			shards[f] = append([]byte(nil), raw[f]...)
+			present[f] = true
+		}
+	}
+	if err := s.rs.reconstruct(shards, present); err != nil {
+		return nil, false
+	}
+	pay := make([]byte, BlockSize)
+	ss := s.shardSize()
+	for d := 0; d < s.k; d++ {
+		copy(pay[d*ss:], shards[d])
+	}
+	if verify != nil && !verify(pay) {
+		return nil, false
+	}
+	return pay, true
+}
+
+// repairFrom rewrites every shard of stripe st that was NOT part of the
+// authenticated decode (trusted[f] == false), re-deriving it from the
+// verified payload. Called only after verify passed.
+func (s *BlockStore) repairFrom(st int, payload []byte, trusted []bool) {
+	nBad := 0
+	for _, ok := range trusted {
+		if !ok {
+			nBad++
+		}
+	}
+	if nBad == 0 {
+		return
+	}
+	ss := s.shardSize()
+	shards := make([][]byte, s.nFiles())
+	for d := 0; d < s.k; d++ {
+		shards[d] = payload[d*ss : (d+1)*ss]
+	}
+	for p := 0; p < s.m; p++ {
+		shards[s.k+p] = make([]byte, ss)
+	}
+	s.rs.encode(shards)
+	for f := 0; f < s.nFiles(); f++ {
+		if !trusted[f] {
+			s.writeCell(f, st, shards[f])
+			fsStats.repairedShards.Add(1)
+		}
+	}
+}
+
+// --- Block I/O ------------------------------------------------------------
 
 func (s *BlockStore) keystream(i int, version uint64, dst, src []byte) {
 	block, err := aes.NewCipher(s.aesKey)
@@ -241,6 +644,8 @@ func (s *BlockStore) blockMAC(i int, version uint64, ct []byte) [32]byte {
 // The first write of a block after a Flush lands on its shadow slot, so
 // the last-committed ciphertext survives until the next commit.
 func (s *BlockStore) WriteBlock(i int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if i < 0 || i >= s.maxBlocks {
 		return fmt.Errorf("fs: block %d out of range", i)
 	}
@@ -257,26 +662,33 @@ func (s *BlockStore) WriteBlock(i int, data []byte) error {
 	ct := make([]byte, BlockSize)
 	s.keystream(i, s.versions[i], ct, pt)
 	s.macs[i] = s.blockMAC(i, s.versions[i], ct)
-	s.host.WriteFileAt(s.name, s.blockOffset(i, s.slots[i]), ct)
+	s.writeStripe(s.blockStripe(i, s.slots[i]), ct)
 	s.dirtyHdr = true
+	s.mutated()
 	return nil
 }
 
-// ReadBlock fetches, verifies and decrypts one block. A never-written
-// block reads as zeros.
+// ReadBlock fetches, verifies and decrypts one block, transparently
+// repairing up to m lost or corrupted shards of its stripe. A
+// never-written block reads as zeros.
 func (s *BlockStore) ReadBlock(i int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readBlockLocked(i)
+}
+
+func (s *BlockStore) readBlockLocked(i int) ([]byte, error) {
 	if i < 0 || i >= s.maxBlocks {
 		return nil, fmt.Errorf("fs: block %d out of range", i)
 	}
 	if s.versions[i] == 0 {
 		return make([]byte, BlockSize), nil
 	}
-	ct := make([]byte, BlockSize)
-	if n, err := s.host.ReadFileAt(s.name, s.blockOffset(i, s.slots[i]), ct); err != nil || n < BlockSize {
-		return nil, fmt.Errorf("%w: block %d missing", ErrCorrupt, i)
-	}
-	want := s.blockMAC(i, s.versions[i], ct)
-	if !hmac.Equal(want[:], s.macs[i][:]) {
+	ct, err := s.readStripe(s.blockStripe(i, s.slots[i]), func(ct []byte) bool {
+		want := s.blockMAC(i, s.versions[i], ct)
+		return hmac.Equal(want[:], s.macs[i][:])
+	})
+	if err != nil {
 		return nil, fmt.Errorf("%w: block %d", ErrCorrupt, i)
 	}
 	pt := make([]byte, BlockSize)
@@ -285,28 +697,197 @@ func (s *BlockStore) ReadBlock(i int) ([]byte, error) {
 }
 
 // Flush commits the version table and root MAC. Data blocks are written
-// through on WriteBlock (to shadow slots); the commit is a single host
-// write covering header + table, so a crash cannot leave a header that
-// authenticates a half-written table: the host file holds either the
-// previous committed state or this one.
+// through on WriteBlock (to shadow stripe slots), so nothing the
+// last-committed table references is touched here: the new table lands
+// in its own A/B table slot, and only then do the per-file commit
+// records publish it. A crash at any cut leaves either the previous
+// commit or this one fully intact — torn stripes only ever hit
+// uncommitted slots, and a torn record fails its own HMAC and is
+// ignored by open.
 func (s *BlockStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.epoch++
-	buf := make([]byte, headerSize+s.maxBlocks*macEntrySize)
-	copy(buf, pfsMagic[:])
-	binary.LittleEndian.PutUint64(buf[8:], uint64(s.maxBlocks))
-	binary.LittleEndian.PutUint64(buf[16:], s.epoch)
-	root := s.rootMAC()
-	copy(buf[24:], root[:])
+	slot := int(s.epoch & 1)
+	T := s.tableStripes()
+	table := make([]byte, T*BlockSize)
 	for i := 0; i < s.maxBlocks; i++ {
-		e := buf[headerSize+i*macEntrySize:]
+		e := table[i*macEntrySize:]
 		binary.LittleEndian.PutUint64(e, s.versions[i])
 		binary.LittleEndian.PutUint64(e[8:], uint64(s.slots[i]))
 		copy(e[16:], s.macs[i][:])
 	}
-	s.host.WriteFileAt(s.name, 0, buf)
+	for j := 0; j < T; j++ {
+		s.writeStripe(slot*T+j, table[j*BlockSize:(j+1)*BlockSize])
+	}
+	rec := s.commitRecord(s.epoch, s.rootMAC())
+	for f := 0; f < s.nFiles(); f++ {
+		s.host.WriteFileAt(s.fileName(f), fileHeaderSize+slot*commitRecordSize, rec)
+	}
 	for i := range s.epochWritten {
 		s.epochWritten[i] = false
 	}
 	s.dirtyHdr = false
+	s.mutated()
 	return nil
+}
+
+// mutated bumps the scrub generation. Caller holds s.mu.
+func (s *BlockStore) mutated() {
+	s.scrubGen++
+	s.scrubClean = false
+}
+
+// --- Scrub and repair -----------------------------------------------------
+
+// ScrubStep verifies up to n blocks' committed stripes against the MAC
+// table, repairing any rotted or missing shards it finds, and advances a
+// persistent cursor. When a full pass completes with no concurrent
+// mutation, the store latches clean and ScrubStep returns false until
+// the next WriteBlock/Flush — so an idle LibOS eventually goes quiet
+// instead of re-reading a clean device forever.
+//
+// Returns whether any work was done, and the first unrecoverable error
+// encountered (scrubbing continues past errors so one dead stripe does
+// not shadow the rest).
+func (s *BlockStore) ScrubStep(n int) (worked bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scrubClean {
+		return false, nil
+	}
+	if s.scrubCursor == 0 {
+		s.scrubPassGen = s.scrubGen
+	}
+	for done := 0; done < n && s.scrubCursor < s.maxBlocks; done++ {
+		i := s.scrubCursor
+		s.scrubCursor++
+		worked = true
+		if s.versions[i] == 0 {
+			continue
+		}
+		if _, rerr := s.readBlockLocked(i); rerr != nil && err == nil {
+			err = rerr
+		}
+		fsStats.scrubbedBlocks.Add(1)
+	}
+	if s.scrubCursor >= s.maxBlocks {
+		// End of pass: scrub the committed table and records too (only
+		// meaningful when memory matches disk), then decide cleanliness.
+		worked = true
+		if !s.dirtyHdr {
+			if rerr := s.scrubTableLocked(); rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+		s.scrubCursor = 0
+		if s.scrubGen == s.scrubPassGen {
+			s.scrubClean = true
+		}
+	}
+	return worked, err
+}
+
+// scrubTableLocked re-derives the committed table stripes, commit record
+// and file headers from in-memory state and rewrites any on-disk shard
+// that disagrees. Unlike block scrubbing this needs no parity decode:
+// memory holds the authenticated truth. Caller holds s.mu and has
+// checked !s.dirtyHdr.
+func (s *BlockStore) scrubTableLocked() error {
+	slot := int(s.epoch & 1)
+	T := s.tableStripes()
+	ss := s.shardSize()
+	table := make([]byte, T*BlockSize)
+	for i := 0; i < s.maxBlocks; i++ {
+		e := table[i*macEntrySize:]
+		binary.LittleEndian.PutUint64(e, s.versions[i])
+		binary.LittleEndian.PutUint64(e[8:], uint64(s.slots[i]))
+		copy(e[16:], s.macs[i][:])
+	}
+	for j := 0; j < T; j++ {
+		st := slot*T + j
+		pay := table[j*BlockSize : (j+1)*BlockSize]
+		shards := make([][]byte, s.nFiles())
+		for d := 0; d < s.k; d++ {
+			shards[d] = pay[d*ss : (d+1)*ss]
+		}
+		for p := 0; p < s.m; p++ {
+			shards[s.k+p] = make([]byte, ss)
+		}
+		s.rs.encode(shards)
+		for f := 0; f < s.nFiles(); f++ {
+			cell := make([]byte, s.cellSize())
+			cnt, rerr := s.host.ReadFileAt(s.fileName(f), s.cellOff(st), cell)
+			want := make([]byte, s.cellSize())
+			copy(want, shards[f])
+			binary.LittleEndian.PutUint32(want[ss:], crc32.ChecksumIEEE(shards[f]))
+			if rerr != nil || cnt < s.cellSize() || string(cell) != string(want) {
+				s.host.WriteFileAt(s.fileName(f), s.cellOff(st), want)
+				fsStats.repairedShards.Add(1)
+			}
+		}
+	}
+	rec := s.commitRecord(s.epoch, s.rootMAC())
+	for f := 0; f < s.nFiles(); f++ {
+		got := make([]byte, commitRecordSize)
+		cnt, rerr := s.host.ReadFileAt(s.fileName(f), fileHeaderSize+slot*commitRecordSize, got)
+		if rerr != nil || cnt < commitRecordSize || string(got) != string(rec) {
+			s.host.WriteFileAt(s.fileName(f), fileHeaderSize+slot*commitRecordSize, rec)
+			fsStats.repairedShards.Add(1)
+		}
+		hdr := s.fileHeader(f)
+		gotHdr := make([]byte, fileHeaderSize)
+		cnt, rerr = s.host.ReadFileAt(s.fileName(f), 0, gotHdr)
+		if rerr != nil || cnt < fileHeaderSize || string(gotHdr) != string(hdr) {
+			s.host.WriteFileAt(s.fileName(f), 0, hdr)
+			fsStats.repairedShards.Add(1)
+		}
+	}
+	return nil
+}
+
+// Scrub runs ScrubStep to completion: one full verify-and-repair pass
+// over every committed block plus the table. Returns blocks scrubbed
+// and the first unrecoverable error.
+func (s *BlockStore) Scrub() (blocks int, err error) {
+	before := fsStats.scrubbedBlocks.Load()
+	for {
+		worked, serr := s.ScrubStep(64)
+		if serr != nil && err == nil {
+			err = serr
+		}
+		if !worked {
+			return int(fsStats.scrubbedBlocks.Load() - before), err
+		}
+	}
+}
+
+// Repair rebuilds every damaged or missing shard of the committed state
+// — the offline recovery path after losing an entire backing file. It
+// restores file headers and the commit record on every shard file, then
+// walks all committed stripes re-verifying (and re-writing) shards
+// against the MAC table. Returns the number of shards rebuilt. The store
+// must be freshly opened or flushed (no uncommitted writes), because
+// repair re-derives on-disk state from the last commit.
+func (s *BlockStore) Repair() (rebuilt int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirtyHdr {
+		return 0, fmt.Errorf("fs: repair requires a clean (flushed) store")
+	}
+	before := fsStats.repairedShards.Load()
+	if rerr := s.scrubTableLocked(); rerr != nil {
+		err = rerr
+	}
+	for i := 0; i < s.maxBlocks; i++ {
+		if s.versions[i] == 0 {
+			continue
+		}
+		if _, rerr := s.readBlockLocked(i); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	rebuilt = int(fsStats.repairedShards.Load() - before)
+	fsStats.rebuiltShards.Add(uint64(rebuilt))
+	return rebuilt, err
 }

@@ -2,16 +2,26 @@ package fs
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 
 	"repro/internal/hostos"
 )
 
 // This file is the BlockStore half of the tamper battery the image
-// layer's TestImageTamperAnyBit mirrors: single bit-flips in any live
-// data slot, MAC-table rollback to a stale epoch, and truncated backing
-// files must all fail closed with a verification error.
+// layer's TestImageTamperAnyBit mirrors, updated for the erasure-coded
+// layout. The envelope it pins down:
+//
+//   - accidental damage to at most m shards of a stripe (bit-rot, torn
+//     or truncated cells, a whole deleted backing file) is repaired
+//     transparently, and only after the reconstruction re-verifies
+//     against the MAC table;
+//   - damage beyond m shards, and any adversarial tampering — even one
+//     that keeps data, parity and crc trailers mutually consistent —
+//     fails closed with ErrCorrupt. Parity reconstructs bytes; it never
+//     authenticates them.
 
 func newTamperStore(t *testing.T) (*hostos.Host, *BlockStore, Key) {
 	t.Helper()
@@ -32,35 +42,152 @@ func newTamperStore(t *testing.T) (*hostos.Host, *BlockStore, Key) {
 	return h, s, key
 }
 
-// TestBlockStoreBitFlipAnyDataBlock flips one bit in every byte-offset
-// sample of every block's live ciphertext slot: each read must fail
-// with ErrCorrupt, and a fresh open must never yield the corrupt bytes
-// either.
-func TestBlockStoreBitFlipAnyDataBlock(t *testing.T) {
-	h, s, key := newTamperStore(t)
-	pristine, _ := h.ReadFile("dev")
-	for blk := 0; blk < 8; blk++ {
-		for _, within := range []int{0, 1, BlockSize / 2, BlockSize - 1} {
-			h.WriteFile("dev", pristine)
-			off := s.blockOffset(blk, s.slots[blk]) + within
-			if err := h.TamperFile("dev", off); err != nil {
-				t.Fatal(err)
-			}
-			if _, err := s.ReadBlock(blk); !errors.Is(err, ErrCorrupt) {
-				t.Fatalf("block %d offset %d: err = %v, want ErrCorrupt", blk, within, err)
-			}
-			// Same through a fresh mount of the tampered image.
-			s2, err := OpenStore(h, "dev", key)
-			if err == nil {
-				_, err = s2.ReadBlock(blk)
-			}
-			errAny(t, err, ErrCorrupt, ErrBadKey)
-		}
+// wantBlock asserts block i of the tamper store reads back intact.
+func wantBlock(t *testing.T, s *BlockStore, i int) {
+	t.Helper()
+	got, err := s.ReadBlock(i)
+	if err != nil {
+		t.Fatalf("block %d: %v", i, err)
+	}
+	if !bytes.Equal(got[:3], []byte{byte(i), 0xEE, byte(i)}) {
+		t.Fatalf("block %d content mangled: % x", i, got[:3])
 	}
 }
 
-// TestBlockStoreStaleEpochRollback rolls the header + MAC table back to
-// an earlier epoch. Because the A/B slots deliberately preserve the
+// TestBlockStoreBitFlipAnyShardRepaired flips one bit in every
+// byte-offset sample of every block's live cell, in each backing file in
+// turn: the read must succeed with the original content (repaired from
+// parity), and so must a read through a fresh open of the damaged image.
+func TestBlockStoreBitFlipAnyShardRepaired(t *testing.T) {
+	h, s, key := newTamperStore(t)
+	pristine := h.CopyFiles("dev.s*")
+	ss := s.shardSize()
+	for blk := 0; blk < 8; blk++ {
+		for _, within := range []int{0, 1, ss / 2, ss - 1} {
+			for f := 0; f < s.nFiles(); f++ {
+				h.PutFiles(pristine)
+				off := s.cellOff(s.blockStripe(blk, s.slots[blk])) + within
+				if err := h.FlipBit(s.fileName(f), off); err != nil {
+					t.Fatal(err)
+				}
+				before := Stats().RepairedShards
+				wantBlock(t, s, blk)
+				if Stats().RepairedShards == before {
+					t.Fatalf("block %d file %d: flip was not repaired", blk, f)
+				}
+				// The repair must have stuck: pristine bytes again on disk.
+				wantBlock(t, s, blk)
+
+				// Same through a fresh mount of the damaged image.
+				h.PutFiles(pristine)
+				_ = h.FlipBit(s.fileName(f), off)
+				s2, err := OpenStore(h, "dev", key)
+				if err != nil {
+					t.Fatalf("block %d file %d: open: %v", blk, f, err)
+				}
+				wantBlock(t, s2, blk)
+			}
+		}
+	}
+	h.PutFiles(pristine)
+}
+
+// TestBlockStoreBeyondParityFailsClosed: damage to m+1 shards of one
+// stripe is past the code's reach and must fail closed — never serve
+// wrong bytes, never panic.
+func TestBlockStoreBeyondParityFailsClosed(t *testing.T) {
+	h, s, key := newTamperStore(t)
+	_, m := s.Geometry()
+	off := s.cellOff(s.blockStripe(5, s.slots[5])) + 7
+	for f := 0; f <= m; f++ {
+		if err := h.FlipBit(s.fileName(f), off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.ReadBlock(5); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("m+1 corrupt shards: err = %v, want ErrCorrupt", err)
+	}
+	// Other blocks are untouched.
+	wantBlock(t, s, 4)
+	// Fresh open still works (table intact) but the dead block stays dead.
+	s2, err := OpenStore(h, "dev", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.ReadBlock(5); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("m+1 corrupt shards after reopen: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestBlockStoreAdversarialConsistentTamper forges a whole stripe the
+// way a hostile host would: attacker-chosen data shards with correctly
+// recomputed parity and crc trailers. The erasure decode succeeds — the
+// stripe is internally flawless — so the only thing standing between
+// the forged bytes and the caller is the MAC re-verification. The read
+// must fail closed, and must NOT "repair" any real shard from the
+// forged ones.
+func TestBlockStoreAdversarialConsistentTamper(t *testing.T) {
+	h, s, _ := newTamperStore(t)
+	k, m := s.Geometry()
+	ss := s.shardSize()
+	rs, err := newRS(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := bytes.Repeat([]byte{0x5A}, BlockSize)
+	shards := make([][]byte, k+m)
+	for d := 0; d < k; d++ {
+		shards[d] = forged[d*ss : (d+1)*ss]
+	}
+	for p := 0; p < m; p++ {
+		shards[k+p] = make([]byte, ss)
+	}
+	rs.encode(shards)
+	off := s.cellOff(s.blockStripe(2, s.slots[2]))
+	for f := 0; f < k+m; f++ {
+		cell := make([]byte, ss+8)
+		copy(cell, shards[f])
+		binary.LittleEndian.PutUint32(cell[ss:], crc32.ChecksumIEEE(shards[f]))
+		h.WriteFileAt(s.fileName(f), off, cell)
+	}
+	if _, err := s.ReadBlock(2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("consistent forged stripe: err = %v, want ErrCorrupt", err)
+	}
+	wantBlock(t, s, 3)
+}
+
+// TestBlockStoreForgedCRCRepaired: an attacker corrupts one shard's
+// payload AND fixes up its crc trailer, so the locator lies. The
+// crc-guided decode then assembles wrong bytes — which the MAC rejects —
+// and the bounded subset search must find the honest k-subset, serve
+// the true content, and repair the forged shard.
+func TestBlockStoreForgedCRCRepaired(t *testing.T) {
+	h, s, _ := newTamperStore(t)
+	ss := s.shardSize()
+	off := s.cellOff(s.blockStripe(6, s.slots[6]))
+	cell := make([]byte, ss+8)
+	if n, err := h.ReadFileAt(s.fileName(1), off, cell); err != nil || n < len(cell) {
+		t.Fatal("short read of pristine cell")
+	}
+	cell[10] ^= 0xFF
+	binary.LittleEndian.PutUint32(cell[ss:], crc32.ChecksumIEEE(cell[:ss]))
+	h.WriteFileAt(s.fileName(1), off, cell)
+
+	before := Stats().RepairedShards
+	wantBlock(t, s, 6)
+	if Stats().RepairedShards == before {
+		t.Fatal("forged-crc shard was not repaired")
+	}
+	// Repair wrote honest bytes back over the forgery.
+	after := make([]byte, ss+8)
+	h.ReadFileAt(s.fileName(1), off, after)
+	if bytes.Equal(after[:ss], cell[:ss]) {
+		t.Fatal("forged shard still on disk after repair")
+	}
+}
+
+// TestBlockStoreStaleEpochRollback rolls every backing file back to an
+// earlier epoch. Because the A/B slots deliberately preserve the
 // previous epoch's ciphertext (that is what makes crashes recoverable),
 // the rolled-back image is fully self-consistent — indistinguishable
 // from a real old disk. Catching it therefore requires the trusted
@@ -69,7 +196,7 @@ func TestBlockStoreBitFlipAnyDataBlock(t *testing.T) {
 // mix.
 func TestBlockStoreStaleEpochRollback(t *testing.T) {
 	h, s, key := newTamperStore(t)
-	oldImage, _ := h.ReadFile("dev")
+	oldImage := h.CopyFiles("dev.s*")
 	oldEpoch := s.Epoch()
 
 	if err := s.WriteBlock(3, []byte("new generation")); err != nil {
@@ -83,8 +210,9 @@ func TestBlockStoreStaleEpochRollback(t *testing.T) {
 		t.Fatal("flush did not advance the epoch")
 	}
 
-	// Host rolls header+table (and data) back wholesale.
-	h.WriteFile("dev", oldImage)
+	// Host rolls records, table and data back wholesale.
+	h.DropFiles("dev.s*")
+	h.PutFiles(oldImage)
 	if _, err := OpenStoreAt(h, "dev", key, trustedEpoch); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("stale epoch with witness: err = %v, want ErrCorrupt", err)
 	}
@@ -102,16 +230,18 @@ func TestBlockStoreStaleEpochRollback(t *testing.T) {
 		t.Fatal("rollback served mixed-generation data")
 	}
 
-	// Partial rollback — a stale header+table over data that no longer
-	// matches it — is detectable even without a witness: the stale
-	// table's MACs bind the old versions. Corrupt both slots of block 3
-	// so neither generation's ciphertext survives.
-	h.WriteFile("dev", oldImage)
-	if err := h.TamperFile("dev", s.blockOffset(3, 0)+10); err != nil {
-		t.Fatal(err)
-	}
-	if err := h.TamperFile("dev", s.blockOffset(3, 1)+10); err != nil {
-		t.Fatal(err)
+	// Partial rollback — a stale table over data that no longer matches
+	// it — is detectable even without a witness: the stale table's MACs
+	// bind the old versions. Corrupt both slots of block 3 beyond the
+	// parity's reach so neither generation's ciphertext survives.
+	h.DropFiles("dev.s*")
+	h.PutFiles(oldImage)
+	_, m := s.Geometry()
+	for _, slot := range []uint8{0, 1} {
+		off := s.cellOff(s.blockStripe(3, slot)) + 10
+		for f := 0; f <= m; f++ {
+			_ = h.FlipBit(s.fileName(f), off)
+		}
 	}
 	s3, err := OpenStore(h, "dev", key)
 	if err == nil {
@@ -120,26 +250,203 @@ func TestBlockStoreStaleEpochRollback(t *testing.T) {
 	errAny(t, err, ErrCorrupt, ErrBadKey)
 }
 
-// TestBlockStoreTruncated cuts the backing file at several lengths:
-// every cut must surface as ErrBadKey/ErrCorrupt at open or as
-// ErrCorrupt on the first read of a block whose slot fell off the end.
-func TestBlockStoreTruncated(t *testing.T) {
+// TestBlockStoreTruncatedOneFile cuts a single backing file at every
+// interesting point — inside the header, inside each commit record,
+// just into the shard area, mid-data, one byte short. Each cut is at
+// most one lost shard per stripe, so open must succeed and EVERY block
+// must read back intact (short reads surface as repairable shard loss,
+// never as zero-fill or a panic).
+func TestBlockStoreTruncatedOneFile(t *testing.T) {
 	h, s, key := newTamperStore(t)
-	pristine, _ := h.ReadFile("dev")
-	tableEnd := headerSize + 8*macEntrySize
-	for _, cut := range []int{0, headerSize - 1, headerSize + 3, tableEnd - 1,
-		tableEnd + BlockSize, len(pristine) / 2, len(pristine) - 1} {
-		h.WriteFile("dev", pristine[:cut])
+	pristine := h.CopyFiles("dev.s*")
+	size := h.FileSize(s.fileName(1))
+	cuts := []int{0, fileHeaderSize - 1, fileHeaderSize + 3,
+		fileHeaderSize + commitRecordSize + 8, shardDataStart - 1,
+		shardDataStart + 3, size / 2, size - 1}
+	for _, cut := range cuts {
+		h.PutFiles(pristine)
+		trunc := append([]byte(nil), pristine[s.fileName(1)][:cut]...)
+		h.RemoveFile(s.fileName(1))
+		h.WriteFile(s.fileName(1), trunc)
 		s2, err := OpenStore(h, "dev", key)
-		if err == nil {
-			for blk := 0; blk < 8 && err == nil; blk++ {
-				_, err = s2.ReadBlock(blk)
-			}
+		if err != nil {
+			t.Fatalf("cut at %d: open: %v", cut, err)
 		}
-		if err == nil {
-			t.Fatalf("truncation to %d bytes went undetected", cut)
+		for blk := 0; blk < 8; blk++ {
+			wantBlock(t, s2, blk)
 		}
-		errAny(t, err, ErrCorrupt, ErrBadKey)
 	}
+	h.PutFiles(pristine)
 	_ = s
+}
+
+// TestBlockStoreTruncatedBeyondParity cuts m+1 backing files mid-data:
+// blocks whose cells fell off the cut ends must fail with ErrCorrupt
+// (not zeros, not a panic); blocks before the cut still read fine.
+func TestBlockStoreTruncatedBeyondParity(t *testing.T) {
+	h, s, key := newTamperStore(t)
+	_, m := s.Geometry()
+	// Cut right after block 3's later slot: blocks 0..3 keep all shards,
+	// blocks 4..7 lose one shard per truncated file.
+	cut := s.cellOff(s.blockStripe(4, 0))
+	for f := 0; f <= m; f++ {
+		name := s.fileName(f)
+		raw, err := h.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.RemoveFile(name)
+		h.WriteFile(name, raw[:cut])
+	}
+	s2, err := OpenStore(h, "dev", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blk := 0; blk < 4; blk++ {
+		wantBlock(t, s2, blk)
+	}
+	for blk := 4; blk < 8; blk++ {
+		if _, err := s2.ReadBlock(blk); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("block %d beyond m+1 cuts: err = %v, want ErrCorrupt", blk, err)
+		}
+	}
+	// Truncating every file to nothing must refuse to open entirely.
+	for f := 0; f < s.nFiles(); f++ {
+		name := s.fileName(f)
+		h.RemoveFile(name)
+		h.WriteFile(name, []byte{})
+	}
+	if _, err := OpenStore(h, "dev", key); err == nil {
+		t.Fatal("fully truncated image opened")
+	}
+}
+
+// TestBlockStoreDeletedFileRepaired: the host deletes an entire backing
+// file. Open and every read must still succeed, and Repair must rebuild
+// the file so a SECOND file loss later is also survivable.
+func TestBlockStoreDeletedFileRepaired(t *testing.T) {
+	h, s, key := newTamperStore(t)
+	lost := s.fileName(2)
+	h.RemoveFile(lost)
+
+	s2, err := OpenStore(h, "dev", key)
+	if err != nil {
+		t.Fatalf("open with deleted backing file: %v", err)
+	}
+	rebuilt, err := s2.Repair()
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if rebuilt == 0 {
+		t.Fatal("repair rebuilt nothing for a deleted file")
+	}
+	if h.FileSize(lost) == 0 {
+		t.Fatal("repair did not recreate the lost file")
+	}
+	for blk := 0; blk < 8; blk++ {
+		wantBlock(t, s2, blk)
+	}
+
+	// The rebuilt file now carries real redundancy: lose a DIFFERENT
+	// file and everything must still read.
+	h.RemoveFile(s.fileName(5))
+	s3, err := OpenStore(h, "dev", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blk := 0; blk < 8; blk++ {
+		wantBlock(t, s3, blk)
+	}
+}
+
+// TestBlockStoreScrubHealsRot rots shards across the image at rest,
+// then lets the scrubber walk the store: it must repair every damaged
+// stripe (counters prove work happened), latch clean on an idle store,
+// and wake up again after the next write.
+func TestBlockStoreScrubHealsRot(t *testing.T) {
+	h, s, _ := newTamperStore(t)
+	_, m := s.Geometry()
+	// Rot two shard files (= m, inside the envelope) across the block
+	// data area.
+	dataStart := s.cellOff(s.blockStripe(0, 0))
+	for f := 0; f < m; f++ {
+		h.CorruptFiles(s.fileName(f), dataStart, 0, 32, int64(f)+1)
+	}
+	before := Stats()
+	var worked bool
+	for {
+		w, err := s.ScrubStep(3)
+		if err != nil {
+			t.Fatalf("scrub: %v", err)
+		}
+		if !w {
+			break
+		}
+		worked = true
+	}
+	if !worked {
+		t.Fatal("scrub did no work on a rotted store")
+	}
+	d := Stats().Sub(before)
+	if d.ScrubbedBlocks == 0 || d.RepairedShards == 0 {
+		t.Fatalf("scrub counters: %+v", d)
+	}
+	// All content intact afterwards, with no faults left to mask.
+	for blk := 0; blk < 8; blk++ {
+		wantBlock(t, s, blk)
+	}
+	// Clean store: scrub is idle until the next mutation.
+	if w, _ := s.ScrubStep(64); w {
+		t.Fatal("scrub kept working on a clean store")
+	}
+	if err := s.WriteBlock(0, []byte{0, 0xEE, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := s.ScrubStep(64); !w {
+		t.Fatal("scrub did not wake after a write")
+	}
+}
+
+// TestBlockStoreRepairNeverLaunders is the property test for the repair
+// path's core invariant: whatever combination of shard corruption and
+// crc forgery the host applies, a ReadBlock either returns the exact
+// original content or ErrCorrupt — never different bytes. Repair can
+// restore truth; it can never invent it.
+func TestBlockStoreRepairNeverLaunders(t *testing.T) {
+	h, s, _ := newTamperStore(t)
+	pristine := h.CopyFiles("dev.s*")
+	ss := s.shardSize()
+	for trial := 0; trial < 64; trial++ {
+		h.PutFiles(pristine)
+		// Corrupt a pseudo-random subset of shards of block trial%8, with
+		// pseudo-random crc forgery.
+		blk := trial % 8
+		off := s.cellOff(s.blockStripe(blk, s.slots[blk]))
+		seed := uint32(trial)*2654435761 + 1
+		for f := 0; f < s.nFiles(); f++ {
+			seed = seed*1664525 + 1013904223
+			if seed%3 == 0 {
+				continue // leave this shard honest
+			}
+			cell := make([]byte, ss+8)
+			if n, err := h.ReadFileAt(s.fileName(f), off, cell); err != nil || n < len(cell) {
+				t.Fatal("short pristine read")
+			}
+			cell[int(seed)%ss] ^= byte(seed>>8) | 1
+			if seed%2 == 0 { // forge the locator too
+				binary.LittleEndian.PutUint32(cell[ss:], crc32.ChecksumIEEE(cell[:ss]))
+			}
+			h.WriteFileAt(s.fileName(f), off, cell)
+		}
+		got, err := s.ReadBlock(blk)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("trial %d: unexpected error class %v", trial, err)
+			}
+			continue
+		}
+		if !bytes.Equal(got[:3], []byte{byte(blk), 0xEE, byte(blk)}) {
+			t.Fatalf("trial %d: read returned WRONG bytes instead of failing closed", trial)
+		}
+	}
 }

@@ -664,11 +664,14 @@ func TestUnionUpperCorruptionFailsClosed(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Host tampers the whole encrypted data area, then the enclave
-	// "restarts" (remounts both layers from host bytes).
-	raw, _ := h.ReadFile("enc.img")
-	for off := headerSize + 2048*macEntrySize; off < len(raw); off += 512 {
-		_ = h.TamperFile("enc.img", off)
+	// Host tampers the whole encrypted block-data area in EVERY backing
+	// file (beyond any parity's reach), then the enclave "restarts"
+	// (remounts both layers from host bytes).
+	dataStart := store.cellOff(store.blockStripe(0, 0))
+	for _, name := range store.BackingFiles() {
+		for off := dataStart; off < h.FileSize(name); off += 512 {
+			_ = h.FlipBit(name, off)
+		}
 	}
 	store2, err := OpenStore(h, "enc.img", key)
 	if err != nil {

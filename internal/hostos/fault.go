@@ -1,0 +1,296 @@
+package hostos
+
+import (
+	"fmt"
+	"math/rand"
+	"path"
+	"time"
+)
+
+// This file is the host fault-injection layer: one composable surface
+// modeling everything a non-adversarial host can do to storage — power
+// loss mid-write-sequence, torn and short writes, bit-rot at rest,
+// media latency, and whole-file loss. Deliberately tampering a specific
+// bit (the *adversarial* host action) lives on the same surface
+// (FlipBit/CorruptFiles), so the filesystem's tamper, crash and
+// durability batteries all drive one engine instead of the historical
+// CrashWrites/HealWrites/TamperFile one-offs.
+//
+// Faults attach to files by glob pattern (path.Match, with exact-name
+// fallback) and stack in injection order: a write first passes every
+// matching crash budget, then torn-write truncation, then bit-rot.
+// Every randomized fault owns an explicitly-seeded PRNG, so a test
+// that injects with a fixed seed replays bit-identically.
+
+// faultKind discriminates Fault behaviors.
+type faultKind int
+
+const (
+	faultCrash faultKind = iota
+	faultTorn
+	faultBitRot
+	faultShortRead
+	faultReadLatency
+)
+
+// Fault is one composable fault-injection behavior, built by one of the
+// constructors below and armed with Host.Inject. A single Fault value
+// carries its own state (write budget, PRNG), so injecting the same
+// value under a multi-file pattern shares that state across all
+// matching files — CrashAfter(n) means n surviving writes across the
+// whole matched set, the storage view of one host losing power once.
+type Fault struct {
+	kind    faultKind
+	n       int // CrashAfter: surviving writes remaining
+	prob    float64
+	rng     *rand.Rand
+	latency time.Duration
+	tripped bool
+}
+
+// CrashAfter models a host crash during a write sequence: the next n
+// writes to matching files land, every later one is silently dropped
+// until Heal (the reboot). The budget is shared across all files the
+// pattern matches.
+func CrashAfter(n int) *Fault { return &Fault{kind: faultCrash, n: n} }
+
+// TornWrites makes each matching write, with probability prob, persist
+// only a prefix of the buffer (the torn tail is dropped). Deterministic
+// under seed.
+func TornWrites(prob float64, seed int64) *Fault {
+	return &Fault{kind: faultTorn, prob: prob, rng: rand.New(rand.NewSource(seed))}
+}
+
+// BitRot flips each written bit with probability prob as it lands on
+// the medium — persistent storage decay, deterministic under seed. Use
+// CorruptFiles to rot bytes already at rest.
+func BitRot(prob float64, seed int64) *Fault {
+	return &Fault{kind: faultBitRot, prob: prob, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ShortReads makes each matching ReadFileAt, with probability prob,
+// return only a prefix of the available bytes. Deterministic under
+// seed. Consumers must treat a short read as a fault, never as
+// zero-fill.
+func ShortReads(prob float64, seed int64) *Fault {
+	return &Fault{kind: faultShortRead, prob: prob, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ReadLatency delays every matching read by d — a degraded medium. The
+// sleep happens outside the host lock, so latency on one file does not
+// stall the whole host.
+func ReadLatency(d time.Duration) *Fault { return &Fault{kind: faultReadLatency, latency: d} }
+
+// injection is one armed (pattern, fault) pair.
+type injection struct {
+	pattern string
+	f       *Fault
+}
+
+func (in *injection) matches(name string) bool {
+	if in.pattern == name {
+		return true
+	}
+	ok, err := path.Match(in.pattern, name)
+	return err == nil && ok
+}
+
+// Inject arms faults on every file matching pattern (a path.Match glob,
+// or an exact name). Faults stack: matching injections apply in the
+// order they were armed, across Inject calls.
+func (h *Host) Inject(pattern string, faults ...*Fault) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, f := range faults {
+		h.faults = append(h.faults, &injection{pattern: pattern, f: f})
+	}
+}
+
+// Heal disarms every fault injected under exactly this pattern,
+// reporting whether any of them actually fired (a dropped or torn
+// write, a flipped bit, a shortened read).
+func (h *Host) Heal(pattern string) (tripped bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	kept := h.faults[:0]
+	for _, in := range h.faults {
+		if in.pattern == pattern {
+			tripped = tripped || in.f.tripped
+			continue
+		}
+		kept = append(kept, in)
+	}
+	h.faults = kept
+	return tripped
+}
+
+// FlipBit flips one bit of a stored file — the precise hostile-host
+// action the integrity batteries use.
+func (h *Host) FlipBit(name string, off int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, ok := h.files[name]
+	if !ok || off >= len(f) {
+		return ErrNoFile
+	}
+	f[off] ^= 0x80
+	return nil
+}
+
+// CorruptFiles flips nBits random bits in the byte range [from, to) of
+// every file matching pattern (to <= 0 means end of file), returning
+// how many bits were flipped in total. Deterministic under seed — the
+// at-rest form of BitRot, for rotting data that is already stored.
+func (h *Host) CorruptFiles(pattern string, from, to, nBits int, seed int64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rng := rand.New(rand.NewSource(seed))
+	flipped := 0
+	for _, name := range h.matchingFiles(pattern) {
+		f := h.files[name]
+		lo, hi := from, to
+		if hi <= 0 || hi > len(f) {
+			hi = len(f)
+		}
+		if lo >= hi {
+			continue
+		}
+		for i := 0; i < nBits; i++ {
+			off := lo + rng.Intn(hi-lo)
+			f[off] ^= 1 << uint(rng.Intn(8))
+			flipped++
+		}
+	}
+	return flipped
+}
+
+// DropFiles deletes every file matching pattern — a lost disk or an
+// rm-happy host — returning how many were removed.
+func (h *Host) DropFiles(pattern string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := h.matchingFiles(pattern)
+	for _, name := range names {
+		delete(h.files, name)
+	}
+	return len(names)
+}
+
+// CopyFiles snapshots every file matching pattern (for rollback-attack
+// and crash tests over multi-file layouts).
+func (h *Host) CopyFiles(pattern string) map[string][]byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string][]byte)
+	for _, name := range h.matchingFiles(pattern) {
+		out[name] = append([]byte(nil), h.files[name]...)
+	}
+	return out
+}
+
+// PutFiles stores (or replaces) a set of files wholesale, bypassing
+// write faults — the restore half of CopyFiles.
+func (h *Host) PutFiles(files map[string][]byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for name, data := range files {
+		h.files[name] = append([]byte(nil), data...)
+	}
+}
+
+// matchingFiles returns the names of stored files matching pattern.
+// Caller holds h.mu.
+func (h *Host) matchingFiles(pattern string) []string {
+	var names []string
+	for name := range h.files {
+		if pattern == name {
+			names = append(names, name)
+			continue
+		}
+		if ok, err := path.Match(pattern, name); err == nil && ok {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// applyWriteFaults runs p through every armed write fault matching
+// name. It returns the (possibly truncated or rotted) bytes to store,
+// or false to drop the write entirely. Caller holds h.mu; p is never
+// mutated in place.
+func (h *Host) applyWriteFaults(name string, p []byte) ([]byte, bool) {
+	for _, in := range h.faults {
+		if !in.matches(name) {
+			continue
+		}
+		switch f := in.f; f.kind {
+		case faultCrash:
+			if f.n <= 0 {
+				f.tripped = true
+				return nil, false
+			}
+			f.n--
+		case faultTorn:
+			if f.rng.Float64() < f.prob && len(p) > 0 {
+				f.tripped = true
+				p = p[:f.rng.Intn(len(p))]
+			}
+		case faultBitRot:
+			var rotted []byte
+			for i := range p {
+				for bit := 0; bit < 8; bit++ {
+					if f.rng.Float64() < f.prob {
+						if rotted == nil {
+							rotted = append([]byte(nil), p...)
+						}
+						rotted[i] ^= 1 << uint(bit)
+						f.tripped = true
+					}
+				}
+			}
+			if rotted != nil {
+				p = rotted
+			}
+		}
+	}
+	return p, true
+}
+
+// applyReadFaults post-processes a ReadFileAt result, returning the
+// (possibly shortened) byte count and any latency to serve outside the
+// lock. Caller holds h.mu.
+func (h *Host) applyReadFaults(name string, n int) (int, time.Duration) {
+	var delay time.Duration
+	for _, in := range h.faults {
+		if !in.matches(name) {
+			continue
+		}
+		switch f := in.f; f.kind {
+		case faultShortRead:
+			if n > 0 && f.rng.Float64() < f.prob {
+				f.tripped = true
+				n = f.rng.Intn(n)
+			}
+		case faultReadLatency:
+			delay += f.latency
+		}
+	}
+	return n, delay
+}
+
+// faultString names a fault for diagnostics.
+func (f *Fault) String() string {
+	switch f.kind {
+	case faultCrash:
+		return fmt.Sprintf("CrashAfter(remaining=%d tripped=%v)", f.n, f.tripped)
+	case faultTorn:
+		return fmt.Sprintf("TornWrites(p=%g)", f.prob)
+	case faultBitRot:
+		return fmt.Sprintf("BitRot(p=%g)", f.prob)
+	case faultShortRead:
+		return fmt.Sprintf("ShortReads(p=%g)", f.prob)
+	case faultReadLatency:
+		return fmt.Sprintf("ReadLatency(%v)", f.latency)
+	}
+	return "Fault(?)"
+}

@@ -20,25 +20,16 @@ import (
 type Host struct {
 	mu        sync.Mutex
 	files     map[string][]byte
-	crash     map[string]*crashPlan
+	faults    []*injection
 	futexes   map[uint64]*futexQueue
 	listeners map[uint16]*Listener
 	shm       map[string][]byte
-}
-
-// crashPlan models a host crash during a write sequence: the next
-// `remaining` writes to the file land, every write after that is
-// silently dropped until HealWrites (the reboot).
-type crashPlan struct {
-	remaining int
-	tripped   bool
 }
 
 // New creates an empty host.
 func New() *Host {
 	return &Host{
 		files:     make(map[string][]byte),
-		crash:     make(map[string]*crashPlan),
 		futexes:   make(map[uint64]*futexQueue),
 		listeners: make(map[uint16]*Listener),
 		shm:       make(map[string][]byte),
@@ -59,11 +50,15 @@ var (
 )
 
 // WriteFile stores (or replaces) a host file. The host sees — and may
-// tamper with — every byte.
+// tamper with — every byte. Armed write faults (fault.go) apply.
 func (h *Host) WriteFile(name string, data []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.files[name] = append([]byte(nil), data...)
+	p, ok := h.applyWriteFaults(name, data)
+	if !ok {
+		return
+	}
+	h.files[name] = append([]byte(nil), p...)
 }
 
 // ReadFile returns a copy of a host file.
@@ -84,38 +79,17 @@ func (h *Host) RemoveFile(name string) {
 	delete(h.files, name)
 }
 
-// CrashWrites arms crash-fault injection on a host file: the next n
-// WriteFileAt calls still land, then every later write is silently
-// dropped — the storage view of a host that loses power partway through
-// a sync sequence. HealWrites models the reboot.
-func (h *Host) CrashWrites(name string, n int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.crash[name] = &crashPlan{remaining: n}
-}
-
-// HealWrites disarms crash-fault injection, reporting whether any write
-// was actually dropped.
-func (h *Host) HealWrites(name string) (tripped bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	p := h.crash[name]
-	delete(h.crash, name)
-	return p != nil && p.tripped
-}
-
 // WriteFileAt overwrites the range [off, off+len(p)) of a host file,
 // growing it as needed. This is the block-device write the encrypted
-// filesystem uses.
+// filesystem uses. Armed write faults (fault.go) apply: a crashed
+// budget drops the write silently, a torn write persists only a
+// prefix, bit-rot lands flipped bits.
 func (h *Host) WriteFileAt(name string, off int, p []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if plan, ok := h.crash[name]; ok {
-		if plan.remaining <= 0 {
-			plan.tripped = true
-			return
-		}
-		plan.remaining--
+	p, ok := h.applyWriteFaults(name, p)
+	if !ok {
+		return
 	}
 	f := h.files[name]
 	if need := off + len(p); need > len(f) {
@@ -128,17 +102,26 @@ func (h *Host) WriteFileAt(name string, off int, p []byte) {
 }
 
 // ReadFileAt reads up to len(p) bytes at off, returning the count.
+// Armed read faults (fault.go) apply: a short read returns fewer bytes
+// than stored, read latency delays the return. Callers must treat a
+// short read as missing data, never as zeros.
 func (h *Host) ReadFileAt(name string, off int, p []byte) (int, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	f, ok := h.files[name]
 	if !ok {
+		h.mu.Unlock()
 		return 0, fmt.Errorf("%w: %s", ErrNoFile, name)
 	}
-	if off >= len(f) {
-		return 0, nil
+	n := 0
+	if off < len(f) {
+		n = copy(p, f[off:])
 	}
-	return copy(p, f[off:]), nil
+	n, delay := h.applyReadFaults(name, n)
+	h.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return n, nil
 }
 
 // FileSize returns the size of a host file (0 if absent).
@@ -146,19 +129,6 @@ func (h *Host) FileSize(name string) int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.files[name])
-}
-
-// TamperFile flips a bit in a stored file — a hostile-host action used by
-// integrity tests.
-func (h *Host) TamperFile(name string, off int) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	f, ok := h.files[name]
-	if !ok || off >= len(f) {
-		return ErrNoFile
-	}
-	f[off] ^= 0x80
-	return nil
 }
 
 // --- Futex ---------------------------------------------------------------

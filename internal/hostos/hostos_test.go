@@ -35,7 +35,7 @@ func TestFileStorage(t *testing.T) {
 func TestTamper(t *testing.T) {
 	h := New()
 	h.WriteFile("f", []byte{1, 2, 3})
-	if err := h.TamperFile("f", 1); err != nil {
+	if err := h.FlipBit("f", 1); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := h.ReadFile("f")

@@ -142,7 +142,7 @@ func TestBaseImageTamperFailsClosed(t *testing.T) {
 	for _, off := range []int{100, fs.BlockSize + 64, len(blob) - fs.BlockSize} {
 		host := hostos.New()
 		host.WriteFile("base.img", blob)
-		if err := host.TamperFile("base.img", off); err != nil {
+		if err := host.FlipBit("base.img", off); err != nil {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer

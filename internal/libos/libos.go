@@ -125,6 +125,7 @@ type Occlum struct {
 
 	vfs   *fs.VFS
 	encfs *fs.EncFS
+	store *fs.BlockStore
 
 	// BootStats records the cost of enclave creation.
 	BootStats BootStats
@@ -228,13 +229,28 @@ func Boot(platform *sgx.Platform, host *hostos.Host, cfg Config) (*Occlum, error
 	// The hart pool starts last, once boot can no longer fail: one hart
 	// per TCS, multiplexing every SIP this enclave will ever run.
 	o.sched = sched.New(cfg.MaxThreads)
+	// Idle harts scrub the encrypted store in the background: each hook
+	// call verifies (and, where parity allows, repairs) a bounded window
+	// of stripes, so latent host bit-rot is found while the enclave still
+	// has redundancy to heal it — not at the next cold open. The hook
+	// reports false once a full pass has seen no new writes, letting the
+	// pool quiesce until the store is mutated again.
+	o.sched.SetIdle(func() bool {
+		worked, err := o.store.ScrubStep(scrubWindow)
+		return worked && err == nil
+	})
 	return o, nil
 }
+
+// scrubWindow is how many blocks one idle-hook call scrubs — small
+// enough that a freshly enqueued SIP waits at most one window behind
+// background verification.
+const scrubWindow = 32
 
 func (o *Occlum) mountFilesystems() error {
 	var store *fs.BlockStore
 	var err error
-	if o.host.FileSize(o.cfg.FSImage) == 0 {
+	if !fs.StoreExists(o.host, o.cfg.FSImage) {
 		store, err = fs.CreateStore(o.host, o.cfg.FSImage, o.cfg.FSKey, o.cfg.FSBlocks)
 		if err != nil {
 			return err
@@ -248,6 +264,7 @@ func (o *Occlum) mountFilesystems() error {
 			return err
 		}
 	}
+	o.store = store
 	o.encfs, err = fs.Mount(store)
 	if err != nil {
 		return err
@@ -273,8 +290,18 @@ func (o *Occlum) VFS() *fs.VFS { return o.vfs }
 // Host returns the untrusted host beneath this LibOS.
 func (o *Occlum) Host() *hostos.Host { return o.host }
 
-// Sync flushes the encrypted filesystem to host storage.
-func (o *Occlum) Sync() error { return o.encfs.Sync() }
+// Store exposes the encrypted block store (for scrub/repair tooling and
+// tests).
+func (o *Occlum) Store() *fs.BlockStore { return o.store }
+
+// Sync flushes the encrypted filesystem to host storage and kicks the
+// scheduler so the idle scrubber re-verifies the mutated store even when
+// the mutation came from a host thread (no hart would wake otherwise).
+func (o *Occlum) Sync() error {
+	err := o.encfs.Sync()
+	o.sched.Kick()
+	return err
+}
 
 // Shutdown flushes state, stops the hart pool and releases the enclave.
 // Processes should have exited.

@@ -179,6 +179,15 @@ type Scheduler struct {
 	idleCond *sync.Cond
 	idle     int
 	stopped  bool
+	// idlePending is a latched Kick: background work appeared while the
+	// pool was asleep, so the next hart through sleep should re-scan and
+	// give the idle hook a turn instead of blocking.
+	idlePending bool
+
+	// idleFn is the background-work hook (see SetIdle); idleActive makes
+	// it single-flight so concurrent idle harts don't pile onto it.
+	idleFn     atomic.Pointer[func() bool]
+	idleActive atomic.Bool
 
 	nextHart atomic.Uint32
 	stopping atomic.Bool
@@ -274,6 +283,52 @@ func (s *Scheduler) Snapshot() Snapshot {
 	}
 }
 
+// SetIdle registers fn as the scheduler's idle-time background hook. A
+// hart that finds no runnable work (its own queue and every steal victim
+// empty) calls fn before committing to sleep; fn returns true when it did
+// some work — the hart then re-scans the run queues instead of sleeping,
+// so background work never delays a freshly enqueued task by more than
+// one fn call. Calls are single-flight across harts: at most one hart is
+// ever inside fn, the rest sleep as usual. When fn returns false the
+// calling hart sleeps too, so a hook that latches "nothing left to do"
+// (like the BlockStore scrubber's clean-pass latch) lets the pool
+// quiesce completely. Passing nil removes the hook.
+func (s *Scheduler) SetIdle(fn func() bool) {
+	if fn == nil {
+		s.idleFn.Store(nil)
+		return
+	}
+	s.idleFn.Store(&fn)
+}
+
+// Kick wakes one sleeping hart so the idle hook gets a turn. Harts give
+// the hook a shot on their own whenever they run out of tasks, but a
+// fully quiesced pool only wakes for enqueued work — a mutation made
+// off-hart (a host-thread VFS write, an explicit Sync) would otherwise
+// never rouse the scrubber. The kick is latched, so it is not lost when
+// every hart is busy: the next hart to go idle consumes it.
+func (s *Scheduler) Kick() {
+	s.idleMu.Lock()
+	s.idlePending = true
+	s.idleCond.Signal()
+	s.idleMu.Unlock()
+}
+
+// runIdle gives the registered idle hook one shot (single-flight) and
+// reports whether it did work.
+func (h *hart) runIdle() bool {
+	fnp := h.s.idleFn.Load()
+	if fnp == nil {
+		return false
+	}
+	if !h.s.idleActive.CompareAndSwap(false, true) {
+		return false
+	}
+	worked := (*fnp)()
+	h.s.idleActive.Store(false)
+	return worked
+}
+
 // enqueue places g (state must already be Queued) on its affinity hart
 // and wakes an idle hart — or, when none is idle, asks the busy hart's
 // current task to yield early so queued work is not stuck behind a
@@ -313,6 +368,9 @@ func (h *hart) loop() {
 			g = h.steal()
 		}
 		if g == nil {
+			if h.runIdle() {
+				continue // idle work done something; re-scan for real work
+			}
 			if !h.sleep() {
 				return
 			}
@@ -395,6 +453,10 @@ func (h *hart) sleep() bool {
 		}
 		if s.anyQueued() {
 			return true
+		}
+		if s.idlePending {
+			s.idlePending = false
+			return true // re-scan; loop() will offer the idle hook a turn
 		}
 		s.idle++
 		s.idleCond.Wait()

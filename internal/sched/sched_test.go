@@ -227,3 +227,61 @@ func TestUnparkBeforeParkCommitIsAbsorbed(t *testing.T) {
 		t.Fatal("immediate wake was lost")
 	}
 }
+
+// TestIdleHook checks the idle-time background hook: it runs only when
+// harts have nothing else to do, is single-flight across harts, and lets
+// the pool quiesce once it reports no more work.
+func TestIdleHook(t *testing.T) {
+	s := New(4)
+	defer s.Stop()
+
+	var calls, inFlight, maxFlight atomic.Int64
+	const budget = 50
+	s.SetIdle(func() bool {
+		if n := inFlight.Add(1); n > maxFlight.Load() {
+			maxFlight.Store(n)
+		}
+		time.Sleep(100 * time.Microsecond) // widen the overlap window
+		inFlight.Add(-1)
+		return calls.Add(1) <= budget
+	})
+
+	// Foreground work must still finish promptly with the hook installed.
+	done := make(chan struct{})
+	s.Go(&countTask{n: 10, done: done})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("foreground task starved by idle hook")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for calls.Load() <= budget {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle hook ran %d times, want > %d", calls.Load(), budget)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if mf := maxFlight.Load(); mf != 1 {
+		t.Fatalf("idle hook ran %d-way concurrent, want single-flight", mf)
+	}
+
+	// After the hook goes dry the pool must quiesce: call count stops
+	// growing (each hart sleeps after one false return).
+	time.Sleep(50 * time.Millisecond)
+	settled := calls.Load()
+	time.Sleep(100 * time.Millisecond)
+	if grew := calls.Load() - settled; grew > int64(s.NumHarts()) {
+		t.Fatalf("idle hook still called %d times after going dry", grew)
+	}
+
+	// Removing the hook is safe while harts are live.
+	s.SetIdle(nil)
+	done2 := make(chan struct{})
+	s.Go(&countTask{n: 5, done: done2})
+	select {
+	case <-done2:
+	case <-time.After(10 * time.Second):
+		t.Fatal("task after SetIdle(nil) never finished")
+	}
+}
