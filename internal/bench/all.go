@@ -15,7 +15,7 @@ var Experiments = []string{
 	"fig5a", "fig5b", "fig5c",
 	"fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7a", "fig7b",
-	"ripe", "table1", "c10k", "fsbench", "recovery",
+	"ripe", "table1", "c10k", "fsbench", "recovery", "ipcbench",
 }
 
 // VMStats, when true, makes Run report the OVM translation-cache
@@ -68,8 +68,9 @@ func Run(name string, s Scale, w io.Writer) error {
 	}
 	if err == nil && NetStats {
 		d := libos.NetStats().Sub(netBefore)
-		fmt.Fprintf(w, "  [net: recv-parks=%d send-parks=%d accept-parks=%d polls=%d (%d parked) epwaits=%d (%d parked) eagains=%d]\n",
-			d.RecvParks, d.SendParks, d.AcceptParks, d.Polls, d.PollParks, d.EpWaits, d.EpWaitParks, d.EAgains)
+		fmt.Fprintf(w, "  [net: recv-parks=%d send-parks=%d accept-parks=%d polls=%d (%d parked) epwaits=%d (%d parked) eagains=%d writevs=%d readvs=%d sendfiles=%d splices=%d lent=%d copied=%d]\n",
+			d.RecvParks, d.SendParks, d.AcceptParks, d.Polls, d.PollParks, d.EpWaits, d.EpWaitParks, d.EAgains,
+			d.Writevs, d.Readvs, d.Sendfiles, d.Splices, d.BytesLent, d.BytesCopied)
 	}
 	if err == nil && FSStats {
 		d := fs.Stats().Sub(fsBefore)
@@ -112,6 +113,8 @@ func run(name string, s Scale, w io.Writer) error {
 		t, err = FSBench(s)
 	case "recovery":
 		t, err = Recovery(s)
+	case "ipcbench":
+		t, err = IPCBench(s)
 	case "table1":
 		return Table1(s, w)
 	default:

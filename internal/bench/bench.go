@@ -53,6 +53,11 @@ type Scale struct {
 	FSBenchBuf   int
 	FSRandOps    int
 	FSMetaRounds int
+	// IPCTotal bytes move per ipcbench measurement; IPCChunks lists the
+	// per-round transfer sizes (each round is one 4-span writev, four
+	// scalar writes, or splice calls until the chunk has moved).
+	IPCTotal  int
+	IPCChunks []int
 	// EIPEnclave is the Graphene-SGX per-process enclave size.
 	EIPEnclave uint64
 	// OcclumDomains/DomainData size the Occlum enclave.
@@ -89,6 +94,8 @@ func Quick() Scale {
 		FSBenchBuf:    4096,
 		FSRandOps:     256,
 		FSMetaRounds:  150,
+		IPCTotal:      16 << 20,
+		IPCChunks:     []int{1 << 10, 64 << 10, 1 << 20},
 		EIPEnclave:    32 << 20,
 		OcclumDomains: 8,
 		DomainData:    16 << 20,
@@ -118,6 +125,8 @@ func Full() Scale {
 		FSBenchBuf:    4096,
 		FSRandOps:     2048,
 		FSMetaRounds:  1000,
+		IPCTotal:      32 << 20,
+		IPCChunks:     []int{1 << 10, 64 << 10, 1 << 20},
 		EIPEnclave:    64 << 20,
 		OcclumDomains: 8,
 		DomainData:    32 << 20,

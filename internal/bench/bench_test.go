@@ -4,6 +4,8 @@ import (
 	"repro/internal/fs"
 
 	"bytes"
+	"os"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -126,6 +128,7 @@ func TestRunAllQuickSmoke(t *testing.T) {
 	s.FileTotal = 256 << 10
 	s.SpecIters = 50
 	s.SpawnSizes = []SpawnBinary{{"helloworld", 0}, {"busybox", 64 << 10}, {"cc1", 512 << 10}}
+	s.IPCTotal = 2 << 20
 
 	var out bytes.Buffer
 	if err := RunAll(s, &out); err != nil {
@@ -137,6 +140,95 @@ func TestRunAllQuickSmoke(t *testing.T) {
 		}
 	}
 	t.Logf("\n%s", out.String())
+}
+
+// TestShapeIPCBench is the zero-copy data-plane CI smoke: the vectored
+// lending path must beat the scalar copy path on both pipe and socket
+// at every chunk size, and splice must at least match scalar. The
+// splice zero-copy invariant (no payload byte staged while splice is
+// the mover) is enforced inside IPCBench itself — any violation fails
+// the experiment, not just this test.
+func TestShapeIPCBench(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock shape distorted by race instrumentation")
+	}
+	tab, err := IPCBench(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string][]float64{}
+	for _, r := range tab.Rows {
+		byLabel[r.Label] = r.Values
+	}
+	chunks := Quick().IPCChunks
+	for _, pair := range []struct {
+		vec, sc string
+		ratio   float64
+	}{
+		// The acceptance bar is ≥2x pipe throughput at 64 KiB+
+		// (measured ~2.5-4x); the always-on smoke asserts 1.5x to
+		// absorb CI jitter, and the OCCLUM_BENCH_REGRESS gate holds
+		// the 2x line on medians. The socket path is noisier (the
+		// host-side drain goroutine shares the clock), so its smoke
+		// bar is just clearly-above-scalar.
+		{"pipe writev", "pipe scalar", 1.5},
+		{"sock writev", "sock scalar", 1.2},
+	} {
+		vec, sc := byLabel[pair.vec], byLabel[pair.sc]
+		if len(vec) != len(chunks) || len(sc) != len(chunks) {
+			t.Fatalf("rows missing: %v", byLabel)
+		}
+		for i, c := range chunks {
+			if vec[i] < sc[i]*pair.ratio {
+				t.Errorf("%s %.0f MB/s not ≥%.1fx %s %.0f MB/s at %d KiB",
+					pair.vec, vec[i], pair.ratio, pair.sc, sc[i], c>>10)
+			}
+		}
+	}
+	spl, sc := byLabel["pipe→sock splice"], byLabel["pipe scalar"]
+	for i, c := range chunks {
+		if spl[i] < sc[i] {
+			t.Errorf("splice %.0f MB/s below pipe scalar %.0f MB/s at %d KiB",
+				spl[i], sc[i], c>>10)
+		}
+	}
+	t.Logf("ipc MB/s: %v", byLabel)
+}
+
+// TestIPCBenchRegression holds the zero-copy data plane to the 2x
+// acceptance line recorded in BENCH_PR8.json: the pipe writev-over-
+// scalar speedup at 64 KiB and 1 MiB chunks must stay ≥2x on the median
+// of 5 runs. Heavy and timing-sensitive, so it only runs when
+// OCCLUM_BENCH_REGRESS=1 (the CI bench job sets it).
+func TestIPCBenchRegression(t *testing.T) {
+	if os.Getenv("OCCLUM_BENCH_REGRESS") == "" {
+		t.Skip("set OCCLUM_BENCH_REGRESS=1 to run the bench smoke")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock ratios are not meaningful under the race detector")
+	}
+	var ratios [][2]float64
+	for run := 0; run < 5; run++ {
+		tab, err := IPCBench(Quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		byLabel := map[string][]float64{}
+		for _, r := range tab.Rows {
+			byLabel[r.Label] = r.Values
+		}
+		vec, sc := byLabel["pipe writev"], byLabel["pipe scalar"]
+		ratios = append(ratios, [2]float64{vec[1] / sc[1], vec[2] / sc[2]})
+	}
+	sort.Slice(ratios, func(i, j int) bool { return ratios[i][0] < ratios[j][0] })
+	med := ratios[2]
+	for i, label := range []string{"64KiB", "1MiB"} {
+		if med[i] < 2.0 {
+			t.Errorf("pipe writev/scalar at %s = %.2fx, want ≥ 2x (BENCH_PR8.json acceptance)",
+				label, med[i])
+		}
+	}
+	t.Logf("pipe writev/scalar medians: 64KiB %.2fx, 1MiB %.2fx", med[0], med[1])
 }
 
 // TestShapeFSBench checks fsbench's structural claims rather than raw

@@ -37,6 +37,10 @@ func (p *Proc) syscall() bool {
 		ret = p.rw(int(int64(a1)), a2, a3, true)
 	case libos.SysRead, libos.SysRecv:
 		ret = p.rw(int(int64(a1)), a2, a3, false)
+	case libos.SysWritev:
+		ret = p.rwv(int(int64(a1)), a2, a3, true)
+	case libos.SysReadv:
+		ret = p.rwv(int(int64(a1)), a2, a3, false)
 	case libos.SysOpen:
 		ret = p.sysOpen(a1, a2)
 	case libos.SysClose:
@@ -211,6 +215,41 @@ func (p *Proc) rw(fd int, buf, n uint64, write bool) int64 {
 		}
 	}
 	return int64(rn)
+}
+
+// rwv is the vectored rw: unmarshal the iovec array ({base, len} u64
+// pairs) and run the spans through the same blocking descriptor ops in
+// order, stopping at the first short transfer — byte-identical to a
+// scalar loop over the spans.
+func (p *Proc) rwv(fd int, iovPtr, cnt uint64, write bool) int64 {
+	if cnt > libos.IovMax {
+		return -libos.EINVAL
+	}
+	raw, err := p.cpu.Mem.ReadDirect(iovPtr, int(cnt*libos.IovEntrySize))
+	if err != nil {
+		return -libos.EFAULT
+	}
+	var total int64
+	for i := 0; i < int(cnt); i++ {
+		ent := raw[i*libos.IovEntrySize:]
+		base := binary.LittleEndian.Uint64(ent)
+		ln := binary.LittleEndian.Uint64(ent[8:])
+		if ln == 0 {
+			continue
+		}
+		r := p.rw(fd, base, ln, write)
+		if r < 0 {
+			if total > 0 {
+				break
+			}
+			return r
+		}
+		total += r
+		if r < int64(ln) {
+			break
+		}
+	}
+	return total
 }
 
 func (p *Proc) inData(addr, n uint64) bool {

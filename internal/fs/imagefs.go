@@ -610,6 +610,38 @@ type imageNode struct {
 var _ Node = (*imageNode)(nil)
 
 func (n *imageNode) ReadAt(p []byte, off int64) (int, error) { return n.ifs.readAt(n.in, p, off) }
+
+// ReadBorrow implements BorrowReader: it lends a read-only view of the
+// verified page cache covering [off, off+max), clipped to one block and
+// to the file size. The lent slice is safe indefinitely: cache entries
+// are immutable after verification, and eviction only drops the map
+// reference — it never recycles the storage under a borrower.
+func (n *imageNode) ReadBorrow(off int64, max int) ([]byte, error) {
+	in := n.in
+	if off < 0 {
+		return nil, fmt.Errorf("fs: negative offset")
+	}
+	if off >= int64(in.size) || max <= 0 {
+		return nil, nil
+	}
+	if int64(max) > int64(in.size)-off {
+		max = int(int64(in.size) - off)
+	}
+	blk := int(in.start) + int(off/BlockSize)
+	bo := int(off % BlockSize)
+	want := min(BlockSize-bo, max)
+	extentEnd := int(in.start) + in.blocks()
+	n.ifs.mu.Lock()
+	d, err := n.ifs.getBlockLocked(blk, min(readAheadWindow, extentEnd-blk-1))
+	n.ifs.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return d[bo : bo+want : bo+want], nil
+}
+
+var _ BorrowReader = (*imageNode)(nil)
+
 func (n *imageNode) WriteAt(p []byte, off int64) (int, error) {
 	return 0, ErrReadOnly
 }

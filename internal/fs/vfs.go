@@ -45,6 +45,19 @@ type Node interface {
 	Close() error
 }
 
+// BorrowReader is the zero-copy read interface: nodes whose data lives
+// in an immutable in-enclave cache (the ImageFS verified page cache)
+// lend a read-only view of [off, off+max) instead of copying it out.
+// The returned slice aliases the cache and must not be modified; one
+// call lends at most one cache block, so callers loop. A (nil, nil)
+// return means EOF. sendfile uses this to move image bytes to a socket
+// ring with no intermediate buffer — and because the lend comes from
+// the verified cache, lazy Merkle verification still happens exactly
+// once per block, on the first touch.
+type BorrowReader interface {
+	ReadBorrow(off int64, max int) ([]byte, error)
+}
+
 // FileSystem is one mountable filesystem.
 type FileSystem interface {
 	Open(path string, flags OpenFlag) (Node, error)

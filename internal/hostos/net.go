@@ -3,6 +3,8 @@ package hostos
 import (
 	"io"
 	"sync"
+
+	"repro/internal/ring"
 )
 
 // Ready is a readiness bitmask for a stream endpoint, the host-side truth
@@ -277,7 +279,7 @@ func (c *Conn) Close() {
 func (c *Conn) Readiness() Ready {
 	var r Ready
 	c.rd.mu.Lock()
-	if len(c.rd.buf) > 0 || c.rd.wClosed || c.rd.rClosed {
+	if c.rd.rb.Len() > 0 || c.rd.wClosed || c.rd.rClosed {
 		r |= ReadyIn
 	}
 	if c.rd.wClosed {
@@ -285,7 +287,7 @@ func (c *Conn) Readiness() Ready {
 	}
 	c.rd.mu.Unlock()
 	c.wr.mu.Lock()
-	if len(c.wr.buf) < streamCap || c.wr.rClosed || c.wr.wClosed {
+	if c.wr.rb.Free() > 0 || c.wr.rClosed || c.wr.wClosed {
 		r |= ReadyOut
 	}
 	if c.wr.rClosed {
@@ -333,10 +335,17 @@ func (c *Conn) SubscribeDir(read, write bool, fn func()) (cancel func()) {
 // stream is a bounded in-memory byte queue with independent read-side and
 // write-side shutdown, one-shot waiter lists for parked SIPs, and
 // persistent watchers for readiness subscriptions (poll/epoll interest).
+//
+// Storage is a fixed-capacity ring allocated once per stream: the cap
+// is a hard per-connection memory bound. A slow (or stalled) reader
+// backpressures its writer at exactly Cap queued bytes — the
+// append-grown slice this replaces regrew without bound and pinned
+// consumed prefixes alive via `buf = buf[n:]`, so one slow reader
+// could balloon the host heap.
 type stream struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	buf  []byte
+	rb   *ring.Ring
 	// rClosed: the consuming end shut down (shutdown(RD) or close);
 	// buffered data is discarded and writers fail with ErrClosedPipe.
 	rClosed bool
@@ -355,10 +364,17 @@ type stream struct {
 	closeWatch watchSet
 }
 
+// streamCap is the per-stream (so per-connection, per-direction) buffer
+// cap, like a socket's SO_RCVBUF. It is also the stream's entire memory
+// footprint: the ring is allocated once and never grows.
 const streamCap = 256 << 10
 
+// StreamCap reports the per-stream buffer cap, the hard bound on bytes
+// a connection direction can hold for a slow reader.
+func StreamCap() int { return streamCap }
+
 func newStream() *stream {
-	s := &stream{}
+	s := &stream{rb: ring.New(streamCap)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -414,18 +430,17 @@ func runAll(fns []func()) {
 
 func (s *stream) read(p []byte) (int, error) {
 	s.mu.Lock()
-	for len(s.buf) == 0 && !s.wClosed && !s.rClosed {
+	for s.rb.Len() == 0 && !s.wClosed && !s.rClosed {
 		s.cond.Wait()
 	}
-	if len(s.buf) == 0 {
+	if s.rb.Len() == 0 {
 		s.mu.Unlock()
 		return 0, io.EOF
 	}
-	wasFull := len(s.buf) >= streamCap
-	n := copy(p, s.buf)
-	s.buf = s.buf[n:]
+	wasFull := s.rb.Free() == 0
+	n := s.rb.Read(p)
 	var wake []func()
-	if wasFull {
+	if wasFull && n > 0 {
 		wake = s.wakeWritersLocked()
 	}
 	s.mu.Unlock()
@@ -435,14 +450,15 @@ func (s *stream) read(p []byte) (int, error) {
 
 // tryRead is the non-blocking read. With a non-nil wait it registers a
 // one-shot waiter under the same critical section as the emptiness
-// check, so no write can slip between them unseen.
+// check, so no write can slip between them unseen. An empty p probes:
+// data present returns (0, false, false) — "readable, took nothing".
 func (s *stream) tryRead(p []byte, wait func()) (n int, eof, wouldBlock bool) {
 	s.mu.Lock()
 	if s.rClosed {
 		s.mu.Unlock()
 		return 0, true, false
 	}
-	if len(s.buf) == 0 {
+	if s.rb.Len() == 0 {
 		if s.wClosed {
 			s.mu.Unlock()
 			return 0, true, false
@@ -453,11 +469,10 @@ func (s *stream) tryRead(p []byte, wait func()) (n int, eof, wouldBlock bool) {
 		s.mu.Unlock()
 		return 0, false, true
 	}
-	wasFull := len(s.buf) >= streamCap
-	n = copy(p, s.buf)
-	s.buf = s.buf[n:]
+	wasFull := s.rb.Free() == 0
+	n = s.rb.Read(p)
 	var wake []func()
-	if wasFull {
+	if wasFull && n > 0 {
 		wake = s.wakeWritersLocked()
 	}
 	s.mu.Unlock()
@@ -469,17 +484,15 @@ func (s *stream) write(p []byte) (int, error) {
 	s.mu.Lock()
 	total := 0
 	for len(p) > 0 {
-		for len(s.buf) >= streamCap && !s.rClosed && !s.wClosed {
+		for s.rb.Free() == 0 && !s.rClosed && !s.wClosed {
 			s.cond.Wait()
 		}
 		if s.rClosed || s.wClosed {
 			s.mu.Unlock()
 			return total, io.ErrClosedPipe
 		}
-		room := streamCap - len(s.buf)
-		n := min(room, len(p))
-		wasEmpty := len(s.buf) == 0
-		s.buf = append(s.buf, p[:n]...)
+		wasEmpty := s.rb.Len() == 0
+		n := s.rb.Write(p)
 		p = p[n:]
 		total += n
 		var wake []func()
@@ -494,24 +507,34 @@ func (s *stream) write(p []byte) (int, error) {
 	return total, nil
 }
 
-// tryWrite appends what fits. If anything is left over it registers wait
+// tryWrite queues what fits. If anything is left over it registers wait
 // (when non-nil) and reports wouldBlock; the parked caller resumes from
-// its recorded progress, so no byte is sent twice.
+// its recorded progress, so no byte is sent twice. An empty p probes
+// writability: a full ring registers wait and reports wouldBlock, space
+// reports (0, false, false) — the splice path uses this to park on the
+// socket side without lending it any bytes yet.
 func (s *stream) tryWrite(p []byte, wait func()) (n int, closed, wouldBlock bool) {
 	s.mu.Lock()
 	if s.rClosed || s.wClosed {
 		s.mu.Unlock()
 		return 0, true, false
 	}
-	room := streamCap - len(s.buf)
-	n = min(room, len(p))
-	var wake []func()
-	if n > 0 {
-		wasEmpty := len(s.buf) == 0
-		s.buf = append(s.buf, p[:n]...)
-		if wasEmpty {
-			wake = s.wakeReadersLocked()
+	if len(p) == 0 {
+		if s.rb.Free() == 0 {
+			if wait != nil {
+				s.wWait = append(s.wWait, wait)
+			}
+			s.mu.Unlock()
+			return 0, false, true
 		}
+		s.mu.Unlock()
+		return 0, false, false
+	}
+	var wake []func()
+	wasEmpty := s.rb.Len() == 0
+	n = s.rb.Write(p)
+	if n > 0 && wasEmpty {
+		wake = s.wakeReadersLocked()
 	}
 	if n < len(p) {
 		if wait != nil {
@@ -530,7 +553,7 @@ func (s *stream) tryWrite(p []byte, wait func()) (n int, closed, wouldBlock bool
 func (s *stream) closeRead() {
 	s.mu.Lock()
 	s.rClosed = true
-	s.buf = nil
+	s.rb.Consume(s.rb.Len())
 	wake := append(s.wakeReadersLocked(), s.wakeWritersLocked()...)
 	wake = append(wake, s.closeWatch.snapshot()...)
 	s.mu.Unlock()

@@ -390,3 +390,84 @@ func TestRandomNetStress(t *testing.T) {
 		t.Fatal("stress did not converge: lost wakeup?")
 	}
 }
+
+// TestSlowReaderBoundedMemory is the per-connection memory-cap
+// regression test: a writer racing far ahead of a slow reader is
+// backpressured at exactly StreamCap queued bytes per direction — the
+// ring is the connection's whole buffer, allocated once — instead of
+// ballooning the host heap the way the old append-grown stream slice
+// could. Byte integrity across the wrap-around is checked end to end.
+func TestSlowReaderBoundedMemory(t *testing.T) {
+	client, server := pair(t, New(), 71)
+
+	// With the reader stalled, a flood is accepted up to the cap and
+	// not a byte more.
+	pattern := func(i int) byte { return byte(i*7 + 3) }
+	total := 0
+	chunk := make([]byte, 8<<10)
+	for {
+		for i := range chunk {
+			chunk[i] = pattern(total + i)
+		}
+		n, closed, wouldBlock := client.TryWrite(chunk, nil)
+		if closed {
+			t.Fatal("connection closed")
+		}
+		total += n
+		if wouldBlock {
+			break
+		}
+	}
+	if total != StreamCap() {
+		t.Fatalf("stalled reader absorbed %d bytes, cap is %d", total, StreamCap())
+	}
+	if n, _, _ := client.TryWrite([]byte{1}, nil); n != 0 {
+		t.Fatal("write beyond cap accepted")
+	}
+	if server.Readiness()&ReadyOut == 0 {
+		t.Fatal("server direction should be unaffected")
+	}
+
+	// The slow reader drains in dribbles while the writer refills; the
+	// stream stays at ≤ cap throughout and every byte arrives in order.
+	const goal = 4 << 20
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sent := total
+		for sent < goal {
+			for i := range chunk {
+				chunk[i] = pattern(sent + i)
+			}
+			n, err := client.Write(chunk[:min(len(chunk), goal-sent)])
+			sent += n
+			if err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		client.CloseWrite()
+	}()
+	got := 0
+	buf := make([]byte, 3001) // odd size: exercises ring wrap alignment
+	for {
+		n, err := server.Read(buf)
+		for i := 0; i < n; i++ {
+			if buf[i] != pattern(got+i) {
+				t.Fatalf("byte %d corrupted under backpressure", got+i)
+			}
+		}
+		got += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got != goal {
+		t.Fatalf("delivered %d of %d bytes", got, goal)
+	}
+}

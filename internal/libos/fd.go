@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fs"
 	"repro/internal/hostos"
+	"repro/internal/ring"
 )
 
 // fileKind discriminates open file descriptions.
@@ -347,11 +348,19 @@ func (of *OpenFile) ConnectHost(h *hostos.Host, port uint16) error {
 // re-register if they lose the race, so the callback lists need no
 // precise accounting (a stale callback is a spurious unpark, which the
 // retry protocol absorbs).
+//
+// Storage is a fixed-capacity ring.Ring, and the ring's borrow API is
+// surfaced through borrowOut/borrowIn: splice moves bytes between a
+// pipe and a socket by peeking one ring and reserving in the other, and
+// the vectored syscalls write guest loans straight into the ring — one
+// copy, no staging buffer. Both run their callback under pb.mu, which
+// extends the documented lock order: pb.mu → stream.mu (the callback
+// calls Conn.TryRead/TryWrite) is taken by splice, and nothing anywhere
+// takes stream.mu → pb.mu — streams know nothing about pipes.
 type pipeBuf struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	buf      []byte
-	cap      int
+	rb       *ring.Ring
 	rClosed  bool
 	wClosed  bool
 	rWaiters []func() // parked readers, woken by writes and closes
@@ -364,7 +373,7 @@ type pipeBuf struct {
 }
 
 func newPipeBuf(capacity int) *pipeBuf {
-	pb := &pipeBuf{cap: capacity}
+	pb := &pipeBuf{rb: ring.New(capacity)}
 	pb.cond = sync.NewCond(&pb.mu)
 	return pb
 }
@@ -421,7 +430,7 @@ func (pb *pipeBuf) readiness(readEnd bool) uint32 {
 	defer pb.mu.Unlock()
 	var r uint32
 	if readEnd {
-		if len(pb.buf) > 0 || pb.wClosed {
+		if pb.rb.Len() > 0 || pb.wClosed {
 			r |= PollIn
 		}
 		if pb.wClosed {
@@ -429,7 +438,7 @@ func (pb *pipeBuf) readiness(readEnd bool) uint32 {
 		}
 		return r
 	}
-	if len(pb.buf) < pb.cap || pb.rClosed {
+	if pb.rb.Free() > 0 || pb.rClosed {
 		r |= PollOut
 	}
 	if pb.rClosed {
@@ -441,14 +450,13 @@ func (pb *pipeBuf) readiness(readEnd bool) uint32 {
 func (pb *pipeBuf) read(p []byte) (int, error) {
 	pb.mu.Lock()
 	defer pb.mu.Unlock()
-	for len(pb.buf) == 0 && !pb.wClosed {
+	for pb.rb.Len() == 0 && !pb.wClosed {
 		pb.cond.Wait()
 	}
-	if len(pb.buf) == 0 {
+	if pb.rb.Len() == 0 {
 		return 0, io.EOF
 	}
-	n := copy(p, pb.buf)
-	pb.buf = pb.buf[n:]
+	n := pb.rb.Read(p)
 	pb.wakeWriters()
 	return n, nil
 }
@@ -460,15 +468,16 @@ func (pb *pipeBuf) read(p []byte) (int, error) {
 func (pb *pipeBuf) tryRead(p []byte, wait func()) (n int, eof, parked bool) {
 	pb.mu.Lock()
 	defer pb.mu.Unlock()
-	if len(pb.buf) == 0 {
+	if pb.rb.Len() == 0 {
 		if pb.wClosed {
 			return 0, true, false
 		}
-		pb.rWaiters = append(pb.rWaiters, wait)
+		if wait != nil {
+			pb.rWaiters = append(pb.rWaiters, wait)
+		}
 		return 0, false, true
 	}
-	n = copy(p, pb.buf)
-	pb.buf = pb.buf[n:]
+	n = pb.rb.Read(p)
 	pb.wakeWriters()
 	return n, false, false
 }
@@ -478,14 +487,13 @@ func (pb *pipeBuf) write(p []byte) (int, error) {
 	defer pb.mu.Unlock()
 	total := 0
 	for len(p) > 0 {
-		for len(pb.buf) >= pb.cap && !pb.rClosed {
+		for pb.rb.Free() == 0 && !pb.rClosed {
 			pb.cond.Wait()
 		}
 		if pb.rClosed {
 			return total, errors.New("libos: broken pipe")
 		}
-		n := min(pb.cap-len(pb.buf), len(p))
-		pb.buf = append(pb.buf, p[:n]...)
+		n := pb.rb.Write(p)
 		p = p[n:]
 		total += n
 		pb.wakeReaders()
@@ -493,25 +501,102 @@ func (pb *pipeBuf) write(p []byte) (int, error) {
 	return total, nil
 }
 
-// tryWrite appends as much of p as fits. If anything is left over it
-// registers wait and the caller parks, resuming from its recorded
-// progress — so a large write drains in chunks without ever blocking a
-// hart or duplicating bytes.
+// tryWrite copies as much of p as fits into the ring. If anything is
+// left over it registers wait and the caller parks, resuming from its
+// recorded progress — so a large write drains in chunks without ever
+// blocking a hart or duplicating bytes.
 func (pb *pipeBuf) tryWrite(p []byte, wait func()) (n int, closed bool) {
 	pb.mu.Lock()
 	defer pb.mu.Unlock()
 	if pb.rClosed {
 		return 0, true
 	}
-	n = min(pb.cap-len(pb.buf), len(p))
+	n = pb.rb.Write(p)
 	if n > 0 {
-		pb.buf = append(pb.buf, p[:n]...)
 		pb.wakeReaders()
 	}
-	if n < len(p) {
+	if n < len(p) && wait != nil {
 		pb.wWaiters = append(pb.wWaiters, wait)
 	}
 	return n, false
+}
+
+// borrowOut lends the pipe's queued bytes to sink without copying them
+// out: sink is called (under pb.mu) with successive borrowed runs from
+// the ring and returns how many bytes it took; taken bytes are
+// consumed. It stops when the ring drains, sink stalls (takes less
+// than a full run), or max bytes have moved. When the pipe is empty it
+// reports eof (write end closed) or registers wait and reports parked
+// (nil wait: pure probe, the O_NONBLOCK path). This is the pipe→socket
+// splice primitive: sink feeds a Conn's ring, so no guest memory and no
+// staging buffer ever sees the bytes.
+func (pb *pipeBuf) borrowOut(max int, sink func([]byte) int, wait func()) (n int, eof, parked bool) {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	if pb.rb.Len() == 0 {
+		if pb.wClosed {
+			return 0, true, false
+		}
+		if wait != nil {
+			pb.rWaiters = append(pb.rWaiters, wait)
+		}
+		return 0, false, true
+	}
+	for n < max {
+		run := pb.rb.Peek(max - n)
+		if run == nil {
+			break
+		}
+		took := sink(run)
+		pb.rb.Consume(took)
+		n += took
+		if took < len(run) {
+			break
+		}
+	}
+	if n > 0 {
+		pb.wakeWriters()
+	}
+	return n, false, false
+}
+
+// borrowIn lends the pipe's free space to source without staging:
+// source is called (under pb.mu) with successive reserved runs and
+// returns how many bytes it produced; produced bytes are committed. It
+// stops when the ring fills, source stalls, or max bytes have moved.
+// When the ring is full it registers wait and reports parked (nil
+// wait: pure probe). closed reports a broken pipe (read end gone) —
+// checked first, like tryWrite. This is both the socket→pipe splice
+// primitive (source drains a Conn's ring) and the writev-to-pipe path
+// (source copies from a guest loan — the one permitted copy).
+func (pb *pipeBuf) borrowIn(max int, source func([]byte) int, wait func()) (n int, closed, parked bool) {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	if pb.rClosed {
+		return 0, true, false
+	}
+	if pb.rb.Free() == 0 {
+		if wait != nil {
+			pb.wWaiters = append(pb.wWaiters, wait)
+		}
+		return 0, false, true
+	}
+	for n < max {
+		run := pb.rb.Reserve(max - n)
+		if run == nil {
+			break
+		}
+		got := source(run)
+		pb.rb.Commit(got)
+		n += got
+		if got < len(run) {
+			break
+		}
+	}
+	if n > 0 {
+		pb.wakeReaders()
+	}
+	return n, false, false
 }
 
 func (pb *pipeBuf) closeRead() {

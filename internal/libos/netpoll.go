@@ -33,6 +33,13 @@ var netStats struct {
 	polls, pollParks                  atomic.Uint64
 	epWaits, epWaitParks              atomic.Uint64
 	eagains                           atomic.Uint64
+	// Zero-copy data-plane counters: completed vectored/splice/sendfile
+	// syscalls, and the two byte ledgers every data syscall feeds —
+	// bytesLent moved via borrowed views (guest loans, ring runs, image
+	// cache blocks: no staging buffer), bytesCopied staged through a
+	// per-syscall temp buffer (the scalar read/write paths).
+	writevs, readvs, sendfiles, splices atomic.Uint64
+	bytesLent, bytesCopied              atomic.Uint64
 }
 
 // NetSnapshot is a plain-value copy of the readiness-path counters.
@@ -46,6 +53,15 @@ type NetSnapshot struct {
 	Polls, PollParks, EpWaits, EpWaitParks uint64
 	// EAgains counts O_NONBLOCK operations that returned EAGAIN.
 	EAgains uint64
+	// Writevs/Readvs/Sendfiles/Splices count completed zero-copy-plane
+	// syscalls (a parked call counts once, when it finally returns).
+	Writevs, Readvs, Sendfiles, Splices uint64
+	// BytesLent counts payload bytes moved through borrowed views —
+	// guest-memory loans, ring-to-ring splice runs, image-cache blocks —
+	// without a staging copy. BytesCopied counts payload bytes staged
+	// through a temp buffer (the scalar paths). The splice pipe→socket
+	// path must report BytesCopied = 0.
+	BytesLent, BytesCopied uint64
 }
 
 // NetStats returns the current counter values.
@@ -59,6 +75,12 @@ func NetStats() NetSnapshot {
 		EpWaits:     netStats.epWaits.Load(),
 		EpWaitParks: netStats.epWaitParks.Load(),
 		EAgains:     netStats.eagains.Load(),
+		Writevs:     netStats.writevs.Load(),
+		Readvs:      netStats.readvs.Load(),
+		Sendfiles:   netStats.sendfiles.Load(),
+		Splices:     netStats.splices.Load(),
+		BytesLent:   netStats.bytesLent.Load(),
+		BytesCopied: netStats.bytesCopied.Load(),
 	}
 }
 
@@ -70,6 +92,9 @@ func (s NetSnapshot) Sub(o NetSnapshot) NetSnapshot {
 		Polls:       s.Polls - o.Polls, PollParks: s.PollParks - o.PollParks,
 		EpWaits: s.EpWaits - o.EpWaits, EpWaitParks: s.EpWaitParks - o.EpWaitParks,
 		EAgains: s.EAgains - o.EAgains,
+		Writevs: s.Writevs - o.Writevs, Readvs: s.Readvs - o.Readvs,
+		Sendfiles: s.Sendfiles - o.Sendfiles, Splices: s.Splices - o.Splices,
+		BytesLent: s.BytesLent - o.BytesLent, BytesCopied: s.BytesCopied - o.BytesCopied,
 	}
 }
 

@@ -24,6 +24,10 @@ func newSysTable() *sysdispatch.Table {
 	t.Register(SysSend, sysWrite)
 	t.Register(SysRead, sysRead)
 	t.Register(SysRecv, sysRead)
+	t.Register(SysWritev, sysWritev)
+	t.Register(SysReadv, sysReadv)
+	t.Register(SysSendfile, sysSendfile)
+	t.Register(SysSplice, sysSplice)
 	t.Register(SysOpen, sysdispatch.OpenHandler(sysOpen))
 	t.Register(SysClose, sysdispatch.CloseFD)
 	t.Register(SysSpawn, sysdispatch.SpawnHandler(sysSpawn))
@@ -154,6 +158,7 @@ func sysWrite(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 		}
 		wn, closed := of.pipe.tryWrite(rem, p.unpark)
 		cur.prog += int64(wn)
+		netStats.bytesCopied.Add(uint64(wn))
 		if closed {
 			if cur.prog == 0 {
 				return sysdispatch.Errno(EPIPE)
@@ -173,6 +178,7 @@ func sysWrite(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 	if werr != nil && wn == 0 {
 		return sysdispatch.Errno(EPIPE)
 	}
+	netStats.bytesCopied.Add(uint64(wn))
 	return sysdispatch.Ok(int64(wn))
 }
 
@@ -236,6 +242,7 @@ func sysRead(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 		if werr := p.writeUserBytes(buf, tmp[:rn]); werr != nil {
 			return sysdispatch.Errno(EFAULT)
 		}
+		netStats.bytesCopied.Add(uint64(rn))
 	}
 	return sysdispatch.Ok(int64(rn))
 }
@@ -262,6 +269,7 @@ func (p *Proc) sockSend(of *OpenFile, buf, n uint64) sysdispatch.Result {
 	}
 	wn, closed, wouldBlock := conn.TryWrite(rem, wait)
 	cur.prog += int64(wn)
+	netStats.bytesCopied.Add(uint64(wn))
 	if closed {
 		if cur.prog == 0 {
 			return sysdispatch.Errno(EPIPE)

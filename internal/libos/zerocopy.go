@@ -1,0 +1,523 @@
+package libos
+
+// This file is the LibOS half of the zero-copy data plane: vectored
+// read/write over guest-memory loans, sendfile from the ImageFS
+// verified page cache, and splice between pipe and socket rings.
+//
+// Copy discipline (the numbers -netstats reports as bytes-lent vs
+// bytes-copied):
+//
+//   - readv/writev lend the guest spans in place (mem.ViewBytes) and
+//     move them with exactly one copy, guest memory ↔ ring/file. The
+//     scalar read/write paths stage through a per-syscall temp buffer
+//     and pay two.
+//   - sendfile lends verified image-cache blocks straight into the
+//     socket ring: zero guest-memory traffic, one in-enclave copy into
+//     the ring. Non-image nodes fall back to a staging read.
+//   - splice moves bytes ring-to-ring through the pipe's borrow API:
+//     no guest memory, no staging buffer — bytes-copied stays 0.
+//
+// Loan lifetime: a loan never crosses a park. A parked syscall
+// re-dispatches from scratch and re-takes its loans, so the only
+// revocation window is within one dispatch attempt; CommitWrite still
+// re-validates every write loan against the page-generation stamps, so
+// a remap concurrent with the fill surfaces as EFAULT instead of
+// publishing bytes under a dead mapping.
+
+import (
+	"encoding/binary"
+	"io"
+
+	"repro/internal/fs"
+	"repro/internal/hostos"
+	"repro/internal/mem"
+	"repro/internal/sysdispatch"
+)
+
+// viewUserBytes lends [addr, addr+n) of the calling SIP's data region
+// as a mem.View — the zero-copy replacement for readUserBytes'
+// copy-out. The domain-region check is the same; page permissions are
+// additionally enforced by the loan (the scalar path's ReadDirect is
+// blind to them), so a span over unmapped guard pages faults here.
+func (p *Proc) viewUserBytes(addr, n uint64, access mem.Access) (mem.View, bool) {
+	if n > sysdispatch.MaxUserBuf || !p.inData(addr, n) {
+		return mem.View{}, false
+	}
+	v, f := p.os.enclave.ViewBytes(addr, int(n), access)
+	if f != nil {
+		return mem.View{}, false
+	}
+	return v, true
+}
+
+type iovec struct {
+	base, n uint64
+}
+
+// readIov unmarshals an iovec array (16-byte {base, len} entries) from
+// guest memory, enforcing the spine's IovMax and MaxUserBuf caps on
+// the count and the summed length. Span addresses are validated lazily
+// at use, giving the Linux partial-progress semantics for a fault in
+// the middle of the array.
+func (p *Proc) readIov(ptr, cnt uint64) ([]iovec, int64) {
+	if cnt > sysdispatch.IovMax {
+		return nil, -EINVAL
+	}
+	if cnt == 0 {
+		return nil, 0
+	}
+	raw, err := p.readUserBytes(ptr, cnt*sysdispatch.IovEntrySize)
+	if err != nil {
+		return nil, -EFAULT
+	}
+	iov := make([]iovec, cnt)
+	var total uint64
+	for i := range iov {
+		e := raw[i*sysdispatch.IovEntrySize:]
+		iov[i] = iovec{base: binary.LittleEndian.Uint64(e), n: binary.LittleEndian.Uint64(e[8:])}
+		total += iov[i].n
+		if iov[i].n > sysdispatch.MaxUserBuf || total > sysdispatch.MaxUserBuf {
+			return nil, -EINVAL
+		}
+	}
+	return iov, 0
+}
+
+func iovTotal(iov []iovec) int64 {
+	var t int64
+	for _, v := range iov {
+		t += int64(v.n)
+	}
+	return t
+}
+
+// sysWritev is writev(fd, iovPtr, iovCnt): gather-write the iovec spans
+// in order, lending each span from guest memory instead of staging it.
+// Partial progress composes with the park/resume protocol exactly as
+// sysWrite does — cursys.prog records bytes already queued, and every
+// re-dispatch re-lends only the unsent remainder — and with O_NONBLOCK
+// on sockets (partial count, or EAGAIN when nothing fit). A fault
+// address in the middle of the array returns the bytes written before
+// it, or EFAULT when it comes first.
+func sysWritev(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	of, ok := p.getFD(int(int64(a[0])))
+	if !ok {
+		return sysdispatch.Errno(EBADF)
+	}
+	iov, e := p.readIov(a[1], a[2])
+	if e != 0 {
+		return sysdispatch.Ok(e)
+	}
+	if of.kind != kindSock && of.kind != kindPipeW && of.kind != kindNode {
+		return sysdispatch.Errno(EBADF)
+	}
+	var conn = of.connLocked()
+	if of.kind == kindSock && conn == nil {
+		return sysdispatch.Errno(ENOTCONN)
+	}
+	cur := p.cursys
+	total := iovTotal(iov)
+	wait := p.unpark
+	if of.kind == kindSock && of.nonblock.Load() {
+		wait = nil
+	}
+
+	done := func(r sysdispatch.Result) sysdispatch.Result {
+		netStats.writevs.Add(1)
+		return r
+	}
+	skip := cur.prog
+	for _, seg := range iov {
+		if skip >= int64(seg.n) {
+			skip -= int64(seg.n)
+			continue
+		}
+		addr, n := seg.base+uint64(skip), seg.n-uint64(skip)
+		skip = 0
+		v, ok := p.viewUserBytes(addr, n, mem.AccessRead)
+		if !ok {
+			if cur.prog > 0 {
+				return done(sysdispatch.Ok(cur.prog))
+			}
+			return sysdispatch.Errno(EFAULT)
+		}
+		var (
+			wn                 int
+			closed, wouldBlock bool
+		)
+		switch of.kind {
+		case kindSock:
+			wn, closed, wouldBlock = conn.TryWrite(v.B, wait)
+		case kindPipeW:
+			wn, closed = of.pipe.tryWrite(v.B, p.unpark)
+			wouldBlock = wn < len(v.B)
+		case kindNode:
+			var werr error
+			wn, werr = of.Write(v.B)
+			closed = werr != nil && wn == 0
+		}
+		netStats.bytesLent.Add(uint64(wn))
+		cur.prog += int64(wn)
+		if closed {
+			if cur.prog > 0 {
+				return done(sysdispatch.Ok(cur.prog))
+			}
+			return sysdispatch.Errno(EPIPE)
+		}
+		if wouldBlock {
+			if of.kind == kindPipeW {
+				// Pipes always park; the waiter is already registered.
+				return sysdispatch.ParkedResult
+			}
+			if wait == nil {
+				if cur.prog > 0 {
+					return done(sysdispatch.Ok(cur.prog))
+				}
+				netStats.eagains.Add(1)
+				return sysdispatch.Errno(EAGAIN)
+			}
+			netStats.sendParks.Add(1)
+			return sysdispatch.ParkedResult
+		}
+	}
+	if cur.prog != total {
+		// A node write came up short without erroring; report what went.
+		return done(sysdispatch.Ok(cur.prog))
+	}
+	return done(sysdispatch.Ok(total))
+}
+
+// sysReadv is readv(fd, iovPtr, iovCnt): scatter-read into the iovec
+// spans, lending each span writable and committing the fill through
+// the loan protocol (a span remapped mid-fill fails EFAULT instead of
+// landing bytes under the new mapping). Like scalar read it returns as
+// soon as at least one byte arrived; it parks (or EAGAINs under
+// O_NONBLOCK) only when nothing is available.
+func sysReadv(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	of, ok := p.getFD(int(int64(a[0])))
+	if !ok {
+		return sysdispatch.Errno(EBADF)
+	}
+	iov, e := p.readIov(a[1], a[2])
+	if e != 0 {
+		return sysdispatch.Ok(e)
+	}
+	if of.kind != kindSock && of.kind != kindPipeR && of.kind != kindNode {
+		return sysdispatch.Errno(EBADF)
+	}
+	conn := of.connLocked()
+	if of.kind == kindSock && conn == nil {
+		return sysdispatch.Errno(ENOTCONN)
+	}
+	nonblock := of.kind == kindSock && of.nonblock.Load()
+
+	var total int64
+	done := func() sysdispatch.Result {
+		netStats.readvs.Add(1)
+		return sysdispatch.Ok(total)
+	}
+	for _, seg := range iov {
+		if seg.n == 0 {
+			continue
+		}
+		v, ok := p.viewUserBytes(seg.base, seg.n, mem.AccessWrite)
+		if !ok {
+			if total > 0 {
+				return done()
+			}
+			return sysdispatch.Errno(EFAULT)
+		}
+		// Only the first span may park: once bytes have landed, an
+		// empty buffer means "return the short count", so later spans
+		// probe with a nil wait.
+		wait := p.unpark
+		if nonblock || total > 0 {
+			wait = nil
+		}
+		var (
+			rn         int
+			eof, stall bool
+		)
+		switch of.kind {
+		case kindPipeR:
+			rn, eof, stall = of.pipe.tryRead(v.B, wait)
+		case kindSock:
+			rn, eof, stall = conn.TryRead(v.B, wait)
+		case kindNode:
+			var rerr error
+			rn, rerr = of.Read(v.B)
+			if rerr != nil && rerr != io.EOF && rn == 0 {
+				if total > 0 {
+					return done()
+				}
+				return sysdispatch.Errno(EIO)
+			}
+			eof = rerr == io.EOF || rn < len(v.B)
+		}
+		if stall {
+			if total > 0 {
+				return done()
+			}
+			if nonblock {
+				netStats.eagains.Add(1)
+				return sysdispatch.Errno(EAGAIN)
+			}
+			if of.kind == kindSock {
+				netStats.recvParks.Add(1)
+			}
+			return sysdispatch.ParkedResult
+		}
+		if rn > 0 && !v.CommitWrite(rn) {
+			// The span was remapped while the fill was in flight; the
+			// loan died, and so must the syscall's claim on it.
+			return sysdispatch.Errno(EFAULT)
+		}
+		netStats.bytesLent.Add(uint64(rn))
+		total += int64(rn)
+		if eof || rn < len(v.B) {
+			break
+		}
+	}
+	return done()
+}
+
+// sysSendfile is sendfile(outfd, infd, off, count): pump file bytes to
+// a socket without guest memory in the path. Image-backed nodes lend
+// verified page-cache blocks directly into the socket ring (counted as
+// bytes-lent; lazy Merkle verification is untouched — a warm file
+// re-verifies nothing); other nodes stage through a bounded temp
+// buffer (bytes-copied). Returns the short count when the socket
+// backpressures, parks (or EAGAINs) only when nothing was sent.
+func sysSendfile(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	oof, ok := p.getFD(int(int64(a[0])))
+	if !ok || oof.kind != kindSock {
+		return sysdispatch.Errno(EBADF)
+	}
+	inof, ok := p.getFD(int(int64(a[1])))
+	if !ok || inof.kind != kindNode {
+		return sysdispatch.Errno(EBADF)
+	}
+	off, count := int64(a[2]), int64(a[3])
+	if off < 0 || count < 0 {
+		return sysdispatch.Errno(EINVAL)
+	}
+	conn := oof.connLocked()
+	if conn == nil {
+		return sysdispatch.Errno(ENOTCONN)
+	}
+	wait := p.unpark
+	if oof.nonblock.Load() {
+		wait = nil
+	}
+	br, borrow := inof.node.(fs.BorrowReader)
+
+	var sent int64
+	var staging []byte
+	for sent < count {
+		var chunk []byte
+		if borrow {
+			b, err := br.ReadBorrow(off+sent, int(count-sent))
+			if err != nil {
+				if sent > 0 {
+					break
+				}
+				return sysdispatch.Ok(errno(err))
+			}
+			chunk = b
+		} else {
+			if staging == nil {
+				staging = make([]byte, min(64<<10, int(count)))
+			}
+			want := staging[:min(len(staging), int(count-sent))]
+			rn, err := inof.node.ReadAt(want, off+sent)
+			if err != nil && rn == 0 {
+				if sent > 0 {
+					break
+				}
+				return sysdispatch.Ok(errno(err))
+			}
+			chunk = want[:rn]
+		}
+		if len(chunk) == 0 {
+			break // EOF
+		}
+		w := wait
+		if sent > 0 {
+			w = nil
+		}
+		wn, closed, wouldBlock := conn.TryWrite(chunk, w)
+		if borrow {
+			netStats.bytesLent.Add(uint64(wn))
+		} else {
+			netStats.bytesCopied.Add(uint64(wn))
+		}
+		sent += int64(wn)
+		if closed {
+			if sent > 0 {
+				break
+			}
+			return sysdispatch.Errno(EPIPE)
+		}
+		if wouldBlock {
+			if sent > 0 {
+				break
+			}
+			if wait == nil {
+				netStats.eagains.Add(1)
+				return sysdispatch.Errno(EAGAIN)
+			}
+			netStats.sendParks.Add(1)
+			return sysdispatch.ParkedResult
+		}
+	}
+	netStats.sendfiles.Add(1)
+	return sysdispatch.Ok(sent)
+}
+
+// sysSplice is splice(fdIn, fdOut, count): move up to count bytes
+// between a pipe and a socket with the bytes never entering guest
+// memory — the pipe ring lends runs that are copied once into (or
+// filled once from) the socket ring. It returns as soon as at least
+// one byte moved; with nothing movable it parks on whichever side
+// stalled (pipe-empty/socket-full for pipe→socket, and conversely), or
+// returns EAGAIN when either description is O_NONBLOCK.
+func sysSplice(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
+	p := k.(*Proc)
+	inof, ok := p.getFD(int(int64(a[0])))
+	if !ok {
+		return sysdispatch.Errno(EBADF)
+	}
+	outof, ok := p.getFD(int(int64(a[1])))
+	if !ok {
+		return sysdispatch.Errno(EBADF)
+	}
+	count := int64(a[2])
+	if count < 0 {
+		return sysdispatch.Errno(EINVAL)
+	}
+	if count == 0 {
+		return sysdispatch.Ok(0)
+	}
+	wait := p.unpark
+	if inof.nonblock.Load() || outof.nonblock.Load() {
+		wait = nil
+	}
+	done := func(n int64) sysdispatch.Result {
+		netStats.splices.Add(1)
+		return sysdispatch.Ok(n)
+	}
+
+	switch {
+	case inof.kind == kindPipeR && outof.kind == kindSock:
+		conn := outof.connLocked()
+		if conn == nil {
+			return sysdispatch.Errno(ENOTCONN)
+		}
+		for {
+			var sinkClosed bool
+			moved, eof, parked := inof.pipe.borrowOut(int(count), func(run []byte) int {
+				wn, closed, _ := conn.TryWrite(run, nil)
+				if closed {
+					sinkClosed = true
+				}
+				return wn
+			}, wait)
+			if moved > 0 {
+				netStats.bytesLent.Add(uint64(moved))
+				return done(int64(moved))
+			}
+			if eof {
+				return done(0)
+			}
+			if parked {
+				if wait == nil {
+					netStats.eagains.Add(1)
+					return sysdispatch.Errno(EAGAIN)
+				}
+				netStats.recvParks.Add(1)
+				return sysdispatch.ParkedResult
+			}
+			if sinkClosed {
+				return sysdispatch.Errno(EPIPE)
+			}
+			// Pipe has data but the socket ring is full: wait for the
+			// peer to drain it (an empty TryWrite probes writability and
+			// registers the waiter atomically with the fullness check).
+			_, closed, wouldBlock := conn.TryWrite(nil, wait)
+			if closed {
+				return sysdispatch.Errno(EPIPE)
+			}
+			if wouldBlock {
+				if wait == nil {
+					netStats.eagains.Add(1)
+					return sysdispatch.Errno(EAGAIN)
+				}
+				netStats.sendParks.Add(1)
+				return sysdispatch.ParkedResult
+			}
+			// Space appeared between the two calls — retry the move.
+		}
+	case inof.kind == kindSock && outof.kind == kindPipeW:
+		conn := inof.connLocked()
+		if conn == nil {
+			return sysdispatch.Errno(ENOTCONN)
+		}
+		for {
+			var srcEOF bool
+			moved, closed, parked := outof.pipe.borrowIn(int(count), func(run []byte) int {
+				rn, eof, _ := conn.TryRead(run, nil)
+				if eof {
+					srcEOF = true
+				}
+				return rn
+			}, wait)
+			if closed {
+				return sysdispatch.Errno(EPIPE)
+			}
+			if moved > 0 {
+				netStats.bytesLent.Add(uint64(moved))
+				return done(int64(moved))
+			}
+			if parked {
+				// Pipe ring full.
+				if wait == nil {
+					netStats.eagains.Add(1)
+					return sysdispatch.Errno(EAGAIN)
+				}
+				netStats.sendParks.Add(1)
+				return sysdispatch.ParkedResult
+			}
+			if srcEOF {
+				return done(0)
+			}
+			// Pipe has room but the socket is empty: wait for data.
+			_, eof, wouldBlock := conn.TryRead(nil, wait)
+			if eof {
+				return done(0)
+			}
+			if wouldBlock {
+				if wait == nil {
+					netStats.eagains.Add(1)
+					return sysdispatch.Errno(EAGAIN)
+				}
+				netStats.recvParks.Add(1)
+				return sysdispatch.ParkedResult
+			}
+			// Data appeared between the two calls — retry the move.
+		}
+	}
+	return sysdispatch.Errno(EINVAL)
+}
+
+// connLocked snapshots of.conn under of.mu (nil for non-sockets).
+func (of *OpenFile) connLocked() *hostos.Conn {
+	if of.kind != kindSock {
+		return nil
+	}
+	of.mu.Lock()
+	defer of.mu.Unlock()
+	return of.conn
+}

@@ -59,6 +59,8 @@ func newSysTable() *sysdispatch.Table {
 	t.Register(libos.SysSend, sysdispatch.BlockingWrite)
 	t.Register(libos.SysRead, sysdispatch.BlockingRead)
 	t.Register(libos.SysRecv, sysdispatch.BlockingRead)
+	t.Register(libos.SysWritev, sysdispatch.BlockingWritev)
+	t.Register(libos.SysReadv, sysdispatch.BlockingReadv)
 	t.Register(libos.SysOpen, sysdispatch.OpenHandler(func(k sysdispatch.Kernel, path string, flags uint64) (sysdispatch.File, int64) {
 		of, err := k.(*Proc).l.openPlain(path, int(flags))
 		if err != nil {

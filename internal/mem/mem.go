@@ -517,6 +517,100 @@ func (m *Paged) WriteAt(addr uint64, b []byte) *Fault {
 	return nil
 }
 
+// View is a borrowed slice of guest memory: B aliases the backing store
+// directly, so reads and writes through it touch the guest's bytes with
+// no staging copy. The loan is permission-checked at creation and
+// generation-stamped: any remap (Map), trusted write (WriteDirect), or
+// exec-page store landing on the span after the loan was taken raises
+// the span's generation above the loan's snapshot, and Revoked reports
+// it. Plain data stores do not revoke a loan — they are exactly the
+// traffic loans exist to carry.
+//
+// Lifetime rules (the "loan protocol"):
+//
+//   - A loan is only as fresh as its last Revoked check. Holders must
+//     re-check at every commit point — in particular after any operation
+//     that can run guest code or another syscall (park/resume
+//     boundaries), since those may remap the span.
+//   - Writers fill B and then call CommitWrite, which preserves the
+//     write-then-stamp ordering WriteAt uses (bytes first, then the
+//     exec-page stamp), so the SMC invalidation contract is identical
+//     whether a page is written through WriteAt or through a loan.
+//   - A revoked loan's bytes must not be interpreted: the mapping they
+//     were checked under is gone. Callers surface EFAULT or re-take the
+//     loan.
+//
+// Revocation is checked against the same per-page stamps the
+// translation caches use; like them, a loan validated concurrently with
+// an in-flight stamp may see the revocation one check later. Syscall
+// paths take and commit loans from the SIP's own execution context, so
+// remaps they can race are their own and strictly ordered.
+type View struct {
+	// B is the borrowed span, aliasing guest memory. Its capacity is
+	// clipped to the loan so an append cannot scribble past it.
+	B []byte
+
+	m    *Paged
+	addr uint64
+	gen  uint64
+}
+
+// ViewBytes lends out [addr, addr+n) as a View after checking the given
+// access kind on every page the span overlaps. The returned slice
+// aliases guest memory — this is the zero-copy entry point syscalls use
+// to read or write user buffers in place instead of staging through
+// temp copies. A zero-length span yields an empty, never-revoked loan.
+func (m *Paged) ViewBytes(addr uint64, n int, access Access) (View, *Fault) {
+	if n <= 0 {
+		return View{}, nil
+	}
+	// Snapshot the generation BEFORE the permission check: a Map racing
+	// the check publishes its permission words first and stamps after,
+	// so whichever permissions the check observed, the remap's stamp is
+	// above this snapshot and Revoked will report it.
+	gen := m.GenerationOf(addr, n)
+	if f := m.check(addr, n, access); f != nil {
+		return View{}, f
+	}
+	off := addr - m.base
+	return View{
+		B:    m.data[off : off+uint64(n) : off+uint64(n)],
+		m:    m,
+		addr: addr,
+		gen:  gen,
+	}, nil
+}
+
+// Revoked reports whether the loan has been invalidated: some page of
+// the span carries a mutation stamp above the loan's snapshot, meaning
+// the span was remapped (or trusted-written, or hit by an exec-page
+// store) after the loan was taken. Plain data stores never revoke.
+func (v *View) Revoked() bool {
+	if v.m == nil {
+		return false
+	}
+	return v.m.GenerationOf(v.addr, len(v.B)) > v.gen
+}
+
+// CommitWrite publishes the first n bytes written through a write loan:
+// it re-validates the loan and then stamps any executable pages in the
+// written prefix, exactly as WriteAt would (bytes were already stored
+// through B — write-then-stamp holds). It reports false, without
+// stamping, if the loan was revoked; the caller must then treat the
+// write as faulted rather than interpret bytes under a dead mapping.
+func (v *View) CommitWrite(n int) bool {
+	if v.Revoked() {
+		return false
+	}
+	if v.m != nil && n > 0 {
+		if n > len(v.B) {
+			n = len(v.B)
+		}
+		v.m.stampExec(v.addr, n)
+	}
+	return true
+}
+
 // ReadDirect returns a view of [addr, addr+n) with no permission checks.
 // It models trusted in-enclave code (the LibOS) touching its own memory
 // and must never be reachable from sandboxed user code.

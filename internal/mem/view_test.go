@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func viewTestMem(t *testing.T) *Paged {
+	t.Helper()
+	m := NewPaged(0x10000, 16*PageSize)
+	if err := m.Map(0x10000, 4*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestViewBytesAliasesGuestMemory(t *testing.T) {
+	m := viewTestMem(t)
+	base := uint64(0x10000)
+	if err := m.WriteDirect(base, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A read loan sees the guest bytes without a copy: a later store is
+	// visible through the already-taken loan.
+	v, f := m.ViewBytes(base, 11, AccessRead)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if !bytes.Equal(v.B, []byte("hello world")) {
+		t.Fatalf("loan bytes = %q", v.B)
+	}
+	if f := m.Store(base, 1, 'H'); f != nil {
+		t.Fatal(f)
+	}
+	if v.B[0] != 'H' {
+		t.Fatal("loan does not alias guest memory")
+	}
+
+	// A write loan publishes in place.
+	w, f := m.ViewBytes(base+100, 3, AccessWrite)
+	if f != nil {
+		t.Fatal(f)
+	}
+	copy(w.B, "abc")
+	if !w.CommitWrite(3) {
+		t.Fatal("fresh write loan refused commit")
+	}
+	got, f := m.ReadAt(base+100, 3)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("committed bytes = %q", got)
+	}
+}
+
+func TestViewBytesPermissionChecked(t *testing.T) {
+	m := viewTestMem(t)
+	base := uint64(0x10000)
+	if err := m.Map(base+2*PageSize, PageSize, PermR); err != nil {
+		t.Fatal(err)
+	}
+
+	// Write loan over a read-only page faults, even mid-span.
+	if _, f := m.ViewBytes(base+PageSize, 2*PageSize, AccessWrite); f == nil {
+		t.Fatal("write loan over r-- page did not fault")
+	}
+	// Read loan over the same span is fine (pages 1..2 are R at least).
+	if _, f := m.ViewBytes(base+PageSize, 2*PageSize, AccessRead); f != nil {
+		t.Fatal(f)
+	}
+	// Any loan over an unmapped page faults.
+	if _, f := m.ViewBytes(base+8*PageSize, 8, AccessRead); f == nil {
+		t.Fatal("loan over unmapped page did not fault")
+	}
+	// Out-of-range loan faults rather than slicing past the backing.
+	if _, f := m.ViewBytes(m.Limit()-4, 8, AccessRead); f == nil {
+		t.Fatal("out-of-range loan did not fault")
+	}
+	// Zero-length loans are empty and valid.
+	v, f := m.ViewBytes(base, 0, AccessRead)
+	if f != nil || len(v.B) != 0 || v.Revoked() {
+		t.Fatalf("zero-length loan: %v %v %v", f, v.B, v.Revoked())
+	}
+}
+
+func TestViewRevokedByRemap(t *testing.T) {
+	m := viewTestMem(t)
+	base := uint64(0x10000)
+
+	v, f := m.ViewBytes(base, 2*PageSize, AccessRead)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if v.Revoked() {
+		t.Fatal("fresh loan already revoked")
+	}
+
+	// Plain data stores are the traffic loans carry — no revocation.
+	if f := m.Store(base+8, 8, 0xdeadbeef); f != nil {
+		t.Fatal(f)
+	}
+	if v.Revoked() {
+		t.Fatal("data store revoked loan")
+	}
+	// A remap outside the span leaves the loan alone.
+	if err := m.Map(base+3*PageSize, PageSize, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if v.Revoked() {
+		t.Fatal("unrelated remap revoked loan")
+	}
+
+	// A remap of ANY page under the span — even permission-identical —
+	// kills the loan, and a revoked write loan refuses to commit.
+	w, f := m.ViewBytes(base, 2*PageSize, AccessWrite)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if err := m.Map(base+PageSize, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Revoked() {
+		t.Fatal("remap under span did not revoke read loan")
+	}
+	if w.CommitWrite(16) {
+		t.Fatal("revoked write loan committed")
+	}
+}
+
+func TestViewRevokedByTrustedWrite(t *testing.T) {
+	m := viewTestMem(t)
+	base := uint64(0x10000)
+	v, f := m.ViewBytes(base+PageSize, 64, AccessRead)
+	if f != nil {
+		t.Fatal(f)
+	}
+	// WriteDirect models the loader/LibOS rewriting the page under the
+	// guest — translation caches flush, and so do loans.
+	if err := m.WriteDirect(base+PageSize+8, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Revoked() {
+		t.Fatal("trusted write under span did not revoke loan")
+	}
+}
+
+func TestViewCommitWriteStampsExecPages(t *testing.T) {
+	m := viewTestMem(t)
+	base := uint64(0x10000)
+	code := base + 5*PageSize
+	if err := m.Map(code, PageSize, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+
+	w, f := m.ViewBytes(code, 32, AccessWrite)
+	if f != nil {
+		t.Fatal(f)
+	}
+	before := m.GenerationOf(code, 32)
+	copy(w.B, []byte{0x90, 0x90, 0x90, 0x90})
+	if !w.CommitWrite(4) {
+		t.Fatal("commit refused")
+	}
+	// Writing code through a loan must invalidate translations exactly
+	// like WriteAt: the exec page's generation moves.
+	if after := m.GenerationOf(code, 32); after <= before {
+		t.Fatalf("exec-page commit did not stamp: gen %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,139 @@
+// Package ring provides the fixed-capacity byte ring underneath the
+// LibOS pipe and host stream buffers — the storage half of the
+// zero-copy data plane.
+//
+// The ring's native API is lending, not copying: Peek borrows the next
+// contiguous run of readable bytes and Consume retires them; Reserve
+// borrows a contiguous run of free space and Commit publishes it. The
+// convenience Read/Write wrappers are built from those four. Because
+// the buffer never grows and never reallocates, a borrowed run stays
+// valid until the corresponding Consume/Commit — unlike the
+// append-grown slices it replaces, whose `buf = buf[n:]` idiom both
+// pinned dead prefixes and moved the backing array under any
+// outstanding reference.
+//
+// A Ring is not synchronized; the owner (pipeBuf, stream) guards it
+// with its own mutex and must hold that lock across a whole
+// borrow–use–retire sequence.
+package ring
+
+// Ring is a fixed-capacity FIFO byte queue.
+type Ring struct {
+	buf []byte
+	r   int // index of the oldest unread byte
+	n   int // bytes currently queued
+}
+
+// New returns an empty ring holding at most capacity bytes.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("ring: capacity must be positive")
+	}
+	return &Ring{buf: make([]byte, capacity)}
+}
+
+// Cap returns the fixed capacity.
+func (g *Ring) Cap() int { return len(g.buf) }
+
+// Len returns the number of queued bytes.
+func (g *Ring) Len() int { return g.n }
+
+// Free returns the remaining space.
+func (g *Ring) Free() int { return len(g.buf) - g.n }
+
+// Peek borrows the next contiguous run of readable bytes, at most max
+// long. The run aliases ring storage: it is valid until Consume (or any
+// Write/Commit that could recycle the space — retire it first). A
+// wrapped ring may hold more readable bytes than one run; callers
+// drain runs in a loop. Returns nil when empty or max <= 0.
+func (g *Ring) Peek(max int) []byte {
+	if max > g.n {
+		max = g.n
+	}
+	if max <= 0 {
+		return nil
+	}
+	run := len(g.buf) - g.r
+	if run > max {
+		run = max
+	}
+	return g.buf[g.r : g.r+run : g.r+run]
+}
+
+// Consume retires k bytes previously observed via Peek. k must not
+// exceed Len.
+func (g *Ring) Consume(k int) {
+	if k < 0 || k > g.n {
+		panic("ring: consume beyond queued bytes")
+	}
+	g.r += k
+	if g.r >= len(g.buf) {
+		g.r -= len(g.buf)
+	}
+	g.n -= k
+}
+
+// Reserve borrows the next contiguous run of free space, at most max
+// long. The caller fills a prefix and publishes it with Commit; until
+// then readers cannot observe the bytes. Like Peek, a wrapped ring may
+// have more free space than one run. Returns nil when full or max <= 0.
+func (g *Ring) Reserve(max int) []byte {
+	free := len(g.buf) - g.n
+	if max > free {
+		max = free
+	}
+	if max <= 0 {
+		return nil
+	}
+	w := g.r + g.n
+	if w >= len(g.buf) {
+		w -= len(g.buf)
+	}
+	run := len(g.buf) - w
+	if run > max {
+		run = max
+	}
+	return g.buf[w : w+run : w+run]
+}
+
+// Commit publishes k bytes written into the span returned by Reserve.
+// k must not exceed Free.
+func (g *Ring) Commit(k int) {
+	if k < 0 || k > len(g.buf)-g.n {
+		panic("ring: commit beyond reserved space")
+	}
+	g.n += k
+}
+
+// Read copies queued bytes into p, consuming them, and returns the
+// count (0 when empty).
+func (g *Ring) Read(p []byte) int {
+	total := 0
+	for len(p) > 0 {
+		run := g.Peek(len(p))
+		if run == nil {
+			break
+		}
+		k := copy(p, run)
+		g.Consume(k)
+		p = p[k:]
+		total += k
+	}
+	return total
+}
+
+// Write copies as much of p as fits, and returns the count.
+func (g *Ring) Write(p []byte) int {
+	total := 0
+	for len(p) > 0 {
+		run := g.Reserve(len(p))
+		if run == nil {
+			break
+		}
+		k := copy(run, p)
+		g.Commit(k)
+		p = p[k:]
+		total += k
+	}
+	return total
+}

@@ -1,0 +1,171 @@
+package ring
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	g := New(8)
+	if g.Cap() != 8 || g.Len() != 0 || g.Free() != 8 {
+		t.Fatalf("fresh ring: cap=%d len=%d free=%d", g.Cap(), g.Len(), g.Free())
+	}
+	if n := g.Write([]byte("abcde")); n != 5 {
+		t.Fatalf("write = %d", n)
+	}
+	if g.Len() != 5 || g.Free() != 3 {
+		t.Fatalf("after write: len=%d free=%d", g.Len(), g.Free())
+	}
+	p := make([]byte, 3)
+	if n := g.Read(p); n != 3 || string(p) != "abc" {
+		t.Fatalf("read = %d %q", n, p)
+	}
+	// Overfill: only what fits is taken.
+	if n := g.Write([]byte("XYZ123456")); n != 6 {
+		t.Fatalf("overfill write = %d", n)
+	}
+	out := make([]byte, 16)
+	if n := g.Read(out); n != 8 || string(out[:8]) != "deXYZ123" {
+		t.Fatalf("drain = %d %q", n, out[:n])
+	}
+	if n := g.Read(out); n != 0 {
+		t.Fatalf("read from empty = %d", n)
+	}
+}
+
+func TestRingBorrowWraps(t *testing.T) {
+	g := New(8)
+	g.Write([]byte("abcdef"))
+	g.Consume(4) // r=4, n=2: readable "ef", free space wraps
+
+	// Reserve sees the contiguous tail run first…
+	run := g.Reserve(100)
+	if len(run) != 2 { // indices 6,7
+		t.Fatalf("tail reserve run = %d", len(run))
+	}
+	copy(run, "gh")
+	g.Commit(2)
+	// …then the wrapped head run.
+	run = g.Reserve(100)
+	if len(run) != 4 { // indices 0..3
+		t.Fatalf("wrapped reserve run = %d", len(run))
+	}
+	copy(run, "ijkl")
+	g.Commit(4)
+	if g.Free() != 0 {
+		t.Fatalf("free = %d", g.Free())
+	}
+
+	// Peek drains the same way: tail run then wrapped run.
+	run = g.Peek(100)
+	if string(run) != "efgh" {
+		t.Fatalf("tail peek = %q", run)
+	}
+	g.Consume(len(run))
+	run = g.Peek(100)
+	if string(run) != "ijkl" {
+		t.Fatalf("wrapped peek = %q", run)
+	}
+	g.Consume(len(run))
+	if g.Len() != 0 {
+		t.Fatalf("len = %d", g.Len())
+	}
+}
+
+func TestRingPeekDoesNotConsume(t *testing.T) {
+	g := New(8)
+	g.Write([]byte("abc"))
+	if string(g.Peek(2)) != "ab" || string(g.Peek(2)) != "ab" {
+		t.Fatal("peek consumed")
+	}
+	if g.Len() != 3 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	// A partially-committed reserve publishes only the prefix.
+	run := g.Reserve(4)
+	copy(run, "XY")
+	g.Commit(1)
+	out := make([]byte, 8)
+	if n := g.Read(out); n != 4 || string(out[:4]) != "abcX" {
+		t.Fatalf("after partial commit: %q", out[:n])
+	}
+}
+
+func TestRingMisusePanics(t *testing.T) {
+	g := New(4)
+	g.Write([]byte("ab"))
+	for _, f := range []func(){
+		func() { g.Consume(3) },
+		func() { g.Commit(3) },
+		func() { g.Consume(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("misuse did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestRingDifferential drives a ring and a model FIFO with the same
+// random operation stream, mixing the copy API and the borrow API.
+func TestRingDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		capacity := 1 + rng.Intn(300)
+		g := New(capacity)
+		var model []byte
+		next := byte(0)
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0: // copy write
+				p := make([]byte, rng.Intn(capacity+10))
+				for i := range p {
+					p[i] = next
+					next++
+				}
+				n := g.Write(p)
+				want := min(len(p), capacity-len(model))
+				if n != want {
+					t.Fatalf("write = %d want %d", n, want)
+				}
+				next -= byte(len(p) - n) // unwritten bytes re-generated later
+				model = append(model, p[:n]...)
+			case 1: // copy read
+				p := make([]byte, rng.Intn(capacity+10))
+				n := g.Read(p)
+				want := min(len(p), len(model))
+				if n != want || !bytes.Equal(p[:n], model[:n]) {
+					t.Fatalf("read = %d %v want %d %v", n, p[:n], want, model[:n])
+				}
+				model = model[n:]
+			case 2: // borrow write
+				k := rng.Intn(capacity + 1)
+				run := g.Reserve(k)
+				take := rng.Intn(len(run) + 1)
+				for i := 0; i < take; i++ {
+					run[i] = next
+					next++
+				}
+				g.Commit(take)
+				model = append(model, run[:take]...)
+			case 3: // borrow read
+				k := rng.Intn(capacity + 1)
+				run := g.Peek(k)
+				if len(run) > 0 && !bytes.Equal(run, model[:len(run)]) {
+					t.Fatalf("peek mismatch: %v vs %v", run, model[:len(run)])
+				}
+				take := rng.Intn(len(run) + 1)
+				g.Consume(take)
+				model = model[take:]
+			}
+			if g.Len() != len(model) {
+				t.Fatalf("len = %d, model %d", g.Len(), len(model))
+			}
+		}
+	}
+}

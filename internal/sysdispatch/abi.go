@@ -59,6 +59,10 @@ const (
 	SysEpWait   = 38 // epoll_wait(epfd, eventsPtr, maxEvents, timeoutMs) → n
 	SysShutdown = 39 // shutdown(fd, how)
 	SysRename   = 40 // rename(oldPath, oldLen, newPath, newLen)
+	SysWritev   = 41 // writev(fd, iovPtr, iovCnt) → n
+	SysReadv    = 42 // readv(fd, iovPtr, iovCnt) → n
+	SysSendfile = 43 // sendfile(outfd, infd, off, count) → n
+	SysSplice   = 44 // splice(fdIn, fdOut, count) → n
 
 	// SysMax bounds the dispatch table; numbers must stay below it.
 	SysMax = 64
@@ -155,12 +159,29 @@ const (
 
 // User-memory layouts: poll takes an array of 24-byte entries
 // {fd i64, events u64, revents u64}; epoll_wait fills an array of
-// 16-byte entries {fd u64, revents u64}. All fields are little-endian
-// 64-bit words, matching the OVM's natural load/store width.
+// 16-byte entries {fd u64, revents u64}; readv/writev take an array of
+// 16-byte iovec entries {base u64, len u64}. All fields are
+// little-endian 64-bit words, matching the OVM's natural load/store
+// width.
 const (
 	PollEntrySize = 24
 	EpEntrySize   = 16
+	IovEntrySize  = 16
 )
+
+// IovMax bounds one readv/writev iovec array (UIO_MAXIOV's role); the
+// summed spans are additionally capped at MaxUserBuf, like a scalar
+// buffer.
+const IovMax = 64
+
+// Sendfile/splice semantics: sendfile(outfd, infd, off, count) reads
+// [off, off+count) of the in file — the description offset is neither
+// consulted nor advanced, pread-style, so concurrent servers need no
+// offset locking — and sends it to the out socket, returning the byte
+// count actually queued (short when the socket backpressures; 0 at
+// EOF). splice(fdIn, fdOut, count) moves up to count bytes between a
+// pipe and a socket (either direction) without the bytes ever entering
+// guest memory; it returns as soon as at least one byte moves.
 
 // Lseek whence values.
 const (

@@ -286,6 +286,123 @@ func BlockingRead(k Kernel, a *[5]uint64) Result {
 	return Ok(int64(rn))
 }
 
+// ReadIovec unmarshals an iovec array (IovEntrySize-byte {base, len}
+// little-endian entries) from user memory, enforcing IovMax on the
+// count and MaxUserBuf on each span and on the summed length. The
+// spans themselves are validated lazily when dereferenced.
+func ReadIovec(k Kernel, ptr, cnt uint64) (base, length []uint64, e int64) {
+	if cnt > IovMax {
+		return nil, nil, -EINVAL
+	}
+	if cnt == 0 {
+		return nil, nil, 0
+	}
+	raw, err := k.ReadUser(ptr, cnt*IovEntrySize)
+	if err != nil {
+		return nil, nil, -EFAULT
+	}
+	base = make([]uint64, cnt)
+	length = make([]uint64, cnt)
+	var total uint64
+	for i := range base {
+		ent := raw[i*IovEntrySize:]
+		base[i] = le64(ent)
+		length[i] = le64(ent[8:])
+		total += length[i]
+		if length[i] > MaxUserBuf || total > MaxUserBuf {
+			return nil, nil, -EINVAL
+		}
+	}
+	return base, length, 0
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// BlockingReadv is the shared readv(2) for goroutine-per-process
+// kernels: scatter the blocking File.Read stream across the iovec
+// spans, returning at the first short fill (byte-identical to a scalar
+// read loop over the same spans).
+func BlockingReadv(k Kernel, a *[5]uint64) Result {
+	f, ok := k.FDs().Get(int(int64(a[0])))
+	if !ok {
+		return Errno(EBADF)
+	}
+	base, length, e := ReadIovec(k, a[1], a[2])
+	if e != 0 {
+		return Ok(e)
+	}
+	var total int64
+	for i := range base {
+		if length[i] == 0 {
+			continue
+		}
+		tmp := make([]byte, length[i])
+		rn, err := f.Read(tmp)
+		if err != nil && err != io.EOF && rn == 0 {
+			if total > 0 {
+				break
+			}
+			return Errno(EIO)
+		}
+		if rn > 0 {
+			if k.WriteUser(base[i], tmp[:rn]) != nil {
+				if total > 0 {
+					break
+				}
+				return Errno(EFAULT)
+			}
+			total += int64(rn)
+		}
+		if err == io.EOF || rn < len(tmp) {
+			break
+		}
+	}
+	return Ok(total)
+}
+
+// BlockingWritev is the shared writev(2) counterpart of BlockingReadv:
+// gather the iovec spans through blocking File.Write calls in order,
+// reporting partial progress when a later span faults or comes up
+// short.
+func BlockingWritev(k Kernel, a *[5]uint64) Result {
+	f, ok := k.FDs().Get(int(int64(a[0])))
+	if !ok {
+		return Errno(EBADF)
+	}
+	base, length, e := ReadIovec(k, a[1], a[2])
+	if e != 0 {
+		return Ok(e)
+	}
+	var total int64
+	for i := range base {
+		if length[i] == 0 {
+			continue
+		}
+		data, err := k.ReadUser(base[i], length[i])
+		if err != nil {
+			if total > 0 {
+				break
+			}
+			return Errno(EFAULT)
+		}
+		wn, werr := f.Write(data)
+		total += int64(wn)
+		if werr != nil && wn == 0 {
+			if total > 0 {
+				break
+			}
+			return Errno(EPIPE)
+		}
+		if wn < len(data) {
+			break
+		}
+	}
+	return Ok(total)
+}
+
 // BlockingWrite is the shared write(2)/send(2) counterpart of
 // BlockingRead.
 func BlockingWrite(k Kernel, a *[5]uint64) Result {

@@ -324,3 +324,69 @@ func Memcpy(b *asm.Builder, dst, src, n isa.Reg, unique string) {
 	b.Label(done)
 	b.Nop()
 }
+
+// --- Zero-copy data plane wrappers ---------------------------------------
+
+// IovSetSym fills iovec entry idx of the array at iovSym (16-byte
+// {base, len} entries, declared with b.Zero(iovSym, 16*cnt)) with the
+// address of dataSym and length n. Clobbers R8, R9.
+func IovSetSym(b *asm.Builder, iovSym string, idx int64, dataSym string, n int64) {
+	b.LeaData(isa.R8, iovSym)
+	b.LeaData(isa.R9, dataSym)
+	b.Store(isa.Mem(isa.R8, int32(idx*16)), isa.R9)
+	b.MovRI(isa.R9, n)
+	b.Store(isa.Mem(isa.R8, int32(idx*16+8)), isa.R9)
+}
+
+// IovSetReg fills iovec entry idx at iovSym with a runtime base address
+// and length n. Clobbers R8, R9.
+func IovSetReg(b *asm.Builder, iovSym string, idx int64, base isa.Reg, n int64) {
+	b.LeaData(isa.R8, iovSym)
+	b.Store(isa.Mem(isa.R8, int32(idx*16)), base)
+	b.MovRI(isa.R9, n)
+	b.Store(isa.Mem(isa.R8, int32(idx*16+8)), isa.R9)
+}
+
+// Writev emits writev(fdReg, iovSym, cnt).
+func Writev(b *asm.Builder, fd isa.Reg, iovSym string, cnt int64) {
+	if fd != isa.R1 {
+		b.MovRR(isa.R1, fd)
+	}
+	b.LeaData(isa.R2, iovSym)
+	b.MovRI(isa.R3, cnt)
+	Syscall(b, libos.SysWritev)
+}
+
+// Readv emits readv(fdReg, iovSym, cnt).
+func Readv(b *asm.Builder, fd isa.Reg, iovSym string, cnt int64) {
+	if fd != isa.R1 {
+		b.MovRR(isa.R1, fd)
+	}
+	b.LeaData(isa.R2, iovSym)
+	b.MovRI(isa.R3, cnt)
+	Syscall(b, libos.SysReadv)
+}
+
+// Sendfile emits sendfile(outfdReg, infdReg, off, count). Stages both
+// fds through R8/R9 so any outfd/infd register pair is safe; clobbers
+// R8, R9.
+func Sendfile(b *asm.Builder, outfd, infd isa.Reg, off, count int64) {
+	b.MovRR(isa.R8, outfd)
+	b.MovRR(isa.R9, infd)
+	b.MovRR(isa.R1, isa.R8)
+	b.MovRR(isa.R2, isa.R9)
+	b.MovRI(isa.R3, off)
+	b.MovRI(isa.R4, count)
+	Syscall(b, libos.SysSendfile)
+}
+
+// Splice emits splice(fdInReg, fdOutReg, count). Stages both fds
+// through R8/R9 so any register pair is safe; clobbers R8, R9.
+func Splice(b *asm.Builder, fdIn, fdOut isa.Reg, count int64) {
+	b.MovRR(isa.R8, fdIn)
+	b.MovRR(isa.R9, fdOut)
+	b.MovRR(isa.R1, isa.R8)
+	b.MovRR(isa.R2, isa.R9)
+	b.MovRI(isa.R3, count)
+	Syscall(b, libos.SysSplice)
+}

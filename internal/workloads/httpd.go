@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -23,6 +24,15 @@ const PageSize10K = 10 * 1024
 // exit instead of serving the page. StopHTTPD sends one per worker.
 const QuitRequest = "QUIT\r\n\r\n"
 
+// ResponseHeader is the status line + headers every worker sends before
+// the page body. Since the zero-copy rework the workers gather header
+// and body with a single writev instead of staging them into one
+// buffer (or paying one syscall per part).
+const ResponseHeader = "HTTP/1.0 200 OK\r\nContent-Length: 10240\r\n\r\n"
+
+// ResponseSize is the full response length clients read per request.
+const ResponseSize = len(ResponseHeader) + PageSize10K
+
 // BuildHTTPWorker builds a lighttpd worker: it accepts connections on
 // the inherited listening socket (fd 62) and serves the 10 KB page until
 // explicitly stopped — by a QuitRequest or by the listener closing.
@@ -32,10 +42,15 @@ func BuildHTTPWorker() (*asm.Program, error) {
 	page := make([]byte, PageSize10K)
 	copy(page, "<html>occlum</html>")
 	b := asm.NewBuilder()
+	b.String("hdr", ResponseHeader)
 	b.Bytes("page", page)
+	b.Zero("iov", 32)
 	b.Zero("req", 128)
 	b.Entry("_start")
 	ulib.Prologue(b)
+	// The response iovec never changes: {header, page}. Fill it once.
+	ulib.IovSetSym(b, "iov", 0, "hdr", int64(len(ResponseHeader)))
+	ulib.IovSetSym(b, "iov", 1, "page", PageSize10K)
 	b.Label("serve")
 	// cfd = accept(ListenFD); a failed accept means the listener is
 	// gone — stop serving.
@@ -54,11 +69,8 @@ func BuildHTTPWorker() (*asm.Program, error) {
 	b.LoadB(isa.R7, isa.Mem(isa.R8, 0))
 	b.CmpI(isa.R7, int32(QuitRequest[0]))
 	b.Je("quit")
-	// write(cfd, page, PageSize10K)
-	b.MovRR(isa.R1, isa.R6)
-	b.LeaData(isa.R2, "page")
-	b.MovRI(isa.R3, PageSize10K)
-	ulib.Syscall(b, libos.SysWrite)
+	// writev(cfd, {header, page}): one gather syscall per response.
+	ulib.Writev(b, isa.R6, "iov", 2)
 	ulib.Close(b, isa.R6)
 	b.Jmp("serve")
 	b.Label("quit")
@@ -128,12 +140,18 @@ func BuildEventHTTPWorker(port uint16) (*asm.Program, error) {
 	page := make([]byte, PageSize10K)
 	copy(page, "<html>occlum</html>")
 	b := asm.NewBuilder()
+	b.String("hdr", ResponseHeader)
 	b.Bytes("page", page)
+	b.Zero("iov", 32)
 	b.Zero("req", 128)
 	b.Zero("evbuf", EventMaxEvents*16)
 	b.String("quitmsg", QuitRequest)
 	b.Entry("_start")
 	ulib.Prologue(b)
+	// The response iovec never changes: {header, page}. Fill it here —
+	// IovSetSym clobbers R8/R9, which the event loop owns below.
+	ulib.IovSetSym(b, "iov", 0, "hdr", int64(len(ResponseHeader)))
+	ulib.IovSetSym(b, "iov", 1, "page", PageSize10K)
 	// R10 = epoll_create(); watch the inherited listener.
 	ulib.EpCreate(b)
 	b.MovRR(isa.R10, isa.R0)
@@ -166,24 +184,17 @@ func BuildEventHTTPWorker(port uint16) (*asm.Program, error) {
 	b.LoadB(isa.R7, isa.Mem(isa.R8, 0))
 	b.CmpI(isa.R7, int32(QuitRequest[0]))
 	b.Je("quit")
-	// Serve the page; resume from the partial count if a send ever
-	// returns one (it only can against a full 256 KB receive buffer).
-	// The connection then stays registered — persistent connections are
-	// what makes C10K a concurrency benchmark rather than a dial storm;
-	// the client closes when done and the EOF path below cleans up.
-	b.LeaData(isa.R7, "page")
-	b.MovRI(isa.R8, PageSize10K)
-	b.Label("sendloop")
-	b.MovRR(isa.R1, isa.R6)
-	b.MovRR(isa.R2, isa.R7)
-	b.MovRR(isa.R3, isa.R8)
-	ulib.Syscall(b, libos.SysSend)
-	b.CmpI(isa.R0, 0)
-	b.Jl("drop") // EPIPE: client closed early
-	b.Add(isa.R7, isa.R0)
-	b.Sub(isa.R8, isa.R0)
-	b.CmpI(isa.R8, 0)
-	b.Jg("sendloop")
+	// Serve header + page with one gather writev. The connection is
+	// blocking, so the kernel's partial-progress protocol (cursys.prog)
+	// parks and resumes against a full 256 KB receive buffer until every
+	// byte is queued; a short return therefore means the client vanished
+	// mid-response. The connection then stays registered — persistent
+	// connections are what makes C10K a concurrency benchmark rather
+	// than a dial storm; the client closes when done and the EOF path
+	// below cleans up.
+	ulib.Writev(b, isa.R6, "iov", 2)
+	b.CmpI(isa.R0, int32(ResponseSize))
+	b.Jne("drop") // EPIPE or short count: client closed early
 	b.Jmp("event")
 
 	b.Label("drop")
@@ -249,6 +260,80 @@ func BuildEventHTTPMaster(port uint16, workerPath string, workers int) (*asm.Pro
 	}
 	ulib.Exit(b, 0)
 	return b.Finish()
+}
+
+// BuildFileHTTPWorker builds a static-file worker: it serves the file
+// at path (size bytes) by sending the header with writev and pumping
+// the body straight from the filesystem with sendfile. When the file
+// lives in the integrity-verified image layer the body bytes ride
+// borrowed page-cache blocks — no byte of the payload ever transits
+// guest memory. Occlum-only: sendfile is not part of the baselines'
+// syscall surface.
+func BuildFileHTTPWorker(path string, size int) (*asm.Program, error) {
+	hdr := fmt.Sprintf("HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n", size)
+	b := asm.NewBuilder()
+	b.String("path", path)
+	b.String("hdr", hdr)
+	b.Zero("iov", 16)
+	b.Zero("req", 128)
+	b.Entry("_start")
+	ulib.Prologue(b)
+	// The file is opened once; sendfile's pread-style offset argument
+	// means no seek is ever needed between requests.
+	ulib.OpenPath(b, "path", int64(len(path)), libos.ORdOnly)
+	b.MovRR(isa.R10, isa.R0)
+	b.CmpI(isa.R10, 0)
+	b.Jl("done")
+	ulib.IovSetSym(b, "iov", 0, "hdr", int64(len(hdr)))
+	b.Label("serve")
+	b.MovRI(isa.R1, ListenFD)
+	ulib.Syscall(b, libos.SysAccept)
+	b.MovRR(isa.R6, isa.R0)
+	b.CmpI(isa.R6, 0)
+	b.Jl("done")
+	// read(cfd, req, 128)
+	b.MovRR(isa.R1, isa.R6)
+	b.LeaData(isa.R2, "req")
+	b.MovRI(isa.R3, 128)
+	ulib.Syscall(b, libos.SysRead)
+	// A 'Q' request is the stop order.
+	b.LeaData(isa.R8, "req")
+	b.LoadB(isa.R7, isa.Mem(isa.R8, 0))
+	b.CmpI(isa.R7, int32(QuitRequest[0]))
+	b.Je("quit")
+	// Header by gather write, body straight from the page cache.
+	ulib.Writev(b, isa.R6, "iov", 1)
+	ulib.Sendfile(b, isa.R6, isa.R10, 0, int64(size))
+	ulib.Close(b, isa.R6)
+	b.Jmp("serve")
+	b.Label("quit")
+	b.Nop()
+	ulib.Close(b, isa.R6)
+	b.Label("done")
+	b.Nop()
+	ulib.Exit(b, 0)
+	return b.Finish()
+}
+
+// InstallFileHTTPD installs the static-file server (shared master +
+// sendfile workers) serving the file at filePath, returning the master
+// path.
+func InstallFileHTTPD(k Kernel, port uint16, workers int, filePath string, size int) (string, error) {
+	w, err := BuildFileHTTPWorker(filePath, size)
+	if err != nil {
+		return "", err
+	}
+	if err := k.InstallProgram("/bin/fhttpd-worker", w); err != nil {
+		return "", err
+	}
+	m, err := BuildHTTPMaster(port, "/bin/fhttpd-worker", workers)
+	if err != nil {
+		return "", err
+	}
+	if err := k.InstallProgram("/bin/fhttpd", m); err != nil {
+		return "", err
+	}
+	return "/bin/fhttpd", nil
 }
 
 // HTTPBenchResult reports a load-generation run.
@@ -358,7 +443,7 @@ func RunHTTPBench(k Kernel, port uint16, concurrency, totalRequests int) HTTPBen
 					continue
 				}
 				got := 0
-				for got < PageSize10K {
+				for got < ResponseSize {
 					n, err := conn.Read(buf)
 					if n > 0 {
 						got += n
@@ -368,7 +453,7 @@ func RunHTTPBench(k Kernel, port uint16, concurrency, totalRequests int) HTTPBen
 						break
 					}
 				}
-				if got < PageSize10K {
+				if got < ResponseSize {
 					failed.Add(1)
 				}
 				conn.Close()
@@ -444,7 +529,7 @@ func RunC10K(k Kernel, port uint16, conns, rounds int) C10KResult {
 				conn.Close()
 				return
 			}
-			for got := 0; got < PageSize10K; {
+			for got := 0; got < ResponseSize; {
 				n, err := conn.Read(buf)
 				got += n
 				if err != nil {
@@ -490,7 +575,7 @@ func RunC10K(k Kernel, port uint16, conns, rounds int) C10KResult {
 					return
 				}
 				got := 0
-				for got < PageSize10K {
+				for got < ResponseSize {
 					n, err := conn.Read(buf)
 					if n > 0 {
 						got += n
@@ -500,7 +585,7 @@ func RunC10K(k Kernel, port uint16, conns, rounds int) C10KResult {
 						break
 					}
 				}
-				if got < PageSize10K {
+				if got < ResponseSize {
 					failed.Add(1)
 					conn.Close()
 					conn = nil

@@ -37,8 +37,8 @@ func TestEventHTTPDServes(t *testing.T) {
 	if res.Failed != 0 {
 		t.Fatalf("failed requests: %d/%d", res.Failed, res.Requests)
 	}
-	if res.Bytes != int64(requests*PageSize10K) {
-		t.Fatalf("bytes = %d, want %d", res.Bytes, requests*PageSize10K)
+	if res.Bytes != int64(requests*ResponseSize) {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, requests*ResponseSize)
 	}
 	t.Logf("event httpd: %.0f req/s", res.Throughput())
 }
@@ -84,8 +84,8 @@ func TestC10KSmoke(t *testing.T) {
 	if res.Failed != 0 {
 		t.Fatalf("failed requests: %d/%d", res.Failed, res.Requests)
 	}
-	if res.Bytes != int64(res.Requests*PageSize10K) {
-		t.Fatalf("bytes = %d, want %d", res.Bytes, res.Requests*PageSize10K)
+	if res.Bytes != int64(res.Requests*ResponseSize) {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, res.Requests*ResponseSize)
 	}
 
 	snap := k.Sys.OS.Sched().Snapshot()

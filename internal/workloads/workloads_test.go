@@ -113,8 +113,8 @@ func TestHTTPDAllSystems(t *testing.T) {
 			if res.Failed != 0 {
 				t.Fatalf("failed requests: %d/%d", res.Failed, res.Requests)
 			}
-			if res.Bytes != int64(requests*PageSize10K) {
-				t.Fatalf("bytes = %d, want %d", res.Bytes, requests*PageSize10K)
+			if res.Bytes != int64(requests*ResponseSize) {
+				t.Fatalf("bytes = %d, want %d", res.Bytes, requests*ResponseSize)
 			}
 			t.Logf("%s: %.0f req/s", k.Name(), res.Throughput())
 		})
@@ -160,8 +160,8 @@ func TestHTTPDOversubscribed(t *testing.T) {
 	if res.Failed != 0 {
 		t.Fatalf("failed requests: %d/%d", res.Failed, res.Requests)
 	}
-	if res.Bytes != int64(requests*PageSize10K) {
-		t.Fatalf("bytes = %d, want %d", res.Bytes, requests*PageSize10K)
+	if res.Bytes != int64(requests*ResponseSize) {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, requests*ResponseSize)
 	}
 	snap := k.Sys.OS.Sched().Snapshot()
 	if snap.Parks == 0 {
