@@ -17,7 +17,10 @@
 // (parks, unparks, steals, preemptions, yields and hart utilization)
 // aggregated over every Occlum hart pool. With -netstats, each
 // experiment reports the readiness-path counters (recv/send/accept
-// parks, poll/epoll_wait calls and parks, EAGAIN returns). With
+// parks, poll/epoll_wait calls and parks, EAGAIN returns) plus the
+// timer-wheel and backpressure counters (wheel arms/fires/cancels/
+// cascades, idle-reaped and shed connections, suppressed stale timer
+// wakes). With
 // -fsstats, each experiment reports the filesystem counters (image
 // blocks Merkle-verified, verified-cache hits, read-aheads, copy-ups,
 // whiteouts).

@@ -119,7 +119,7 @@ func Full() Scale {
 		FileTotal:     4 << 20,
 		FileBufs:      []int{4, 16, 64, 256, 1024, 4096, 16384},
 		SpecIters:     2000,
-		C10KConns:     []int{64, 1024, 10240},
+		C10KConns:     []int{64, 1024, 10240, 102400},
 		C10KRequests:  20480,
 		FSBenchTotal:  8 << 20,
 		FSBenchBuf:    4096,

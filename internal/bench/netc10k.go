@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/workloads"
 )
@@ -21,10 +22,14 @@ func C10KTable(s Scale) (*Table, error) {
 		port    = 9400
 		workers = 8
 		harts   = 4
+		// churnStride: each connection closes and redials every 4th
+		// round — 25% of the population cycles through the full accept
+		// path per round.
+		churnStride = 4
 	)
 	t := &Table{
 		Title:   fmt.Sprintf("C10K — event-driven HTTPD over %d harts, %d epoll workers", harts, workers),
-		Columns: []string{"req/s", "p50 ms", "p99 ms", "failed"},
+		Columns: []string{"req/s", "p50 ms", "p99 ms", "failed", "churns"},
 		Unit:    "per conns row",
 	}
 	spec := workloads.KernelSpec{
@@ -33,6 +38,12 @@ func C10KTable(s Scale) (*Table, error) {
 		DomainData:     4 << 20,
 		EIPEnclaveSize: s.EIPEnclave,
 		Harts:          harts,
+		// A production-shaped server keeps an idle deadline on every
+		// connection. The timeout never fires here (every connection
+		// stays active), but each accept arms and each close cancels a
+		// wheel entry — the c10k numbers include that bookkeeping, and
+		// -netstats shows it moving.
+		IdleTimeout: 60 * time.Second,
 	}
 	k, err := workloads.NewOcclumKernel(spec)
 	if err != nil {
@@ -65,6 +76,30 @@ func C10KTable(s Scale) (*Table, error) {
 				float64(res.P50.Microseconds()) / 1000,
 				float64(res.P99.Microseconds()) / 1000,
 				float64(res.Failed),
+				0,
+			},
+		})
+		// Churn rows at the 10k+ points: every connection re-dials once
+		// per churnStride rounds, so the steady connections' tail
+		// latency is measured while the accept/register/reap-arm path
+		// stays hot — the configuration where per-fd-table and
+		// timer-cancel contention would show.
+		if conns < 10000 {
+			continue
+		}
+		cres := workloads.RunC10KChurn(k, port, conns, rounds, churnStride)
+		if cres.Failed > 0 {
+			return nil, fmt.Errorf("c10k conns=%d churn: %d/%d failed requests",
+				conns, cres.Failed, cres.Requests)
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("conns=%d +churn", conns),
+			Values: []float64{
+				cres.Throughput(),
+				float64(cres.P50.Microseconds()) / 1000,
+				float64(cres.P99.Microseconds()) / 1000,
+				float64(cres.Failed),
+				float64(cres.Churns),
 			},
 		})
 	}

@@ -13,27 +13,70 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// tableShards is the shard count for the host's hot connection-facing
+// tables (futex queues, listener ports). File and shm state stay under
+// the single coarse lock — they are cold paths. A power of two keeps
+// the shard pick a mask.
+const tableShards = 16
+
+// futexShard is one lock's worth of futex queues. Sharding by key
+// keeps a c100k park/unpark storm from serializing on one mutex: each
+// key hashes to a shard that owns its queues outright, the
+// message-passing-flavored ownership split the sharded tables use
+// throughout this stack.
+type futexShard struct {
+	mu sync.Mutex
+	q  map[uint64]*futexQueue
+}
+
+// listenerShard is one lock's worth of bound ports.
+type listenerShard struct {
+	mu sync.Mutex
+	m  map[uint16]*Listener
+}
+
 // Host is one untrusted host OS instance.
 type Host struct {
-	mu        sync.Mutex
+	mu        sync.Mutex // guards files, faults, shm
 	files     map[string][]byte
 	faults    []*injection
-	futexes   map[uint64]*futexQueue
-	listeners map[uint16]*Listener
 	shm       map[string][]byte
+	futexes   [tableShards]futexShard
+	listeners [tableShards]listenerShard
+	// activeTimers counts outstanding host timers (armed, not yet
+	// fired or cancelled). The timer wheel holds this at ≤1 per hart;
+	// tests assert it.
+	activeTimers atomic.Int64
 }
 
 // New creates an empty host.
 func New() *Host {
-	return &Host{
-		files:     make(map[string][]byte),
-		futexes:   make(map[uint64]*futexQueue),
-		listeners: make(map[uint16]*Listener),
-		shm:       make(map[string][]byte),
+	h := &Host{
+		files: make(map[string][]byte),
+		shm:   make(map[string][]byte),
 	}
+	for i := range h.futexes {
+		h.futexes[i].q = make(map[uint64]*futexQueue)
+	}
+	for i := range h.listeners {
+		h.listeners[i].m = make(map[uint16]*Listener)
+	}
+	return h
+}
+
+// futexShardFor picks the shard owning a futex key. The multiply
+// spreads low-entropy keys (guest addresses share alignment) across
+// shards before masking.
+func (h *Host) futexShardFor(key uint64) *futexShard {
+	return &h.futexes[(key*0x9e3779b97f4a7c15)>>58&(tableShards-1)]
+}
+
+func (h *Host) listenerShardFor(port uint16) *listenerShard {
+	return &h.listeners[port&(tableShards-1)]
 }
 
 // Storage errors.
@@ -154,12 +197,13 @@ type FutexReg struct {
 // while parked) — a stale registration would otherwise swallow a wake
 // meant for a real waiter.
 func (h *Host) FutexSubscribe(key uint64, wake func()) *FutexReg {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	q := h.futexes[key]
+	sh := h.futexShardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q := sh.q[key]
 	if q == nil {
 		q = &futexQueue{}
-		h.futexes[key] = q
+		sh.q[key] = q
 	}
 	reg := &FutexReg{h: h, key: key, wake: wake}
 	q.waiters = append(q.waiters, reg)
@@ -168,10 +212,10 @@ func (h *Host) FutexSubscribe(key uint64, wake func()) *FutexReg {
 
 // Cancel removes the registration if it has not been consumed by a wake.
 func (r *FutexReg) Cancel() {
-	h := r.h
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	q := h.futexes[r.key]
+	sh := r.h.futexShardFor(r.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q := sh.q[r.key]
 	if q == nil {
 		return
 	}
@@ -197,8 +241,9 @@ func (h *Host) FutexWait(key uint64) {
 // FutexWake wakes up to n waiters on key, returning how many were woken.
 // Callbacks run outside the host lock.
 func (h *Host) FutexWake(key uint64, n int) int {
-	h.mu.Lock()
-	q := h.futexes[key]
+	sh := h.futexShardFor(key)
+	sh.mu.Lock()
+	q := sh.q[key]
 	var woken []*FutexReg
 	if q != nil {
 		for len(woken) < n && len(q.waiters) > 0 {
@@ -206,7 +251,7 @@ func (h *Host) FutexWake(key uint64, n int) int {
 			q.waiters = q.waiters[1:]
 		}
 	}
-	h.mu.Unlock()
+	sh.mu.Unlock()
 	for _, r := range woken {
 		r.wake()
 	}
@@ -221,10 +266,30 @@ func (h *Host) FutexWake(key uint64, n int) int {
 // a poll timeout but never corrupt LibOS state. Cancel after firing is a
 // harmless no-op; fn may race a concurrent cancel, so callers must make
 // fn idempotent (the parking protocol's latched wakes already are).
+//
+// Each outstanding timer is counted in ActiveTimers. The LibOS timer
+// wheel keeps this at one per hart regardless of how many guest
+// deadlines are pending; c100k tests assert that bound.
 func (h *Host) Timer(d time.Duration, fn func()) (cancel func()) {
-	t := time.AfterFunc(d, fn)
-	return func() { t.Stop() }
+	h.activeTimers.Add(1)
+	var settled atomic.Bool // fired-or-cancelled latch for the count
+	t := time.AfterFunc(d, func() {
+		if settled.CompareAndSwap(false, true) {
+			h.activeTimers.Add(-1)
+		}
+		fn()
+	})
+	return func() {
+		t.Stop()
+		if settled.CompareAndSwap(false, true) {
+			h.activeTimers.Add(-1)
+		}
+	}
 }
+
+// ActiveTimers reports the number of host timers currently armed —
+// scheduled and neither fired nor cancelled.
+func (h *Host) ActiveTimers() int64 { return h.activeTimers.Load() }
 
 // --- Untrusted shared memory ----------------------------------------------
 

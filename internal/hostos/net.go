@@ -90,36 +90,70 @@ type Listener struct {
 	// on close, until cancelled.
 	watch  watchSet
 	closed bool
+	// max bounds queued-but-unaccepted connections, like listen(2)'s
+	// backlog: the guest's listen() argument, clamped to BacklogCap.
+	max int
 }
 
-// backlogMax bounds queued-but-unaccepted connections, like listen(2)'s
-// backlog.
-const backlogMax = 128
+// Backlog bounds.
+const (
+	// BacklogDefault applies when the guest never called listen() with
+	// an explicit backlog (the seed's old hard-coded limit).
+	BacklogDefault = 128
+	// BacklogCap is the host's ceiling on any requested backlog, like
+	// net.core.somaxconn.
+	BacklogCap = 4096
+)
 
-// Listen binds a loopback port.
+// Listen binds a loopback port with the default backlog.
 func (h *Host) Listen(port uint16) (*Listener, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if _, taken := h.listeners[port]; taken {
+	sh := h.listenerShardFor(port)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, taken := sh.m[port]; taken {
 		return nil, ErrPortInUse
 	}
-	l := &Listener{host: h, port: port}
+	l := &Listener{host: h, port: port, max: BacklogDefault}
 	l.cond = sync.NewCond(&l.mu)
-	h.listeners[port] = l
+	sh.m[port] = l
 	return l, nil
+}
+
+// SetBacklog applies the guest's listen() backlog, clamped to
+// [1, BacklogCap]. A dial that finds the queue at the limit fails with
+// ErrConnRefused rather than silently waiting — the connector learns
+// immediately, which is what the connect-storm tests assert.
+func (l *Listener) SetBacklog(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > BacklogCap {
+		n = BacklogCap
+	}
+	l.mu.Lock()
+	l.max = n
+	l.mu.Unlock()
+}
+
+// Backlog reports the current backlog limit.
+func (l *Listener) Backlog() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.max
 }
 
 // Dial connects to a listening loopback port.
 func (h *Host) Dial(port uint16) (*Conn, error) {
-	h.mu.Lock()
-	l := h.listeners[port]
-	h.mu.Unlock()
+	sh := h.listenerShardFor(port)
+	sh.mu.Lock()
+	l := sh.m[port]
+	sh.mu.Unlock()
 	if l == nil {
 		return nil, ErrConnRefused
 	}
 	a, b := connPair()
 	l.mu.Lock()
-	if l.closed || len(l.backlog) >= backlogMax {
+	if l.closed || len(l.backlog) >= l.max {
 		l.mu.Unlock()
 		return nil, ErrConnRefused
 	}
@@ -218,9 +252,10 @@ func (l *Listener) Close() {
 	l.waiters = nil
 	watch := l.watch.snapshot()
 	l.mu.Unlock()
-	l.host.mu.Lock()
-	delete(l.host.listeners, l.port)
-	l.host.mu.Unlock()
+	sh := l.host.listenerShardFor(l.port)
+	sh.mu.Lock()
+	delete(sh.m, l.port)
+	sh.mu.Unlock()
 	for _, w := range waiters {
 		w()
 	}
@@ -273,6 +308,20 @@ func (c *Conn) CloseWrite() { c.wr.closeWrite() }
 func (c *Conn) Close() {
 	c.rd.closeRead()
 	c.wr.closeWrite()
+}
+
+// BufAlloc reports the bytes of ring buffer actually allocated for
+// this end's two directions — the connection's real buffer footprint,
+// which lazy rings keep near the high-water mark of queued data rather
+// than at 2×StreamCap. Slowloris tests assert this stays bounded.
+func (c *Conn) BufAlloc() int {
+	c.rd.mu.Lock()
+	n := c.rd.rb.Alloc()
+	c.rd.mu.Unlock()
+	c.wr.mu.Lock()
+	n += c.wr.rb.Alloc()
+	c.wr.mu.Unlock()
+	return n
 }
 
 // Readiness reports the connection's poll state.
@@ -336,12 +385,14 @@ func (c *Conn) SubscribeDir(read, write bool, fn func()) (cancel func()) {
 // write-side shutdown, one-shot waiter lists for parked SIPs, and
 // persistent watchers for readiness subscriptions (poll/epoll interest).
 //
-// Storage is a fixed-capacity ring allocated once per stream: the cap
-// is a hard per-connection memory bound. A slow (or stalled) reader
-// backpressures its writer at exactly Cap queued bytes — the
-// append-grown slice this replaces regrew without bound and pinned
-// consumed prefixes alive via `buf = buf[n:]`, so one slow reader
-// could balloon the host heap.
+// Storage is a fixed-capacity ring: the cap is a hard per-connection
+// memory bound. A slow (or stalled) reader backpressures its writer at
+// exactly Cap queued bytes — the append-grown slice this replaces
+// regrew without bound and pinned consumed prefixes alive via
+// `buf = buf[n:]`, so one slow reader could balloon the host heap.
+// The ring allocates its buffer lazily and releases it on a complete
+// drain past a keep threshold, so 100k idle connections cost what they
+// queue, not 2×Cap each.
 type stream struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -365,8 +416,7 @@ type stream struct {
 }
 
 // streamCap is the per-stream (so per-connection, per-direction) buffer
-// cap, like a socket's SO_RCVBUF. It is also the stream's entire memory
-// footprint: the ring is allocated once and never grows.
+// cap, like a socket's SO_RCVBUF: the most the ring will ever allocate.
 const streamCap = 256 << 10
 
 // StreamCap reports the per-stream buffer cap, the hard bound on bytes

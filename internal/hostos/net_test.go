@@ -471,3 +471,107 @@ func TestSlowReaderBoundedMemory(t *testing.T) {
 		t.Fatalf("delivered %d of %d bytes", got, goal)
 	}
 }
+
+// TestListenerBacklog checks that the guest's listen() backlog governs
+// how many undialed connections queue: dials up to the limit succeed,
+// the next is refused immediately (not silently dropped), and draining
+// one slot readmits one dial. Run for a small and a large backlog —
+// the storm at both sizes is the regression for the seed's hard-coded
+// 128.
+func TestListenerBacklog(t *testing.T) {
+	for _, bl := range []int{4, 256} {
+		h := New()
+		l, err := h.Listen(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.SetBacklog(bl)
+		if got := l.Backlog(); got != bl {
+			t.Fatalf("backlog = %d, want %d", got, bl)
+		}
+		for i := 0; i < bl; i++ {
+			if _, err := h.Dial(80); err != nil {
+				t.Fatalf("backlog %d: dial %d refused early: %v", bl, i, err)
+			}
+		}
+		if _, err := h.Dial(80); err != ErrConnRefused {
+			t.Fatalf("backlog %d: overflow dial err = %v, want ErrConnRefused", bl, err)
+		}
+		if c, ok, _ := l.TryAccept(nil); !ok || c == nil {
+			t.Fatalf("backlog %d: accept from full queue failed", bl)
+		}
+		if _, err := h.Dial(80); err != nil {
+			t.Fatalf("backlog %d: dial after drain refused: %v", bl, err)
+		}
+		l.Close()
+	}
+}
+
+// TestSetBacklogClamps checks the host ceiling and floor.
+func TestSetBacklogClamps(t *testing.T) {
+	h := New()
+	l, err := h.Listen(81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Backlog() != BacklogDefault {
+		t.Fatalf("default backlog = %d", l.Backlog())
+	}
+	l.SetBacklog(1 << 20)
+	if l.Backlog() != BacklogCap {
+		t.Fatalf("clamped backlog = %d, want %d", l.Backlog(), BacklogCap)
+	}
+	l.SetBacklog(0)
+	if l.Backlog() != 1 {
+		t.Fatalf("floor backlog = %d, want 1", l.Backlog())
+	}
+	l.Close()
+}
+
+// TestActiveTimers checks the armed-timer accounting: arming counts,
+// firing and cancelling uncount, and a cancel racing a fire never
+// double-decrements.
+func TestActiveTimers(t *testing.T) {
+	h := New()
+	fired := make(chan struct{})
+	cancel := h.Timer(time.Hour, func() { close(fired) })
+	if n := h.ActiveTimers(); n != 1 {
+		t.Fatalf("armed count = %d", n)
+	}
+	cancel()
+	if n := h.ActiveTimers(); n != 0 {
+		t.Fatalf("after cancel count = %d", n)
+	}
+	cancel() // double cancel must not go negative
+	if n := h.ActiveTimers(); n != 0 {
+		t.Fatalf("after double cancel count = %d", n)
+	}
+	h.Timer(time.Millisecond, func() { fired <- struct{}{} })
+	<-fired
+	if n := h.ActiveTimers(); n != 0 {
+		t.Fatalf("after fire count = %d", n)
+	}
+}
+
+// TestConnBufAlloc checks that an idle connection's buffer footprint is
+// near zero and that a drained burst releases its buffer.
+func TestConnBufAlloc(t *testing.T) {
+	h := New()
+	client, server := pair(t, h, 82)
+	if n := client.BufAlloc() + server.BufAlloc(); n != 0 {
+		t.Fatalf("idle conn allocated %d bytes", n)
+	}
+	big := make([]byte, 200<<10)
+	if _, err := client.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	if n := server.BufAlloc(); n < 200<<10 {
+		t.Fatalf("burst alloc = %d", n)
+	}
+	if _, err := io.ReadFull(server, big); err != nil {
+		t.Fatal(err)
+	}
+	if n := server.BufAlloc(); n != 0 {
+		t.Fatalf("post-drain alloc = %d, want 0", n)
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fs"
 	"repro/internal/hostos"
 	"repro/internal/ring"
+	"repro/internal/timerwheel"
 )
 
 // fileKind discriminates open file descriptions.
@@ -42,6 +44,17 @@ type OpenFile struct {
 	// rest of the description it is shared across dup and spawn
 	// inheritance.
 	nonblock atomic.Bool
+
+	// Idle reaping (accepted sockets under Config.IdleTimeout):
+	// lastActive is the UnixNano of the last data-plane I/O, reap the
+	// wheel deadline that closes the connection when it idles out, and
+	// reapStop latches teardown so a fire racing the close cannot
+	// re-arm. reapTimeout is written once before the fd is installed
+	// (happens-before via the FD table) and read-only after.
+	lastActive  atomic.Int64
+	reap        *timerwheel.Timer // guarded by mu
+	reapStop    atomic.Bool
+	reapTimeout time.Duration
 }
 
 func newNodeFile(n fs.Node, flags fs.OpenFlag) *OpenFile {
@@ -93,6 +106,13 @@ func (of *OpenFile) unref() {
 	case kindPipeW:
 		of.pipe.closeWrite()
 	case kindSock:
+		of.reapStop.Store(true)
+		of.mu.Lock()
+		reap := of.reap
+		of.mu.Unlock()
+		if reap != nil {
+			reap.Cancel()
+		}
 		if of.conn != nil {
 			of.conn.Close()
 		}
@@ -102,6 +122,70 @@ func (of *OpenFile) unref() {
 		}
 	case kindEpoll:
 		of.ep.close()
+	}
+}
+
+// touch stamps the description as active (data-plane I/O happened);
+// the idle reaper compares this against its deadline before closing.
+// Gated on reapTimeout so un-reaped sockets pay nothing.
+func (of *OpenFile) touch() {
+	if of.reapTimeout > 0 {
+		of.lastActive.Store(time.Now().UnixNano())
+	}
+}
+
+// armIdleReap starts the wheel-driven idle reaper for an accepted
+// socket: one wheel entry per connection, re-armed lazily. The fired
+// callback does NOT close an active connection — it measures the real
+// idle span and pushes the deadline out by what remains, so a busy
+// connection costs one O(1) re-arm per timeout period rather than one
+// per I/O (the kernel-timer trick that makes keep-alive scale).
+func (of *OpenFile) armIdleReap(w *timerwheel.Wheel, d time.Duration) {
+	of.reapTimeout = d
+	of.lastActive.Store(time.Now().UnixNano())
+	of.mu.Lock()
+	of.reap = w.Arm(d, of.reapCheck)
+	of.mu.Unlock()
+}
+
+// reapCheck runs on wheel expiry (outside the wheel lock): close the
+// connection if it has truly idled out, otherwise re-arm for the
+// remaining window. reapStop closes the fire-vs-close race — a stale
+// fire after unref must not re-arm a dead description's timer.
+func (of *OpenFile) reapCheck() {
+	if of.reapStop.Load() {
+		return
+	}
+	idle := time.Since(time.Unix(0, of.lastActive.Load()))
+	of.mu.Lock()
+	t, conn := of.reap, of.conn
+	of.mu.Unlock()
+	if t == nil || conn == nil {
+		return
+	}
+	if idle < of.reapTimeout {
+		t.Reset(of.reapTimeout - idle)
+		return
+	}
+	// Idled out: close both directions. The guest's next read sees
+	// EOF/HUP and its write sees EPIPE; parked waiters are woken by the
+	// close's readiness broadcast.
+	conn.Close()
+	netStats.reaps.Add(1)
+}
+
+// SetListenBacklog implements sysdispatch.Backlogger: listen(2) plumbs
+// the guest's backlog argument through to the host listener (clamped by
+// hostos.BacklogCap). A no-op on descriptions that are not listeners
+// yet — the guest must bind first, as our listen handler runs after
+// sysBind has converted the socket.
+func (of *OpenFile) SetListenBacklog(n int) {
+	of.mu.Lock()
+	lis := of.lis
+	kind := of.kind
+	of.mu.Unlock()
+	if kind == kindListener && lis != nil {
+		lis.SetBacklog(n)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/fs"
 	"repro/internal/hostos"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/oelf"
 	"repro/internal/sched"
 	"repro/internal/sgx"
+	"repro/internal/timerwheel"
 )
 
 // Config sizes the enclave and its domains.
@@ -83,6 +85,15 @@ type Config struct {
 	// CycleSlice is the interpreter cycle budget between LibOS
 	// preemption points (signal checks).
 	CycleSlice uint64
+	// IdleTimeout, when positive, reaps accepted sockets that have seen
+	// no I/O for this long: each accept arms a timer-wheel deadline
+	// that lazily re-arms while the connection stays active and closes
+	// the host connection once it idles out — the slowloris defense.
+	IdleTimeout time.Duration
+	// ShedThreshold, when positive, is the run-queue depth past which
+	// the accept path sheds inbound connections (accept-and-close)
+	// instead of admitting work the harts cannot keep up with.
+	ShedThreshold int
 }
 
 // DefaultConfig returns a workable configuration: 8 domains of 1 MiB code
@@ -120,6 +131,12 @@ type Occlum struct {
 	enclave  *sgx.Enclave
 	host     *hostos.Host
 	sched    *sched.Scheduler
+	// wheels are the per-hart hierarchical timer wheels: every guest
+	// deadline (poll/epoll timeouts, idle reaping) is an O(1) wheel
+	// entry, and each wheel keeps at most ONE host timer outstanding —
+	// so host timer pressure is bounded by MaxThreads, not by the
+	// number of parked connections (the c100k property).
+	wheels []*timerwheel.Wheel
 
 	mu      sync.Mutex
 	domains []*Domain
@@ -236,6 +253,13 @@ func Boot(platform *sgx.Platform, host *hostos.Host, cfg Config) (*Occlum, error
 	// The hart pool starts last, once boot can no longer fail: one hart
 	// per TCS, multiplexing every SIP this enclave will ever run.
 	o.sched = sched.New(cfg.MaxThreads)
+	// One driven timer wheel per hart, each backed by a single host
+	// alarm (host.Timer); SIPs hash to a wheel by pid so deadline churn
+	// spreads across the per-wheel locks.
+	for i := 0; i < o.sched.NumHarts(); i++ {
+		o.wheels = append(o.wheels, timerwheel.New(wheelTick, host.Timer))
+	}
+	registerWheels(o.wheels)
 	// Idle harts scrub the encrypted store in the background: each hook
 	// call verifies (and, where parity allows, repairs) a bounded window
 	// of stripes, so latent host bit-rot is found while the enclave still
@@ -253,6 +277,33 @@ func Boot(platform *sgx.Platform, host *hostos.Host, cfg Config) (*Occlum, error
 // enough that a freshly enqueued SIP waits at most one window behind
 // background verification.
 const scrubWindow = 32
+
+// wheelTick is the timer-wheel resolution. 1ms matches poll(2)'s
+// millisecond timeout ABI, so no guest deadline loses precision.
+const wheelTick = time.Millisecond
+
+// wheelFor picks the timer wheel owning a SIP's deadlines. The
+// fibonacci multiply spreads consecutive pids across wheels.
+func (o *Occlum) wheelFor(pid int) *timerwheel.Wheel {
+	return o.wheels[(uint64(pid)*0x9e3779b97f4a7c15>>33)%uint64(len(o.wheels))]
+}
+
+// Wheels exposes the per-hart timer wheels (tests assert the ≤1 host
+// timer per hart bound through them).
+func (o *Occlum) Wheels() []*timerwheel.Wheel { return o.wheels }
+
+// WheelStats sums activity across this LibOS's wheels.
+func (o *Occlum) WheelStats() timerwheel.Stats {
+	var t timerwheel.Stats
+	for _, w := range o.wheels {
+		s := w.Stats()
+		t.Arms += s.Arms
+		t.Fires += s.Fires
+		t.Cancels += s.Cancels
+		t.Cascades += s.Cascades
+	}
+	return t
+}
 
 func (o *Occlum) mountFilesystems() error {
 	var store *fs.BlockStore
@@ -319,6 +370,7 @@ func (o *Occlum) Sync() error {
 // Processes should have exited.
 func (o *Occlum) Shutdown() error {
 	err := o.encfs.Sync()
+	retireWheels(o.wheels)
 	o.sched.Stop()
 	o.enclave.Destroy()
 	return err

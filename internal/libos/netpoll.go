@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/sysdispatch"
+	"repro/internal/timerwheel"
 )
 
 // --- Network/readiness statistics ---------------------------------------
@@ -40,6 +41,62 @@ var netStats struct {
 	// per-syscall temp buffer (the scalar read/write paths).
 	writevs, readvs, sendfiles, splices atomic.Uint64
 	bytesLent, bytesCopied              atomic.Uint64
+	// Backpressure counters: reaps counts idle connections closed by
+	// the wheel-driven reaper, sheds counts inbound connections refused
+	// by the saturated accept path, staleWakes counts timer fires whose
+	// syscall had already completed (suppressed by the generation check
+	// in timerWake instead of wake-stealing a later park).
+	reaps, sheds, staleWakes atomic.Uint64
+}
+
+// --- Timer-wheel registry -------------------------------------------------
+
+// Live wheels are enumerated so NetStats can report process-wide wheel
+// activity; Shutdown folds a LibOS's final figures into the retired
+// accumulator (the sched.GlobalSnapshot pattern).
+var wheelReg struct {
+	mu      sync.Mutex
+	live    []*timerwheel.Wheel
+	retired timerwheel.Stats
+}
+
+func registerWheels(ws []*timerwheel.Wheel) {
+	wheelReg.mu.Lock()
+	wheelReg.live = append(wheelReg.live, ws...)
+	wheelReg.mu.Unlock()
+}
+
+func retireWheels(ws []*timerwheel.Wheel) {
+	wheelReg.mu.Lock()
+	defer wheelReg.mu.Unlock()
+	for _, w := range ws {
+		w.Stop()
+		s := w.Stats()
+		wheelReg.retired.Arms += s.Arms
+		wheelReg.retired.Fires += s.Fires
+		wheelReg.retired.Cancels += s.Cancels
+		wheelReg.retired.Cascades += s.Cascades
+		for i, l := range wheelReg.live {
+			if l == w {
+				wheelReg.live = append(wheelReg.live[:i], wheelReg.live[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func wheelTotals() timerwheel.Stats {
+	wheelReg.mu.Lock()
+	defer wheelReg.mu.Unlock()
+	t := wheelReg.retired
+	for _, w := range wheelReg.live {
+		s := w.Stats()
+		t.Arms += s.Arms
+		t.Fires += s.Fires
+		t.Cancels += s.Cancels
+		t.Cascades += s.Cascades
+	}
+	return t
 }
 
 // NetSnapshot is a plain-value copy of the readiness-path counters.
@@ -62,25 +119,40 @@ type NetSnapshot struct {
 	// through a temp buffer (the scalar paths). The splice pipe→socket
 	// path must report BytesCopied = 0.
 	BytesLent, BytesCopied uint64
+	// Reaps counts idle connections closed by the wheel-driven reaper;
+	// Sheds counts inbound connections refused under run-queue
+	// saturation; StaleWakes counts suppressed stale timer fires.
+	Reaps, Sheds, StaleWakes uint64
+	// WheelArms/Fires/Cancels/Cascades aggregate timer-wheel activity
+	// across every LibOS in the process (live and shut down).
+	WheelArms, WheelFires, WheelCancels, WheelCascades uint64
 }
 
 // NetStats returns the current counter values.
 func NetStats() NetSnapshot {
+	wt := wheelTotals()
 	return NetSnapshot{
-		RecvParks:   netStats.recvParks.Load(),
-		SendParks:   netStats.sendParks.Load(),
-		AcceptParks: netStats.acceptParks.Load(),
-		Polls:       netStats.polls.Load(),
-		PollParks:   netStats.pollParks.Load(),
-		EpWaits:     netStats.epWaits.Load(),
-		EpWaitParks: netStats.epWaitParks.Load(),
-		EAgains:     netStats.eagains.Load(),
-		Writevs:     netStats.writevs.Load(),
-		Readvs:      netStats.readvs.Load(),
-		Sendfiles:   netStats.sendfiles.Load(),
-		Splices:     netStats.splices.Load(),
-		BytesLent:   netStats.bytesLent.Load(),
-		BytesCopied: netStats.bytesCopied.Load(),
+		RecvParks:     netStats.recvParks.Load(),
+		SendParks:     netStats.sendParks.Load(),
+		AcceptParks:   netStats.acceptParks.Load(),
+		Polls:         netStats.polls.Load(),
+		PollParks:     netStats.pollParks.Load(),
+		EpWaits:       netStats.epWaits.Load(),
+		EpWaitParks:   netStats.epWaitParks.Load(),
+		EAgains:       netStats.eagains.Load(),
+		Writevs:       netStats.writevs.Load(),
+		Readvs:        netStats.readvs.Load(),
+		Sendfiles:     netStats.sendfiles.Load(),
+		Splices:       netStats.splices.Load(),
+		BytesLent:     netStats.bytesLent.Load(),
+		BytesCopied:   netStats.bytesCopied.Load(),
+		Reaps:         netStats.reaps.Load(),
+		Sheds:         netStats.sheds.Load(),
+		StaleWakes:    netStats.staleWakes.Load(),
+		WheelArms:     wt.Arms,
+		WheelFires:    wt.Fires,
+		WheelCancels:  wt.Cancels,
+		WheelCascades: wt.Cascades,
 	}
 }
 
@@ -95,6 +167,10 @@ func (s NetSnapshot) Sub(o NetSnapshot) NetSnapshot {
 		Writevs: s.Writevs - o.Writevs, Readvs: s.Readvs - o.Readvs,
 		Sendfiles: s.Sendfiles - o.Sendfiles, Splices: s.Splices - o.Splices,
 		BytesLent: s.BytesLent - o.BytesLent, BytesCopied: s.BytesCopied - o.BytesCopied,
+		Reaps: s.Reaps - o.Reaps, Sheds: s.Sheds - o.Sheds,
+		StaleWakes: s.StaleWakes - o.StaleWakes,
+		WheelArms:  s.WheelArms - o.WheelArms, WheelFires: s.WheelFires - o.WheelFires,
+		WheelCancels: s.WheelCancels - o.WheelCancels, WheelCascades: s.WheelCascades - o.WheelCascades,
 	}
 }
 
@@ -112,18 +188,37 @@ func (s NetSnapshot) Sub(o NetSnapshot) NetSnapshot {
 // 10k-connection interest list with 64 active connections costs 64
 // checks per wait, not 10k.
 //
+// The interest list and candidate set are sharded by fd: a readiness
+// edge (markReady, fired from the connection's own wake path) takes
+// only its fd's shard lock, so 100k connections hammering one epoll set
+// do not serialize on a single mutex — each shard owns its slice of the
+// readiness queue outright. The waiter list stays under its own small
+// lock (waiters are the few SIPs parked in epoll_wait, not the many
+// watched fds).
+//
 // Lock ordering: readiness callbacks run while the watched resource's
-// lock is held (a stream's, a pipe's, a listener's) and take ep.mu, so
-// nothing here may call back into a watched description while holding
-// ep.mu — scans pop the candidate list first and query readiness
-// unlocked.
+// lock is held (a stream's, a pipe's, a listener's) and take a shard
+// lock, so nothing here may call back into a watched description while
+// holding one — scans pop the candidate list first and query readiness
+// unlocked. Shard locks never nest with each other or with wmu.
 type epollSet struct {
-	mu      sync.Mutex
-	items   map[int]*epItem
-	ready   map[int]struct{}
+	shards [epShards]epShard
+	closed atomic.Bool
+
+	wmu     sync.Mutex // guards waiters/nextID only
 	waiters map[int]func()
 	nextID  int
-	closed  bool
+}
+
+// epShards is the interest-table shard count (power of two; fds are
+// dense small integers, so the low bits spread them evenly).
+const epShards = 16
+
+// epShard owns one slice of the interest list and its ready set.
+type epShard struct {
+	mu    sync.Mutex
+	items map[int]*epItem
+	ready map[int]struct{}
 }
 
 // epItem is one interest-list entry. It pins the open file description
@@ -138,57 +233,128 @@ type epItem struct {
 }
 
 func newEpollSet() *epollSet {
-	return &epollSet{
-		items:   make(map[int]*epItem),
-		ready:   make(map[int]struct{}),
-		waiters: make(map[int]func()),
+	ep := &epollSet{waiters: make(map[int]func())}
+	for i := range ep.shards {
+		ep.shards[i].items = make(map[int]*epItem)
+		ep.shards[i].ready = make(map[int]struct{})
 	}
+	return ep
+}
+
+func (ep *epollSet) shardFor(fd int) *epShard {
+	return &ep.shards[uint(fd)&(epShards-1)]
 }
 
 // markReady records a readiness edge for fd and wakes parked waiters.
 // The candidate set is conservative (a superset of the truly ready):
-// epoll_wait re-verifies against the level-triggered state.
+// epoll_wait re-verifies against the level-triggered state. Only the
+// fd's own shard lock is taken, so concurrent edges on different
+// connections never contend.
 func (ep *epollSet) markReady(fd int) {
-	ep.mu.Lock()
-	if _, ok := ep.items[fd]; ok {
-		ep.ready[fd] = struct{}{}
+	sh := ep.shardFor(fd)
+	sh.mu.Lock()
+	if _, ok := sh.items[fd]; ok {
+		sh.ready[fd] = struct{}{}
 	}
-	ep.mu.Unlock()
+	sh.mu.Unlock()
 	ep.wake()
 }
 
-// popCandidates drains the candidate set, returning each candidate with
-// its interest mask and file. Candidates the caller finds still ready
-// must be pushed back with readd; a concurrent edge during the scan
-// simply re-adds the fd to the fresh set, so no readiness is ever lost.
+// popCandidates drains every shard's candidate set, returning each
+// candidate with its interest mask and file. Candidates the caller
+// finds still ready must be pushed back with readd; a concurrent edge
+// during the scan simply re-adds the fd to the fresh set, so no
+// readiness is ever lost. Shards are drained one lock at a time —
+// epoll_wait tolerates the resulting not-quite-snapshot the same way it
+// tolerates edges arriving mid-scan.
 func (ep *epollSet) popCandidates() []epCandidate {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	if len(ep.ready) == 0 {
-		return nil
-	}
-	out := make([]epCandidate, 0, len(ep.ready))
-	for fd := range ep.ready {
-		if it, ok := ep.items[fd]; ok {
-			out = append(out, epCandidate{fd: fd, ev: it.events, file: it.file})
+	var out []epCandidate
+	for i := range ep.shards {
+		sh := &ep.shards[i]
+		sh.mu.Lock()
+		if len(sh.ready) == 0 {
+			sh.mu.Unlock()
+			continue
 		}
+		for fd := range sh.ready {
+			if it, ok := sh.items[fd]; ok {
+				out = append(out, epCandidate{fd: fd, ev: it.events, file: it.file})
+			}
+		}
+		sh.ready = make(map[int]struct{})
+		sh.mu.Unlock()
 	}
-	ep.ready = make(map[int]struct{})
 	return out
 }
 
 // readd pushes still-ready (or unverified) candidates back.
 func (ep *epollSet) readd(fds []int) {
-	if len(fds) == 0 {
-		return
-	}
-	ep.mu.Lock()
 	for _, fd := range fds {
-		if _, ok := ep.items[fd]; ok {
-			ep.ready[fd] = struct{}{}
+		sh := ep.shardFor(fd)
+		sh.mu.Lock()
+		if _, ok := sh.items[fd]; ok {
+			sh.ready[fd] = struct{}{}
 		}
+		sh.mu.Unlock()
 	}
-	ep.mu.Unlock()
+}
+
+// add installs an interest-list entry, failing on a closed set (EBADF)
+// or a duplicate fd (EEXIST). The closed check runs under the shard
+// lock: either this insert is visible to close's drain of the shard, or
+// the insert observes closed and rejects — no entry can slip in
+// unseen and leak its subscription.
+func (ep *epollSet) add(fd int, it *epItem) int64 {
+	sh := ep.shardFor(fd)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ep.closed.Load() {
+		return EBADF
+	}
+	if _, dup := sh.items[fd]; dup {
+		return EEXIST
+	}
+	sh.items[fd] = it
+	return 0
+}
+
+// del removes an entry, returning it for the caller to cancel outside
+// the lock.
+func (ep *epollSet) del(fd int) (*epItem, bool) {
+	sh := ep.shardFor(fd)
+	sh.mu.Lock()
+	it, ok := sh.items[fd]
+	if ok {
+		delete(sh.items, fd)
+		delete(sh.ready, fd)
+	}
+	sh.mu.Unlock()
+	return it, ok
+}
+
+// get looks an entry up (for EpCtlMod's re-subscribe).
+func (ep *epollSet) get(fd int) (*epItem, bool) {
+	sh := ep.shardFor(fd)
+	sh.mu.Lock()
+	it, ok := sh.items[fd]
+	sh.mu.Unlock()
+	return it, ok
+}
+
+// swap replaces an entry's mask and subscription, returning the old
+// cancel to run outside the lock; ok=false reports the entry vanished
+// (removed concurrently).
+func (ep *epollSet) swap(fd int, events uint32, cancel func()) (old func(), ok bool) {
+	sh := ep.shardFor(fd)
+	sh.mu.Lock()
+	it, ok := sh.items[fd]
+	if ok {
+		old = it.cancel
+		it.events = events
+		it.cancel = cancel
+	}
+	sh.mu.Unlock()
+	return old, ok
 }
 
 type epCandidate struct {
@@ -204,16 +370,16 @@ type epCandidate struct {
 // must stay live until the syscall completes and its cancel runs —
 // clearing here would lose the second wake and hang the retry.
 func (ep *epollSet) wake() {
-	ep.mu.Lock()
+	ep.wmu.Lock()
 	if len(ep.waiters) == 0 {
-		ep.mu.Unlock()
+		ep.wmu.Unlock()
 		return
 	}
 	ws := make([]func(), 0, len(ep.waiters))
 	for _, w := range ep.waiters {
 		ws = append(ws, w)
 	}
-	ep.mu.Unlock()
+	ep.wmu.Unlock()
 	for _, w := range ws {
 		w()
 	}
@@ -224,15 +390,15 @@ func (ep *epollSet) wake() {
 // syscall completes and by teardown when the SIP dies, so no stale
 // waiter outlives its syscall).
 func (ep *epollSet) addWaiter(fn func()) (cancel func()) {
-	ep.mu.Lock()
+	ep.wmu.Lock()
 	id := ep.nextID
 	ep.nextID++
 	ep.waiters[id] = fn
-	ep.mu.Unlock()
+	ep.wmu.Unlock()
 	return func() {
-		ep.mu.Lock()
+		ep.wmu.Lock()
 		delete(ep.waiters, id)
-		ep.mu.Unlock()
+		ep.wmu.Unlock()
 	}
 }
 
@@ -240,16 +406,23 @@ func (ep *epollSet) addWaiter(fn func()) (cancel func()) {
 // every readiness subscription is cancelled and parked waiters are woken
 // (their retry fails with EBADF instead of sleeping forever).
 func (ep *epollSet) close() {
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	if !ep.closed.CompareAndSwap(false, true) {
 		return
 	}
-	ep.closed = true
-	items := ep.items
-	ep.items = make(map[int]*epItem)
-	ep.ready = make(map[int]struct{})
-	ep.mu.Unlock()
+	// closed is visible before any shard drain; add() checks it under
+	// the shard lock, so every entry is either drained here or rejected
+	// there.
+	var items []*epItem
+	for i := range ep.shards {
+		sh := &ep.shards[i]
+		sh.mu.Lock()
+		for _, it := range sh.items {
+			items = append(items, it)
+		}
+		sh.items = make(map[int]*epItem)
+		sh.ready = make(map[int]struct{})
+		sh.mu.Unlock()
+	}
 	for _, it := range items {
 		it.cancel()
 	}
@@ -311,22 +484,44 @@ func sysShutdown(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 
 // armTimeout installs the parking-side bookkeeping for a blocking
 // readiness wait: the given registration cancels plus, for finite
-// timeouts, a host timer whose firing latches cur.woken and unparks the
-// SIP. The combined cancel lands in cur.cancel, which the dispatch loop
-// runs on completion and teardown runs on death — so neither
-// subscriptions nor timers outlive the syscall.
+// timeouts, a timer-wheel deadline whose firing latches cur.woken and
+// unparks the SIP. The wheel entry is an O(1) splice on the SIP's
+// per-hart wheel — no host timer is created per park; the wheel's one
+// host alarm covers every pending deadline. The combined cancel lands
+// in cur.cancel, which the dispatch loop runs on completion and
+// teardown runs on death — so neither subscriptions nor timers outlive
+// the syscall.
 func (p *Proc) armTimeout(cur *blockedSys, cancels []func(), tmoMS int64) {
 	if tmoMS > 0 {
-		cancels = append(cancels, p.os.host.Timer(time.Duration(tmoMS)*time.Millisecond, func() {
-			cur.woken.Store(true)
-			p.unpark()
-		}))
+		t := p.os.wheelFor(p.pid).Arm(time.Duration(tmoMS)*time.Millisecond, func() {
+			p.timerWake(cur)
+		})
+		cancels = append(cancels, func() { t.Cancel() })
 	}
 	cur.cancel = func() {
 		for _, c := range cancels {
 			c()
 		}
 	}
+}
+
+// timerWake is the wheel callback for an expired syscall timeout.
+// Cancel-vs-fire races are inherent (the wheel collects a tick's slot
+// before running callbacks, so a cancel can arrive too late): a stale
+// fire must not unpark the SIP, which may have completed that syscall
+// and re-parked in a LATER one — the unpark would be wake-stolen by the
+// wrong syscall, burning a spurious retry (and, for edge-sensitive
+// waits, masking the real wakeup ordering). The generation check
+// closes the race: the wake latch always lands in the timer's own
+// record (harmless if stale), but the unpark only happens while that
+// record is still the SIP's live syscall.
+func (p *Proc) timerWake(cur *blockedSys) {
+	cur.woken.Store(true)
+	if p.liveGen.Load() != cur.gen {
+		netStats.staleWakes.Add(1)
+		return
+	}
+	p.unpark()
 }
 
 // sysPoll implements poll(2): a[0] points at an array of a[1] 24-byte
@@ -419,52 +614,33 @@ func sysEpCtl(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 		if !ok {
 			return sysdispatch.Errno(EBADF)
 		}
-		// Subscribe outside ep.mu (lock order: resource lock → ep.mu).
+		// Subscribe outside the shard lock (lock order: resource lock →
+		// shard lock).
 		cancel, subbed := tf.SubscribeReady(func() { ep.markReady(fd) }, events)
 		if !subbed {
 			return sysdispatch.Errno(EPERM) // not pollable (regular file, epoll)
 		}
-		ep.mu.Lock()
-		if ep.closed {
-			ep.mu.Unlock()
+		if e := ep.add(fd, &epItem{events: events, file: tf, cancel: cancel}); e != 0 {
 			cancel()
-			return sysdispatch.Errno(EBADF)
+			return sysdispatch.Errno(e)
 		}
-		if _, dup := ep.items[fd]; dup {
-			ep.mu.Unlock()
-			cancel()
-			return sysdispatch.Errno(EEXIST)
-		}
-		ep.items[fd] = &epItem{events: events, file: tf, cancel: cancel}
-		ep.mu.Unlock()
 		// The fd may already be ready — a level no future edge will
 		// announce; seed it as a candidate.
 		ep.markReady(fd)
 		return sysdispatch.Ok(0)
 	case EpCtlDel:
-		ep.mu.Lock()
-		it, ok := ep.items[fd]
-		if ok {
-			delete(ep.items, fd)
-			delete(ep.ready, fd)
-		}
-		ep.mu.Unlock()
+		it, ok := ep.del(fd)
 		if !ok {
 			return sysdispatch.Errno(ENOENT)
 		}
 		it.cancel()
 		return sysdispatch.Ok(0)
 	case EpCtlMod:
-		ep.mu.Lock()
-		it, ok := ep.items[fd]
-		var tf *OpenFile
-		if ok {
-			tf = it.file
-		}
-		ep.mu.Unlock()
+		it, ok := ep.get(fd)
 		if !ok {
 			return sysdispatch.Errno(ENOENT)
 		}
+		tf := it.file
 		// The subscription is direction-filtered by the interest mask
 		// (an EPOLLIN item never hears write-side edges), so changing
 		// the mask must re-subscribe — keeping the old registration
@@ -473,15 +649,7 @@ func sysEpCtl(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 		if !subbed {
 			return sysdispatch.Errno(EPERM)
 		}
-		var old func()
-		ep.mu.Lock()
-		it, ok = ep.items[fd]
-		if ok {
-			old = it.cancel
-			it.events = events
-			it.cancel = cancel
-		}
-		ep.mu.Unlock()
+		old, ok := ep.swap(fd, events, cancel)
 		if !ok {
 			cancel() // item removed concurrently
 			return sysdispatch.Errno(ENOENT)

@@ -625,3 +625,75 @@ func TestShutdownHalfClose(t *testing.T) {
 		t.Fatalf("SIP exit status = %d", status)
 	}
 }
+
+// TestListenBacklogConnectStorm: the guest's listen() backlog argument
+// must plumb through the syscall dispatcher to the hostos listener —
+// the pre-fix kernel hard-coded 128 and silently ignored the argument.
+// A SIP listens with a small backlog and never accepts; the host fills
+// exactly backlog slots and the next dial is refused, at two sizes so a
+// still-hard-coded default cannot pass by coincidence.
+func TestListenBacklogConnectStorm(t *testing.T) {
+	for _, tt := range []struct {
+		port    uint16
+		backlog int
+	}{
+		{7731, 4},
+		{7733, 64},
+	} {
+		sys, tc := bootSmall(t, 4, 2, 0, nil)
+
+		prog := buildProg(t, func(b *asm.Builder) {
+			b.Entry("_start")
+			ulib.Prologue(b)
+			ulib.Socket(b)
+			b.MovRR(isa.R6, isa.R0)
+			ulib.Bind(b, isa.R6, int64(tt.port))
+			ulib.ListenBacklog(b, isa.R6, int64(tt.backlog))
+			// Park forever: accept on a second listener nobody dials.
+			// The first listener's backlog fills while this SIP is
+			// demonstrably not accepting.
+			ulib.Socket(b)
+			b.MovRR(isa.R7, isa.R0)
+			ulib.Bind(b, isa.R7, int64(tt.port)+1)
+			ulib.ListenSock(b, isa.R7)
+			b.MovRR(isa.R1, isa.R7)
+			ulib.Syscall(b, libos.SysAccept)
+			ulib.Exit(b, 0)
+		})
+		if err := sys.Install(tc, "/bin/backlog", "backlog", prog); err != nil {
+			t.Fatal(err)
+		}
+		p, err := sys.OS.Spawn("/bin/backlog", nil, libos.SpawnOpt{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// First dial retries until the listener exists; it and the
+		// following backlog-1 dials occupy every queue slot.
+		conns := []*hostos.Conn{dialSIP(t, sys, tt.port)}
+		for i := 1; i < tt.backlog; i++ {
+			conn, err := sys.Host.Dial(tt.port)
+			if err != nil {
+				t.Fatalf("backlog=%d: dial %d refused early: %v", tt.backlog, i, err)
+			}
+			conns = append(conns, conn)
+		}
+		// The storm overflow: one more dial must be refused, and must
+		// keep being refused (nobody is draining the queue).
+		for i := 0; i < 3; i++ {
+			if _, err := sys.Host.Dial(tt.port); err == nil {
+				t.Fatalf("backlog=%d: dial %d accepted beyond the backlog", tt.backlog, tt.backlog+i)
+			}
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+		if err := sys.OS.Kill(p.PID(), libos.SIGKILL); err != nil {
+			t.Fatal(err)
+		}
+		if status := waitTimeout(t, p, 30*time.Second, "backlog SIP"); status != 128+libos.SIGKILL {
+			t.Fatalf("killed SIP status = %d, want %d", status, 128+libos.SIGKILL)
+		}
+		sys.OS.Shutdown()
+	}
+}

@@ -47,6 +47,14 @@ type Proc struct {
 	// cursys is the syscall record being dispatched right now, so
 	// handlers can persist progress and registrations across parks.
 	cursys *blockedSys
+	// sysGen numbers syscall records (hart-owned, no atomics needed);
+	// liveGen publishes the generation of the record currently being
+	// dispatched or parked, and 0 between syscalls. Timer-wheel wake
+	// callbacks compare their record's gen against liveGen before
+	// unparking, so a timeout armed by an already-completed syscall can
+	// never wake-steal the SIP out of a later park (see timerWake).
+	sysGen  uint64
+	liveGen atomic.Uint64
 
 	// Exit state (guarded by os.mu).
 	exited bool
@@ -66,6 +74,11 @@ type blockedSys struct {
 	no      uint64
 	a       [5]uint64
 	retAddr uint64
+	// gen is this record's generation (Proc.sysGen at entry). Wheel
+	// timeout callbacks check it against Proc.liveGen so a stale timer
+	// — one whose cancel raced its fire — cannot unpark a SIP that
+	// already re-parked in a later syscall.
+	gen uint64
 	// prog counts bytes already transferred (pipe writes park midway
 	// without re-sending what the reader already consumed).
 	prog int64
@@ -283,6 +296,7 @@ func (p *Proc) syscallEntry() stepResult {
 	}
 	p.cpu.Regs[isa.SP] = sp + 8
 
+	p.sysGen++
 	cur := &blockedSys{
 		no: p.cpu.Regs[isa.R0],
 		a: [5]uint64{
@@ -290,6 +304,7 @@ func (p *Proc) syscallEntry() stepResult {
 			p.cpu.Regs[isa.R4], p.cpu.Regs[isa.R5],
 		},
 		retAddr: retAddr,
+		gen:     p.sysGen,
 	}
 	return p.dispatch(cur)
 }
@@ -300,6 +315,7 @@ func (p *Proc) syscallEntry() stepResult {
 // protocol: R0 gets the result, PC the validated return address.
 func (p *Proc) dispatch(cur *blockedSys) stepResult {
 	p.cursys = cur
+	p.liveGen.Store(cur.gen)
 	res := sysTable.Dispatch(p, cur.no, &cur.a)
 	p.cursys = nil
 	if res.Exited {
@@ -309,6 +325,9 @@ func (p *Proc) dispatch(cur *blockedSys) stepResult {
 		p.blocked = cur
 		return sysParked
 	}
+	// The record retires: stale-timer wakes for it are now suppressed
+	// (liveGen no longer matches), closing the fire-vs-cancel race.
+	p.liveGen.Store(0)
 	if cur.cancel != nil {
 		// The syscall is done; a wait-queue registration that was not
 		// consumed by a wake must not linger.

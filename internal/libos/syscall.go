@@ -220,6 +220,9 @@ func sysRead(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 		}
 		var eof, wouldBlock bool
 		rn, eof, wouldBlock = conn.TryRead(tmp, wait)
+		if rn > 0 {
+			of.touch()
+		}
 		if wouldBlock {
 			if wait == nil {
 				netStats.eagains.Add(1)
@@ -270,6 +273,9 @@ func (p *Proc) sockSend(of *OpenFile, buf, n uint64) sysdispatch.Result {
 	wn, closed, wouldBlock := conn.TryWrite(rem, wait)
 	cur.prog += int64(wn)
 	netStats.bytesCopied.Add(uint64(wn))
+	if wn > 0 {
+		of.touch()
+	}
 	if closed {
 		if cur.prog == 0 {
 			return sysdispatch.Errno(EPIPE)
@@ -513,20 +519,37 @@ func sysAccept(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 	if of.nonblock.Load() {
 		wait = nil
 	}
-	conn, got, closed := of.lis.TryAccept(wait)
-	if closed {
-		return sysdispatch.Errno(EIO)
-	}
-	if !got {
-		if wait == nil {
-			netStats.eagains.Add(1)
-			return sysdispatch.Errno(EAGAIN)
+	o := p.os
+	for {
+		conn, got, closed := of.lis.TryAccept(wait)
+		if closed {
+			return sysdispatch.Errno(EIO)
 		}
-		netStats.acceptParks.Add(1)
-		return sysdispatch.ParkedResult
+		if !got {
+			if wait == nil {
+				netStats.eagains.Add(1)
+				return sysdispatch.Errno(EAGAIN)
+			}
+			netStats.acceptParks.Add(1)
+			return sysdispatch.ParkedResult
+		}
+		// Backpressure: when the run queues are saturated past the
+		// configured threshold, admitting another connection only grows
+		// the backlog of work the harts cannot reach — shed it at the
+		// door (accept-and-close, the cheapest refusal) and drain the
+		// next queued one, so a burst is rejected promptly instead of
+		// timing out one accept at a time.
+		if o.cfg.ShedThreshold > 0 && o.sched.Runnable() >= o.cfg.ShedThreshold {
+			conn.Close()
+			netStats.sheds.Add(1)
+			continue
+		}
+		nf := &OpenFile{refs: 1, kind: kindSock, conn: conn}
+		if d := o.cfg.IdleTimeout; d > 0 {
+			nf.armIdleReap(o.wheelFor(p.pid), d)
+		}
+		return sysdispatch.Ok(int64(p.fds.Install(nf)))
 	}
-	nf := &OpenFile{refs: 1, kind: kindSock, conn: conn}
-	return sysdispatch.Ok(int64(p.fds.Install(nf)))
 }
 
 func sysConnect(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {

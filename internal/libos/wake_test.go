@@ -1,0 +1,109 @@
+package libos
+
+// Internal regression tests for the timer-wake generation check: these
+// need blockedSys/liveGen/timerWake, so they live inside the package
+// (the full-stack readiness tests stay in libos_test).
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// manualParker parks on every Step until released, never registering a
+// waiter — only an explicit Unpark can requeue it, which makes unparks
+// observable one-for-one through the scheduler counters.
+type manualParker struct{ quit atomic.Bool }
+
+func (m *manualParker) Step() sched.Status {
+	if m.quit.Load() {
+		return sched.Done
+	}
+	return sched.Park
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStaleTimerWakeSuppressed is the regression test for the
+// wake-steal bug: a poll timeout's host timer could fire just after
+// the poll completed (cancel raced the fire), and its callback would
+// unpark the SIP even though the SIP had re-parked in a LATER syscall
+// — a spurious wake stolen by the wrong wait. The fix stamps each
+// syscall record with a generation and gates the unpark on the record
+// still being the live one. This test replays the race directly:
+// complete the "poll" (liveGen moves on to a later record), fire the
+// stale timer callback, and assert the parked task is NOT woken — then
+// fire the live record's callback and assert it is.
+func TestStaleTimerWakeSuppressed(t *testing.T) {
+	s := sched.New(1)
+	defer s.Stop()
+	task := &manualParker{}
+	g := s.Prepare(task)
+	p := &Proc{task: g}
+
+	s.Start(g)
+	waitFor(t, "initial park", func() bool { return s.Snapshot().Parks >= 1 })
+
+	// The SIP completed syscall gen 1 (the poll) and is now parked in
+	// syscall gen 2 — exactly the moment the stale gen-1 timer fires.
+	p.liveGen.Store(2)
+	stale := &blockedSys{gen: 1}
+	baseUnparks := s.Snapshot().Unparks
+	baseStale := netStats.staleWakes.Load()
+
+	p.timerWake(stale)
+	if !stale.woken.Load() {
+		t.Fatal("stale fire must still latch its own record's wake flag")
+	}
+	if got := netStats.staleWakes.Load() - baseStale; got != 1 {
+		t.Fatalf("staleWakes delta = %d, want 1", got)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := s.Snapshot().Unparks - baseUnparks; got != 0 {
+		t.Fatalf("stale timer unparked the task %d times; want 0", got)
+	}
+
+	// The live record's timer still wakes normally.
+	task.quit.Store(true)
+	live := &blockedSys{gen: 2}
+	p.timerWake(live)
+	if !live.woken.Load() {
+		t.Fatal("live fire did not latch the wake flag")
+	}
+	waitFor(t, "task completion", func() bool { return g.Done() })
+	if got := s.Snapshot().Unparks - baseUnparks; got != 1 {
+		t.Fatalf("unparks after live fire = %d, want 1", got)
+	}
+}
+
+// TestTimerWakeLiveUnparks covers the inverse direction at the retry
+// boundary: a timer firing for the record currently being re-dispatched
+// (liveGen matches) must unpark even though the task is momentarily
+// running — the latched wake is absorbed by the next park attempt, the
+// normal timeout path.
+func TestTimerWakeLiveUnparks(t *testing.T) {
+	s := sched.New(1)
+	defer s.Stop()
+	task := &manualParker{}
+	g := s.Prepare(task)
+	p := &Proc{task: g}
+	s.Start(g)
+	waitFor(t, "initial park", func() bool { return s.Snapshot().Parks >= 1 })
+
+	p.liveGen.Store(7)
+	cur := &blockedSys{gen: 7}
+	task.quit.Store(true)
+	p.timerWake(cur)
+	waitFor(t, "task completion", func() bool { return g.Done() })
+}

@@ -149,6 +149,9 @@ func sysWritev(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 		switch of.kind {
 		case kindSock:
 			wn, closed, wouldBlock = conn.TryWrite(v.B, wait)
+			if wn > 0 {
+				of.touch()
+			}
 		case kindPipeW:
 			wn, closed = of.pipe.tryWrite(v.B, p.unpark)
 			wouldBlock = wn < len(v.B)
@@ -245,6 +248,9 @@ func sysReadv(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 			rn, eof, stall = of.pipe.tryRead(v.B, wait)
 		case kindSock:
 			rn, eof, stall = conn.TryRead(v.B, wait)
+			if rn > 0 {
+				of.touch()
+			}
 		case kindNode:
 			var rerr error
 			rn, rerr = of.Read(v.B)
@@ -354,6 +360,9 @@ func sysSendfile(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 		} else {
 			netStats.bytesCopied.Add(uint64(wn))
 		}
+		if wn > 0 {
+			oof.touch()
+		}
 		sent += int64(wn)
 		if closed {
 			if sent > 0 {
@@ -427,6 +436,7 @@ func sysSplice(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 			}, wait)
 			if moved > 0 {
 				netStats.bytesLent.Add(uint64(moved))
+				outof.touch()
 				return done(int64(moved))
 			}
 			if eof {
@@ -479,6 +489,7 @@ func sysSplice(k sysdispatch.Kernel, a *[5]uint64) sysdispatch.Result {
 			}
 			if moved > 0 {
 				netStats.bytesLent.Add(uint64(moved))
+				inof.touch()
 				return done(int64(moved))
 			}
 			if parked {

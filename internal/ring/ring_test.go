@@ -111,6 +111,87 @@ func TestRingMisusePanics(t *testing.T) {
 	}
 }
 
+// TestRingLazyAlloc checks that capacity is a promise, not an
+// allocation: the backing buffer appears on first write, grows in
+// power-of-two chunks toward the cap, and is released on a complete
+// drain once it outgrows the keep threshold.
+func TestRingLazyAlloc(t *testing.T) {
+	g := New(256 << 10)
+	if g.Alloc() != 0 {
+		t.Fatalf("fresh ring allocated %d bytes", g.Alloc())
+	}
+	if g.Cap() != 256<<10 || g.Free() != 256<<10 {
+		t.Fatalf("cap=%d free=%d", g.Cap(), g.Free())
+	}
+	// Small write: min chunk, not full capacity.
+	if n := g.Write(make([]byte, 100)); n != 100 {
+		t.Fatalf("write = %d", n)
+	}
+	if g.Alloc() != minAlloc {
+		t.Fatalf("after 100B write alloc = %d, want %d", g.Alloc(), minAlloc)
+	}
+	// Growth is pow2 of demand.
+	if n := g.Write(make([]byte, 10000)); n != 10000 {
+		t.Fatalf("write = %d", n)
+	}
+	if g.Alloc() != 16<<10 {
+		t.Fatalf("after 10100B queued alloc = %d, want %d", g.Alloc(), 16<<10)
+	}
+	// Draining a small buffer keeps it warm.
+	g.Read(make([]byte, 10100))
+	if g.Len() != 0 || g.Alloc() != 16<<10 {
+		t.Fatalf("after drain len=%d alloc=%d", g.Len(), g.Alloc())
+	}
+	// A burst past the keep threshold is released on complete drain.
+	if n := g.Write(make([]byte, 200<<10)); n != 200<<10 {
+		t.Fatalf("burst write = %d", n)
+	}
+	if g.Alloc() != 256<<10 {
+		t.Fatalf("burst alloc = %d", g.Alloc())
+	}
+	g.Read(make([]byte, 256<<10))
+	if g.Alloc() != 0 {
+		t.Fatalf("post-burst drain alloc = %d, want 0", g.Alloc())
+	}
+	// And the ring still works after the release.
+	g.Write([]byte("hello"))
+	out := make([]byte, 8)
+	if n := g.Read(out); n != 5 || string(out[:5]) != "hello" {
+		t.Fatalf("post-release read = %d %q", n, out[:n])
+	}
+}
+
+// TestRingGrowPreservesOrder fills a ring so the queued bytes wrap,
+// then forces growth and checks the FIFO order survives linearization.
+func TestRingGrowPreservesOrder(t *testing.T) {
+	g := New(1 << 20)
+	// Fill the min chunk, wrap the read pointer, refill the tail.
+	g.Write(make([]byte, minAlloc))
+	g.Read(make([]byte, 700))
+	seq := make([]byte, 700)
+	for i := range seq {
+		seq[i] = byte(i)
+	}
+	g.Write(seq) // wraps: 324 at tail, 376 at head
+	// Grow by writing more than fits in the current chunk.
+	big := make([]byte, 3*minAlloc)
+	for i := range big {
+		big[i] = byte(i + 700)
+	}
+	g.Write(big)
+	// Drain and verify: minAlloc-700 zeros, then seq, then big.
+	out := make([]byte, g.Len())
+	if n := g.Read(out); n != len(out) {
+		t.Fatalf("drain = %d", n)
+	}
+	out = out[minAlloc-700:]
+	for i := 0; i < 700+len(big); i++ {
+		if out[i] != byte(i) {
+			t.Fatalf("byte %d = %d, want %d", i, out[i], byte(i))
+		}
+	}
+}
+
 // TestRingDifferential drives a ring and a model FIFO with the same
 // random operation stream, mixing the copy API and the borrow API.
 func TestRingDifferential(t *testing.T) {

@@ -221,6 +221,20 @@ func New(n int) *Scheduler {
 // NumHarts returns the pool size.
 func (s *Scheduler) NumHarts() int { return len(s.harts) }
 
+// Runnable returns the number of tasks currently sitting on run queues
+// (excluding the ones inside Step right now). It reads the per-hart
+// qlen atomics without locking, so the answer is a point-in-time
+// estimate — exactly what admission control wants: the accept path
+// sheds load when this climbs past a threshold, and a slightly stale
+// reading only shifts the shed boundary by a connection or two.
+func (s *Scheduler) Runnable() int {
+	n := 0
+	for _, h := range s.harts {
+		n += int(h.qlen.Load())
+	}
+	return n
+}
+
 // Stats returns the live counters (for the task layer to bump Preempts
 // and for stats consumers).
 func (s *Scheduler) Stats() *Stats { return &s.stats }

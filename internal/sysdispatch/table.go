@@ -165,9 +165,29 @@ func Clock(k Kernel, a *[5]uint64) Result { return Ok(time.Now().UnixNano()) }
 // unmapping is a no-op.
 func Munmap(k Kernel, a *[5]uint64) Result { return Ok(0) }
 
+// Backlogger is implemented by socket files whose bound host listener
+// can take listen(2)'s backlog argument.
+type Backlogger interface {
+	SetListenBacklog(n int)
+}
+
 // Listen is the shared listen(2): binding already created the host
-// listener.
-func Listen(k Kernel, a *[5]uint64) Result { return Ok(0) }
+// listener, so the handler's job is plumbing the guest's backlog
+// through to it. A backlog ≤ 0 keeps the host default (and old guests
+// that never set the register get the seed behavior); the host clamps
+// the rest to its cap.
+func Listen(k Kernel, a *[5]uint64) Result {
+	f, ok := k.FDs().Get(int(int64(a[0])))
+	if !ok {
+		return Errno(EBADF)
+	}
+	if bl, ok := f.(Backlogger); ok {
+		if n := int(int64(a[1])); n > 0 {
+			bl.SetListenBacklog(n)
+		}
+	}
+	return Ok(0)
+}
 
 // Lseek is the shared lseek(2) over the fd table.
 func Lseek(k Kernel, a *[5]uint64) Result {
@@ -437,34 +457,105 @@ type File interface {
 	Unref()
 }
 
+// fdTableShards is the shard count of the descriptor table; a power of
+// two so the shard pick is a mask. Adjacent fds land in different
+// shards, so an event loop hammering Get on a handful of hot sockets
+// does not serialize on one lock.
+const fdTableShards = 16
+
+type fdShard struct {
+	mu    sync.RWMutex
+	files map[int]File
+}
+
 // FDTable is the per-process descriptor table: fd → open file
 // description, with POSIX lowest-free allocation at or above 3 (so dup2
 // targets never collide with fresh fds).
+//
+// The table is sharded by fd: lookups touch only their shard's RWMutex,
+// which is the hot path an epoll loop drives at c100k. Allocation order
+// lives behind a separate allocMu — a next-fd watermark plus a min-heap
+// of freed slots below it. Set and Dup2 can occupy arbitrary slots the
+// allocator never handed out, so Install re-checks occupancy per
+// candidate and skips stale ones; the heap self-heals (a slot may be
+// listed free while occupied, never the reverse).
 type FDTable struct {
-	mu    sync.Mutex
-	files map[int]File
+	shards [fdTableShards]fdShard
+
+	allocMu sync.Mutex
+	freed   []int // min-heap of freed fds below next
+	next    int   // every fd ≥ next is untouched by Install
 }
 
 // NewFDTable returns an empty table.
 func NewFDTable() *FDTable {
-	return &FDTable{files: make(map[int]File)}
+	t := &FDTable{next: 3}
+	for i := range t.shards {
+		t.shards[i].files = make(map[int]File)
+	}
+	return t
+}
+
+func (t *FDTable) shard(fd int) *fdShard {
+	return &t.shards[uint(fd)&(fdTableShards-1)]
+}
+
+// --- freed min-heap (lock: allocMu) --------------------------------------
+
+func (t *FDTable) heapPush(fd int) {
+	t.freed = append(t.freed, fd)
+	i := len(t.freed) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.freed[p] <= t.freed[i] {
+			break
+		}
+		t.freed[p], t.freed[i] = t.freed[i], t.freed[p]
+		i = p
+	}
+}
+
+func (t *FDTable) heapPop() int {
+	fd := t.freed[0]
+	last := len(t.freed) - 1
+	t.freed[0] = t.freed[last]
+	t.freed = t.freed[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(t.freed) && t.freed[l] < t.freed[small] {
+			small = l
+		}
+		if r < len(t.freed) && t.freed[r] < t.freed[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		t.freed[i], t.freed[small] = t.freed[small], t.freed[i]
+		i = small
+	}
+	return fd
 }
 
 // Get looks up fd.
 func (t *FDTable) Get(fd int) (File, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	f, ok := t.files[fd]
+	sh := t.shard(fd)
+	sh.mu.RLock()
+	f, ok := sh.files[fd]
+	sh.mu.RUnlock()
 	return f, ok
 }
 
 // Set installs f at an explicit slot (stdio setup), dropping any
 // previous occupant's reference.
 func (t *FDTable) Set(fd int, f File) {
-	t.mu.Lock()
-	old := t.files[fd]
-	t.files[fd] = f
-	t.mu.Unlock()
+	sh := t.shard(fd)
+	sh.mu.Lock()
+	old := sh.files[fd]
+	sh.files[fd] = f
+	sh.mu.Unlock()
 	if old != nil {
 		old.Unref()
 	}
@@ -472,46 +563,70 @@ func (t *FDTable) Set(fd int, f File) {
 
 // Install places f in the lowest free slot at or above 3.
 func (t *FDTable) Install(f File) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	fd := 3
+	t.allocMu.Lock()
+	defer t.allocMu.Unlock()
 	for {
-		if _, used := t.files[fd]; !used {
-			break
+		var fd int
+		if len(t.freed) > 0 && t.freed[0] < t.next {
+			fd = t.heapPop()
+		} else {
+			fd = t.next
+			t.next++
 		}
-		fd++
+		sh := t.shard(fd)
+		sh.mu.Lock()
+		_, used := sh.files[fd]
+		if !used {
+			sh.files[fd] = f
+		}
+		sh.mu.Unlock()
+		if !used {
+			return fd
+		}
+		// Candidate occupied via Set/Dup2: discard and retry.
 	}
-	t.files[fd] = f
-	return fd
 }
 
 // Remove deletes fd, returning its file (caller unrefs).
 func (t *FDTable) Remove(fd int) (File, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	f, ok := t.files[fd]
+	sh := t.shard(fd)
+	sh.mu.Lock()
+	f, ok := sh.files[fd]
 	if ok {
-		delete(t.files, fd)
+		delete(sh.files, fd)
+	}
+	sh.mu.Unlock()
+	if ok {
+		t.allocMu.Lock()
+		if fd < t.next {
+			t.heapPush(fd)
+		}
+		t.allocMu.Unlock()
 	}
 	return f, ok
 }
 
 // Dup2 implements dup2(2): newfd refers to oldfd's description.
 func (t *FDTable) Dup2(oldfd, newfd int) int64 {
-	t.mu.Lock()
-	f, ok := t.files[oldfd]
+	oldsh := t.shard(oldfd)
+	oldsh.mu.RLock()
+	f, ok := oldsh.files[oldfd]
+	oldsh.mu.RUnlock()
 	if !ok {
-		t.mu.Unlock()
 		return -EBADF
 	}
 	if oldfd == newfd {
-		t.mu.Unlock()
 		return int64(newfd)
 	}
-	old := t.files[newfd]
+	// The description could be closed between the lookup and the ref;
+	// Ref on a still-referenced file is safe because the caller's fd
+	// pins it — the same guarantee Get-then-use relies on everywhere.
 	f.Ref()
-	t.files[newfd] = f
-	t.mu.Unlock()
+	newsh := t.shard(newfd)
+	newsh.mu.Lock()
+	old := newsh.files[newfd]
+	newsh.files[newfd] = f
+	newsh.mu.Unlock()
 	if old != nil {
 		old.Unref()
 	}
@@ -519,35 +634,57 @@ func (t *FDTable) Dup2(oldfd, newfd int) int64 {
 }
 
 // InheritFrom fills the table with references to every entry of the
-// parent's — the cheap fd inheritance of spawn (§6).
+// parent's — the cheap fd inheritance of spawn (§6). The receiver must
+// be fresh and unshared.
 func (t *FDTable) InheritFrom(parent *FDTable) {
-	parent.mu.Lock()
-	defer parent.mu.Unlock()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for fd, f := range parent.files {
-		f.Ref()
-		t.files[fd] = f
+	for i := range parent.shards {
+		psh, sh := &parent.shards[i], &t.shards[i]
+		psh.mu.RLock()
+		sh.mu.Lock()
+		for fd, f := range psh.files {
+			f.Ref()
+			sh.files[fd] = f
+		}
+		sh.mu.Unlock()
+		psh.mu.RUnlock()
 	}
+	parent.allocMu.Lock()
+	t.allocMu.Lock()
+	t.next = parent.next
+	t.freed = append([]int(nil), parent.freed...)
+	t.allocMu.Unlock()
+	parent.allocMu.Unlock()
 }
 
 // CloseAll unrefs and drops every entry (process teardown).
 func (t *FDTable) CloseAll() {
-	t.mu.Lock()
-	files := t.files
-	t.files = make(map[int]File)
-	t.mu.Unlock()
+	var files []File
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.files {
+			files = append(files, f)
+		}
+		sh.files = make(map[int]File)
+		sh.mu.Unlock()
+	}
+	t.allocMu.Lock()
+	t.next, t.freed = 3, nil
+	t.allocMu.Unlock()
 	for _, f := range files {
 		f.Unref()
 	}
 }
 
-// Range calls f for each (fd, file) pair; the table lock is held, so f
-// must not call back into the table.
+// Range calls f for each (fd, file) pair; one shard lock is held at a
+// time, so f must not call back into the table.
 func (t *FDTable) Range(f func(fd int, file File)) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for fd, file := range t.files {
-		f(fd, file)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for fd, file := range sh.files {
+			f(fd, file)
+		}
+		sh.mu.RUnlock()
 	}
 }

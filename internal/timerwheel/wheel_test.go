@@ -1,0 +1,304 @@
+package timerwheel
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// manual returns a test wheel advanced only by Advance.
+func manual() *Wheel { return New(time.Millisecond, nil) }
+
+func TestWheelFiresInOrder(t *testing.T) {
+	w := manual()
+	var mu sync.Mutex
+	var got []int
+	for _, d := range []int{5, 2, 9, 2, 70, 4097} {
+		d := d
+		w.Arm(time.Duration(d)*time.Millisecond, func() {
+			mu.Lock()
+			got = append(got, d)
+			mu.Unlock()
+		})
+	}
+	w.Advance(5 * time.Second)
+	want := []int{2, 2, 4, 5, 9, 70, 4097}[:6]
+	sort.Ints(want)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 6 {
+		t.Fatalf("fired %d of 6: %v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if w.Armed() != 0 {
+		t.Fatalf("armed = %d", w.Armed())
+	}
+}
+
+// TestWheelTickBoundary arms deadlines exactly on level-wrap tick
+// boundaries (64, 4096 = where a cascade happens on the same tick the
+// timer is due) and checks each fires exactly at its deadline — not a
+// tick early, not a tick late.
+func TestWheelTickBoundary(t *testing.T) {
+	for _, ticks := range []int{1, 63, 64, 65, 127, 128, 4095, 4096, 4097} {
+		w := manual()
+		var fired atomic.Int32
+		w.Arm(time.Duration(ticks)*time.Millisecond, func() { fired.Add(1) })
+		w.Advance(time.Duration(ticks-1) * time.Millisecond)
+		if fired.Load() != 0 {
+			t.Fatalf("deadline %d ticks: fired at tick %d", ticks, ticks-1)
+		}
+		w.Advance(time.Millisecond)
+		if fired.Load() != 1 {
+			t.Fatalf("deadline %d ticks: did not fire on its tick", ticks)
+		}
+	}
+}
+
+// TestWheelCancelDuringCascade races Cancel against an advance that is
+// cascading the timers' level — the window where a timer is unlinked
+// from its coarse slot and re-filed. Run under -race this checks the
+// lock discipline; the invariant checked here is exactly-once: every
+// timer either fires once or reports a successful cancel, never both,
+// never neither.
+func TestWheelCancelDuringCascade(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		w := manual()
+		const n = 256
+		fired := make([]atomic.Int32, n)
+		timers := make([]*Timer, n)
+		for i := 0; i < n; i++ {
+			i := i
+			// 64..320 ticks: level ≥ 1, so every advance past 64
+			// ticks cascades these down.
+			timers[i] = w.Arm(time.Duration(64+i)*time.Millisecond, func() { fired[i].Add(1) })
+		}
+		var cancelled [n]bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 40; k++ {
+				w.Advance(10 * time.Millisecond)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i += 2 {
+				cancelled[i] = timers[i].Cancel()
+			}
+		}()
+		wg.Wait()
+		w.Advance(time.Second)
+		for i := 0; i < n; i++ {
+			f := fired[i].Load()
+			if f > 1 {
+				t.Fatalf("timer %d fired %d times", i, f)
+			}
+			want := int32(1)
+			if cancelled[i] {
+				want = 0
+			}
+			if f != want {
+				t.Fatalf("timer %d: fired=%d cancelled=%v", i, f, cancelled[i])
+			}
+		}
+	}
+}
+
+// TestWheelMassExpiry parks 10k idle-connection deadlines on the same
+// tick and expires them all in one Advance — the reaper's burst case.
+func TestWheelMassExpiry(t *testing.T) {
+	w := manual()
+	const n = 10000
+	var fired atomic.Int32
+	for i := 0; i < n; i++ {
+		w.Arm(500*time.Millisecond, func() { fired.Add(1) })
+	}
+	w.Advance(499 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Fatalf("early fires: %d", fired.Load())
+	}
+	w.Advance(time.Millisecond)
+	if fired.Load() != n {
+		t.Fatalf("fired %d of %d in the deadline tick", fired.Load(), n)
+	}
+	if w.Armed() != 0 {
+		t.Fatalf("armed = %d", w.Armed())
+	}
+}
+
+// TestWheelRearmFromCallback re-arms a timer from inside its own
+// expiry callback — the idle reaper's lazy re-arm — and checks the
+// chain keeps firing on schedule.
+func TestWheelRearmFromCallback(t *testing.T) {
+	w := manual()
+	var fires atomic.Int32
+	var tm *Timer
+	tm = w.Arm(10*time.Millisecond, func() {
+		if fires.Add(1) < 5 {
+			tm.Reset(10 * time.Millisecond)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		w.Advance(10 * time.Millisecond)
+	}
+	if fires.Load() != 5 {
+		t.Fatalf("fires = %d, want 5", fires.Load())
+	}
+	if w.Armed() != 0 {
+		t.Fatalf("armed = %d after chain ended", w.Armed())
+	}
+	// Arming new timers from a callback also works.
+	var child atomic.Bool
+	w.Arm(time.Millisecond, func() {
+		w.Arm(time.Millisecond, func() { child.Store(true) })
+	})
+	w.Advance(time.Millisecond)
+	w.Advance(time.Millisecond)
+	if !child.Load() {
+		t.Fatal("callback-armed child did not fire")
+	}
+}
+
+func TestWheelCancelSemantics(t *testing.T) {
+	w := manual()
+	var fired atomic.Int32
+	tm := w.Arm(5*time.Millisecond, func() { fired.Add(1) })
+	if !tm.Cancel() {
+		t.Fatal("first cancel should win")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel should lose")
+	}
+	w.Advance(time.Second)
+	if fired.Load() != 0 {
+		t.Fatalf("cancelled timer fired %d times", fired.Load())
+	}
+	s := w.Stats()
+	if s.Arms != 1 || s.Cancels != 1 || s.Fires != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestWheelDriven runs a real-clock wheel and checks both that timers
+// fire and that at most one host alarm is ever outstanding.
+func TestWheelDriven(t *testing.T) {
+	var outstanding, maxSeen atomic.Int32
+	alarm := func(d time.Duration, fn func()) func() {
+		if o := outstanding.Add(1); o > maxSeen.Load() {
+			maxSeen.Store(o)
+		}
+		var done atomic.Bool
+		tm := time.AfterFunc(d, func() {
+			if done.CompareAndSwap(false, true) {
+				outstanding.Add(-1)
+			}
+			fn()
+		})
+		return func() {
+			tm.Stop()
+			if done.CompareAndSwap(false, true) {
+				outstanding.Add(-1)
+			}
+		}
+	}
+	w := New(time.Millisecond, alarm)
+	defer w.Stop()
+	const n = 64
+	var fired atomic.Int32
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		w.Arm(time.Duration(1+i%20)*time.Millisecond, func() {
+			if fired.Add(1) == n {
+				close(done)
+			}
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only %d of %d fired", fired.Load(), n)
+	}
+	if m := maxSeen.Load(); m > 1 {
+		t.Fatalf("%d host alarms outstanding at once", m)
+	}
+}
+
+// TestWheelDifferential drives the wheel and a sorted-deadline model
+// with a random arm/cancel/advance stream and compares fire sets.
+func TestWheelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 30; trial++ {
+		w := manual()
+		var mu sync.Mutex
+		firedSet := map[int]bool{}
+		type mt struct {
+			id       int
+			deadline uint64
+			tm       *Timer
+		}
+		var live []*mt
+		nextID := 0
+		now := uint64(0)
+		wantFired := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(5) {
+			case 0, 1: // arm
+				d := 1 + rng.Intn(9000)
+				id := nextID
+				nextID++
+				m := &mt{id: id, deadline: now + uint64(d)}
+				m.tm = w.Arm(time.Duration(d)*time.Millisecond, func() {
+					mu.Lock()
+					firedSet[id] = true
+					mu.Unlock()
+				})
+				live = append(live, m)
+			case 2: // cancel a random live timer
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				m := live[i]
+				if m.tm.Cancel() {
+					live = append(live[:i], live[i+1:]...)
+				}
+			default: // advance
+				d := uint64(1 + rng.Intn(200))
+				now += d
+				w.Advance(time.Duration(d) * time.Millisecond)
+				rest := live[:0]
+				for _, m := range live {
+					if m.deadline <= now {
+						wantFired[m.id] = true
+					} else {
+						rest = append(rest, m)
+					}
+				}
+				live = rest
+			}
+		}
+		w.Advance(20 * time.Second)
+		for _, m := range live {
+			wantFired[m.id] = true
+		}
+		mu.Lock()
+		if len(firedSet) != len(wantFired) {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(firedSet), len(wantFired))
+		}
+		for id := range wantFired {
+			if !firedSet[id] {
+				t.Fatalf("trial %d: timer %d never fired", trial, id)
+			}
+		}
+		mu.Unlock()
+	}
+}

@@ -182,11 +182,20 @@ func Bind(b *asm.Builder, fd isa.Reg, port int64) {
 	Syscall(b, libos.SysBind)
 }
 
-// ListenSock emits listen(fdReg).
+// ListenSock emits listen(fdReg) with the default backlog. R2 is
+// zeroed explicitly: leftover register contents must not be
+// misread as a backlog request.
 func ListenSock(b *asm.Builder, fd isa.Reg) {
+	ListenBacklog(b, fd, 0)
+}
+
+// ListenBacklog emits listen(fdReg, backlog). backlog ≤ 0 keeps the
+// kernel default; positive values are clamped to the host cap.
+func ListenBacklog(b *asm.Builder, fd isa.Reg, backlog int64) {
 	if fd != isa.R1 {
 		b.MovRR(isa.R1, fd)
 	}
+	b.MovRI(isa.R2, backlog)
 	Syscall(b, libos.SysListen)
 }
 

@@ -483,6 +483,10 @@ type C10KResult struct {
 	Bytes int64
 	// P50/P99 are request latency percentiles (send → full response).
 	P50, P99 time.Duration
+	// Churns counts deliberate close+redial cycles (RunC10KChurn only):
+	// each one pushes a connection back through accept, epoll
+	// registration and idle-reap arming while the rest keep serving.
+	Churns int
 }
 
 // Throughput returns successful requests per second.
@@ -501,10 +505,27 @@ func (r C10KResult) Throughput() float64 {
 // closing only at the end. Latency percentiles are measured per
 // request.
 func RunC10K(k Kernel, port uint16, conns, rounds int) C10KResult {
+	return runC10K(k, port, conns, rounds, 0)
+}
+
+// RunC10KChurn is RunC10K with connection churn: before every
+// churnStride'th round, a connection closes and redials, so each round
+// retires roughly conns/churnStride connections and accepts as many new
+// ones while the rest keep serving. Churn is what separates "holds N
+// open connections" from "survives N connections' lifecycle" — it keeps
+// the accept path, epoll registration/removal and idle-reap arm/cancel
+// hot during the timed phase, which is where the tail latency of the
+// steady connections shows table-lock or timer-cancel contention.
+func RunC10KChurn(k Kernel, port uint16, conns, rounds, churnStride int) C10KResult {
+	return runC10K(k, port, conns, rounds, churnStride)
+}
+
+func runC10K(k Kernel, port uint16, conns, rounds, churnStride int) C10KResult {
 	var (
 		wg     sync.WaitGroup
 		failed atomic.Int64
 		nbytes atomic.Int64
+		churns atomic.Int64
 	)
 	cs := make([]*hostos.Conn, conns)
 	latMu := sync.Mutex{}
@@ -594,6 +615,14 @@ func RunC10K(k Kernel, port uint16, conns, rounds int) C10KResult {
 				myLats = append(myLats, time.Since(t0))
 			}
 			for r := 0; r < rounds; r++ {
+				// Staggered by connection index so every round churns a
+				// slice of the population rather than round k churning
+				// everyone at once.
+				if churnStride > 0 && (i+r)%churnStride == 0 && conn != nil {
+					conn.Close()
+					conn = nil
+					churns.Add(1)
+				}
 				sem <- struct{}{}
 				round()
 				<-sem
@@ -625,6 +654,7 @@ func RunC10K(k Kernel, port uint16, conns, rounds int) C10KResult {
 		Bytes:    nbytes.Load(),
 		P50:      pct(0.50),
 		P99:      pct(0.99),
+		Churns:   int(churns.Load()),
 	}
 }
 

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eip"
@@ -29,6 +30,14 @@ type KernelSpec struct {
 	// root), pinned to BaseImageRoot.
 	BaseImageBlob []byte
 	BaseImageRoot [32]byte
+	// IdleTimeout, when positive, enables the Occlum kernel's
+	// wheel-driven idle reaper: accepted connections with no data
+	// activity for this long are closed server-side.
+	IdleTimeout time.Duration
+	// ShedThreshold, when positive, enables accept-rate shedding: the
+	// Occlum kernel refuses (accept-and-close) inbound connections
+	// while at least this many SIPs sit in run queues.
+	ShedThreshold int
 	// Stdout receives console output.
 	Stdout io.Writer
 }
@@ -54,6 +63,8 @@ func NewOcclumKernel(spec KernelSpec) (*OcclumKernel, error) {
 	if spec.Harts > 0 {
 		lc.MaxThreads = spec.Harts
 	}
+	lc.IdleTimeout = spec.IdleTimeout
+	lc.ShedThreshold = spec.ShedThreshold
 	lc.VerifierKey = tc.Key()
 	cfg := core.SystemConfig{
 		LibOS:    lc,
